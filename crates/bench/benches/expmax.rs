@@ -1,0 +1,25 @@
+//! Microbenchmark: the expected maximum of independent exponentials
+//! (paper Eq. 12 vs the closed-form inclusion–exclusion identity).
+//!
+//! The model evaluates this once per source node per operating point; the
+//! bench verifies both forms are cheap and quantifies the gap.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_queueing::expmax::{expected_max_exponentials, expected_max_recursive};
+
+fn bench_expmax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expmax");
+    for m in [2usize, 4, 8, 12] {
+        let rates: Vec<f64> = (1..=m).map(|i| 0.02 * i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("closed_form", m), &rates, |b, r| {
+            b.iter(|| expected_max_exponentials(black_box(r)))
+        });
+        g.bench_with_input(BenchmarkId::new("recursive", m), &rates, |b, r| {
+            b.iter(|| expected_max_recursive(black_box(r)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_expmax);
+criterion_main!(benches);

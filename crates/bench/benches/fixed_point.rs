@@ -1,0 +1,31 @@
+//! Microbenchmark: the Eq. 6 service-time fixed point in isolation, across
+//! load levels — convergence slows as the operating point approaches
+//! saturation (the contraction factor tends to 1), which this bench makes
+//! visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_topology::Quarc;
+use noc_workloads::{DestinationSets, Workload};
+use quarc_core::rates::ChannelLoads;
+use quarc_core::{service, ModelOptions};
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_fixed_point");
+    g.sample_size(20);
+    let topo = Quarc::new(32).unwrap();
+    let sets = DestinationSets::random(&topo, 8, 1);
+    // The saturation rate for this configuration is ~0.00305; the three
+    // points sit at roughly 25%, 55% and 90% of it.
+    for (label, rate) in [("low", 0.0008), ("mid", 0.0017), ("high", 0.0027)] {
+        let wl = Workload::new(32, rate, 0.05, sets.clone()).unwrap();
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        g.bench_with_input(BenchmarkId::new("quarc32", label), &rate, |b, _| {
+            b.iter(|| service::solve(&topo, &loads, 32.0, &opts).expect("stable"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fixed_point);
+criterion_main!(benches);

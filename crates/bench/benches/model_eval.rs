@@ -1,0 +1,32 @@
+//! Macrobenchmark: full analytical model evaluation (channel loads +
+//! service fixed point + unicast average + multicast E[max]) across Quarc
+//! sizes — one evaluation per sweep point of the figure harness, so this
+//! bounds the cost of regenerating a panel's model curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_topology::Quarc;
+use noc_workloads::{DestinationSets, Workload};
+use quarc_core::{AnalyticModel, ModelOptions};
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_eval");
+    g.sample_size(20);
+    // Mid-load operating points (~50% of each size's saturation rate for
+    // M = 32, alpha = 5%) so the fixed point converges for every size.
+    for (n, rate) in [(16usize, 0.003), (32, 0.0015), (64, 0.0006), (128, 0.00015)] {
+        let topo = Quarc::new(n).unwrap();
+        let sets = DestinationSets::random(&topo, n / 4, 1);
+        let wl = Workload::new(32, rate, 0.05, sets).unwrap();
+        g.bench_with_input(BenchmarkId::new("quarc", n), &n, |b, _| {
+            b.iter(|| {
+                AnalyticModel::new(&topo, &wl, ModelOptions::default())
+                    .evaluate()
+                    .expect("stable operating point")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Macrobenchmark: flit-level simulator throughput.
+//!
+//! Runs a fixed-length simulation at a moderate operating point and
+//! reports wall time; combined with the `flit_moves` counter this gives
+//! flit-traversals per second, the figure of merit for sweep cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_sim::{SimConfig, Simulator};
+use noc_topology::Quarc;
+use noc_workloads::{DestinationSets, Workload};
+
+fn short_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        warmup_cycles: 1_000,
+        measure_cycles: 8_000,
+        drain_cycles: 20_000,
+        buffer_depth: 2,
+        backlog_limit: 50_000,
+        batch_size: 32,
+    }
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        let topo = Quarc::new(n).unwrap();
+        let sets = DestinationSets::random(&topo, n / 4, 1);
+        let wl = Workload::new(32, 0.004, 0.05, sets).unwrap();
+        g.bench_with_input(BenchmarkId::new("quarc_run", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&topo, &wl, short_cfg(7));
+                sim.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

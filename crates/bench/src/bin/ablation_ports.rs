@@ -1,0 +1,87 @@
+//! Ablation B: the asynchronous max-of-exponentials combination (Eq. 13)
+//! vs the "largest sub-network wins" heuristic the paper argues against in
+//! §2, on two multi-port topologies:
+//!
+//! * the 2-port ring (`m = 2` streams), and
+//! * the 4-port Quarc (`m = 4` streams),
+//!
+//! each against the simulated multicast latency. The gap between the
+//! heuristic and the simulation grows with the number of ports, which is
+//! precisely the paper's motivation for modelling the last-completion time.
+//!
+//! ```text
+//! cargo run --release -p noc-bench --bin ablation-ports -- [--quick]
+//! ```
+
+use noc_bench::cli::Options;
+use noc_sim::Simulator;
+use noc_topology::{Quarc, Ring, Topology};
+use noc_workloads::table::{fmt_latency, Table};
+use noc_workloads::{DestinationSets, Workload};
+use quarc_core::multicast::largest_subset_latency;
+use quarc_core::rates::ChannelLoads;
+use quarc_core::{max_sustainable_rate, service, AnalyticModel, ModelOptions};
+
+fn run_topo(
+    name: &str,
+    topo: &dyn Topology,
+    group: usize,
+    opts: &Options,
+    table: &mut Table,
+) {
+    let sets = DestinationSets::random(topo, group, opts.seed);
+    let proto = Workload::new(32, 1e-5, 0.05, sets).unwrap();
+    let mo = ModelOptions::default();
+    let sat = max_sustainable_rate(topo, &proto, mo, 0.01);
+    for load_frac in [0.4, 0.8] {
+        let wl = proto.at_rate(sat * load_frac).unwrap();
+        let pred = AnalyticModel::new(topo, &wl, mo).evaluate();
+        let loads = ChannelLoads::build(topo, &wl, &mo);
+        let heuristic = service::solve(topo, &loads, wl.msg_len as f64, &mo)
+            .map(|sol| {
+                largest_subset_latency(topo, wl.msg_len as f64, &|n| wl.multicast_set(n), &loads, &sol, &mo)
+            })
+            .unwrap_or(f64::NAN);
+        let sim = Simulator::new(topo, &wl, opts.sim_config()).run();
+        let (emax, ports) = match &pred {
+            Ok(p) => (
+                p.multicast_latency,
+                p.per_node
+                    .iter()
+                    .map(|nm| nm.port_waits.len())
+                    .max()
+                    .unwrap_or(0),
+            ),
+            Err(_) => (f64::NAN, 0),
+        };
+        table.push_row(vec![
+            name.to_string(),
+            format!("{ports}"),
+            format!("{:.0}% of sat", load_frac * 100.0),
+            fmt_latency(emax),
+            fmt_latency(heuristic),
+            fmt_latency(sim.multicast.mean),
+        ]);
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    println!("== Ablation: E[max] combination vs largest-subset heuristic ==\n");
+    let mut table = Table::new(vec![
+        "topology",
+        "streams",
+        "load",
+        "model_E[max]",
+        "model_largest",
+        "sim_mc",
+    ]);
+    let ring = Ring::new(16).unwrap();
+    run_topo("ring-16 (m=2)", &ring, 4, &opts, &mut table);
+    let quarc = Quarc::new(16).unwrap();
+    run_topo("quarc-16 (m=4)", &quarc, 4, &opts, &mut table);
+    println!("{}", table.to_aligned());
+    if let Ok(p) = opts.write_csv("ablation-ports.csv", &table.to_csv()) {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Figure 2** of the paper: the Quarc topology vs the
+//! Spidergon topology (8 nodes), as Graphviz DOT plus an ASCII channel
+//! census. The doubled cross link of the Quarc is visible as two dashed
+//! `n0 -> n4` edges where the Spidergon has one.
+//!
+//! ```text
+//! cargo run --release -p noc-bench --bin fig2-topology
+//! ```
+
+use noc_bench::cli::Options;
+use noc_topology::render::{channel_census, ring_ascii, to_dot};
+use noc_topology::{Quarc, Spidergon};
+
+fn main() {
+    let opts = Options::from_env();
+    let quarc = Quarc::new(8).expect("8-node Quarc");
+    let spidergon = Spidergon::new(8).expect("8-node Spidergon");
+
+    println!("== Figure 2(a): Quarc, N = 8 ==\n");
+    println!("{}", ring_ascii(&quarc));
+    let (inj, link, ej) = channel_census(&quarc);
+    println!("channels: {inj} injection + {link} link + {ej} ejection\n");
+
+    println!("== Figure 2(b): Spidergon, N = 8 ==\n");
+    println!("{}", ring_ascii(&spidergon));
+    let (inj, link, ej) = channel_census(&spidergon);
+    println!("channels: {inj} injection + {link} link + {ej} ejection\n");
+
+    let dot_q = to_dot(&quarc);
+    let dot_s = to_dot(&spidergon);
+    match (
+        opts.write_csv("fig2-quarc.dot", &dot_q),
+        opts.write_csv("fig2-spidergon.dot", &dot_s),
+    ) {
+        (Ok(a), Ok(b)) => println!("wrote {} and {}", a.display(), b.display()),
+        _ => eprintln!("dot write failed"),
+    }
+}

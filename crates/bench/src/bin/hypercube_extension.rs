@@ -1,0 +1,71 @@
+//! Extension: the multi-port model on the binary hypercube — the topology
+//! family of the paper's predecessor work (Shahrabi et al., MASCOTS 2000,
+//! ref.\[18\]), which modelled broadcast with one-port routers and
+//! non-wormhole collectives. Here the hypercube gets one port per
+//! dimension, e-cube wormhole unicast and Gray-code dual-path multicast,
+//! and the same model-vs-simulation validation protocol as Fig. 6.
+//!
+//! ```text
+//! cargo run --release -p noc-bench --bin hypercube-extension -- [--quick]
+//! ```
+
+use noc_bench::cli::Options;
+use noc_sim::Simulator;
+use noc_topology::{Hypercube, Topology};
+use noc_workloads::table::{fmt_latency, Table};
+use noc_workloads::{DestinationSets, Workload};
+use quarc_core::{max_sustainable_rate, AnalyticModel, ModelOptions};
+
+fn main() {
+    let opts = Options::from_env();
+    println!("== Extension: multi-port hypercube (cf. paper ref. 18) ==\n");
+    println!("unicast: e-cube; multicast: Gray-code dual-path (m = 2)\n");
+    let mut table = Table::new(vec![
+        "dim",
+        "nodes",
+        "rate",
+        "model_uni",
+        "sim_uni",
+        "model_mc",
+        "sim_mc",
+        "err_mc%",
+    ]);
+    for dim in [3usize, 4, 5] {
+        let topo = Hypercube::new(dim).unwrap();
+        let n = topo.num_nodes();
+        let sets = DestinationSets::random(&topo, n / 4, opts.seed);
+        let proto = Workload::new(32, 1e-5, 0.05, sets).unwrap();
+        let mo = ModelOptions::default();
+        let sat = max_sustainable_rate(&topo, &proto, mo, 0.01);
+        for frac in [0.35, 0.7] {
+            let wl = proto.at_rate(sat * frac).unwrap();
+            let (mu, mm) = match AnalyticModel::new(&topo, &wl, mo).evaluate() {
+                Ok(p) => (p.unicast_latency, p.multicast_latency),
+                Err(_) => (f64::NAN, f64::NAN),
+            };
+            let sim = Simulator::new(&topo, &wl, opts.sim_config()).run();
+            let err = if mm.is_finite() && sim.multicast.mean > 0.0 {
+                format!(
+                    "{:.1}",
+                    (mm - sim.multicast.mean).abs() / sim.multicast.mean * 100.0
+                )
+            } else {
+                "-".into()
+            };
+            table.push_row(vec![
+                dim.to_string(),
+                n.to_string(),
+                format!("{:.5}", sat * frac),
+                fmt_latency(mu),
+                fmt_latency(sim.unicast.mean),
+                fmt_latency(mm),
+                fmt_latency(sim.multicast.mean),
+                err,
+            ]);
+        }
+    }
+    println!("{}", table.to_aligned());
+    if let Ok(p) = opts.write_csv("hypercube-extension.csv", &table.to_csv()) {
+        println!("wrote {}", p.display());
+    }
+}

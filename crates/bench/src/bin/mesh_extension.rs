@@ -1,0 +1,72 @@
+//! The paper's stated future work (§5): applying the multi-port multicast
+//! model to mesh and torus topologies.
+//!
+//! Unicast uses XY / dimension-ordered routing; multicast uses the
+//! dual-path Hamiltonian scheme (two asynchronous streams, `m = 2`). The
+//! table compares the analytical model against the flit-level simulator on
+//! both topologies across a small rate sweep — the same validation protocol
+//! as Fig. 6, transplanted to the new networks.
+//!
+//! ```text
+//! cargo run --release -p noc-bench --bin mesh-extension -- [--quick]
+//! ```
+
+use noc_bench::cli::Options;
+use noc_sim::Simulator;
+use noc_topology::{Mesh, MeshKind, Topology};
+use noc_workloads::table::{fmt_latency, Table};
+use noc_workloads::{DestinationSets, Workload};
+use quarc_core::{max_sustainable_rate, AnalyticModel, ModelOptions};
+
+fn run(topo: &dyn Topology, opts: &Options, table: &mut Table) {
+    let sets = DestinationSets::random(topo, topo.num_nodes() / 4, opts.seed);
+    let proto = Workload::new(32, 1e-5, 0.05, sets).unwrap();
+    let mo = ModelOptions::default();
+    let sat = max_sustainable_rate(topo, &proto, mo, 0.01);
+    for frac in [0.3, 0.6, 0.9] {
+        let rate = sat * frac;
+        let wl = proto.at_rate(rate).unwrap();
+        let (mu, mm) = match AnalyticModel::new(topo, &wl, mo).evaluate() {
+            Ok(p) => (p.unicast_latency, p.multicast_latency),
+            Err(_) => (f64::NAN, f64::NAN),
+        };
+        let sim = Simulator::new(topo, &wl, opts.sim_config()).run();
+        let err = if mm.is_finite() && sim.multicast.mean > 0.0 {
+            format!("{:.1}", (mm - sim.multicast.mean).abs() / sim.multicast.mean * 100.0)
+        } else {
+            "-".into()
+        };
+        table.push_row(vec![
+            topo.name().to_string(),
+            format!("{:.5}", rate),
+            fmt_latency(mu),
+            fmt_latency(sim.unicast.mean),
+            fmt_latency(mm),
+            fmt_latency(sim.multicast.mean),
+            err,
+        ]);
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    println!("== Extension: multi-port mesh and torus (paper §5 future work) ==\n");
+    println!("unicast: XY routing; multicast: dual-path Hamiltonian (m = 2)\n");
+    let mut table = Table::new(vec![
+        "topology",
+        "rate",
+        "model_uni",
+        "sim_uni",
+        "model_mc",
+        "sim_mc",
+        "err_mc%",
+    ]);
+    let mesh = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+    run(&mesh, &opts, &mut table);
+    let torus = Mesh::new(4, 4, MeshKind::Torus).unwrap();
+    run(&torus, &opts, &mut table);
+    println!("{}", table.to_aligned());
+    if let Ok(p) = opts.write_csv("mesh-extension.csv", &table.to_csv()) {
+        println!("wrote {}", p.display());
+    }
+}

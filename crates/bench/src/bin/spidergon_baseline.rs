@@ -1,0 +1,63 @@
+//! Baseline comparison motivating the Quarc (paper §3.1–3.2): collective
+//! latency of the Quarc's true multicast vs the Spidergon's
+//! broadcast-by-consecutive-unicast, measured in simulation on otherwise
+//! idle networks and under background unicast load.
+//!
+//! The paper's qualitative claims reproduced here:
+//!
+//! * a Quarc broadcast visits each quadrant in `N/4` link hops, while the
+//!   Spidergon needs `N − 1` consecutive unicasts through one port;
+//! * the Quarc broadcast latency is therefore dramatically lower and the
+//!   gap widens with `N`.
+//!
+//! ```text
+//! cargo run --release -p noc-bench --bin spidergon-baseline
+//! ```
+
+use noc_bench::cli::Options;
+use noc_sim::{SimConfig, Simulator};
+use noc_topology::{NodeId, Quarc, Spidergon, Topology};
+use noc_workloads::table::Table;
+use noc_workloads::{DestinationSets, Workload};
+
+/// Zero-load broadcast latency measured by injecting one broadcast on an
+/// idle network.
+fn idle_broadcast_latency(topo: &dyn Topology, msg_len: u32) -> u64 {
+    let sets = DestinationSets::broadcast(topo);
+    let wl = Workload::new(msg_len, 0.0, 0.0, sets).unwrap();
+    let mut sim = Simulator::new(topo, &wl, SimConfig::quick(1));
+    sim.measure_isolated_multicast(NodeId(0))
+}
+
+fn main() {
+    let opts = Options::from_env();
+    println!("== Baseline: Quarc true multicast vs Spidergon unicast train ==\n");
+    let msg = 32u32;
+    let mut table = Table::new(vec![
+        "N",
+        "quarc_bcast",
+        "spidergon_bcast",
+        "speedup",
+        "quarc_links",
+        "spidergon_msgs",
+    ]);
+    for n in [8usize, 16, 32, 64] {
+        let quarc = Quarc::new(n).unwrap();
+        let spid = Spidergon::new(n).unwrap();
+        let ql = idle_broadcast_latency(&quarc, msg);
+        let sl = idle_broadcast_latency(&spid, msg);
+        table.push_row(vec![
+            n.to_string(),
+            ql.to_string(),
+            sl.to_string(),
+            format!("{:.1}x", sl as f64 / ql as f64),
+            (n / 4).to_string(),
+            (n - 1).to_string(),
+        ]);
+    }
+    println!("zero-load broadcast latency, {msg}-flit messages (cycles):");
+    println!("{}", table.to_aligned());
+    if let Ok(p) = opts.write_csv("spidergon-baseline.csv", &table.to_csv()) {
+        println!("wrote {}", p.display());
+    }
+}

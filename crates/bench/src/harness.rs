@@ -1,0 +1,352 @@
+//! The model-vs-simulation experiment harness behind Fig. 6 and Fig. 7.
+
+use noc_sim::{SimConfig, Simulator};
+use noc_topology::Quarc;
+use noc_workloads::table::{fmt_latency, Table};
+use noc_workloads::{parallel_map, DestinationSets, RateSweep, Workload};
+use quarc_core::{max_sustainable_rate, AnalyticModel, ModelOptions};
+
+/// Destination-set spatial pattern (the difference between Fig. 6 and
+/// Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// Uniformly random destinations (Fig. 6).
+    Random,
+    /// Destinations localized on a single rim quadrant (Fig. 7).
+    Localized,
+}
+
+/// One panel of a figure: a `(N, M, α, pattern)` configuration whose
+/// latency is swept over the generation rate.
+#[derive(Clone, Debug)]
+pub struct FigureConfig {
+    /// Quarc size `N`.
+    pub n: usize,
+    /// Message length `M` in flits.
+    pub msg_len: u32,
+    /// Multicast fraction `α`.
+    pub alpha: f64,
+    /// Multicast destination-set size per node.
+    pub group_size: usize,
+    /// Destination pattern.
+    pub pattern: Pattern,
+    /// Seed for destination sets and simulation.
+    pub seed: u64,
+}
+
+impl FigureConfig {
+    /// Panel label used in tables and CSV file names, e.g.
+    /// `quarc-n32-m64-a10-random`.
+    pub fn label(&self) -> String {
+        format!(
+            "quarc-n{}-m{}-a{:02.0}-{}",
+            self.n,
+            self.msg_len,
+            self.alpha * 100.0,
+            match self.pattern {
+                Pattern::Random => "random",
+                Pattern::Localized => "localized",
+            }
+        )
+    }
+
+    /// Build the topology and workload prototype for this panel.
+    pub fn build(&self) -> (Quarc, Workload) {
+        let topo = Quarc::new(self.n).expect("valid Quarc size");
+        let sets = match self.pattern {
+            Pattern::Random => DestinationSets::random(&topo, self.group_size, self.seed),
+            Pattern::Localized => DestinationSets::localized(&topo, self.group_size, self.seed),
+        };
+        let wl = Workload::new(self.msg_len, 1e-5, self.alpha, sets).expect("valid workload");
+        (topo, wl)
+    }
+}
+
+/// One operating point: model prediction and simulation measurement.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// Generation rate (messages/node/cycle).
+    pub rate: f64,
+    /// Model unicast latency (`NaN` beyond the model's saturation).
+    pub model_unicast: f64,
+    /// Model multicast latency (`NaN` beyond the model's saturation).
+    pub model_multicast: f64,
+    /// Simulated unicast latency.
+    pub sim_unicast: f64,
+    /// Simulated multicast latency.
+    pub sim_multicast: f64,
+    /// 95% CI half-width of the simulated multicast latency.
+    pub sim_multicast_ci: f64,
+    /// Simulator saturation flag.
+    pub sim_saturated: bool,
+}
+
+impl PointResult {
+    /// Relative model error on unicast latency, when both sides are finite.
+    pub fn unicast_error(&self) -> Option<f64> {
+        rel_err(self.model_unicast, self.sim_unicast)
+    }
+
+    /// Relative model error on multicast latency.
+    pub fn multicast_error(&self) -> Option<f64> {
+        rel_err(self.model_multicast, self.sim_multicast)
+    }
+}
+
+fn rel_err(model: f64, sim: f64) -> Option<f64> {
+    (model.is_finite() && sim.is_finite() && sim > 0.0).then(|| (model - sim).abs() / sim)
+}
+
+/// Build the rate sweep for a panel: `points` rates spanning
+/// `[0.15, 1.02] ×` the model's saturation rate, so the curves show both
+/// the flat region and the knee, like the paper's graphs.
+pub fn sweep_for(cfg: &FigureConfig, points: usize) -> RateSweep {
+    let (topo, proto) = cfg.build();
+    let sat = max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
+    let sat = sat.max(1e-5);
+    RateSweep::linear(0.15 * sat, 1.02 * sat, points.max(2))
+}
+
+/// Evaluate one panel: model + simulation at every sweep rate
+/// (simulations run in parallel across `threads` workers).
+pub fn run_panel(
+    cfg: &FigureConfig,
+    sweep: &RateSweep,
+    sim_cfg: SimConfig,
+    threads: usize,
+) -> Vec<PointResult> {
+    let (topo, proto) = cfg.build();
+    let rates: Vec<f64> = sweep.rates().to_vec();
+    parallel_map(&rates, threads, |&rate| {
+        let wl = proto.at_rate(rate).expect("swept rate is valid");
+        let (model_unicast, model_multicast) =
+            match AnalyticModel::new(&topo, &wl, ModelOptions::default()).evaluate() {
+                Ok(p) => (p.unicast_latency, p.multicast_latency),
+                Err(_) => (f64::NAN, f64::NAN),
+            };
+        let mut sim = Simulator::new(&topo, &wl, sim_cfg);
+        let res = sim.run();
+        PointResult {
+            rate,
+            model_unicast,
+            model_multicast,
+            sim_unicast: res.unicast.mean,
+            sim_multicast: res.multicast.mean,
+            sim_multicast_ci: res.multicast.ci95,
+            sim_saturated: res.saturated,
+        }
+    })
+}
+
+/// Render a panel as a table (one row per rate).
+pub fn panel_table(points: &[PointResult]) -> Table {
+    let mut t = Table::new(vec![
+        "rate",
+        "model_uni",
+        "sim_uni",
+        "err_uni%",
+        "model_mc",
+        "sim_mc",
+        "mc_ci95",
+        "err_mc%",
+        "sim_sat",
+    ]);
+    for p in points {
+        t.push_row(vec![
+            format!("{:.5}", p.rate),
+            fmt_latency(p.model_unicast),
+            fmt_latency(p.sim_unicast),
+            p.unicast_error()
+                .map(|e| format!("{:.1}", e * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            fmt_latency(p.model_multicast),
+            fmt_latency(p.sim_multicast),
+            if p.sim_multicast_ci.is_finite() {
+                format!("{:.2}", p.sim_multicast_ci)
+            } else {
+                "-".into()
+            },
+            p.multicast_error()
+                .map(|e| format!("{:.1}", e * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            if p.sim_saturated { "yes" } else { "no" }.into(),
+        ]);
+    }
+    t
+}
+
+/// The default panel set of Fig. 6/7: network sizes 16–128, message
+/// lengths 16–64 flits and multicast rates 3–10% as in the paper's
+/// evaluation (§4), one representative combination per panel.
+///
+/// All combinations respect the model's stated assumption that messages
+/// are *larger than the network diameter* (`M > N/4`): the Eq. 6 recursion
+/// holds a channel until the message tail drains through the path's end,
+/// which is only physical when the message spans the remaining path.
+/// (The `16,16` panel of the smallest network uses `M = 16 = 4×diameter`.)
+/// Violating the assumption (e.g. `N = 128, M = 16`) makes the model
+/// overestimate latency by design — demonstrated in EXPERIMENTS.md.
+pub fn default_panels(pattern: Pattern, seed: u64) -> Vec<FigureConfig> {
+    let combos = [
+        (16usize, 16u32, 0.05),
+        (16, 32, 0.05),
+        (32, 64, 0.10),
+        (64, 32, 0.05),
+        (128, 64, 0.03),
+    ];
+    combos
+        .iter()
+        .map(|&(n, m, a)| FigureConfig {
+            n,
+            msg_len: m,
+            alpha: a,
+            // Random sets use N/4 destinations; localized sets must fit a
+            // rim quadrant (N/4 nodes), so they use N/8.
+            group_size: match pattern {
+                Pattern::Random => n / 4,
+                Pattern::Localized => (n / 8).max(2),
+            },
+            pattern,
+            seed,
+        })
+        .collect()
+}
+
+/// The complete evaluation cross product of the paper's §4: every
+/// `N ∈ {16, 32, 64, 128} × M ∈ {16, 32, 48, 64} × α ∈ {3%, 5%, 10%}`
+/// combination that respects the model's `M ≥ N/4` assumption
+/// (45 panels). Used by the figure binaries' `--full` mode.
+pub fn full_panels(pattern: Pattern, seed: u64) -> Vec<FigureConfig> {
+    let mut out = Vec::new();
+    for n in [16usize, 32, 64, 128] {
+        for m in [16u32, 32, 48, 64] {
+            if (m as usize) < n / 4 {
+                continue; // violates the message-vs-diameter assumption
+            }
+            for alpha in [0.03, 0.05, 0.10] {
+                out.push(FigureConfig {
+                    n,
+                    msg_len: m,
+                    alpha,
+                    group_size: match pattern {
+                        Pattern::Random => n / 4,
+                        Pattern::Localized => (n / 8).max(2),
+                    },
+                    pattern,
+                    seed,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        let cfg = FigureConfig {
+            n: 32,
+            msg_len: 64,
+            alpha: 0.10,
+            group_size: 8,
+            pattern: Pattern::Random,
+            seed: 1,
+        };
+        assert_eq!(cfg.label(), "quarc-n32-m64-a10-random");
+    }
+
+    #[test]
+    fn sweep_brackets_the_saturation_knee() {
+        let cfg = FigureConfig {
+            n: 16,
+            msg_len: 32,
+            alpha: 0.05,
+            group_size: 4,
+            pattern: Pattern::Random,
+            seed: 1,
+        };
+        let sweep = sweep_for(&cfg, 6);
+        assert_eq!(sweep.len(), 6);
+        let (topo, proto) = cfg.build();
+        let sat = max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
+        let rates = sweep.rates();
+        assert!(rates[0] < 0.2 * sat);
+        assert!(*rates.last().unwrap() > sat * 0.99);
+    }
+
+    #[test]
+    fn quick_panel_agrees_at_low_load() {
+        let cfg = FigureConfig {
+            n: 16,
+            msg_len: 16,
+            alpha: 0.05,
+            group_size: 4,
+            pattern: Pattern::Random,
+            seed: 3,
+        };
+        let sweep = RateSweep::explicit(vec![0.002, 0.004]);
+        let points = run_panel(&cfg, &sweep, SimConfig::quick(3), 2);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(!p.sim_saturated);
+            let e = p.multicast_error().expect("both sides finite");
+            assert!(
+                e < 0.15,
+                "model should track simulation within 15% at low load, got {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_panels_cover_paper_parameter_ranges() {
+        let panels = default_panels(Pattern::Random, 1);
+        assert_eq!(panels.len(), 5);
+        assert!(panels.iter().any(|p| p.n == 16));
+        assert!(panels.iter().any(|p| p.n == 128));
+        assert!(panels.iter().any(|p| p.msg_len == 16));
+        assert!(panels.iter().any(|p| p.msg_len == 64));
+        assert!(panels.iter().any(|p| (p.alpha - 0.03).abs() < 1e-9));
+        assert!(panels.iter().any(|p| (p.alpha - 0.10).abs() < 1e-9));
+        // Every panel respects the "message larger than the diameter"
+        // assumption of the model (§2).
+        for p in &panels {
+            assert!(
+                p.msg_len as usize >= p.n / 4,
+                "panel {} violates M >= diameter",
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn full_grid_covers_cross_product_within_assumption() {
+        let panels = full_panels(Pattern::Random, 1);
+        assert_eq!(panels.len(), 45, "4x4x3 minus assumption-violating cells");
+        assert!(panels
+            .iter()
+            .all(|p| p.msg_len as usize >= p.n / 4));
+        // N=128 keeps only M in {32, 48, 64}.
+        assert_eq!(panels.iter().filter(|p| p.n == 128).count(), 9);
+        // N=16 keeps every message length.
+        assert_eq!(panels.iter().filter(|p| p.n == 16).count(), 12);
+    }
+
+    #[test]
+    fn panel_table_has_one_row_per_point() {
+        let points = vec![PointResult {
+            rate: 0.001,
+            model_unicast: 20.0,
+            model_multicast: 25.0,
+            sim_unicast: 21.0,
+            sim_multicast: 24.0,
+            sim_multicast_ci: 0.5,
+            sim_saturated: false,
+        }];
+        let t = panel_table(&points);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_csv().contains("0.00100"));
+    }
+}

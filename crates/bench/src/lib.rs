@@ -1,0 +1,29 @@
+//! # noc-bench
+//!
+//! Experiment harness and figure-regeneration binaries for the IPDPS 2009
+//! reproduction.
+//!
+//! Each binary regenerates one figure or ablation of the paper (see
+//! DESIGN.md's experiment index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig2-topology`      | Fig. 2 — Quarc vs Spidergon topology (DOT/ASCII) |
+//! | `fig3-broadcast`     | Fig. 3 — broadcast streams in a 16-node Quarc |
+//! | `fig6`               | Fig. 6 — model vs simulation, random destinations |
+//! | `fig7`               | Fig. 7 — model vs simulation, localized destinations |
+//! | `ablation-correction`| Eq. 3/Eq. 6 formula variants |
+//! | `ablation-ports`     | E\[max\] combination vs largest-subset heuristic |
+//! | `spidergon-baseline` | Quarc true multicast vs Spidergon unicast train |
+//! | `mesh-extension`     | the paper's future work: multi-port mesh/torus |
+//!
+//! The harness evaluates the analytical model and the flit-level simulator
+//! on identical workloads and emits CSV plus aligned terminal tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod harness;
+
+pub use harness::{run_panel, sweep_for, FigureConfig, Pattern, PointResult};

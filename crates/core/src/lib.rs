@@ -1,0 +1,54 @@
+//! # quarc-core — the paper's analytical model
+//!
+//! Reproduction of *"A performance model of multicast communication in
+//! wormhole-routed networks on-chip"* (Moadeli & Vanderbauwhede, IPDPS
+//! 2009): an analytical model predicting the average latency of unicast and
+//! multicast traffic in wormhole-routed direct networks whose routers are
+//! asynchronous **multi-port** routers.
+//!
+//! ## Model structure
+//!
+//! 1. **Channel loads** ([`rates`]) — every channel (injection, link,
+//!    ejection) receives a Poisson arrival rate `λ_j` accumulated from the
+//!    deterministic routes of the unicast traffic (uniform destinations)
+//!    and the fixed multicast streams, together with the next-channel
+//!    decomposition `λ_{i→j}` needed by Eq. 6.
+//! 2. **Service times** ([`service`]) — each channel is an M/G/1 queue
+//!    (Eq. 3–5); mean service times satisfy the downstream recursion
+//!    (Eq. 6)
+//!    `x_i = Σ_j P_{i→j}·((1 − corr_{ij})·W_j + x_j + 1)`,
+//!    solved as a damped fixed point over the (cyclic) channel graph.
+//!    Ejection channels serve in `msg` cycles.
+//! 3. **Unicast latency** ([`unicast`]) — Eq. 7:
+//!    `L(s,d) = Σ_l w_l + msg + D`, averaged over all pairs (§2.1).
+//! 4. **Multicast latency** ([`multicast`]) — per source and port, the
+//!    total path waiting `Ω_{j,c}` defines an exponential with rate
+//!    `µ_{j,c} = 1/Ω_{j,c}` (Eq. 8); the multicast waiting time is the
+//!    expected **maximum** of the `m` port exponentials (Eq. 12–13), and
+//!    `L_j = W_j + msg + D_j` with `D_j = max_c D_{j,c}` (Eq. 14–15),
+//!    averaged over nodes (Eq. 16).
+//!
+//! ## Fidelity knobs
+//!
+//! The printed paper leaves two formulas ambiguous (see DESIGN.md);
+//! [`ModelOptions`] exposes both choices so the ablation benches can
+//! quantify them: the M/G/1 prefactor ([`WaitingFormula`]) and the
+//! self-traffic correction factor of Eq. 6 ([`ServiceCorrection`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod multicast;
+pub mod options;
+pub mod rates;
+pub mod saturation;
+pub mod service;
+pub mod unicast;
+
+pub use model::{AnalyticModel, ModelError, Prediction};
+pub use noc_queueing::mg1::WaitingFormula;
+pub use options::{ModelOptions, ServiceCorrection};
+pub use rates::ChannelLoads;
+pub use saturation::max_sustainable_rate;
+pub use service::ServiceSolution;

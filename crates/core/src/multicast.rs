@@ -1,0 +1,297 @@
+//! Multicast latency (paper §2.2, Eq. 8–16).
+//!
+//! A multicast from node `x_j` leaves through its `m` injection ports as
+//! independent wormhole streams. Per port `c`, the total header waiting
+//! time along the stream's path, `Ω_{j,c} = Σ_l w_l`, parameterises an
+//! exponential random variable with rate `µ_{j,c} = 1/Ω_{j,c}` (Eq. 8).
+//! Because the streams are asynchronous, the multicast waiting time is the
+//! expected time of the **last** completion — the expected maximum of the
+//! `m` exponentials (Eq. 12–13) — and
+//!
+//! ```text
+//! L_j = W_j + msg + D_j,    D_j = max_c D_{j,c}        (Eq. 14–15)
+//! L   = (1/N) Σ_j L_j                                  (Eq. 16)
+//! ```
+//!
+//! A port whose stream experiences zero waiting contributes an
+//! instantly-firing variable and drops out of the maximum. The paper also
+//! discusses (and rejects) the "largest sub-network wins" heuristic; it is
+//! provided as [`largest_subset_latency`] for the ablation bench.
+
+use crate::options::ModelOptions;
+use crate::rates::ChannelLoads;
+use crate::service::ServiceSolution;
+use crate::unicast::path_waiting_sum;
+use noc_queueing::expmax::expected_max_exponentials;
+use noc_queueing::MaxOfExponentials;
+use noc_topology::{NodeId, Topology};
+
+/// Multicast prediction for one source node.
+#[derive(Clone, Debug)]
+pub struct NodeMulticast {
+    /// The source node.
+    pub node: NodeId,
+    /// Per-port total waiting times `Ω_{j,c}`, in stream order.
+    pub port_waits: Vec<f64>,
+    /// Expected waiting of the last-finishing stream (Eq. 13).
+    pub waiting: f64,
+    /// `D_j = max_c D_{j,c}` in channel traversals minus one (matching the
+    /// simulator's zero-load timing).
+    pub max_hops: usize,
+    /// `L_j = W_j + msg + D_j` (Eq. 14).
+    pub latency: f64,
+}
+
+impl NodeMulticast {
+    /// The full distribution of this node's multicast waiting time —
+    /// the max of the per-port exponentials (extension: the paper derives
+    /// only the expectation, Eq. 13).
+    pub fn waiting_distribution(&self) -> MaxOfExponentials {
+        MaxOfExponentials::from_waits(&self.port_waits)
+    }
+
+    /// Latency quantile `q`: the deterministic part `msg + D_j` plus the
+    /// waiting-time quantile.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        (self.latency - self.waiting) + self.waiting_distribution().quantile(q)
+    }
+}
+
+/// Evaluate the multicast latency of every node with a non-empty
+/// destination set; returns per-node results (Eq. 14) and their average
+/// (Eq. 16).
+pub fn evaluate<'s>(
+    topo: &dyn Topology,
+    msg_len: f64,
+    sets: &dyn Fn(NodeId) -> &'s [NodeId],
+    loads: &ChannelLoads,
+    sol: &ServiceSolution,
+    opts: &ModelOptions,
+) -> (Vec<NodeMulticast>, f64) {
+    let n = topo.num_nodes();
+    let mut per_node = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for j in 0..n {
+        let node = NodeId(j as u32);
+        let set = sets(node);
+        if set.is_empty() {
+            continue;
+        }
+        let streams = topo.multicast_streams(node, set);
+        debug_assert!(!streams.is_empty());
+        let mut port_waits = Vec::with_capacity(streams.len());
+        let mut max_hops = 0usize;
+        for st in &streams {
+            port_waits.push(path_waiting_sum(&st.path, loads, sol, opts));
+            max_hops = max_hops.max(st.path.hop_count());
+        }
+        let waiting = expected_last_completion(&port_waits);
+        let latency = waiting + msg_len + max_hops as f64;
+        total += latency;
+        per_node.push(NodeMulticast { node, port_waits, waiting, max_hops, latency });
+    }
+    let avg = if per_node.is_empty() {
+        f64::NAN
+    } else {
+        total / per_node.len() as f64
+    };
+    (per_node, avg)
+}
+
+/// Expected waiting of the last-finishing stream: `E[max]` of exponentials
+/// with rates `1/Ω_c` (Eq. 8 + Eq. 13). Streams with `Ω = 0` fire
+/// instantly and are dropped.
+pub fn expected_last_completion(port_waits: &[f64]) -> f64 {
+    let rates: Vec<f64> = port_waits
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| 1.0 / w)
+        .collect();
+    expected_max_exponentials(&rates)
+}
+
+/// The "largest sub-network" heuristic the paper argues against (§2):
+/// take the latency of the port with the largest `Ω + D` instead of the
+/// expected maximum. Used by the ablation bench to show the differences.
+pub fn largest_subset_latency<'s>(
+    topo: &dyn Topology,
+    msg_len: f64,
+    sets: &dyn Fn(NodeId) -> &'s [NodeId],
+    loads: &ChannelLoads,
+    sol: &ServiceSolution,
+    opts: &ModelOptions,
+) -> f64 {
+    let n = topo.num_nodes();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for j in 0..n {
+        let node = NodeId(j as u32);
+        let set = sets(node);
+        if set.is_empty() {
+            continue;
+        }
+        let streams = topo.multicast_streams(node, set);
+        // "Largest" sub-network: the stream covering the most targets,
+        // ties broken by hop count.
+        let candidate = streams
+            .iter()
+            .max_by_key(|st| (st.targets.len(), st.path.hop_count()))
+            .expect("non-empty stream set");
+        let w = path_waiting_sum(&candidate.path, loads, sol, opts);
+        total += w + msg_len + candidate.path.hop_count() as f64;
+        count += 1;
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service;
+    use noc_topology::Quarc;
+    use noc_workloads::{DestinationSets, Workload};
+
+    fn fixture(rate: f64, alpha: f64, sets: DestinationSets) -> (Quarc, Workload) {
+        let topo = Quarc::new(16).unwrap();
+        let wl = Workload::new(32, rate, alpha, sets).unwrap();
+        (topo, wl)
+    }
+
+    #[test]
+    fn zero_load_broadcast_latency_is_msg_plus_max_hops() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::broadcast(&topo);
+        let (topo, wl) = fixture(0.0, 0.0, sets);
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
+        let (per_node, avg) = evaluate(
+            &topo,
+            32.0,
+            &|n| wl.multicast_set(n),
+            &loads,
+            &sol,
+            &opts,
+        );
+        assert_eq!(per_node.len(), 16);
+        // All broadcast streams are k = 4 links → hop_count = 5.
+        for nm in &per_node {
+            assert_eq!(nm.max_hops, 5);
+            assert_eq!(nm.waiting, 0.0);
+            assert!((nm.latency - 37.0).abs() < 1e-9);
+        }
+        assert!((avg - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_last_completion_known_values() {
+        // Two equal waits Ω: E[max of two iid Exp(1/Ω)] = 1.5 Ω.
+        assert!((expected_last_completion(&[10.0, 10.0]) - 15.0).abs() < 1e-9);
+        // Single stream: the wait itself.
+        assert!((expected_last_completion(&[7.0]) - 7.0).abs() < 1e-9);
+        // Zero-wait streams drop out.
+        assert!((expected_last_completion(&[0.0, 5.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(expected_last_completion(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn multicast_waiting_exceeds_mean_port_wait_under_load() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 6, 3);
+        let (topo, wl) = fixture(0.006, 0.1, sets);
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
+        let (per_node, avg) = evaluate(
+            &topo,
+            32.0,
+            &|n| wl.multicast_set(n),
+            &loads,
+            &sol,
+            &opts,
+        );
+        assert!(avg.is_finite() && avg > 32.0);
+        for nm in &per_node {
+            if nm.port_waits.len() >= 2 {
+                let mean_port =
+                    nm.port_waits.iter().sum::<f64>() / nm.port_waits.len() as f64;
+                assert!(
+                    nm.waiting >= mean_port - 1e-9,
+                    "E[max] must dominate the mean port wait"
+                );
+                let max_port = nm.port_waits.iter().copied().fold(0.0, f64::max);
+                assert!(
+                    nm.waiting >= max_port - 1e-9,
+                    "E[max] must dominate each port's own expected wait"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn largest_subset_heuristic_underestimates_the_asynchronous_max() {
+        // The paper's §2 argument: the largest sub-network's latency is not
+        // a reliable multicast latency — the expected maximum over all
+        // ports dominates it.
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 8, 9);
+        let (topo, wl) = fixture(0.005, 0.1, sets);
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
+        let (_, full) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
+        let heuristic = largest_subset_latency(
+            &topo,
+            32.0,
+            &|n| wl.multicast_set(n),
+            &loads,
+            &sol,
+            &opts,
+        );
+        assert!(
+            full > heuristic - 1e-9,
+            "E[max] model ({full}) should exceed the largest-subset heuristic ({heuristic})"
+        );
+    }
+
+    #[test]
+    fn latency_quantiles_bracket_the_mean() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 6, 3);
+        let (topo, wl) = fixture(0.005, 0.1, sets);
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
+        let (per_node, _) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
+        for nm in &per_node {
+            let p10 = nm.latency_quantile(0.10);
+            let p95 = nm.latency_quantile(0.95);
+            assert!(p10 < nm.latency, "p10 {p10} below the mean {}", nm.latency);
+            assert!(p95 > nm.latency, "p95 {p95} above the mean {}", nm.latency);
+            // Deterministic part is a hard lower bound.
+            assert!(p10 >= nm.latency - nm.waiting - 1e-9);
+            // The distribution's mean equals the Eq. 13 expectation.
+            let d = nm.waiting_distribution();
+            assert!((d.mean() - nm.waiting).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_sets_are_skipped() {
+        let mut raw = vec![Vec::new(); 16];
+        raw[3] = vec![NodeId(5), NodeId(9)];
+        let sets = DestinationSets::explicit(raw);
+        let (topo, wl) = fixture(0.002, 0.0, sets);
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
+        let (per_node, avg) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
+        assert_eq!(per_node.len(), 1);
+        assert_eq!(per_node[0].node, NodeId(3));
+        assert!(avg.is_finite());
+    }
+}

@@ -1,0 +1,116 @@
+//! Saturation-rate search.
+//!
+//! The figure sweeps plot latency up to the onset of saturation. This
+//! module locates the largest sustainable generation rate by bisection on
+//! the model's saturation error — giving every `(N, M, α)` configuration a
+//! natural x-axis range, like the paper's curves which end just before the
+//! latency asymptote.
+
+use crate::model::{AnalyticModel, ModelError};
+use crate::options::ModelOptions;
+use noc_topology::Topology;
+use noc_workloads::Workload;
+
+/// Largest generation rate (messages/node/cycle) the model deems stable,
+/// found by bisection within `tol` relative precision.
+///
+/// Returns 0.0 if even the smallest probed rate saturates.
+pub fn max_sustainable_rate(
+    topo: &dyn Topology,
+    proto: &Workload,
+    opts: ModelOptions,
+    tol: f64,
+) -> f64 {
+    let stable = |rate: f64| -> bool {
+        if rate <= 0.0 {
+            return true;
+        }
+        let Ok(wl) = proto.at_rate(rate) else {
+            return false;
+        };
+        match AnalyticModel::new(topo, &wl, opts).evaluate() {
+            Ok(_) => true,
+            Err(ModelError::Saturated { .. }) => false,
+            Err(ModelError::NonConcurrentMulticast) => false,
+        }
+    };
+
+    // Exponential search upward for an unstable bracket.
+    let mut lo = 0.0f64;
+    let mut hi = 1e-4;
+    while hi < 0.999 && stable(hi) {
+        lo = hi;
+        hi = (hi * 2.0).min(0.999);
+    }
+    if hi >= 0.999 && stable(hi) {
+        return hi; // effectively unsaturable in the probed range
+    }
+    if lo == 0.0 && !stable(hi) && hi <= 1e-4 {
+        return 0.0;
+    }
+    // Bisection.
+    while (hi - lo) > tol * hi.max(1e-12) {
+        let mid = 0.5 * (lo + hi);
+        if stable(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::Quarc;
+    use noc_workloads::DestinationSets;
+
+    fn proto(n: usize, msg: u32, alpha: f64) -> (Quarc, Workload) {
+        let topo = Quarc::new(n).unwrap();
+        let sets = DestinationSets::random(&topo, n / 4, 1);
+        let wl = Workload::new(msg, 1e-4, alpha, sets).unwrap();
+        (topo, wl)
+    }
+
+    #[test]
+    fn finds_a_positive_stable_rate() {
+        let (topo, wl) = proto(16, 32, 0.05);
+        let r = max_sustainable_rate(&topo, &wl, ModelOptions::default(), 0.02);
+        assert!(r > 0.001, "saturation rate should exceed 0.001, got {r}");
+        assert!(r < 0.2, "saturation rate should be well below 0.2, got {r}");
+        // The returned rate must itself be stable...
+        let wl_ok = wl.at_rate(r).unwrap();
+        assert!(AnalyticModel::new(&topo, &wl_ok, ModelOptions::default())
+            .evaluate()
+            .is_ok());
+        // ...and 1.2x beyond it must not be.
+        let wl_bad = wl.at_rate((r * 1.2).min(0.99)).unwrap();
+        assert!(AnalyticModel::new(&topo, &wl_bad, ModelOptions::default())
+            .evaluate()
+            .is_err());
+    }
+
+    #[test]
+    fn longer_messages_saturate_earlier() {
+        let (topo, wl16) = proto(16, 16, 0.05);
+        let (_, wl64) = proto(16, 64, 0.05);
+        let r16 = max_sustainable_rate(&topo, &wl16, ModelOptions::default(), 0.02);
+        let r64 = max_sustainable_rate(&topo, &wl64, ModelOptions::default(), 0.02);
+        assert!(
+            r64 < r16,
+            "64-flit messages must saturate at a lower rate ({r64} vs {r16})"
+        );
+    }
+
+    #[test]
+    fn more_multicast_saturates_earlier() {
+        // Multicast replicates every message over four streams, so raising
+        // alpha raises the offered flit load at fixed generation rate.
+        let (topo, wl_lo) = proto(16, 32, 0.03);
+        let (_, wl_hi) = proto(16, 32, 0.5);
+        let r_lo = max_sustainable_rate(&topo, &wl_lo, ModelOptions::default(), 0.02);
+        let r_hi = max_sustainable_rate(&topo, &wl_hi, ModelOptions::default(), 0.02);
+        assert!(r_hi < r_lo, "alpha 0.5 must saturate earlier ({r_hi} vs {r_lo})");
+    }
+}

@@ -1,0 +1,254 @@
+//! The per-channel service-time recursion (Eq. 6) and its M/G/1 waiting
+//! times (Eq. 3–5).
+//!
+//! The service time of a wormhole channel is the time it remains allocated
+//! to one message: the downstream waiting, the downstream service and one
+//! cycle of header transfer, averaged over the possible continuations:
+//!
+//! ```text
+//! x_i = Σ_j P_{i→j} · ((1 − corr_{ij})·W_j + x_j + 1)        (Eq. 6)
+//! x_ejection = msg                                            (§2.1)
+//! W_j = PK(λ_j, x_j, σ_j = x_j − msg)                         (Eq. 3–5)
+//! ```
+//!
+//! On ring-based topologies the successor relation is cyclic, so the system
+//! is solved as a damped fixed point. Divergence of the iteration (some
+//! `ρ_j → 1`) is exactly the saturation horizon of the model and is
+//! reported as such.
+
+use crate::options::ModelOptions;
+use crate::rates::ChannelLoads;
+use noc_queueing::fixed_point::{FixedPointError, FixedPointOutcome};
+use noc_queueing::mg1::MG1;
+use noc_topology::{ChannelId, ChannelKind, Topology};
+
+/// Converged per-channel service times and waiting times.
+#[derive(Clone, Debug)]
+pub struct ServiceSolution {
+    /// Mean service time `x_j` per channel.
+    pub service: Vec<f64>,
+    /// Mean M/G/1 waiting time `W_j` per channel.
+    pub waiting: Vec<f64>,
+    /// Utilisation `ρ_j` per channel.
+    pub rho: Vec<f64>,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+}
+
+/// Saturation: the recursion diverged because some channel load reached
+/// its stability limit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Saturated {
+    /// The most loaded channel when divergence was detected.
+    pub bottleneck: ChannelId,
+    /// Its utilisation estimate (lower bound) at that point.
+    pub rho: f64,
+}
+
+impl std::fmt::Display for Saturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model saturated: channel {:?} at utilisation {:.3}",
+            self.bottleneck, self.rho
+        )
+    }
+}
+
+impl std::error::Error for Saturated {}
+
+/// Solve the service recursion for a routed workload.
+pub fn solve(
+    topo: &dyn Topology,
+    loads: &ChannelLoads,
+    msg_len: f64,
+    opts: &ModelOptions,
+) -> Result<ServiceSolution, Saturated> {
+    let net = topo.network();
+    let nc = net.num_channels();
+
+    // Quick screen: a channel whose raw rate already exceeds 1/msg can
+    // never be stable (its service time is at least the drain time).
+    if let Some((idx, &l)) = loads
+        .lambda
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+    {
+        if l * msg_len >= 1.0 {
+            return Err(Saturated {
+                bottleneck: ChannelId(idx as u32),
+                rho: l * msg_len,
+            });
+        }
+    }
+
+    let is_terminal: Vec<bool> = net
+        .channels()
+        .iter()
+        .map(|c| c.kind == ChannelKind::Ejection || loads.successors[c.id.idx()].is_empty())
+        .collect();
+
+    let waiting_of = |lambda: f64, x: f64| -> f64 {
+        if lambda <= 0.0 {
+            return 0.0;
+        }
+        MG1::with_paper_sigma(lambda, x, msg_len).waiting(opts.formula)
+    };
+
+    let x0 = vec![msg_len; nc];
+    let result = opts.fixed_point.solve(x0, |x, out| {
+        for i in 0..nc {
+            if is_terminal[i] {
+                out[i] = msg_len;
+                continue;
+            }
+            let li = loads.lambda[i];
+            if li <= 0.0 {
+                // Unloaded channel: service defaults to the drain time.
+                out[i] = msg_len;
+                continue;
+            }
+            let mut acc = 0.0;
+            for &(j, rate) in &loads.successors[i] {
+                let j = j.idx();
+                let p = rate / li;
+                let lj = loads.lambda[j];
+                let wj = waiting_of(lj, x[j]);
+                let frac = if lj > 0.0 { (rate / lj).min(1.0) } else { 0.0 };
+                let corr = opts.correction.factor(frac, p);
+                acc += p * (corr * wj + x[j] + 1.0);
+            }
+            out[i] = acc;
+        }
+    });
+
+    match result {
+        Ok((service, outcome)) => {
+            let iterations = match outcome {
+                FixedPointOutcome::Converged { iterations } => iterations,
+                FixedPointOutcome::MaxIterations { residual } => {
+                    // Treat an unconverged residual as saturation: the
+                    // recursion only stalls when some queue is near its
+                    // stability limit.
+                    if residual > 1e-3 {
+                        let (idx, rho) = max_rho(&loads.lambda, &service);
+                        return Err(Saturated { bottleneck: ChannelId(idx as u32), rho });
+                    }
+                    opts.fixed_point.max_iterations
+                }
+            };
+            let waiting: Vec<f64> = (0..nc)
+                .map(|i| waiting_of(loads.lambda[i], service[i]))
+                .collect();
+            // A finite fixed point with an unstable queue is still
+            // saturation (W would be infinite).
+            let (idx, rho) = max_rho(&loads.lambda, &service);
+            if rho >= 1.0 || waiting.iter().any(|w| !w.is_finite()) {
+                return Err(Saturated { bottleneck: ChannelId(idx as u32), rho });
+            }
+            let rho_v = (0..nc).map(|i| loads.lambda[i] * service[i]).collect();
+            Ok(ServiceSolution { service, waiting, rho: rho_v, iterations })
+        }
+        Err(FixedPointError::Diverged { .. }) => {
+            // Identify the bottleneck from the raw loads (the diverging
+            // component's own rho may be distorted; report the largest).
+            let (idx, rho) = max_rho(&loads.lambda, &vec![msg_len; nc]);
+            Err(Saturated { bottleneck: ChannelId(idx as u32), rho })
+        }
+    }
+}
+
+fn max_rho(lambda: &[f64], service: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, 0.0f64);
+    for i in 0..lambda.len() {
+        let r = lambda[i] * service[i];
+        if r > best.1 {
+            best = (i, r);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::Quarc;
+    use noc_workloads::{DestinationSets, Workload};
+
+    fn setup(rate: f64, alpha: f64) -> (Quarc, Workload) {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 1);
+        let wl = Workload::new(32, rate, alpha, sets).unwrap();
+        (topo, wl)
+    }
+
+    #[test]
+    fn zero_load_service_is_drain_time_plus_pipeline() {
+        let (topo, wl) = setup(0.0, 0.0);
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        let sol = solve(&topo, &loads, 32.0, &opts).unwrap();
+        // All channels unloaded: service defaults to msg, waits to zero.
+        assert!(sol.waiting.iter().all(|&w| w == 0.0));
+        assert!(sol.rho.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn light_load_converges_with_small_waits() {
+        let (topo, wl) = setup(0.002, 0.05);
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        let sol = solve(&topo, &loads, 32.0, &opts).unwrap();
+        assert!(sol.iterations > 0);
+        // Waits exist but are small at 0.002 msgs/node/cycle.
+        let max_w = sol.waiting.iter().copied().fold(0.0, f64::max);
+        assert!(max_w > 0.0, "some channel must have queueing");
+        assert!(max_w < 32.0, "waits should be below one service time, got {max_w}");
+        // Service times at loaded link channels exceed the drain time
+        // (downstream hop cost) but stay bounded.
+        let net = topo.network();
+        for c in net.links() {
+            let x = sol.service[c.id.idx()];
+            assert!(x >= 32.0, "link {c:?} service {x} must be >= msg");
+            assert!(x < 45.0, "link {c:?} service {x} unexpectedly large");
+        }
+    }
+
+    #[test]
+    fn service_grows_with_load() {
+        let opts = ModelOptions::default();
+        let mut prev_max = 0.0;
+        for rate in [0.001, 0.004, 0.008] {
+            let (topo, wl) = setup(rate, 0.05);
+            let loads = ChannelLoads::build(&topo, &wl, &opts);
+            let sol = solve(&topo, &loads, 32.0, &opts).unwrap();
+            let max_x = sol.service.iter().copied().fold(0.0, f64::max);
+            assert!(max_x > prev_max, "service must grow with load");
+            prev_max = max_x;
+        }
+    }
+
+    #[test]
+    fn saturation_detected_at_high_rate() {
+        let (topo, wl) = setup(0.2, 0.05);
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        let err = solve(&topo, &loads, 32.0, &opts).unwrap_err();
+        assert!(err.rho >= 1.0, "reported rho {} must flag overload", err.rho);
+    }
+
+    #[test]
+    fn ejection_channels_serve_in_msg_cycles() {
+        let (topo, wl) = setup(0.004, 0.1);
+        let opts = ModelOptions::default();
+        let loads = ChannelLoads::build(&topo, &wl, &opts);
+        let sol = solve(&topo, &loads, 32.0, &opts).unwrap();
+        let net = topo.network();
+        for c in net.channels() {
+            if c.kind == ChannelKind::Ejection {
+                assert_eq!(sol.service[c.id.idx()], 32.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The full distribution of the multicast waiting time.
+//!
+//! The paper models the multicast waiting time as the maximum of `m`
+//! independent exponentials but only derives its *expectation* (Eq. 13).
+//! The distribution itself is available in closed form,
+//!
+//! ```text
+//! P[max ≤ t] = Π_c (1 − e^{−µ_c t}),
+//! ```
+//!
+//! which this module exposes as CDF, survival function, quantiles (by
+//! bisection) and a sampler. Downstream, `quarc-core` uses it to report
+//! tail latencies (p95/p99 multicast waiting), something the expectation
+//! alone cannot provide.
+
+use crate::expmax::expected_max_exponentials;
+use rand::Rng;
+
+/// Distribution of the maximum of independent exponential variables.
+#[derive(Clone, Debug)]
+pub struct MaxOfExponentials {
+    rates: Vec<f64>,
+}
+
+impl MaxOfExponentials {
+    /// Build from rates `µ_c`. Non-finite rates (instantly-firing ports)
+    /// are dropped; all remaining rates must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any finite rate is non-positive.
+    pub fn new(rates: &[f64]) -> Self {
+        let rates: Vec<f64> = rates.iter().copied().filter(|r| r.is_finite()).collect();
+        assert!(
+            rates.iter().all(|&r| r > 0.0),
+            "rates must be positive, got {rates:?}"
+        );
+        MaxOfExponentials { rates }
+    }
+
+    /// Build from the per-port waiting times `Ω_c` (`µ_c = 1/Ω_c`,
+    /// Eq. 8); zero waits are dropped (they fire instantly).
+    pub fn from_waits(waits: &[f64]) -> Self {
+        let rates: Vec<f64> = waits
+            .iter()
+            .filter(|&&w| w > 0.0)
+            .map(|&w| 1.0 / w)
+            .collect();
+        MaxOfExponentials { rates }
+    }
+
+    /// Number of contributing variables.
+    pub fn arity(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// `P[max ≤ t]`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return if self.rates.is_empty() { 1.0 } else { 0.0 };
+        }
+        self.rates.iter().map(|&r| 1.0 - (-r * t).exp()).product()
+    }
+
+    /// `P[max > t]`.
+    pub fn survival(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// Expectation (closed-form inclusion–exclusion; equals Eq. 13).
+    pub fn mean(&self) -> f64 {
+        expected_max_exponentials(&self.rates)
+    }
+
+    /// Quantile `q ∈ (0, 1)` by bisection on the CDF, to absolute
+    /// precision `1e-9` relative to the mean scale. Returns 0 for an
+    /// empty distribution.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q), "quantile requires q in [0, 1)");
+        if self.rates.is_empty() || q == 0.0 {
+            return 0.0;
+        }
+        // Bracket: the slowest port's own quantile is a lower bound; an
+        // upper bound comes from the union bound on survival.
+        let slowest = self.rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut lo = 0.0;
+        let mut hi = -(1.0 - q).ln() / slowest + (self.arity() as f64).ln() / slowest + 1.0;
+        while self.cdf(hi) < q {
+            hi *= 2.0;
+        }
+        let tol = 1e-9 * (self.mean() + 1.0);
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Draw one sample (max of per-port exponential draws).
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        self.rates
+            .iter()
+            .map(|&r| {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                -u.ln() / r
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_exponential_quantiles() {
+        let d = MaxOfExponentials::new(&[0.5]);
+        // Median of Exp(0.5) is ln 2 / 0.5.
+        let med = d.quantile(0.5);
+        assert!((med - 2.0 * std::f64::consts::LN_2).abs() < 1e-6);
+        assert!((d.cdf(med) - 0.5).abs() < 1e-9);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let d = MaxOfExponentials::new(&[0.2, 0.7, 1.5]);
+        let mut prev = -1.0;
+        for i in 0..200 {
+            let t = i as f64 * 0.25;
+            let c = d.cdf(t);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!(d.cdf(0.0) == 0.0);
+        assert!(d.cdf(1e9) > 1.0 - 1e-12);
+        assert!((d.survival(3.0) + d.cdf(3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = MaxOfExponentials::new(&[0.3, 0.9]);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let t = d.quantile(q);
+            assert!((d.cdf(t) - q).abs() < 1e-6, "q={q}");
+        }
+        // Quantiles are monotone.
+        assert!(d.quantile(0.99) > d.quantile(0.5));
+    }
+
+    #[test]
+    fn mean_matches_numeric_integration_of_survival() {
+        let d = MaxOfExponentials::new(&[0.4, 0.6, 1.1]);
+        let dt = 0.001;
+        let mut acc = 0.0;
+        let mut t = dt / 2.0;
+        while t < 80.0 {
+            acc += d.survival(t) * dt;
+            t += dt;
+        }
+        assert!((acc - d.mean()).abs() < 1e-3, "{acc} vs {}", d.mean());
+    }
+
+    #[test]
+    fn sampling_matches_mean_and_tail() {
+        let d = MaxOfExponentials::new(&[0.25, 0.5]);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let p95 = d.quantile(0.95);
+        let mut above = 0usize;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            sum += x;
+            if x > p95 {
+                above += 1;
+            }
+        }
+        let emp_mean = sum / n as f64;
+        assert!(
+            (emp_mean - d.mean()).abs() / d.mean() < 0.02,
+            "MC mean {emp_mean} vs analytic {}",
+            d.mean()
+        );
+        let emp_tail = above as f64 / n as f64;
+        assert!((emp_tail - 0.05).abs() < 0.005, "tail mass {emp_tail}");
+    }
+
+    #[test]
+    fn from_waits_drops_zero_ports() {
+        let d = MaxOfExponentials::from_waits(&[0.0, 4.0, 0.0]);
+        assert_eq!(d.arity(), 1);
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        let empty = MaxOfExponentials::from_waits(&[0.0]);
+        assert_eq!(empty.quantile(0.9), 0.0);
+        assert_eq!(empty.cdf(0.0), 1.0);
+    }
+
+    #[test]
+    fn more_ports_heavier_tail() {
+        let two = MaxOfExponentials::new(&[1.0, 1.0]);
+        let four = MaxOfExponentials::new(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(four.quantile(0.95) > two.quantile(0.95));
+        assert!(four.mean() > two.mean());
+    }
+}

@@ -1,0 +1,243 @@
+//! Order statistics of independent exponential random variables
+//! (paper §2.2, Eq. 9–13).
+//!
+//! The multicast waiting time of an asynchronous multi-port router is the
+//! expected time of the *last* arrival among `m` independent exponentially
+//! distributed port waiting times. The paper derives it from two
+//! properties: exponentials are memoryless, and the minimum of independent
+//! exponentials is exponential with the summed rate (Eq. 9–10). The
+//! resulting recursion (Eq. 12) is
+//!
+//! ```text
+//! E[max(µ₁..µ_m)] = 1/Σµ + Σ_i (µ_i/Σµ) · E[max of the others]
+//! ```
+//!
+//! which has the closed-form inclusion–exclusion solution
+//!
+//! ```text
+//! E[max] = Σ_{∅ ≠ S ⊆ {1..m}} (−1)^{|S|+1} / Σ_{i∈S} µ_i.
+//! ```
+//!
+//! Both are implemented; a property test asserts they agree, and the bench
+//! suite compares their cost. Infinite rates (zero waiting time on a port)
+//! are handled by dropping that port from the maximum — a variable with
+//! rate `∞` fires instantly and can never be the last event.
+
+/// Expected value of the minimum of independent exponentials (Eq. 10).
+///
+/// Returns `0.0` for an empty slice (no events to wait for).
+pub fn expected_min_exponentials(rates: &[f64]) -> f64 {
+    let sum: f64 = rates.iter().sum();
+    if rates.is_empty() || sum == 0.0 {
+        return 0.0;
+    }
+    if sum.is_infinite() {
+        return 0.0;
+    }
+    1.0 / sum
+}
+
+/// Expected value of the maximum of independent exponentials, by the
+/// closed-form inclusion–exclusion identity.
+///
+/// `rates` are the `µ` parameters (events per cycle); non-finite rates are
+/// treated as instantly-firing variables and skipped. Panics in debug mode
+/// if a rate is negative or zero (a zero rate would make the expectation
+/// infinite, which the model never produces for a loaded port).
+pub fn expected_max_exponentials(rates: &[f64]) -> f64 {
+    let finite: Vec<f64> = rates.iter().copied().filter(|r| r.is_finite()).collect();
+    debug_assert!(finite.iter().all(|&r| r > 0.0), "rates must be positive");
+    let m = finite.len();
+    if m == 0 {
+        return 0.0;
+    }
+    if m > 25 {
+        // 2^m subsets would overflow; fall back to the O(m log m)
+        // order-statistics identity E[max] = Σ_k 1/(Σ of k largest-suffix)
+        // via sorting — exact only for i.i.d. rates, so instead integrate
+        // the survival function numerically. The model never exceeds m = 4
+        // (quad-port routers); this path exists for API robustness.
+        return expected_max_by_integration(&finite);
+    }
+    let mut total = 0.0;
+    for mask in 1u32..(1 << m) {
+        let mut rate_sum = 0.0;
+        for (i, &r) in finite.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                rate_sum += r;
+            }
+        }
+        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        total += sign / rate_sum;
+    }
+    total
+}
+
+/// Expected value of the maximum by the paper's memoryless recursion
+/// (Eq. 12), memoised over subsets.
+///
+/// Semantically identical to [`expected_max_exponentials`]; retained to
+/// validate the paper's derivation and exercised by property tests.
+pub fn expected_max_recursive(rates: &[f64]) -> f64 {
+    let finite: Vec<f64> = rates.iter().copied().filter(|r| r.is_finite()).collect();
+    let m = finite.len();
+    if m == 0 {
+        return 0.0;
+    }
+    assert!(m <= 25, "recursive form limited to m <= 25 ports");
+    let full: u32 = (1 << m) - 1;
+    let mut memo: Vec<f64> = vec![0.0; (full + 1) as usize];
+    // Iterate masks in increasing popcount order by plain increasing value:
+    // every proper submask of `mask` is numerically smaller, so a single
+    // ascending pass satisfies the dependency order of the recursion.
+    for mask in 1u32..=full {
+        let mut rate_sum = 0.0;
+        for (i, &r) in finite.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                rate_sum += r;
+            }
+        }
+        // Eq. 12: first event at 1/Σµ, then the max of the remaining set,
+        // weighted by which variable fired first.
+        let mut v = 1.0 / rate_sum;
+        for (i, &r) in finite.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                let rest = mask & !(1 << i);
+                if rest != 0 {
+                    v += (r / rate_sum) * memo[rest as usize];
+                }
+            }
+        }
+        memo[mask as usize] = v;
+    }
+    memo[full as usize]
+}
+
+/// Numerical fallback for very large `m`: integrate
+/// `E[max] = ∫₀^∞ (1 − Π(1 − e^{−µᵢ t})) dt` with adaptive step doubling.
+fn expected_max_by_integration(rates: &[f64]) -> f64 {
+    // Upper bound: max is below max_i(1/µ_i) · (ln m + ~3) with high mass.
+    let slowest: f64 = rates.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let horizon = (rates.len() as f64).ln().max(1.0) * 40.0 / slowest;
+    let steps = 200_000usize;
+    let dt = horizon / steps as f64;
+    let mut acc = 0.0;
+    for s in 0..steps {
+        let t = (s as f64 + 0.5) * dt;
+        let mut prod = 1.0;
+        for &r in rates {
+            prod *= 1.0 - (-r * t).exp();
+        }
+        acc += (1.0 - prod) * dt;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1e-12)
+    }
+
+    #[test]
+    fn single_variable_is_its_mean() {
+        assert!(close(expected_max_exponentials(&[0.5]), 2.0, 1e-12));
+        assert!(close(expected_max_recursive(&[0.5]), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn empty_and_infinite_rates() {
+        assert_eq!(expected_max_exponentials(&[]), 0.0);
+        assert_eq!(expected_max_recursive(&[]), 0.0);
+        // An instantly-firing port cannot be the last event.
+        let with_inf = expected_max_exponentials(&[1.0, f64::INFINITY]);
+        assert!(close(with_inf, 1.0, 1e-12));
+        assert_eq!(expected_min_exponentials(&[1.0, f64::INFINITY]), 0.0);
+    }
+
+    #[test]
+    fn two_equal_rates_give_three_halves_mean() {
+        // E[max of two iid Exp(µ)] = 3/(2µ).
+        for mu in [0.1, 1.0, 7.5] {
+            let e = expected_max_exponentials(&[mu, mu]);
+            assert!(close(e, 1.5 / mu, 1e-12), "mu={mu}");
+        }
+    }
+
+    #[test]
+    fn iid_max_is_harmonic_series() {
+        // E[max of m iid Exp(1)] = H_m.
+        let h: f64 = (1..=5).map(|k| 1.0 / k as f64).sum();
+        let e = expected_max_exponentials(&[1.0; 5]);
+        assert!(close(e, h, 1e-12));
+    }
+
+    #[test]
+    fn eq11_two_variable_form() {
+        // Paper Eq. 11: E[max] = 1/(µ1+µ2) + P1/µ2 + P2/µ1.
+        let (m1, m2) = (0.3, 0.7);
+        let s = m1 + m2;
+        let expected = 1.0 / s + (m1 / s) / m2 + (m2 / s) / m1;
+        assert!(close(expected_max_exponentials(&[m1, m2]), expected, 1e-12));
+        assert!(close(expected_max_recursive(&[m1, m2]), expected, 1e-12));
+    }
+
+    #[test]
+    fn min_of_independent_exponentials() {
+        assert!(close(expected_min_exponentials(&[0.25, 0.75]), 1.0, 1e-12));
+        assert_eq!(expected_min_exponentials(&[]), 0.0);
+    }
+
+    #[test]
+    fn integration_fallback_agrees_for_moderate_m() {
+        let rates = [0.2, 0.4, 0.9, 1.3];
+        let exact = expected_max_exponentials(&rates);
+        let approx = expected_max_by_integration(&rates);
+        assert!(close(approx, exact, 1e-3), "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn max_dominates_min_and_each_mean() {
+        let rates = [0.5, 0.8, 2.0, 4.0];
+        let max = expected_max_exponentials(&rates);
+        assert!(max >= expected_min_exponentials(&rates));
+        for r in rates {
+            assert!(max >= 1.0 / r - 1e-12, "max must dominate each mean");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursion_matches_closed_form(
+            rates in proptest::collection::vec(0.01f64..100.0, 1..7)
+        ) {
+            let a = expected_max_exponentials(&rates);
+            let b = expected_max_recursive(&rates);
+            prop_assert!(close(a, b, 1e-9), "closed {a} vs recursive {b}");
+        }
+
+        #[test]
+        fn adding_a_port_never_decreases_the_max(
+            rates in proptest::collection::vec(0.01f64..100.0, 1..6),
+            extra in 0.01f64..100.0
+        ) {
+            let base = expected_max_exponentials(&rates);
+            let mut more = rates.clone();
+            more.push(extra);
+            let bigger = expected_max_exponentials(&more);
+            prop_assert!(bigger >= base - 1e-9);
+        }
+
+        #[test]
+        fn max_bounded_by_sum_of_means(
+            rates in proptest::collection::vec(0.01f64..100.0, 1..6)
+        ) {
+            let max = expected_max_exponentials(&rates);
+            let sum: f64 = rates.iter().map(|r| 1.0 / r).sum();
+            prop_assert!(max <= sum + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Damped fixed-point iteration with divergence detection.
+//!
+//! The per-channel service-time recursion (paper Eq. 6) defines each
+//! channel's mean service time in terms of the waiting and service times of
+//! its successor channels. On ring-based topologies the successor relation
+//! is cyclic, so the system is solved as a fixed point `x = F(x)` by damped
+//! Jacobi iteration: `x ← (1−θ)x + θF(x)`.
+//!
+//! The driver is generic so the model (and tests) can reuse it for any
+//! vector-valued contraction. Divergence (a component exceeding `bound`, or
+//! NaN) is reported as saturation by the caller.
+
+/// Why the iteration stopped.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FixedPointOutcome {
+    /// Converged: the max absolute update fell below `tolerance`.
+    Converged {
+        /// Iterations consumed.
+        iterations: usize,
+    },
+    /// Hit the iteration budget without meeting the tolerance.
+    MaxIterations {
+        /// Residual (max absolute update) at the final iteration.
+        residual: f64,
+    },
+}
+
+/// Failure modes of the iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FixedPointError {
+    /// A component exceeded the divergence bound or became non-finite —
+    /// for the service-time recursion this means the offered load is beyond
+    /// saturation.
+    Diverged {
+        /// Index of the offending component.
+        index: usize,
+        /// Its value when divergence was detected.
+        value: f64,
+        /// Iterations completed before divergence.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for FixedPointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FixedPointError::Diverged { index, value, iterations } => write!(
+                f,
+                "fixed point diverged at component {index} (value {value:.3e}) after {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FixedPointError {}
+
+/// Configuration of the fixed-point driver.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedPoint {
+    /// Convergence tolerance on the max absolute component update.
+    pub tolerance: f64,
+    /// Damping factor `θ ∈ (0, 1]`; 1.0 is undamped Jacobi.
+    pub damping: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Divergence bound: any component above this aborts the iteration.
+    pub bound: f64,
+}
+
+impl Default for FixedPoint {
+    fn default() -> Self {
+        FixedPoint {
+            tolerance: 1e-9,
+            damping: 0.7,
+            max_iterations: 10_000,
+            bound: 1e12,
+        }
+    }
+}
+
+impl FixedPoint {
+    /// Solve `x = F(x)` starting from `x0`. `f` writes `F(x)` into its
+    /// output slice.
+    ///
+    /// Returns the solution vector and the convergence outcome, or a
+    /// divergence error (the caller maps this to "saturated").
+    pub fn solve<F>(
+        &self,
+        mut x: Vec<f64>,
+        mut f: F,
+    ) -> Result<(Vec<f64>, FixedPointOutcome), FixedPointError>
+    where
+        F: FnMut(&[f64], &mut [f64]),
+    {
+        let mut next = vec![0.0; x.len()];
+        for iter in 0..self.max_iterations {
+            f(&x, &mut next);
+            let mut residual: f64 = 0.0;
+            for i in 0..x.len() {
+                let updated = (1.0 - self.damping) * x[i] + self.damping * next[i];
+                if !updated.is_finite() || updated.abs() > self.bound {
+                    return Err(FixedPointError::Diverged {
+                        index: i,
+                        value: updated,
+                        iterations: iter,
+                    });
+                }
+                residual = residual.max((updated - x[i]).abs());
+                x[i] = updated;
+            }
+            if residual < self.tolerance {
+                return Ok((x, FixedPointOutcome::Converged { iterations: iter + 1 }));
+            }
+        }
+        // One final evaluation to report the residual.
+        f(&x, &mut next);
+        let residual = x
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        Ok((x, FixedPointOutcome::MaxIterations { residual }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_scalar_contraction() {
+        // x = cos(x) has the Dottie fixed point ~0.739085.
+        let fp = FixedPoint { damping: 1.0, ..Default::default() };
+        let (x, outcome) = fp
+            .solve(vec![0.0], |x, out| out[0] = x[0].cos())
+            .unwrap();
+        assert!((x[0] - 0.739_085_133).abs() < 1e-6);
+        assert!(matches!(outcome, FixedPointOutcome::Converged { .. }));
+    }
+
+    #[test]
+    fn solves_linear_system() {
+        // x = A x + b with spectral radius < 1: x0 = 0.5 x1 + 1, x1 = 0.3 x0 + 2.
+        let fp = FixedPoint::default();
+        let (x, _) = fp
+            .solve(vec![0.0, 0.0], |x, out| {
+                out[0] = 0.5 * x[1] + 1.0;
+                out[1] = 0.3 * x[0] + 2.0;
+            })
+            .unwrap();
+        // Exact solution: x0 = (1 + 0.5*2)/(1 - 0.15) = 2/0.85, x1 = 0.3x0 + 2.
+        let x0 = 2.0 / 0.85;
+        assert!((x[0] - x0).abs() < 1e-6);
+        assert!((x[1] - (0.3 * x0 + 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn damping_tames_oscillation() {
+        // x = -x + 2 oscillates undamped from x=0 (0 -> 2 -> 0 ...);
+        // damping 0.5 converges to the fixed point x = 1.
+        let fp = FixedPoint { damping: 0.5, ..Default::default() };
+        let (x, outcome) = fp.solve(vec![0.0], |x, out| out[0] = -x[0] + 2.0).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!(matches!(outcome, FixedPointOutcome::Converged { .. }));
+    }
+
+    #[test]
+    fn divergence_is_detected() {
+        let fp = FixedPoint { bound: 1e6, ..Default::default() };
+        let err = fp
+            .solve(vec![1.0], |x, out| out[0] = 10.0 * x[0])
+            .unwrap_err();
+        match err {
+            FixedPointError::Diverged { index, value, .. } => {
+                assert_eq!(index, 0);
+                assert!(value > 1e6);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_is_divergence() {
+        let fp = FixedPoint::default();
+        let err = fp.solve(vec![1.0], |_, out| out[0] = f64::NAN).unwrap_err();
+        assert!(matches!(err, FixedPointError::Diverged { .. }));
+    }
+
+    #[test]
+    fn iteration_budget_reports_residual() {
+        let fp = FixedPoint { max_iterations: 3, damping: 0.1, ..Default::default() };
+        let (_, outcome) = fp.solve(vec![0.0], |x, out| out[0] = x[0].cos()).unwrap();
+        match outcome {
+            FixedPointOutcome::MaxIterations { residual } => assert!(residual > 0.0),
+            other => panic!("expected MaxIterations, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Discrete-time Poisson arrival processes.
+//!
+//! The paper's sources "produce the messages according to a Poisson
+//! distribution". In a cycle-accurate simulator the natural discretisation
+//! is a Bernoulli trial per cycle with success probability `λ` (messages
+//! per node per cycle): inter-arrival gaps are geometric, the discrete
+//! analogue of the exponential, and the arrival counts converge to Poisson
+//! for the small per-cycle rates the evaluation sweeps use (λ ≤ ~0.05).
+//!
+//! Rates above 1 message/cycle are rejected — a single injection queue
+//! cannot accept more than one new message per cycle anyway.
+
+use rand::Rng;
+
+/// A per-cycle Bernoulli approximation of a Poisson source.
+#[derive(Clone, Debug)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Create a process generating on average `rate` arrivals per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative, non-finite or above 1.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "per-cycle rate must be in [0, 1], got {rate}"
+        );
+        PoissonProcess { rate }
+    }
+
+    /// The configured rate.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Does an arrival occur this cycle?
+    #[inline]
+    pub fn arrives(&self, rng: &mut impl Rng) -> bool {
+        self.rate > 0.0 && rng.gen::<f64>() < self.rate
+    }
+
+    /// Sample the gap (in whole cycles, >= 1) to the next arrival.
+    ///
+    /// Geometric distribution with success probability `rate`; returns
+    /// `u64::MAX` for a zero-rate process.
+    pub fn next_gap(&self, rng: &mut impl Rng) -> u64 {
+        if self.rate <= 0.0 {
+            return u64::MAX;
+        }
+        if self.rate >= 1.0 {
+            return 1;
+        }
+        // Inverse-CDF sampling of the geometric distribution.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let g = (u.ln() / (1.0 - self.rate).ln()).ceil();
+        g.max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(std::panic::catch_unwind(|| PoissonProcess::new(-0.1)).is_err());
+        assert!(std::panic::catch_unwind(|| PoissonProcess::new(1.5)).is_err());
+        assert!(std::panic::catch_unwind(|| PoissonProcess::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn zero_rate_never_arrives() {
+        let p = PoissonProcess::new(0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!(0..1000).any(|_| p.arrives(&mut rng)));
+        assert_eq!(p.next_gap(&mut rng), u64::MAX);
+    }
+
+    #[test]
+    fn empirical_rate_matches_configured() {
+        let p = PoissonProcess::new(0.02);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 500_000;
+        let hits = (0..n).filter(|_| p.arrives(&mut rng)).count();
+        let empirical = hits as f64 / n as f64;
+        assert!(
+            (empirical - 0.02).abs() < 0.002,
+            "empirical rate {empirical} should be near 0.02"
+        );
+    }
+
+    #[test]
+    fn gap_sampling_matches_rate() {
+        let p = PoissonProcess::new(0.05);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let mean_gap = total as f64 / n as f64;
+        assert!(
+            (mean_gap - 20.0).abs() < 0.5,
+            "mean gap {mean_gap} should be near 1/0.05 = 20"
+        );
+    }
+
+    #[test]
+    fn gaps_are_at_least_one_cycle() {
+        let p = PoissonProcess::new(0.9);
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!((0..1000).all(|_| p.next_gap(&mut rng) >= 1));
+        let full = PoissonProcess::new(1.0);
+        assert_eq!(full.next_gap(&mut rng), 1);
+    }
+}

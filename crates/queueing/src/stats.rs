@@ -1,0 +1,354 @@
+//! Simulation statistics: online moments, batch means and histograms.
+//!
+//! The simulator reports latency distributions through these accumulators.
+//! [`Welford`] gives numerically stable online mean/variance; [`BatchMeans`]
+//! wraps it with the classic batch-means method to produce confidence
+//! intervals from autocorrelated steady-state output; [`Histogram`] records
+//! fixed-width bins for latency distribution plots.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean and variance (Welford's algorithm).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Batch-means confidence intervals for steady-state simulation output.
+///
+/// Observations are grouped into fixed-size batches; the batch averages are
+/// approximately independent, so a t-style interval over them is a valid
+/// interval for the steady-state mean.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Welford,
+    batches: Welford,
+    overall: Welford,
+}
+
+impl BatchMeans {
+    /// Accumulator with the given batch size (`>= 1`).
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size >= 1);
+        BatchMeans {
+            batch_size,
+            current: Welford::new(),
+            batches: Welford::new(),
+            overall: Welford::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.overall.push(x);
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            self.batches.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Overall sample mean.
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// Number of raw observations.
+    pub fn count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Number of completed batches.
+    pub fn completed_batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Half-width of an approximate 95% confidence interval on the mean,
+    /// from the completed batch means (normal approximation, `z = 1.96`).
+    /// Returns `NaN` with fewer than 2 completed batches.
+    pub fn ci95_half_width(&self) -> f64 {
+        let b = self.batches.count();
+        if b < 2 {
+            return f64::NAN;
+        }
+        1.96 * self.batches.std_dev() / (b as f64).sqrt()
+    }
+
+    /// The underlying per-observation accumulator.
+    pub fn overall(&self) -> &Welford {
+        &self.overall
+    }
+}
+
+/// Fixed-width histogram with an overflow bucket.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Histogram covering `[0, bin_width * num_bins)` plus overflow.
+    pub fn new(bin_width: f64, num_bins: usize) -> Self {
+        assert!(bin_width > 0.0 && num_bins > 0);
+        Histogram {
+            bin_width,
+            bins: vec![0; num_bins],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one non-negative observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x >= 0.0);
+        self.count += 1;
+        let idx = (x / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations above the covered range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate quantile (`q ∈ [0,1]`) from the binned data: returns the
+    /// upper edge of the bin containing the quantile. `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i + 1) as f64 * self.bin_width;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_moments() {
+        let xs = [3.0, 5.0, 7.0, 7.0, 38.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-9);
+        assert_eq!(w.min(), 3.0);
+        assert_eq!(w.max(), 38.0);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut all = Welford::new();
+        for i in 0..100 {
+            let x = (i as f64).sin() * 10.0 + 20.0;
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            all.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_welford_is_safe() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert!(w.min().is_nan());
+        let mut a = Welford::new();
+        a.merge(&w);
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn batch_means_cuts_batches() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..95 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.completed_batches(), 9);
+        assert_eq!(bm.count(), 95);
+        assert!((bm.mean() - 47.0).abs() < 1e-9);
+        assert!(bm.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn batch_means_needs_two_batches_for_ci() {
+        let mut bm = BatchMeans::new(100);
+        for i in 0..150 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.completed_batches(), 1);
+        assert!(bm.ci95_half_width().is_nan());
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_data() {
+        let mut narrow = BatchMeans::new(10);
+        let mut wide = BatchMeans::new(10);
+        let xs = |n: usize| (0..n).map(|i| ((i * 37) % 100) as f64);
+        for x in xs(200) {
+            wide.push(x);
+        }
+        for x in xs(2000) {
+            narrow.push(x);
+        }
+        assert!(narrow.ci95_half_width() < wide.ci95_half_width());
+    }
+
+    #[test]
+    fn histogram_bins_and_quantiles() {
+        let mut h = Histogram::new(10.0, 10);
+        for x in [5.0, 15.0, 15.5, 25.0, 250.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[2], 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+        // Median falls in the second bin.
+        assert_eq!(h.quantile(0.5), 20.0);
+        // Quantile beyond covered range reports infinity.
+        assert_eq!(h.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_nan() {
+        let h = Histogram::new(1.0, 4);
+        assert!(h.quantile(0.5).is_nan());
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Run-length and fidelity parameters of a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed; every run is deterministic in `(seed, config,
+    /// workload, topology)`.
+    pub seed: u64,
+    /// Cycles discarded before measurement starts (transient removal).
+    pub warmup_cycles: u64,
+    /// Length of the tagging window: messages generated in
+    /// `[warmup, warmup + measure)` contribute to the statistics.
+    pub measure_cycles: u64,
+    /// Extra cycles allowed after the measurement window for tagged
+    /// messages to drain; exceeding it marks the run as saturated.
+    pub drain_cycles: u64,
+    /// Flit-buffer depth per virtual channel. Depth 2 sustains full
+    /// throughput under the one-cycle credit loop; depth 1 is classic
+    /// single-flit wormhole buffering (half throughput per channel).
+    pub buffer_depth: u32,
+    /// If the number of messages waiting at injection channels exceeds this
+    /// limit the run stops early and reports saturation.
+    pub backlog_limit: usize,
+    /// Batch size for the batch-means confidence intervals.
+    pub batch_size: u64,
+}
+
+impl SimConfig {
+    /// Small run for unit tests: fast, still long enough for stable means
+    /// at the rates the tests use.
+    pub fn quick(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            warmup_cycles: 3_000,
+            measure_cycles: 15_000,
+            drain_cycles: 40_000,
+            buffer_depth: 2,
+            backlog_limit: 20_000,
+            batch_size: 32,
+        }
+    }
+
+    /// Figure-quality run used by the Fig. 6/7 regeneration harness.
+    pub fn standard(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            warmup_cycles: 20_000,
+            measure_cycles: 120_000,
+            drain_cycles: 200_000,
+            buffer_depth: 2,
+            backlog_limit: 60_000,
+            batch_size: 128,
+        }
+    }
+
+    /// End of the tagging window.
+    #[inline]
+    pub fn measure_end(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles
+    }
+
+    /// Hard stop cycle.
+    #[inline]
+    pub fn deadline(&self) -> u64 {
+        self.measure_end() + self.drain_cycles
+    }
+
+    /// Validate invariants (buffer depth and windows).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.buffer_depth == 0 {
+            return Err("buffer_depth must be >= 1".into());
+        }
+        if self.measure_cycles == 0 {
+            return Err("measure_cycles must be >= 1".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::standard(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_compose() {
+        let c = SimConfig::quick(1);
+        assert_eq!(c.measure_end(), c.warmup_cycles + c.measure_cycles);
+        assert_eq!(c.deadline(), c.measure_end() + c.drain_cycles);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut c = SimConfig::quick(1);
+        c.buffer_depth = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::quick(1);
+        c.measure_cycles = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::quick(1);
+        c.batch_size = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn standard_is_longer_than_quick() {
+        assert!(SimConfig::standard(0).measure_cycles > SimConfig::quick(0).measure_cycles);
+    }
+}

@@ -1,0 +1,59 @@
+//! # noc-sim
+//!
+//! A cycle-accurate, flit-level wormhole NoC simulator — the reproduction's
+//! substitute for the paper's OMNET++ discrete-event simulator (§4).
+//!
+//! ## Model of a node (paper Fig. 5)
+//!
+//! ```text
+//!            +--------+   m injection channels   +--------+
+//!  Poisson   | passive| ========================>|        |==> links out
+//!  source -->| queue  |                          | router |
+//!            +--------+                          |        |<== links in
+//!                 +------ sink <=================+--------+
+//!                          m ejection channels
+//! ```
+//!
+//! * The **source** generates unicast and multicast messages according to a
+//!   Poisson process; the **passive queue** holds them per class and feeds
+//!   the router through the injection channels in creation-time order.
+//! * The **router** is all-port and non-preemptive: a channel (virtual
+//!   channel of a physical link) is owned by one message from the header's
+//!   arbitration win until the tail leaves its buffer; released channels are
+//!   re-granted to waiting headers in FIFO order, exactly as described in
+//!   the paper's §4.
+//! * Multicast streams **absorb-and-forward**: at every target along the
+//!   path the flits are cloned to the local sink in the same cycle they are
+//!   forwarded along the rim (§3.3.2).
+//!
+//! ## Timing conventions
+//!
+//! One flit crosses one channel per cycle; each physical channel transmits
+//! at most one flit per cycle shared across its virtual channels
+//! (round-robin). Buffer space is checked against the *previous* cycle's
+//! occupancy (credit loop of one cycle), so the default buffer depth of 2
+//! flits sustains full throughput. Zero-load latency of a message of `L`
+//! flits over a path with `H+2` channel traversals (injection + `H` links +
+//! ejection) is exactly `L + H + 1` cycles, matching the analytical model's
+//! `msg + D` with `D = path.hop_count()`.
+//!
+//! ## Measurement protocol
+//!
+//! Messages generated inside the measurement window are tagged; the run
+//! finishes when every tagged message (and every tagged multicast
+//! operation) has been absorbed, or declares saturation when the drain
+//! budget or backlog limit is exceeded. Multicast latency is the paper's
+//! definition: generation until the last flit is absorbed at the *last*
+//! destination over all port streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod message;
+pub mod results;
+
+pub use config::SimConfig;
+pub use engine::Simulator;
+pub use results::{LatencyStats, SimResults};

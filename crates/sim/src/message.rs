@@ -1,0 +1,218 @@
+//! In-flight message state.
+//!
+//! The simulator does not materialise individual flits. A wormhole message
+//! occupies a contiguous window of its path's channels; per hop it suffices
+//! to count how many flits have traversed that channel
+//! (`traversed[h]`). All flit-level behaviour follows:
+//!
+//! * buffer occupancy of hop `h` = `traversed[h] − traversed[h+1]`;
+//! * the header has entered hop `h`'s buffer iff `traversed[h] ≥ 1`;
+//! * the tail has left hop `h−1`'s buffer iff `traversed[h] == len`.
+
+use noc_topology::{NodeId, Path};
+use std::sync::Arc;
+
+/// Dense message identifier (index into the simulator's slab).
+pub type MsgId = u32;
+
+/// Dense multicast-operation identifier.
+pub type OpId = u32;
+
+/// Precomputed absorb schedule of a multicast stream: `(completion_hop,
+/// target)` pairs in visit order. A target is absorbed when the stream's
+/// tail has traversed `completion_hop` — for an intermediate target that is
+/// the hop leaving the target's router (clone to the sink happens in the
+/// same cycle as the forwarding, §3.3.2); for the final target it is the
+/// ejection hop itself.
+pub type AbsorbSchedule = Arc<[(u16, NodeId)]>;
+
+/// Build the absorb schedule for a stream path and its visit-ordered
+/// targets.
+pub fn absorb_schedule(
+    path: &Path,
+    targets: &[NodeId],
+    downstream_of: impl Fn(noc_topology::ChannelId) -> NodeId,
+) -> AbsorbSchedule {
+    let mut out = Vec::with_capacity(targets.len());
+    let mut ti = 0usize;
+    // Link hops are indices 1..len-1; the node entered by link hop j is
+    // downstream(channel(j)); its completion hop is j + 1.
+    for (j, hop) in path.hops[1..path.hops.len() - 1].iter().enumerate() {
+        if ti >= targets.len() {
+            break;
+        }
+        let node = downstream_of(hop.channel);
+        if node == targets[ti] {
+            out.push(((j + 2) as u16, node)); // hop index j+1, completion j+2
+            ti += 1;
+        }
+    }
+    assert_eq!(
+        ti,
+        targets.len(),
+        "every target must lie on the stream path in visit order"
+    );
+    out.into()
+}
+
+/// An active (injected or queued) message.
+#[derive(Clone, Debug)]
+pub struct ActiveMsg {
+    /// The full route (shared with the precomputed path tables).
+    pub path: Arc<Path>,
+    /// Message length in flits.
+    pub len: u32,
+    /// Generation cycle.
+    pub gen: u64,
+    /// Flits that have traversed each hop (`traversed.len() == path.len()`).
+    pub traversed: Box<[u32]>,
+    /// For multicast streams: the owning operation and absorb schedule.
+    pub multicast: Option<StreamState>,
+    /// Whether this message counts toward the statistics.
+    pub tagged: bool,
+}
+
+/// Multicast-specific message state.
+#[derive(Clone, Debug)]
+pub struct StreamState {
+    /// The multicast operation this stream belongs to.
+    pub op: OpId,
+    /// Absorb schedule in visit order.
+    pub absorbs: AbsorbSchedule,
+    /// Next unabsorbed entry of `absorbs`.
+    pub next_absorb: u16,
+}
+
+impl ActiveMsg {
+    /// A unicast message over `path`.
+    pub fn unicast(path: Arc<Path>, len: u32, gen: u64, tagged: bool) -> Self {
+        let hops = path.len();
+        ActiveMsg {
+            path,
+            len,
+            gen,
+            traversed: vec![0u32; hops].into_boxed_slice(),
+            multicast: None,
+            tagged,
+        }
+    }
+
+    /// A multicast stream message.
+    pub fn stream(
+        path: Arc<Path>,
+        len: u32,
+        gen: u64,
+        tagged: bool,
+        op: OpId,
+        absorbs: AbsorbSchedule,
+    ) -> Self {
+        let hops = path.len();
+        ActiveMsg {
+            path,
+            len,
+            gen,
+            traversed: vec![0u32; hops].into_boxed_slice(),
+            multicast: Some(StreamState { op, absorbs, next_absorb: 0 }),
+            tagged,
+        }
+    }
+
+    /// Index of the last hop (the ejection channel).
+    #[inline]
+    pub fn last_hop(&self) -> usize {
+        self.path.len() - 1
+    }
+
+    /// Has the whole message been absorbed?
+    #[inline]
+    pub fn complete(&self) -> bool {
+        self.traversed[self.last_hop()] == self.len
+    }
+
+    /// Buffer occupancy of hop `h` (flits that traversed `h` but not yet
+    /// `h+1`).
+    #[inline]
+    pub fn occupancy(&self, h: usize) -> u32 {
+        if h + 1 < self.path.len() {
+            self.traversed[h] - self.traversed[h + 1]
+        } else {
+            0 // ejection buffer drains into the sink instantly
+        }
+    }
+}
+
+/// A multicast operation: one generation event fanned out over up to `m`
+/// port streams.
+#[derive(Clone, Debug)]
+pub struct MulticastOp {
+    /// Source node of the operation.
+    pub src: NodeId,
+    /// Generation cycle.
+    pub gen: u64,
+    /// Destinations not yet absorbed (across all streams).
+    pub remaining: u32,
+    /// Cycle of the most recent absorption.
+    pub last_absorb: u64,
+    /// Whether the operation counts toward the statistics.
+    pub tagged: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::{NodeId, Quarc, Topology};
+
+    #[test]
+    fn absorb_schedule_for_cross_left_stream() {
+        let q = Quarc::new(16).unwrap();
+        let streams = q.multicast_streams(NodeId(0), &[NodeId(8), NodeId(6), NodeId(5)]);
+        let st = &streams[0];
+        let net = q.network();
+        let sched = absorb_schedule(&st.path, &st.targets, |c| net.downstream(c));
+        // Path: inj(0), xl 0->8 (hop1), ccw 8->7 (hop2), ccw 7->6 (hop3),
+        // ccw 6->5 (hop4), ej(5) (hop5).
+        // Target 8 completes at hop 2, 6 at hop 4, 5 at hop 5 (ejection).
+        assert_eq!(
+            sched.as_ref(),
+            &[(2, NodeId(8)), (4, NodeId(6)), (5, NodeId(5))]
+        );
+    }
+
+    #[test]
+    fn final_target_completes_at_ejection_hop() {
+        let q = Quarc::new(16).unwrap();
+        let streams = q.multicast_streams(NodeId(0), &[NodeId(2)]);
+        let st = &streams[0];
+        let net = q.network();
+        let sched = absorb_schedule(&st.path, &st.targets, |c| net.downstream(c));
+        let last = st.path.len() - 1;
+        assert_eq!(sched.as_ref(), &[(last as u16, NodeId(2))]);
+    }
+
+    #[test]
+    fn occupancy_and_completion() {
+        let q = Quarc::new(16).unwrap();
+        let path = Arc::new(q.unicast_path(NodeId(0), NodeId(2)));
+        let mut m = ActiveMsg::unicast(path, 4, 10, true);
+        assert!(!m.complete());
+        m.traversed[0] = 3;
+        m.traversed[1] = 1;
+        assert_eq!(m.occupancy(0), 2);
+        assert_eq!(m.occupancy(1), 1);
+        let last = m.last_hop();
+        m.traversed[last] = 4;
+        assert!(m.complete());
+        assert_eq!(m.occupancy(last), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "visit order")]
+    fn absorb_schedule_rejects_off_path_targets() {
+        let q = Quarc::new(16).unwrap();
+        let streams = q.multicast_streams(NodeId(0), &[NodeId(2)]);
+        let st = &streams[0];
+        let net = q.network();
+        // Node 9 is not on the clockwise stream to node 2.
+        absorb_schedule(&st.path, &[NodeId(9)], |c| net.downstream(c));
+    }
+}

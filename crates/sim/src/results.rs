@@ -1,0 +1,147 @@
+//! Simulation output.
+
+use noc_queueing::{BatchMeans, Histogram, Welford};
+use serde::{Deserialize, Serialize};
+
+/// Summary of a latency population.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Sample mean (cycles); 0 when no samples were collected.
+    pub mean: f64,
+    /// Half-width of the approximate 95% confidence interval (batch
+    /// means); `NaN` with insufficient batches.
+    pub ci95: f64,
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest observed latency (`NaN` when empty).
+    pub min: f64,
+    /// Largest observed latency (`NaN` when empty).
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Summarise a batch-means accumulator.
+    pub fn from_batch_means(bm: &BatchMeans) -> Self {
+        LatencyStats {
+            mean: bm.mean(),
+            ci95: bm.ci95_half_width(),
+            count: bm.count(),
+            min: bm.overall().min(),
+            max: bm.overall().max(),
+        }
+    }
+
+    /// Summarise a plain Welford accumulator (normal-approximation CI —
+    /// used for per-source populations too small for batch means).
+    pub fn from_welford(w: &Welford) -> Self {
+        let ci95 = if w.count() >= 2 {
+            1.96 * w.std_dev() / (w.count() as f64).sqrt()
+        } else {
+            f64::NAN
+        };
+        LatencyStats {
+            mean: w.mean(),
+            ci95,
+            count: w.count(),
+            min: w.min(),
+            max: w.max(),
+        }
+    }
+
+    /// Mean latency, or `None` when no samples exist.
+    pub fn mean_opt(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+}
+
+/// Complete results of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimResults {
+    /// Unicast message latency (generation → last flit absorbed).
+    pub unicast: LatencyStats,
+    /// Multicast operation latency (generation → last flit absorbed at the
+    /// last destination over all streams) — the paper's multicast latency.
+    pub multicast: LatencyStats,
+    /// Per-source multicast latency (indexed by node), validating the
+    /// model's per-node predictions (Eq. 14), not just the average.
+    pub multicast_by_source: Vec<LatencyStats>,
+    /// Multicast latency histogram (4-cycle bins) for tail-latency
+    /// comparisons against the model's max-of-exponentials distribution.
+    pub multicast_hist: Histogram,
+    /// Per-stream latency (generation → last flit absorbed at the stream's
+    /// own final target); diagnostic, not a paper metric.
+    pub stream: LatencyStats,
+    /// Tagged unicasts injected / delivered.
+    pub unicast_injected: u64,
+    /// Tagged unicast messages delivered.
+    pub unicast_delivered: u64,
+    /// Tagged multicast operations injected.
+    pub multicast_injected: u64,
+    /// Tagged multicast operations fully delivered.
+    pub multicast_delivered: u64,
+    /// Total messages (all classes, tagged or not) generated / absorbed —
+    /// conservation audit.
+    pub total_generated: u64,
+    /// Total messages absorbed by sinks.
+    pub total_absorbed: u64,
+    /// `true` when the run hit its drain deadline or backlog limit with
+    /// tagged traffic still in flight: the operating point is (near)
+    /// saturation.
+    pub saturated: bool,
+    /// Deadlock watchdog: flits in the network but nothing moved for an
+    /// extended window. Must always be `false` — the dateline virtual
+    /// channels make the routing deadlock-free; this field exists to catch
+    /// regressions of that argument.
+    pub deadlocked: bool,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Total flit-channel traversals (throughput metric).
+    pub flit_moves: u64,
+    /// Peak injection backlog observed (messages waiting at sources).
+    pub peak_backlog: usize,
+    /// Per-channel utilisation over the measurement window (fraction of
+    /// cycles the channel moved a flit), indexed by `ChannelId`.
+    pub channel_utilization: Vec<f64>,
+}
+
+impl SimResults {
+    /// Largest link-channel utilisation (the bottleneck channel load).
+    pub fn max_utilization(&self) -> f64 {
+        self.channel_utilization
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// All tagged traffic delivered?
+    pub fn complete(&self) -> bool {
+        self.unicast_delivered == self.unicast_injected
+            && self.multicast_delivered == self.multicast_injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_from_accumulator() {
+        let mut bm = BatchMeans::new(4);
+        for x in [10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0] {
+            bm.push(x);
+        }
+        let s = LatencyStats::from_batch_means(&bm);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 17.0).abs() < 1e-12);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 24.0);
+        assert_eq!(s.mean_opt(), Some(17.0));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = LatencyStats::from_batch_means(&BatchMeans::new(4));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_opt(), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Strongly-typed identifiers for nodes, channels, ports and virtual
+//! channels.
+//!
+//! All identifiers are thin `u32`/`u8` newtypes: they are hot map keys in
+//! both the simulator and the analytical model, so they stay `Copy` and
+//! index-friendly (see the type-size guidance in the workspace design
+//! notes).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network node (router + processing element).
+///
+/// Nodes are numbered `0..N` in topology-specific order (clockwise for the
+/// ring-based topologies, row-major for meshes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for table indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+/// Identifier of a directed channel in a [`crate::Network`].
+///
+/// A channel is the unit of resource allocation in wormhole switching: a
+/// physical link, an injection port or an ejection port. `ChannelId` indexes
+/// the network's channel table directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// The channel index as a `usize`, for table indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Index of a router port (direction class).
+///
+/// Port numbering is topology-specific; e.g. the Quarc uses
+/// `0 = clockwise`, `1 = counter-clockwise`, `2 = cross-left`,
+/// `3 = cross-right` (see [`crate::quarc::port`]). In a multi-port
+/// architecture each port has its own injection and ejection channel
+/// (Fig. 1(b) of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(pub u8);
+
+impl PortId {
+    /// The port index as a `usize`, for table indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Index of a virtual channel multiplexed on a physical channel.
+///
+/// Rim links of the ring-based topologies carry two virtual channels with a
+/// dateline discipline to break the cyclic channel dependency of the ring
+/// (the Spidergon/Quarc deadlock-avoidance scheme).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VcId(pub u8);
+
+impl VcId {
+    /// The virtual-channel index as a `usize`, for table indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_usize() {
+        let n = NodeId::from(17usize);
+        assert_eq!(n.idx(), 17);
+        assert_eq!(n, NodeId(17));
+        assert_eq!(format!("{n:?}"), "n17");
+        assert_eq!(n.to_string(), "17");
+    }
+
+    #[test]
+    fn channel_id_ordering_matches_index_ordering() {
+        let a = ChannelId(3);
+        let b = ChannelId(9);
+        assert!(a < b);
+        assert_eq!(b.idx(), 9);
+        assert_eq!(format!("{a:?}"), "c3");
+    }
+
+    #[test]
+    fn port_and_vc_are_single_byte() {
+        assert_eq!(std::mem::size_of::<PortId>(), 1);
+        assert_eq!(std::mem::size_of::<VcId>(), 1);
+        assert_eq!(format!("{:?}", PortId(2)), "p2");
+        assert_eq!(format!("{:?}", VcId(1)), "v1");
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<ChannelId, f64> = HashMap::new();
+        m.insert(ChannelId(1), 0.5);
+        m.insert(ChannelId(2), 0.25);
+        assert_eq!(m[&ChannelId(1)], 0.5);
+    }
+}

@@ -1,0 +1,532 @@
+//! Mesh and torus topologies with multi-port routers.
+//!
+//! The paper's conclusion names "multi-port mesh and torus" as the next
+//! target for the multicast model. This module provides both:
+//!
+//! * **Unicast**: dimension-ordered (XY) routing. On the torus each
+//!   dimension ring uses the dateline virtual-channel discipline.
+//! * **Multicast**: the classic *dual-path* scheme (Lin–Ni): nodes are
+//!   ordered along a boustrophedon Hamiltonian path `h(·)`; a multicast
+//!   splits into a *high* stream visiting targets with `h(t) > h(src)` in
+//!   increasing `h` order and a *low* stream visiting targets with
+//!   `h(t) < h(src)` in decreasing order. Both streams follow physical
+//!   mesh links between `h`-consecutive nodes, absorbing-and-forwarding at
+//!   targets exactly like the Quarc's BRCP streams — giving `m = 2`
+//!   asynchronous port streams for the analytical model.
+//!
+//! Multicast streams travel on virtual channel 1 of the rim links while XY
+//! unicast uses virtual channel 0; the high/low Hamiltonian subnetworks are
+//! acyclic by construction, so the two traffic classes cannot deadlock each
+//! other.
+
+use crate::channel::Channel;
+use crate::ids::{ChannelId, NodeId, PortId};
+use crate::network::{Network, Topology, TopologyError};
+use crate::path::{Hop, MulticastStream, Path};
+
+/// Port indices of the mesh/torus all-port router.
+pub mod port {
+    use crate::ids::PortId;
+
+    /// +x direction (east).
+    pub const XPLUS: PortId = PortId(0);
+    /// −x direction (west).
+    pub const XMINUS: PortId = PortId(1);
+    /// +y direction (north).
+    pub const YPLUS: PortId = PortId(2);
+    /// −y direction (south).
+    pub const YMINUS: PortId = PortId(3);
+
+    /// All four ports in index order.
+    pub const ALL: [PortId; 4] = [XPLUS, XMINUS, YPLUS, YMINUS];
+}
+
+/// Whether wrap-around links exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeshKind {
+    /// No wrap-around links.
+    Mesh,
+    /// Wrap-around links in both dimensions (k-ary 2-cube).
+    Torus,
+}
+
+/// A `width × height` mesh or torus with 4-port routers.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+    kind: MeshKind,
+    net: Network,
+    /// `links[(node, port)] -> ChannelId` for existing output links.
+    out_link: Vec<Option<ChannelId>>,
+}
+
+impl Mesh {
+    /// Build a mesh (`kind = Mesh`) or torus (`kind = Torus`) of
+    /// `width × height` nodes. Requires `width ≥ 2` and `height ≥ 2`
+    /// (torus: `≥ 3` per dimension so that wrap links are distinct).
+    pub fn new(width: usize, height: usize, kind: MeshKind) -> Result<Self, TopologyError> {
+        let min = match kind {
+            MeshKind::Mesh => 2,
+            MeshKind::Torus => 3,
+        };
+        if width < min || height < min {
+            return Err(TopologyError::UnsupportedSize {
+                n: width * height,
+                requirement: "Mesh requires width,height >= 2 (torus >= 3)",
+            });
+        }
+        let n = width * height;
+        let mut channels: Vec<Channel> = Vec::new();
+        let mut out_link: Vec<Option<ChannelId>> = vec![None; n * 4];
+        let node = |x: usize, y: usize| NodeId((y * width + x) as u32);
+        let mut push_link = |channels: &mut Vec<Channel>,
+                             from: NodeId,
+                             to: NodeId,
+                             p: PortId,
+                             dateline: bool,
+                             label: String| {
+            let id = ChannelId(channels.len() as u32);
+            // Rim links carry 2 VCs: vc0 = XY unicast (+ torus dateline uses
+            // vc1), vc1 = Hamiltonian multicast class. To keep the VC budget
+            // small we give torus links 3 VCs (0/1 for XY dateline, 2 for
+            // multicast) and mesh links 2 VCs (0 XY, 1 multicast).
+            let vcs = match kind {
+                MeshKind::Mesh => 2,
+                MeshKind::Torus => 3,
+            };
+            channels.push(Channel::link(id, from, to, p, vcs, dateline, label));
+            out_link[from.idx() * 4 + p.idx()] = Some(id);
+        };
+        for y in 0..height {
+            for x in 0..width {
+                let from = node(x, y);
+                // +x
+                if x + 1 < width {
+                    push_link(&mut channels, from, node(x + 1, y), port::XPLUS, false,
+                        format!("x+ ({x},{y})"));
+                } else if kind == MeshKind::Torus {
+                    push_link(&mut channels, from, node(0, y), port::XPLUS, true,
+                        format!("x+ wrap ({x},{y})"));
+                }
+                // -x
+                if x > 0 {
+                    push_link(&mut channels, from, node(x - 1, y), port::XMINUS, false,
+                        format!("x- ({x},{y})"));
+                } else if kind == MeshKind::Torus {
+                    push_link(&mut channels, from, node(width - 1, y), port::XMINUS, true,
+                        format!("x- wrap ({x},{y})"));
+                }
+                // +y
+                if y + 1 < height {
+                    push_link(&mut channels, from, node(x, y + 1), port::YPLUS, false,
+                        format!("y+ ({x},{y})"));
+                } else if kind == MeshKind::Torus {
+                    push_link(&mut channels, from, node(x, 0), port::YPLUS, true,
+                        format!("y+ wrap ({x},{y})"));
+                }
+                // -y
+                if y > 0 {
+                    push_link(&mut channels, from, node(x, y - 1), port::YMINUS, false,
+                        format!("y- ({x},{y})"));
+                } else if kind == MeshKind::Torus {
+                    push_link(&mut channels, from, node(x, height - 1), port::YMINUS, true,
+                        format!("y- wrap ({x},{y})"));
+                }
+            }
+        }
+        let mut injection = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            for p in 0..4u8 {
+                let id = ChannelId(channels.len() as u32);
+                channels.push(Channel::injection(id, NodeId(i as u32), PortId(p),
+                    format!("inj {i}.{p}")));
+                injection.push(id);
+            }
+        }
+        let mut ejection = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            for p in 0..4u8 {
+                let id = ChannelId(channels.len() as u32);
+                channels.push(Channel::ejection(id, NodeId(i as u32), PortId(p),
+                    format!("ej {i}.{p}")));
+                ejection.push(id);
+            }
+        }
+        let net = Network::new(n, 4, channels, injection, ejection);
+        Ok(Mesh { width, height, kind, net, out_link })
+    }
+
+    /// Grid width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Mesh or torus.
+    #[inline]
+    pub fn kind(&self) -> MeshKind {
+        self.kind
+    }
+
+    /// `(x, y)` coordinates of a node.
+    #[inline]
+    pub fn coords(&self, n: NodeId) -> (usize, usize) {
+        (n.idx() % self.width, n.idx() / self.width)
+    }
+
+    /// Node at `(x, y)`.
+    #[inline]
+    pub fn node(&self, x: usize, y: usize) -> NodeId {
+        NodeId((y * self.width + x) as u32)
+    }
+
+    fn link(&self, from: NodeId, p: PortId) -> ChannelId {
+        self.out_link[from.idx() * 4 + p.idx()]
+            .unwrap_or_else(|| panic!("no {p:?} link at {from:?}"))
+    }
+
+    /// Per-dimension signed step list for XY routing: returns the ordered
+    /// `(port, steps)` legs. On the torus, each leg goes the short way
+    /// around (ties broken toward the positive direction).
+    fn xy_legs(&self, src: NodeId, dst: NodeId) -> Vec<(PortId, usize)> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut legs = Vec::with_capacity(2);
+        let leg = |s: usize, d: usize, extent: usize, plus: PortId, minus: PortId| {
+            if s == d {
+                return None;
+            }
+            match self.kind {
+                MeshKind::Mesh => {
+                    if d > s {
+                        Some((plus, d - s))
+                    } else {
+                        Some((minus, s - d))
+                    }
+                }
+                MeshKind::Torus => {
+                    let fwd = (d + extent - s) % extent;
+                    let bwd = extent - fwd;
+                    if fwd <= bwd {
+                        Some((plus, fwd))
+                    } else {
+                        Some((minus, bwd))
+                    }
+                }
+            }
+        };
+        if let Some(l) = leg(sx, dx, self.width, port::XPLUS, port::XMINUS) {
+            legs.push(l);
+        }
+        if let Some(l) = leg(sy, dy, self.height, port::YPLUS, port::YMINUS) {
+            legs.push(l);
+        }
+        legs
+    }
+
+    fn step(&self, from: NodeId, p: PortId) -> NodeId {
+        self.net.downstream(self.link(from, p))
+    }
+
+    /// Boustrophedon Hamiltonian label of a node (row-major, odd rows
+    /// reversed), used by the dual-path multicast.
+    #[inline]
+    pub fn hamiltonian_label(&self, n: NodeId) -> usize {
+        let (x, y) = self.coords(n);
+        if y.is_multiple_of(2) {
+            y * self.width + x
+        } else {
+            y * self.width + (self.width - 1 - x)
+        }
+    }
+
+    /// Inverse of [`Mesh::hamiltonian_label`].
+    #[inline]
+    pub fn node_at_label(&self, h: usize) -> NodeId {
+        let y = h / self.width;
+        let x = h % self.width;
+        if y.is_multiple_of(2) {
+            self.node(x, y)
+        } else {
+            self.node(self.width - 1 - x, y)
+        }
+    }
+
+    /// The physical port leading from label `h` to label `h+1` (or `h-1`
+    /// when `up` is false).
+    fn hamiltonian_port(&self, h: usize, up: bool) -> PortId {
+        let (from, to) = if up {
+            (self.node_at_label(h), self.node_at_label(h + 1))
+        } else {
+            (self.node_at_label(h), self.node_at_label(h - 1))
+        };
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        if ty == fy {
+            if tx == fx + 1 {
+                port::XPLUS
+            } else {
+                port::XMINUS
+            }
+        } else if ty == fy + 1 {
+            port::YPLUS
+        } else {
+            port::YMINUS
+        }
+    }
+
+    /// The VC index reserved for Hamiltonian multicast streams.
+    fn multicast_vc(&self) -> u8 {
+        match self.kind {
+            MeshKind::Mesh => 1,
+            MeshKind::Torus => 2,
+        }
+    }
+
+    /// Build one dual-path stream from `src` covering targets at the given
+    /// Hamiltonian labels (sorted in visit order).
+    fn hamiltonian_stream(&self, src: NodeId, labels: &[usize], up: bool) -> MulticastStream {
+        debug_assert!(!labels.is_empty());
+        let vc = self.multicast_vc();
+        let h0 = self.hamiltonian_label(src);
+        let last_label = *labels.last().unwrap();
+        let first_port = self.hamiltonian_port(h0, up);
+        let mut hops = vec![Hop::new(self.net.injection_channel(src, first_port), 0)];
+        let mut h = h0;
+        let mut at = src;
+        let mut arrival_port = first_port;
+        while h != last_label {
+            let p = self.hamiltonian_port(h, up);
+            hops.push(Hop::new(self.link(at, p), vc));
+            at = self.step(at, p);
+            arrival_port = p;
+            h = if up { h + 1 } else { h - 1 };
+        }
+        let dst = at;
+        hops.push(Hop::new(self.net.ejection_channel(dst, arrival_port), 0));
+        MulticastStream {
+            port: first_port,
+            path: Path { src, dst, port: first_port, hops },
+            targets: labels.iter().map(|&l| self.node_at_label(l)).collect(),
+        }
+    }
+}
+
+impl Topology for Mesh {
+    fn name(&self) -> &str {
+        match self.kind {
+            MeshKind::Mesh => "mesh",
+            MeshKind::Torus => "torus",
+        }
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn port_for(&self, src: NodeId, dst: NodeId) -> PortId {
+        assert_ne!(src, dst);
+        self.xy_legs(src, dst)[0].0
+    }
+
+    fn unicast_path(&self, src: NodeId, dst: NodeId) -> Path {
+        assert_ne!(src, dst, "no route from a node to itself");
+        let legs = self.xy_legs(src, dst);
+        let first_port = legs[0].0;
+        let mut hops = vec![Hop::new(self.net.injection_channel(src, first_port), 0)];
+        let mut at = src;
+        let mut arrival = first_port;
+        for (p, steps) in legs {
+            let mut crossed = false;
+            for _ in 0..steps {
+                let link = self.link(at, p);
+                if self.net.channel(link).dateline {
+                    crossed = true;
+                }
+                hops.push(Hop::new(link, u8::from(crossed)));
+                at = self.step(at, p);
+                arrival = p;
+            }
+        }
+        hops.push(Hop::new(self.net.ejection_channel(at, arrival), 0));
+        Path { src, dst: at, port: first_port, hops }
+    }
+
+    fn quadrant(&self, src: NodeId, p: PortId) -> Vec<NodeId> {
+        (0..self.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|&d| d != src && self.port_for(src, d) == p)
+            .collect()
+    }
+
+    fn multicast_streams(&self, src: NodeId, targets: &[NodeId]) -> Vec<MulticastStream> {
+        let h0 = self.hamiltonian_label(src);
+        let mut high: Vec<usize> = Vec::new();
+        let mut low: Vec<usize> = Vec::new();
+        for &t in targets {
+            if t == src {
+                continue;
+            }
+            let h = self.hamiltonian_label(t);
+            if h > h0 {
+                high.push(h);
+            } else {
+                low.push(h);
+            }
+        }
+        let mut streams = Vec::new();
+        high.sort_unstable();
+        high.dedup();
+        if !high.is_empty() {
+            streams.push(self.hamiltonian_stream(src, &high, true));
+        }
+        low.sort_unstable();
+        low.dedup();
+        low.reverse();
+        if !low.is_empty() {
+            streams.push(self.hamiltonian_stream(src, &low, false));
+        }
+        streams
+    }
+
+    fn diameter(&self) -> usize {
+        match self.kind {
+            MeshKind::Mesh => (self.width - 1) + (self.height - 1),
+            MeshKind::Torus => self.width / 2 + self.height / 2,
+        }
+    }
+
+    /// Dual-path multicast always uses two streams at most, but they leave
+    /// through genuinely independent ports, so it is concurrent.
+    fn concurrent_multicast(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rejects_degenerate_sizes() {
+        assert!(Mesh::new(1, 4, MeshKind::Mesh).is_err());
+        assert!(Mesh::new(2, 2, MeshKind::Torus).is_err());
+        assert!(Mesh::new(2, 2, MeshKind::Mesh).is_ok());
+        assert!(Mesh::new(3, 3, MeshKind::Torus).is_ok());
+    }
+
+    #[test]
+    fn xy_paths_valid_all_pairs_mesh_and_torus() {
+        for kind in [MeshKind::Mesh, MeshKind::Torus] {
+            let m = Mesh::new(4, 3, kind).unwrap();
+            let n = m.num_nodes();
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let p = m.unicast_path(NodeId(s as u32), NodeId(d as u32));
+                    m.network().validate_path(&p).unwrap();
+                    assert!(p.link_count() <= m.diameter());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_path_length_is_manhattan() {
+        let m = Mesh::new(5, 4, MeshKind::Mesh).unwrap();
+        for s in 0..20u32 {
+            for d in 0..20u32 {
+                if s == d {
+                    continue;
+                }
+                let (sx, sy) = m.coords(NodeId(s));
+                let (dx, dy) = m.coords(NodeId(d));
+                let p = m.unicast_path(NodeId(s), NodeId(d));
+                assert_eq!(p.link_count(), sx.abs_diff(dx) + sy.abs_diff(dy));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps_short_way() {
+        let t = Mesh::new(5, 5, MeshKind::Torus).unwrap();
+        // (0,0) -> (4,0): short way is one -x wrap hop.
+        let p = t.unicast_path(t.node(0, 0), t.node(4, 0));
+        assert_eq!(p.link_count(), 1);
+        assert_eq!(p.port, port::XMINUS);
+        // Wrap hop switches to vc1 (dateline).
+        assert_eq!(p.hops[1].vc.0, 1);
+    }
+
+    #[test]
+    fn quadrants_partition_mesh() {
+        let m = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+        for s in 0..16u32 {
+            let s = NodeId(s);
+            let mut seen = BTreeSet::new();
+            for p in port::ALL {
+                for t in m.quadrant(s, p) {
+                    assert!(seen.insert(t));
+                }
+            }
+            assert_eq!(seen.len(), 15);
+        }
+    }
+
+    #[test]
+    fn hamiltonian_labels_are_a_bijection_between_adjacent_nodes() {
+        let m = Mesh::new(4, 3, MeshKind::Mesh).unwrap();
+        let mut seen = BTreeSet::new();
+        for i in 0..12u32 {
+            seen.insert(m.hamiltonian_label(NodeId(i)));
+            assert_eq!(m.node_at_label(m.hamiltonian_label(NodeId(i))), NodeId(i));
+        }
+        assert_eq!(seen.len(), 12);
+        // Consecutive labels are physically adjacent.
+        for h in 0..11usize {
+            let a = m.coords(m.node_at_label(h));
+            let b = m.coords(m.node_at_label(h + 1));
+            assert_eq!(a.0.abs_diff(b.0) + a.1.abs_diff(b.1), 1, "h={h}");
+        }
+    }
+
+    #[test]
+    fn dual_path_multicast_covers_targets() {
+        let m = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+        let src = m.node(1, 1);
+        let targets = [m.node(3, 0), m.node(0, 2), m.node(3, 3), m.node(0, 0)];
+        let streams = m.multicast_streams(src, &targets);
+        assert!(streams.len() <= 2);
+        let covered: BTreeSet<_> = streams.iter().flat_map(|s| s.targets.clone()).collect();
+        assert_eq!(covered, targets.iter().copied().collect());
+        for st in &streams {
+            m.network().validate_path(&st.path).unwrap();
+            assert_eq!(st.path.dst, *st.targets.last().unwrap());
+            // Multicast hops ride the reserved VC.
+            for hop in &st.path.hops[1..st.path.hops.len() - 1] {
+                assert_eq!(hop.vc.0, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_path_broadcast_covers_everything() {
+        for kind in [MeshKind::Mesh, MeshKind::Torus] {
+            let m = Mesh::new(4, 4, kind).unwrap();
+            let streams = m.broadcast_streams(m.node(2, 1));
+            let covered: BTreeSet<_> = streams.iter().flat_map(|s| s.targets.clone()).collect();
+            assert_eq!(covered.len(), 15);
+            assert_eq!(streams.len(), 2);
+        }
+    }
+}

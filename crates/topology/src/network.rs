@@ -1,0 +1,361 @@
+//! The channel graph ([`Network`]) and the [`Topology`] trait.
+
+use crate::channel::{Channel, ChannelKind};
+use crate::ids::{ChannelId, NodeId, PortId};
+use crate::path::{MulticastStream, Path};
+use std::fmt;
+
+/// Errors raised by topology constructors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The requested node count is not supported by the topology
+    /// (e.g. the Quarc requires `N % 4 == 0`, `N >= 8`).
+    UnsupportedSize {
+        /// The offending node count.
+        n: usize,
+        /// Human-readable constraint description.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnsupportedSize { n, requirement } => {
+                write!(f, "unsupported network size {n}: {requirement}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The directed channel graph of a NoC.
+///
+/// Channels are stored in a dense table indexed by [`ChannelId`]. Per-node
+/// injection/ejection channels are retrievable by `(node, port)`.
+#[derive(Clone, Debug)]
+pub struct Network {
+    num_nodes: usize,
+    ports_per_node: usize,
+    channels: Vec<Channel>,
+    /// `injection[node * ports + port]`
+    injection: Vec<ChannelId>,
+    /// `ejection[node * ports + port]`
+    ejection: Vec<ChannelId>,
+}
+
+impl Network {
+    /// Build a network from its parts. Intended for topology constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel table ids are not dense and in order, or if the
+    /// injection/ejection tables have the wrong shape — these are internal
+    /// construction invariants of the topology builders.
+    pub fn new(
+        num_nodes: usize,
+        ports_per_node: usize,
+        channels: Vec<Channel>,
+        injection: Vec<ChannelId>,
+        ejection: Vec<ChannelId>,
+    ) -> Self {
+        assert_eq!(injection.len(), num_nodes * ports_per_node);
+        assert_eq!(ejection.len(), num_nodes * ports_per_node);
+        for (i, ch) in channels.iter().enumerate() {
+            assert_eq!(ch.id.idx(), i, "channel table must be dense and ordered");
+        }
+        Network {
+            num_nodes,
+            ports_per_node,
+            channels,
+            injection,
+            ejection,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Injection ports per node.
+    #[inline]
+    pub fn ports_per_node(&self) -> usize {
+        self.ports_per_node
+    }
+
+    /// The full channel table.
+    #[inline]
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Total channel count.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Look up one channel.
+    #[inline]
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.idx()]
+    }
+
+    /// The injection channel of `(node, port)`.
+    #[inline]
+    pub fn injection_channel(&self, node: NodeId, port: PortId) -> ChannelId {
+        self.injection[node.idx() * self.ports_per_node + port.idx()]
+    }
+
+    /// The ejection channel of `(node, input port/direction)`.
+    #[inline]
+    pub fn ejection_channel(&self, node: NodeId, port: PortId) -> ChannelId {
+        self.ejection[node.idx() * self.ports_per_node + port.idx()]
+    }
+
+    /// Iterate over all link channels.
+    pub fn links(&self) -> impl Iterator<Item = &Channel> {
+        self.channels
+            .iter()
+            .filter(|c| c.kind == ChannelKind::Link)
+    }
+
+    /// The downstream node of a channel (`to` endpoint).
+    #[inline]
+    pub fn downstream(&self, id: ChannelId) -> NodeId {
+        self.channels[id.idx()].to
+    }
+
+    /// Validate a path against this network: hops must be chained
+    /// (each link's `to` equals the next link's `from`), start with the
+    /// injection channel of `(src, port)` and end with an ejection channel
+    /// at `dst`. Used by tests and debug assertions.
+    pub fn validate_path(&self, path: &Path) -> Result<(), String> {
+        if path.hops.len() < 2 {
+            return Err("path must contain at least injection + ejection".into());
+        }
+        let first = self.channel(path.hops[0].channel);
+        if first.kind != ChannelKind::Injection || first.from != path.src {
+            return Err(format!(
+                "path must start with an injection channel at {:?}, got {:?}",
+                path.src, first
+            ));
+        }
+        if self.injection_channel(path.src, path.port) != first.id {
+            return Err(format!(
+                "path claims port {:?} but starts at {:?}",
+                path.port, first
+            ));
+        }
+        let last = self.channel(path.hops[path.hops.len() - 1].channel);
+        if last.kind != ChannelKind::Ejection || last.to != path.dst {
+            return Err(format!(
+                "path must end with an ejection channel at {:?}, got {:?}",
+                path.dst, last
+            ));
+        }
+        let mut at = path.src;
+        for hop in &path.hops[1..path.hops.len() - 1] {
+            let ch = self.channel(hop.channel);
+            if ch.kind != ChannelKind::Link {
+                return Err(format!("interior hop {:?} is not a link", ch));
+            }
+            if ch.from != at {
+                return Err(format!(
+                    "link {:?} departs {:?} but the message is at {:?}",
+                    ch, ch.from, at
+                ));
+            }
+            if hop.vc.idx() >= ch.vcs as usize {
+                return Err(format!(
+                    "hop uses vc {:?} but channel {:?} has only {} vcs",
+                    hop.vc, ch.id, ch.vcs
+                ));
+            }
+            at = ch.to;
+        }
+        if at != path.dst {
+            return Err(format!(
+                "links end at {:?} but path.dst is {:?}",
+                at, path.dst
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A concrete topology: a channel graph plus deterministic routing, the
+/// port partition of destinations (Eq. 1–2 of the paper) and path-based
+/// multicast stream construction.
+pub trait Topology: Send + Sync {
+    /// Short human-readable name (`"quarc"`, `"spidergon"`, ...).
+    fn name(&self) -> &str;
+
+    /// The channel graph.
+    fn network(&self) -> &Network;
+
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize {
+        self.network().num_nodes()
+    }
+
+    /// Injection ports per node (`m` in the paper; 1 for one-port
+    /// architectures).
+    fn num_ports(&self) -> usize {
+        self.network().ports_per_node()
+    }
+
+    /// The injection port used to reach `dst` from `src` under the
+    /// deterministic base routing.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `src == dst`.
+    fn port_for(&self, src: NodeId, dst: NodeId) -> PortId;
+
+    /// Deterministic unicast route from `src` to `dst` (injection + links +
+    /// ejection), with virtual channels resolved.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `src == dst`.
+    fn unicast_path(&self, src: NodeId, dst: NodeId) -> Path;
+
+    /// The subset `S_{j,c}` of nodes served by injection port `port` of
+    /// `src` (Eq. 1). The subsets over all ports partition the other
+    /// `N - 1` nodes (Eq. 2).
+    fn quadrant(&self, src: NodeId, port: PortId) -> Vec<NodeId>;
+
+    /// Decompose a multicast from `src` to `targets` into independent
+    /// path-based streams, one per injection port with at least one target
+    /// (BRCP routing: each stream follows the base unicast route to the
+    /// last target of its port subset, absorbing-and-forwarding at
+    /// intermediate targets).
+    ///
+    /// `targets` must not contain `src`; duplicates are ignored.
+    fn multicast_streams(&self, src: NodeId, targets: &[NodeId]) -> Vec<MulticastStream>;
+
+    /// Broadcast = multicast to all other nodes.
+    fn broadcast_streams(&self, src: NodeId) -> Vec<MulticastStream> {
+        let all: Vec<NodeId> = (0..self.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|&n| n != src)
+            .collect();
+        self.multicast_streams(src, &all)
+    }
+
+    /// Network diameter in links (longest shortest path).
+    fn diameter(&self) -> usize;
+
+    /// Whether multicast streams of distinct ports are genuinely
+    /// concurrent (multi-port, asynchronous) — true for Quarc/ring/mesh,
+    /// false for the one-port Spidergon baseline, whose "multicast" is a
+    /// train of consecutive unicasts through the single port.
+    fn concurrent_multicast(&self) -> bool {
+        self.num_ports() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use crate::ids::VcId;
+    use crate::path::Hop;
+
+    /// Tiny 2-node hand-built network: n0 --link--> n1.
+    fn two_node_net() -> Network {
+        let channels = vec![Channel::injection(ChannelId(0), NodeId(0), PortId(0), "inj0"),
+            Channel::injection(ChannelId(1), NodeId(1), PortId(0), "inj1"),
+            Channel::link(ChannelId(2), NodeId(0), NodeId(1), PortId(0), 1, false, "l01"),
+            Channel::link(ChannelId(3), NodeId(1), NodeId(0), PortId(0), 1, false, "l10"),
+            Channel::ejection(ChannelId(4), NodeId(0), PortId(0), "ej0"),
+            Channel::ejection(ChannelId(5), NodeId(1), PortId(0), "ej1")];
+        Network::new(
+            2,
+            1,
+            channels,
+            vec![ChannelId(0), ChannelId(1)],
+            vec![ChannelId(4), ChannelId(5)],
+        )
+    }
+
+    #[test]
+    fn lookup_tables_work() {
+        let net = two_node_net();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.ports_per_node(), 1);
+        assert_eq!(net.num_channels(), 6);
+        assert_eq!(net.injection_channel(NodeId(0), PortId(0)), ChannelId(0));
+        assert_eq!(net.ejection_channel(NodeId(1), PortId(0)), ChannelId(5));
+        assert_eq!(net.links().count(), 2);
+        assert_eq!(net.downstream(ChannelId(2)), NodeId(1));
+    }
+
+    #[test]
+    fn validate_path_accepts_wellformed() {
+        let net = two_node_net();
+        let p = Path {
+            src: NodeId(0),
+            dst: NodeId(1),
+            port: PortId(0),
+            hops: vec![
+                Hop { channel: ChannelId(0), vc: VcId(0) },
+                Hop { channel: ChannelId(2), vc: VcId(0) },
+                Hop { channel: ChannelId(5), vc: VcId(0) },
+            ],
+        };
+        assert_eq!(net.validate_path(&p), Ok(()));
+    }
+
+    #[test]
+    fn validate_path_rejects_broken_chain() {
+        let net = two_node_net();
+        let p = Path {
+            src: NodeId(0),
+            dst: NodeId(1),
+            port: PortId(0),
+            hops: vec![
+                Hop { channel: ChannelId(0), vc: VcId(0) },
+                Hop { channel: ChannelId(3), vc: VcId(0) }, // wrong direction
+                Hop { channel: ChannelId(5), vc: VcId(0) },
+            ],
+        };
+        assert!(net.validate_path(&p).is_err());
+    }
+
+    #[test]
+    fn validate_path_rejects_bad_vc() {
+        let net = two_node_net();
+        let p = Path {
+            src: NodeId(0),
+            dst: NodeId(1),
+            port: PortId(0),
+            hops: vec![
+                Hop { channel: ChannelId(0), vc: VcId(0) },
+                Hop { channel: ChannelId(2), vc: VcId(1) }, // channel has 1 vc
+                Hop { channel: ChannelId(5), vc: VcId(0) },
+            ],
+        };
+        assert!(net.validate_path(&p).is_err());
+    }
+
+    #[test]
+    fn validate_path_rejects_wrong_endpoints() {
+        let net = two_node_net();
+        let p = Path {
+            src: NodeId(0),
+            dst: NodeId(0),
+            port: PortId(0),
+            hops: vec![
+                Hop { channel: ChannelId(0), vc: VcId(0) },
+                Hop { channel: ChannelId(2), vc: VcId(0) },
+                Hop { channel: ChannelId(5), vc: VcId(0) }, // ejection at n1, dst says n0
+            ],
+        };
+        assert!(net.validate_path(&p).is_err());
+    }
+}

@@ -1,0 +1,610 @@
+//! The Quarc NoC (paper §3).
+//!
+//! The Quarc improves on the Spidergon by (i) doubling the cross link into a
+//! *cross-left* and a *cross-right* physical link, (ii) upgrading the
+//! one-port router to an **all-port** router, and (iii) letting routers
+//! absorb-and-forward flits simultaneously. Routing requires no logic in the
+//! switch: the route is completely determined by the injection port chosen
+//! by the source transceiver (§3.3.1).
+//!
+//! For a Quarc of size `N = 4k`, node `s` reaches the other `N − 1` nodes
+//! through four disjoint quadrants (Eq. 1–2):
+//!
+//! | port         | destinations (clockwise distance `d` from `s`) | route |
+//! |--------------|--------------------------------------------------|-------|
+//! | `CW`         | `d ∈ [1, k]`                                     | `d` clockwise rim links |
+//! | `CCW`        | `d ∈ [3k, 4k−1]`                                 | `N − d` counter-clockwise rim links |
+//! | `CROSS_LEFT` | `d ∈ [k+1, 2k]`                                  | cross link, then `2k − d` ccw rim links |
+//! | `CROSS_RIGHT`| `d ∈ [2k+1, 3k−1]`                               | cross link, then `d − 2k` cw rim links |
+//!
+//! For `N = 16` and source 0 this reproduces the paper's broadcast example
+//! exactly: the four streams terminate at nodes 4, 12, 5 and 11, and the
+//! cross-left stream visits `8, 7, 6, 5` while cross-right visits
+//! `9, 10, 11` (Fig. 3).
+//!
+//! Rim links carry two virtual channels with a dateline discipline
+//! (inherited from the Spidergon) to break the cyclic channel dependency of
+//! each rim ring.
+
+use crate::channel::Channel;
+use crate::ids::{ChannelId, NodeId, PortId};
+use crate::network::{Network, Topology, TopologyError};
+use crate::path::{Hop, MulticastStream, Path};
+
+/// Port indices of the Quarc all-port router.
+pub mod port {
+    use crate::ids::PortId;
+
+    /// Clockwise rim port.
+    pub const CW: PortId = PortId(0);
+    /// Counter-clockwise rim port.
+    pub const CCW: PortId = PortId(1);
+    /// Cross-left port (serves the far quadrant reached via the cross link
+    /// and then counter-clockwise rim travel; includes the opposite node).
+    pub const CROSS_LEFT: PortId = PortId(2);
+    /// Cross-right port (far quadrant reached via the cross link and then
+    /// clockwise rim travel).
+    pub const CROSS_RIGHT: PortId = PortId(3);
+
+    /// All four ports in index order.
+    pub const ALL: [PortId; 4] = [CW, CCW, CROSS_LEFT, CROSS_RIGHT];
+}
+
+/// The Quarc topology (`N = 4k` nodes, `k ≥ 2`).
+#[derive(Clone, Debug)]
+pub struct Quarc {
+    n: usize,
+    k: usize,
+    net: Network,
+}
+
+impl Quarc {
+    /// Build a Quarc NoC with `n` nodes. Requires `n % 4 == 0` and `n ≥ 8`.
+    pub fn new(n: usize) -> Result<Self, TopologyError> {
+        if n < 8 || !n.is_multiple_of(4) {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "Quarc requires N % 4 == 0 and N >= 8",
+            });
+        }
+        let k = n / 4;
+        let nu = n as u32;
+        let mut channels = Vec::with_capacity(12 * n);
+        // Clockwise rim links: id i, i -> i+1; dateline at i == n-1.
+        for i in 0..nu {
+            let to = (i + 1) % nu;
+            channels.push(Channel::link(
+                ChannelId(i),
+                NodeId(i),
+                NodeId(to),
+                port::CW,
+                2,
+                i == nu - 1,
+                format!("cw {i}->{to}"),
+            ));
+        }
+        // Counter-clockwise rim links: id n+i, i -> i-1; dateline at i == 0.
+        for i in 0..nu {
+            let to = (i + nu - 1) % nu;
+            channels.push(Channel::link(
+                ChannelId(nu + i),
+                NodeId(i),
+                NodeId(to),
+                port::CCW,
+                2,
+                i == 0,
+                format!("ccw {i}->{to}"),
+            ));
+        }
+        // Cross-left links: id 2n+i, i -> i + n/2.
+        for i in 0..nu {
+            let to = (i + nu / 2) % nu;
+            channels.push(Channel::link(
+                ChannelId(2 * nu + i),
+                NodeId(i),
+                NodeId(to),
+                port::CROSS_LEFT,
+                1,
+                false,
+                format!("xl {i}->{to}"),
+            ));
+        }
+        // Cross-right links: id 3n+i, i -> i + n/2 (separate physical link).
+        for i in 0..nu {
+            let to = (i + nu / 2) % nu;
+            channels.push(Channel::link(
+                ChannelId(3 * nu + i),
+                NodeId(i),
+                NodeId(to),
+                port::CROSS_RIGHT,
+                1,
+                false,
+                format!("xr {i}->{to}"),
+            ));
+        }
+        // Injection channels: id 4n + i*4 + p.
+        let mut injection = Vec::with_capacity(4 * n);
+        for i in 0..nu {
+            for p in 0..4u8 {
+                let id = ChannelId(4 * nu + i * 4 + p as u32);
+                channels.push(Channel::injection(
+                    id,
+                    NodeId(i),
+                    PortId(p),
+                    format!("inj {i}.{p}"),
+                ));
+                injection.push(id);
+            }
+        }
+        // Ejection channels: id 8n + i*4 + p (p = input direction).
+        let mut ejection = Vec::with_capacity(4 * n);
+        for i in 0..nu {
+            for p in 0..4u8 {
+                let id = ChannelId(8 * nu + i * 4 + p as u32);
+                channels.push(Channel::ejection(
+                    id,
+                    NodeId(i),
+                    PortId(p),
+                    format!("ej {i}.{p}"),
+                ));
+                ejection.push(id);
+            }
+        }
+        let net = Network::new(n, 4, channels, injection, ejection);
+        Ok(Quarc { n, k, net })
+    }
+
+    /// Node count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Quadrant size `k = N/4` (also the network diameter in links).
+    #[inline]
+    pub fn quadrant_size(&self) -> usize {
+        self.k
+    }
+
+    /// Clockwise distance from `s` to `d` in `[0, N)`.
+    #[inline]
+    pub fn cw_dist(&self, s: NodeId, d: NodeId) -> usize {
+        (d.idx() + self.n - s.idx()) % self.n
+    }
+
+    #[inline]
+    fn node(&self, i: usize) -> NodeId {
+        NodeId((i % self.n) as u32)
+    }
+
+    fn cw_link(&self, i: usize) -> ChannelId {
+        ChannelId((i % self.n) as u32)
+    }
+
+    fn ccw_link(&self, i: usize) -> ChannelId {
+        ChannelId((self.n + i % self.n) as u32)
+    }
+
+    fn xl_link(&self, i: usize) -> ChannelId {
+        ChannelId((2 * self.n + i % self.n) as u32)
+    }
+
+    fn xr_link(&self, i: usize) -> ChannelId {
+        ChannelId((3 * self.n + i % self.n) as u32)
+    }
+
+    /// Append clockwise rim hops from `from` for `count` links, applying the
+    /// dateline VC discipline (VC 1 from the dateline link onwards).
+    fn push_cw_hops(&self, hops: &mut Vec<Hop>, from: usize, count: usize) {
+        let mut crossed = false;
+        for step in 0..count {
+            let i = (from + step) % self.n;
+            if i == self.n - 1 {
+                crossed = true;
+            }
+            hops.push(Hop::new(self.cw_link(i), u8::from(crossed)));
+        }
+    }
+
+    /// Append counter-clockwise rim hops from `from` for `count` links.
+    fn push_ccw_hops(&self, hops: &mut Vec<Hop>, from: usize, count: usize) {
+        let mut crossed = false;
+        for step in 0..count {
+            let i = (from + self.n - step) % self.n;
+            if i == 0 {
+                crossed = true;
+            }
+            hops.push(Hop::new(self.ccw_link(i), u8::from(crossed)));
+        }
+    }
+
+    /// Build the route serving clockwise-quadrant destination at cw
+    /// distance `d ∈ [1, k]`.
+    fn path_cw(&self, s: NodeId, d: usize) -> Path {
+        let dst = self.node(s.idx() + d);
+        let mut hops = Vec::with_capacity(d + 2);
+        hops.push(Hop::new(self.net.injection_channel(s, port::CW), 0));
+        self.push_cw_hops(&mut hops, s.idx(), d);
+        hops.push(Hop::new(self.net.ejection_channel(dst, port::CW), 0));
+        Path { src: s, dst, port: port::CW, hops }
+    }
+
+    /// Build the route serving counter-clockwise destination at ccw
+    /// distance `d ∈ [1, k]`.
+    fn path_ccw(&self, s: NodeId, d: usize) -> Path {
+        let dst = self.node(s.idx() + self.n - d);
+        let mut hops = Vec::with_capacity(d + 2);
+        hops.push(Hop::new(self.net.injection_channel(s, port::CCW), 0));
+        self.push_ccw_hops(&mut hops, s.idx(), d);
+        hops.push(Hop::new(self.net.ejection_channel(dst, port::CCW), 0));
+        Path { src: s, dst, port: port::CCW, hops }
+    }
+
+    /// Build the cross-left route to cw distance `d ∈ [k+1, 2k]`:
+    /// cross link, then `2k − d` ccw rim links.
+    fn path_xl(&self, s: NodeId, d: usize) -> Path {
+        let opposite = s.idx() + self.n / 2;
+        let rim = 2 * self.k - d;
+        let dst = self.node(s.idx() + d);
+        let mut hops = Vec::with_capacity(rim + 3);
+        hops.push(Hop::new(self.net.injection_channel(s, port::CROSS_LEFT), 0));
+        hops.push(Hop::new(self.xl_link(s.idx()), 0));
+        self.push_ccw_hops(&mut hops, opposite, rim);
+        let ej_port = if rim == 0 { port::CROSS_LEFT } else { port::CCW };
+        hops.push(Hop::new(self.net.ejection_channel(dst, ej_port), 0));
+        Path { src: s, dst, port: port::CROSS_LEFT, hops }
+    }
+
+    /// Build the cross-right route to cw distance `d ∈ [2k+1, 3k−1]`:
+    /// cross link, then `d − 2k` cw rim links.
+    fn path_xr(&self, s: NodeId, d: usize) -> Path {
+        let opposite = s.idx() + self.n / 2;
+        let rim = d - 2 * self.k;
+        let dst = self.node(s.idx() + d);
+        let mut hops = Vec::with_capacity(rim + 3);
+        hops.push(Hop::new(self.net.injection_channel(s, port::CROSS_RIGHT), 0));
+        hops.push(Hop::new(self.xr_link(s.idx()), 0));
+        self.push_cw_hops(&mut hops, opposite, rim);
+        // rim >= 1 always in this quadrant, so arrival is via a cw link.
+        hops.push(Hop::new(self.net.ejection_channel(dst, port::CW), 0));
+        Path { src: s, dst, port: port::CROSS_RIGHT, hops }
+    }
+
+    /// The last node visited by a broadcast stream on `p` (the destination
+    /// address the transceiver writes into the header flit, §3.3.2).
+    pub fn broadcast_last_node(&self, s: NodeId, p: PortId) -> NodeId {
+        let k = self.k;
+        match p {
+            x if x == port::CW => self.node(s.idx() + k),
+            x if x == port::CCW => self.node(s.idx() + self.n - k),
+            x if x == port::CROSS_LEFT => self.node(s.idx() + k + 1),
+            x if x == port::CROSS_RIGHT => self.node(s.idx() + 3 * k - 1),
+            _ => panic!("invalid Quarc port {p:?}"),
+        }
+    }
+}
+
+impl Topology for Quarc {
+    fn name(&self) -> &str {
+        "quarc"
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn port_for(&self, src: NodeId, dst: NodeId) -> PortId {
+        assert_ne!(src, dst, "no port routes a node to itself");
+        let d = self.cw_dist(src, dst);
+        let k = self.k;
+        if d <= k {
+            port::CW
+        } else if d <= 2 * k {
+            port::CROSS_LEFT
+        } else if d < 3 * k {
+            port::CROSS_RIGHT
+        } else {
+            port::CCW
+        }
+    }
+
+    fn unicast_path(&self, src: NodeId, dst: NodeId) -> Path {
+        assert_ne!(src, dst, "no route from a node to itself");
+        let d = self.cw_dist(src, dst);
+        let k = self.k;
+        if d <= k {
+            self.path_cw(src, d)
+        } else if d <= 2 * k {
+            self.path_xl(src, d)
+        } else if d < 3 * k {
+            self.path_xr(src, d)
+        } else {
+            self.path_ccw(src, self.n - d)
+        }
+    }
+
+    fn quadrant(&self, src: NodeId, p: PortId) -> Vec<NodeId> {
+        let k = self.k;
+        let s = src.idx();
+        match p {
+            x if x == port::CW => (1..=k).map(|d| self.node(s + d)).collect(),
+            x if x == port::CCW => (1..=k).map(|d| self.node(s + self.n - d)).collect(),
+            // Visit order: opposite node first, then counter-clockwise.
+            x if x == port::CROSS_LEFT => (0..k).map(|i| self.node(s + 2 * k - i)).collect(),
+            // Visit order: first node past the opposite, then clockwise.
+            x if x == port::CROSS_RIGHT => (1..k).map(|i| self.node(s + 2 * k + i)).collect(),
+            _ => panic!("invalid Quarc port {p:?}"),
+        }
+    }
+
+    fn multicast_streams(&self, src: NodeId, targets: &[NodeId]) -> Vec<MulticastStream> {
+        let mut by_port: [Vec<usize>; 4] = Default::default(); // cw distances
+        for &t in targets {
+            if t == src {
+                continue;
+            }
+            let d = self.cw_dist(src, t);
+            by_port[self.port_for(src, t).idx()].push(d);
+        }
+        let mut streams = Vec::new();
+        for p in port::ALL {
+            let ds = &mut by_port[p.idx()];
+            if ds.is_empty() {
+                continue;
+            }
+            ds.sort_unstable();
+            ds.dedup();
+            // Visit order per quadrant geometry: CW and CROSS_RIGHT visit
+            // ascending cw distance; CCW visits ascending ccw distance
+            // (= descending cw) and CROSS_LEFT starts at the opposite node
+            // (d = 2k) and walks down. The last element is the final target.
+            let mut visit_order = ds.clone();
+            if p == port::CCW || p == port::CROSS_LEFT {
+                visit_order.reverse();
+            }
+            let last_d = *visit_order.last().unwrap();
+            let path = self.unicast_path(src, self.node(src.idx() + last_d));
+            let targets: Vec<NodeId> = visit_order
+                .iter()
+                .map(|&d| self.node(src.idx() + d))
+                .collect();
+            streams.push(MulticastStream { port: p, path, targets });
+        }
+        streams
+    }
+
+    fn diameter(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn quarc16() -> Quarc {
+        Quarc::new(16).unwrap()
+    }
+
+    #[test]
+    fn rejects_unsupported_sizes() {
+        for n in [0, 1, 4, 6, 10, 14] {
+            assert!(Quarc::new(n).is_err(), "N={n} should be rejected");
+        }
+        for n in [8, 12, 16, 32, 64, 128] {
+            assert!(Quarc::new(n).is_ok(), "N={n} should be accepted");
+        }
+    }
+
+    #[test]
+    fn channel_census() {
+        let q = quarc16();
+        let net = q.network();
+        assert_eq!(net.num_channels(), 12 * 16);
+        assert_eq!(net.links().count(), 4 * 16);
+        assert_eq!(net.ports_per_node(), 4);
+    }
+
+    #[test]
+    fn paper_broadcast_example_n16() {
+        // Paper §3.3.2: node 0 broadcasts; destination addresses are
+        // 4, 5, 11 and 12 for the rim-left, cross-left, cross-right and
+        // rim-right streams.
+        let q = quarc16();
+        let s = NodeId(0);
+        assert_eq!(q.broadcast_last_node(s, port::CW), NodeId(4));
+        assert_eq!(q.broadcast_last_node(s, port::CCW), NodeId(12));
+        assert_eq!(q.broadcast_last_node(s, port::CROSS_LEFT), NodeId(5));
+        assert_eq!(q.broadcast_last_node(s, port::CROSS_RIGHT), NodeId(11));
+    }
+
+    #[test]
+    fn paper_quadrants_n16() {
+        let q = quarc16();
+        let s = NodeId(0);
+        let nv = |v: &[u32]| v.iter().map(|&i| NodeId(i)).collect::<Vec<_>>();
+        assert_eq!(q.quadrant(s, port::CW), nv(&[1, 2, 3, 4]));
+        assert_eq!(q.quadrant(s, port::CCW), nv(&[15, 14, 13, 12]));
+        // Cross-left visits 8, 7, 6, 5 in that order (Fig. 3).
+        assert_eq!(q.quadrant(s, port::CROSS_LEFT), nv(&[8, 7, 6, 5]));
+        // Cross-right visits 9, 10, 11.
+        assert_eq!(q.quadrant(s, port::CROSS_RIGHT), nv(&[9, 10, 11]));
+    }
+
+    #[test]
+    fn quadrants_partition_all_other_nodes() {
+        for n in [8, 16, 32] {
+            let q = Quarc::new(n).unwrap();
+            for s in 0..n {
+                let s = NodeId(s as u32);
+                let mut seen = BTreeSet::new();
+                for p in port::ALL {
+                    for t in q.quadrant(s, p) {
+                        assert_ne!(t, s);
+                        assert!(seen.insert(t), "node {t:?} in two quadrants of {s:?}");
+                    }
+                }
+                assert_eq!(seen.len(), n - 1, "quadrants must cover N-1 nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_paths_are_valid_and_shortest() {
+        for n in [8, 16, 32] {
+            let q = Quarc::new(n).unwrap();
+            let net = q.network();
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let (s, d) = (NodeId(s as u32), NodeId(d as u32));
+                    let p = q.unicast_path(s, d);
+                    net.validate_path(&p).expect("path must be valid");
+                    assert_eq!(p.src, s);
+                    assert_eq!(p.dst, d);
+                    assert_eq!(p.port, q.port_for(s, d));
+                    assert!(p.link_count() <= q.diameter());
+                    // Shortest-path check: the Quarc route length equals the
+                    // graph distance min(dcw, dccw, 1 + rim-from-opposite).
+                    let dcw = q.cw_dist(s, d);
+                    let dccw = n - dcw;
+                    let via_cross = 1 + dcw.abs_diff(n / 2);
+                    let dist = dcw.min(dccw).min(via_cross);
+                    assert_eq!(
+                        p.link_count(),
+                        dist,
+                        "route {s:?}->{d:?} should be shortest"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn port_for_matches_quadrants() {
+        let q = quarc16();
+        for s in 0..16u32 {
+            let s = NodeId(s);
+            for p in port::ALL {
+                for t in q.quadrant(s, p) {
+                    assert_eq!(q.port_for(s, t), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_vc_discipline() {
+        let q = quarc16();
+        // Path from 14 clockwise to 2 crosses the cw dateline link 15->0.
+        let p = q.unicast_path(NodeId(14), NodeId(2));
+        assert_eq!(p.port, port::CW);
+        let vcs: Vec<u8> = p.hops.iter().map(|h| h.vc.0).collect();
+        // injection, cw 14->15 (vc0), cw 15->0 (dateline, vc1),
+        // cw 0->1 (vc1), cw 1->2 (vc1), ejection.
+        assert_eq!(vcs, vec![0, 0, 1, 1, 1, 0]);
+
+        // A path that does not wrap stays on vc 0.
+        let p2 = q.unicast_path(NodeId(1), NodeId(4));
+        assert!(p2.hops.iter().all(|h| h.vc.0 == 0));
+
+        // Counter-clockwise wrap: 1 -> 15 crosses ccw dateline 0->15.
+        let p3 = q.unicast_path(NodeId(1), NodeId(15));
+        assert_eq!(p3.port, port::CCW);
+        let vcs3: Vec<u8> = p3.hops.iter().map(|h| h.vc.0).collect();
+        assert_eq!(vcs3, vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn cross_left_serves_opposite_node_directly() {
+        let q = quarc16();
+        let p = q.unicast_path(NodeId(3), NodeId(11));
+        assert_eq!(p.port, port::CROSS_LEFT);
+        assert_eq!(p.link_count(), 1);
+        // Ejection via the cross-left input direction.
+        let ej = q.network().channel(p.hops.last().unwrap().channel);
+        assert_eq!(ej.port, port::CROSS_LEFT);
+    }
+
+    #[test]
+    fn broadcast_streams_cover_network_disjointly() {
+        for n in [8, 16, 32, 64] {
+            let q = Quarc::new(n).unwrap();
+            for s in [0, 1, n / 2, n - 1] {
+                let s = NodeId(s as u32);
+                let streams = q.broadcast_streams(s);
+                assert_eq!(streams.len(), 4);
+                let mut seen = BTreeSet::new();
+                for st in &streams {
+                    q.network().validate_path(&st.path).unwrap();
+                    assert_eq!(st.path.dst, *st.targets.last().unwrap());
+                    assert_eq!(st.path.dst, q.broadcast_last_node(s, st.port));
+                    for &t in &st.targets {
+                        assert!(seen.insert(t));
+                    }
+                }
+                assert_eq!(seen.len(), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_stream_depth_is_quadrant_size() {
+        // All four broadcast streams traverse exactly k links (paper:
+        // broadcast requires N/4 hops in the Quarc vs N-1 in Spidergon).
+        let q = Quarc::new(32).unwrap();
+        for st in q.broadcast_streams(NodeId(5)) {
+            assert_eq!(st.path.link_count(), q.quadrant_size());
+        }
+    }
+
+    #[test]
+    fn multicast_stream_targets_in_visit_order() {
+        let q = quarc16();
+        let s = NodeId(0);
+        let targets = [NodeId(6), NodeId(8), NodeId(3), NodeId(9), NodeId(11)];
+        let streams = q.multicast_streams(s, &targets);
+        // CW stream: target 3 only.
+        let cw = streams.iter().find(|st| st.port == port::CW).unwrap();
+        assert_eq!(cw.targets, vec![NodeId(3)]);
+        assert_eq!(cw.path.dst, NodeId(3));
+        // Cross-left: visits 8 then 6; last target 6.
+        let xl = streams.iter().find(|st| st.port == port::CROSS_LEFT).unwrap();
+        assert_eq!(xl.targets, vec![NodeId(8), NodeId(6)]);
+        assert_eq!(xl.path.dst, NodeId(6));
+        // Cross-right: visits 9 then 11.
+        let xr = streams
+            .iter()
+            .find(|st| st.port == port::CROSS_RIGHT)
+            .unwrap();
+        assert_eq!(xr.targets, vec![NodeId(9), NodeId(11)]);
+        assert_eq!(xr.path.dst, NodeId(11));
+        // No CCW stream.
+        assert!(streams.iter().all(|st| st.port != port::CCW));
+    }
+
+    #[test]
+    fn multicast_ignores_source_and_duplicates() {
+        let q = quarc16();
+        let s = NodeId(2);
+        let streams = q.multicast_streams(s, &[s, NodeId(5), NodeId(5)]);
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].targets, vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn target_distances_match_quadrant_geometry() {
+        let q = quarc16();
+        let s = NodeId(0);
+        let streams = q.multicast_streams(s, &[NodeId(8), NodeId(6), NodeId(5)]);
+        let xl = &streams[0];
+        assert_eq!(xl.port, port::CROSS_LEFT);
+        let net = q.network();
+        let dists = xl.target_distances(|c| net.downstream(c));
+        // 8 at 1 link, 6 at 3 links, 5 at 4 links.
+        assert_eq!(dists, vec![1, 3, 4]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Structural renderings of topologies.
+//!
+//! Regenerates the paper's structural figures in textual form:
+//!
+//! * Fig. 2 — Quarc vs Spidergon topology: [`to_dot`] emits Graphviz DOT for
+//!   any [`Topology`]; [`ring_ascii`] draws the ring-based topologies as
+//!   ASCII art.
+//! * Fig. 3 — broadcast in the Quarc: [`broadcast_trace`] prints the four
+//!   streams of a broadcast with their visit orders and final destinations.
+
+use crate::channel::ChannelKind;
+use crate::ids::NodeId;
+use crate::network::Topology;
+use std::fmt::Write as _;
+
+/// Emit a Graphviz DOT description of the link channels of a topology.
+///
+/// Injection/ejection channels are omitted (they are node-internal);
+/// parallel links (e.g. the doubled Quarc cross link) are both emitted, so
+/// the Quarc/Spidergon difference is visible in the output.
+pub fn to_dot(topo: &dyn Topology) -> String {
+    let net = topo.network();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", topo.name());
+    let _ = writeln!(out, "  layout=circo;");
+    for i in 0..net.num_nodes() {
+        let _ = writeln!(out, "  n{i} [shape=circle];");
+    }
+    for ch in net.links() {
+        let style = if ch.label.starts_with('x') {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{} -> n{}{};", ch.from, ch.to, style);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// ASCII summary of a ring-based topology: per-node outgoing links.
+pub fn ring_ascii(topo: &dyn Topology) -> String {
+    let net = topo.network();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} (N = {}, {} ports/node, {} channels)",
+        topo.name(),
+        net.num_nodes(),
+        net.ports_per_node(),
+        net.num_channels()
+    );
+    for i in 0..net.num_nodes() {
+        let node = NodeId(i as u32);
+        let outs: Vec<String> = net
+            .links()
+            .filter(|c| c.from == node)
+            .map(|c| c.label.clone())
+            .collect();
+        let _ = writeln!(out, "  n{i:>3}: {}", outs.join(", "));
+    }
+    out
+}
+
+/// Textual trace of a broadcast operation (Fig. 3): one line per stream
+/// with port, final destination (the header's destination address) and the
+/// visit order of absorbed nodes.
+pub fn broadcast_trace(topo: &dyn Topology, src: NodeId) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "broadcast from node {} on {} (N = {}):",
+        src,
+        topo.name(),
+        topo.num_nodes()
+    );
+    for stream in topo.broadcast_streams(src) {
+        let visits: Vec<String> = stream.targets.iter().map(|t| t.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "  port {}: dst={} links={} visits [{}]",
+            stream.port,
+            stream.path.dst,
+            stream.path.link_count(),
+            visits.join(", ")
+        );
+    }
+    out
+}
+
+/// Per-channel census used by diagnostics: counts per kind.
+pub fn channel_census(topo: &dyn Topology) -> (usize, usize, usize) {
+    let net = topo.network();
+    let mut inj = 0;
+    let mut link = 0;
+    let mut ej = 0;
+    for c in net.channels() {
+        match c.kind {
+            ChannelKind::Injection => inj += 1,
+            ChannelKind::Link => link += 1,
+            ChannelKind::Ejection => ej += 1,
+        }
+    }
+    (inj, link, ej)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quarc::Quarc;
+    use crate::spidergon::Spidergon;
+
+    #[test]
+    fn dot_contains_all_nodes_and_doubled_cross() {
+        let q = Quarc::new(8).unwrap();
+        let dot = to_dot(&q);
+        for i in 0..8 {
+            assert!(dot.contains(&format!("n{i} ")));
+        }
+        // Quarc has two dashed cross links 0 -> 4.
+        let cross = dot.matches("n0 -> n4 [style=dashed]").count();
+        assert_eq!(cross, 2, "Quarc doubles the cross link");
+
+        let sp = Spidergon::new(8).unwrap();
+        let dot = to_dot(&sp);
+        let cross = dot.matches("n0 -> n4 [style=dashed]").count();
+        assert_eq!(cross, 1, "Spidergon has a single cross link");
+    }
+
+    #[test]
+    fn broadcast_trace_matches_paper_example() {
+        let q = Quarc::new(16).unwrap();
+        let t = broadcast_trace(&q, NodeId(0));
+        assert!(t.contains("dst=4"));
+        assert!(t.contains("dst=5"));
+        assert!(t.contains("dst=11"));
+        assert!(t.contains("dst=12"));
+    }
+
+    #[test]
+    fn dot_renders_every_topology() {
+        use crate::hypercube::Hypercube;
+        use crate::mesh::{Mesh, MeshKind};
+        use crate::ring::Ring;
+        let topos: Vec<Box<dyn crate::network::Topology>> = vec![
+            Box::new(Quarc::new(8).unwrap()),
+            Box::new(Spidergon::new(8).unwrap()),
+            Box::new(Ring::new(5).unwrap()),
+            Box::new(Mesh::new(3, 3, MeshKind::Mesh).unwrap()),
+            Box::new(Mesh::new(3, 3, MeshKind::Torus).unwrap()),
+            Box::new(Hypercube::new(3).unwrap()),
+        ];
+        for t in &topos {
+            let dot = to_dot(t.as_ref());
+            assert!(dot.starts_with(&format!("digraph {}", t.name())));
+            // One edge line per link channel.
+            let edges = dot.matches(" -> ").count();
+            assert_eq!(edges, t.network().links().count(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn census_adds_up() {
+        let q = Quarc::new(16).unwrap();
+        let (inj, link, ej) = channel_census(&q);
+        assert_eq!(inj, 64);
+        assert_eq!(link, 64);
+        assert_eq!(ej, 64);
+        let ascii = ring_ascii(&q);
+        assert!(ascii.contains("4 ports/node"));
+    }
+}

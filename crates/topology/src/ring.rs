@@ -1,0 +1,308 @@
+//! Bidirectional ring with a two-port router.
+//!
+//! The ring is the minimal topology exercising the paper's multicast model
+//! with `m = 2` asynchronous port streams: a multicast splits into a
+//! clockwise and a counter-clockwise stream, and the multicast waiting time
+//! is the expected maximum of two independent exponentials (Eq. 10–11).
+//! It is used in unit/property tests and in the port-count ablation.
+
+use crate::channel::Channel;
+use crate::ids::{ChannelId, NodeId, PortId};
+use crate::network::{Network, Topology, TopologyError};
+use crate::path::{Hop, MulticastStream, Path};
+
+/// Port indices of the two-port ring router.
+pub mod port {
+    use crate::ids::PortId;
+
+    /// Clockwise port.
+    pub const CW: PortId = PortId(0);
+    /// Counter-clockwise port.
+    pub const CCW: PortId = PortId(1);
+
+    /// Both ports in index order.
+    pub const ALL: [PortId; 2] = [CW, CCW];
+}
+
+/// A bidirectional ring of `N ≥ 4` nodes with all-port (two-port) routers.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    n: usize,
+    net: Network,
+}
+
+impl Ring {
+    /// Build a ring with `n` nodes (`n ≥ 4`).
+    pub fn new(n: usize) -> Result<Self, TopologyError> {
+        if n < 4 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "Ring requires N >= 4",
+            });
+        }
+        let nu = n as u32;
+        let mut channels = Vec::with_capacity(6 * n);
+        for i in 0..nu {
+            let to = (i + 1) % nu;
+            channels.push(Channel::link(
+                ChannelId(i),
+                NodeId(i),
+                NodeId(to),
+                port::CW,
+                2,
+                i == nu - 1,
+                format!("cw {i}->{to}"),
+            ));
+        }
+        for i in 0..nu {
+            let to = (i + nu - 1) % nu;
+            channels.push(Channel::link(
+                ChannelId(nu + i),
+                NodeId(i),
+                NodeId(to),
+                port::CCW,
+                2,
+                i == 0,
+                format!("ccw {i}->{to}"),
+            ));
+        }
+        let mut injection = Vec::with_capacity(2 * n);
+        for i in 0..nu {
+            for p in 0..2u8 {
+                let id = ChannelId(2 * nu + i * 2 + p as u32);
+                channels.push(Channel::injection(
+                    id,
+                    NodeId(i),
+                    PortId(p),
+                    format!("inj {i}.{p}"),
+                ));
+                injection.push(id);
+            }
+        }
+        let mut ejection = Vec::with_capacity(2 * n);
+        for i in 0..nu {
+            for p in 0..2u8 {
+                let id = ChannelId(4 * nu + i * 2 + p as u32);
+                channels.push(Channel::ejection(
+                    id,
+                    NodeId(i),
+                    PortId(p),
+                    format!("ej {i}.{p}"),
+                ));
+                ejection.push(id);
+            }
+        }
+        let net = Network::new(n, 2, channels, injection, ejection);
+        Ok(Ring { n, net })
+    }
+
+    /// Node count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Clockwise distance from `s` to `d`.
+    #[inline]
+    pub fn cw_dist(&self, s: NodeId, d: NodeId) -> usize {
+        (d.idx() + self.n - s.idx()) % self.n
+    }
+
+    /// Largest clockwise distance served by the clockwise port.
+    #[inline]
+    fn cw_reach(&self) -> usize {
+        self.n / 2 // d in [1, n/2] go cw; the rest ccw
+    }
+
+    #[inline]
+    fn node(&self, i: usize) -> NodeId {
+        NodeId((i % self.n) as u32)
+    }
+
+    fn build_path(&self, s: NodeId, d_cw: usize, p: PortId) -> Path {
+        let (dst, steps) = if p == port::CW {
+            (self.node(s.idx() + d_cw), d_cw)
+        } else {
+            (self.node(s.idx() + d_cw), self.n - d_cw)
+        };
+        let mut hops = Vec::with_capacity(steps + 2);
+        hops.push(Hop::new(self.net.injection_channel(s, p), 0));
+        let mut crossed = false;
+        for step in 0..steps {
+            let (link, wraps) = if p == port::CW {
+                let i = (s.idx() + step) % self.n;
+                (ChannelId(i as u32), i == self.n - 1)
+            } else {
+                let i = (s.idx() + self.n - step) % self.n;
+                (ChannelId((self.n + i) as u32), i == 0)
+            };
+            if wraps {
+                crossed = true;
+            }
+            hops.push(Hop::new(link, u8::from(crossed)));
+        }
+        hops.push(Hop::new(self.net.ejection_channel(dst, p), 0));
+        Path { src: s, dst, port: p, hops }
+    }
+}
+
+impl Topology for Ring {
+    fn name(&self) -> &str {
+        "ring"
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn port_for(&self, src: NodeId, dst: NodeId) -> PortId {
+        assert_ne!(src, dst);
+        if self.cw_dist(src, dst) <= self.cw_reach() {
+            port::CW
+        } else {
+            port::CCW
+        }
+    }
+
+    fn unicast_path(&self, src: NodeId, dst: NodeId) -> Path {
+        let p = self.port_for(src, dst);
+        self.build_path(src, self.cw_dist(src, dst), p)
+    }
+
+    fn quadrant(&self, src: NodeId, p: PortId) -> Vec<NodeId> {
+        let s = src.idx();
+        match p {
+            x if x == port::CW => (1..=self.cw_reach()).map(|d| self.node(s + d)).collect(),
+            x if x == port::CCW => (self.cw_reach() + 1..self.n)
+                .rev()
+                .map(|d| self.node(s + d))
+                .collect(),
+            _ => panic!("invalid ring port {p:?}"),
+        }
+    }
+
+    fn multicast_streams(&self, src: NodeId, targets: &[NodeId]) -> Vec<MulticastStream> {
+        let mut cw: Vec<usize> = Vec::new();
+        let mut ccw: Vec<usize> = Vec::new();
+        for &t in targets {
+            if t == src {
+                continue;
+            }
+            let d = self.cw_dist(src, t);
+            if d <= self.cw_reach() {
+                cw.push(d);
+            } else {
+                ccw.push(d);
+            }
+        }
+        let mut streams = Vec::new();
+        cw.sort_unstable();
+        cw.dedup();
+        if let Some(&last) = cw.last() {
+            streams.push(MulticastStream {
+                port: port::CW,
+                path: self.build_path(src, last, port::CW),
+                targets: cw.iter().map(|&d| self.node(src.idx() + d)).collect(),
+            });
+        }
+        ccw.sort_unstable();
+        ccw.dedup();
+        ccw.reverse(); // visit order: descending cw distance = ascending ccw
+        if let Some(&last) = ccw.last() {
+            streams.push(MulticastStream {
+                port: port::CCW,
+                path: self.build_path(src, last, port::CCW),
+                targets: ccw.iter().map(|&d| self.node(src.idx() + d)).collect(),
+            });
+        }
+        streams
+    }
+
+    fn diameter(&self) -> usize {
+        self.n / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rejects_tiny_rings() {
+        assert!(Ring::new(3).is_err());
+        assert!(Ring::new(4).is_ok());
+    }
+
+    #[test]
+    fn quadrants_partition() {
+        for n in [4, 5, 8, 9] {
+            let r = Ring::new(n).unwrap();
+            for s in 0..n {
+                let s = NodeId(s as u32);
+                let mut seen = BTreeSet::new();
+                for p in port::ALL {
+                    for t in r.quadrant(s, p) {
+                        assert!(seen.insert(t));
+                    }
+                }
+                assert_eq!(seen.len(), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_valid_and_shortest_up_to_tiebreak() {
+        for n in [4, 5, 8, 9] {
+            let r = Ring::new(n).unwrap();
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let (s, d) = (NodeId(s as u32), NodeId(d as u32));
+                    let p = r.unicast_path(s, d);
+                    r.network().validate_path(&p).unwrap();
+                    let dcw = r.cw_dist(s, d);
+                    let shortest = dcw.min(n - dcw);
+                    // cw ties break clockwise; the route is never more than
+                    // one hop class away from shortest (exact for all but
+                    // the even-N antipode, which is exactly shortest too).
+                    assert!(p.link_count() == shortest || p.link_count() == dcw);
+                    assert!(p.link_count() <= r.diameter());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_two_streams() {
+        let r = Ring::new(8).unwrap();
+        let s = NodeId(0);
+        let streams = r.multicast_streams(s, &[NodeId(1), NodeId(3), NodeId(6), NodeId(7)]);
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].port, port::CW);
+        assert_eq!(streams[0].targets, vec![NodeId(1), NodeId(3)]);
+        assert_eq!(streams[0].path.dst, NodeId(3));
+        assert_eq!(streams[1].port, port::CCW);
+        assert_eq!(streams[1].targets, vec![NodeId(7), NodeId(6)]);
+        assert_eq!(streams[1].path.dst, NodeId(6));
+    }
+
+    #[test]
+    fn broadcast_covers_ring() {
+        let r = Ring::new(9).unwrap();
+        let streams = r.broadcast_streams(NodeId(4));
+        let covered: BTreeSet<_> = streams.iter().flat_map(|s| s.targets.clone()).collect();
+        assert_eq!(covered.len(), 8);
+    }
+
+    #[test]
+    fn dateline_vcs_on_wrap() {
+        let r = Ring::new(8).unwrap();
+        let p = r.unicast_path(NodeId(6), NodeId(2));
+        // cw path 6->7->0->1->2 crosses the 7->0 dateline.
+        let vcs: Vec<u8> = p.hops.iter().map(|h| h.vc.0).collect();
+        assert_eq!(vcs, vec![0, 0, 1, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Order-preserving parallel map on crossbeam scoped threads.
+//!
+//! The figure sweeps evaluate many independent `(configuration, rate)`
+//! points; each point runs a complete simulation, so the sweep is
+//! embarrassingly parallel. Rayon is not part of the approved offline crate
+//! set, so this module provides the one primitive the harness needs: a
+//! `parallel_map` that executes a job per input item on a bounded worker
+//! pool and returns results in input order.
+//!
+//! Work distribution uses an atomic cursor over the input slice (dynamic
+//! load balancing — simulation points near saturation run much longer than
+//! low-load points, so static chunking would straggle).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` using up to `threads` workers, preserving input
+/// order in the output.
+///
+/// `threads == 0` or `threads == 1` (or a single item) degrades to a
+/// sequential map. Panics in workers propagate to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot must be filled"))
+        .collect()
+}
+
+/// Pick a worker count: `requested` if nonzero, otherwise the machine's
+/// available parallelism (at least 1).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, 8, |&x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn sequential_fallbacks() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 0, |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+        let empty: Vec<i32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let n = 1000;
+        let hits = AtomicU64::new(0);
+        let items: Vec<usize> = (0..n).collect();
+        let out = parallel_map(&items, 16, |&i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), n as u64);
+        assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn unbalanced_work_completes() {
+        // Items with wildly different costs must all finish (dynamic
+        // scheduling regression test).
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, 4, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn effective_threads_resolves() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Spatial unicast traffic patterns.
+//!
+//! The paper evaluates uniformly random unicast destinations; the wider
+//! wormhole-model literature (Draper–Ghosh, Ould-Khaoua) additionally
+//! stresses models with **hot-spot** and **permutation** traffic. This
+//! module provides those patterns for both the analytical model (as
+//! per-pair destination weights) and the simulator (as destination
+//! samplers), keeping the two sides consistent by construction.
+
+use crate::destinations::DestinationSets;
+use noc_topology::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How unicast destinations are selected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum UnicastPattern {
+    /// Destinations uniform over the other `N − 1` nodes (the paper's
+    /// assumption).
+    #[default]
+    Uniform,
+    /// A fraction of every node's unicast traffic targets one hot node;
+    /// the remainder is uniform. The hot node's own traffic stays uniform.
+    HotSpot {
+        /// The hot destination.
+        node: NodeId,
+        /// Fraction of traffic directed at it (`0 ≤ f ≤ 1`).
+        fraction: f64,
+    },
+    /// Index-complement permutation: node `s` always sends to
+    /// `N − 1 − s` (a node equal to its own complement falls back to
+    /// uniform). A standard adversarial permutation: every message
+    /// crosses the network.
+    Complement,
+}
+
+impl UnicastPattern {
+    /// Validate against a network of `n` nodes.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        match *self {
+            UnicastPattern::Uniform | UnicastPattern::Complement => Ok(()),
+            UnicastPattern::HotSpot { node, fraction } => {
+                if node.idx() >= n {
+                    return Err(format!("hot-spot node {node:?} outside 0..{n}"));
+                }
+                if !(0.0..=1.0).contains(&fraction) || !fraction.is_finite() {
+                    return Err(format!("hot-spot fraction {fraction} outside [0, 1]"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Probability that a unicast generated at `src` targets `dst`
+    /// (`src != dst`), over a network of `n` nodes. Rows sum to 1 over all
+    /// `dst != src`.
+    pub fn weight(&self, n: usize, src: NodeId, dst: NodeId) -> f64 {
+        debug_assert!(src != dst && src.idx() < n && dst.idx() < n);
+        let uniform = 1.0 / (n - 1) as f64;
+        match *self {
+            UnicastPattern::Uniform => uniform,
+            UnicastPattern::HotSpot { node, fraction } => {
+                if src == node {
+                    uniform
+                } else if dst == node {
+                    fraction + (1.0 - fraction) * uniform
+                } else {
+                    (1.0 - fraction) * uniform
+                }
+            }
+            UnicastPattern::Complement => {
+                let comp = NodeId((n - 1 - src.idx()) as u32);
+                if comp == src {
+                    uniform
+                } else if dst == comp {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Sample a destination for a unicast generated at `src`, consistent
+    /// with [`UnicastPattern::weight`].
+    pub fn sample(&self, n: usize, src: NodeId, rng: &mut impl Rng) -> NodeId {
+        match *self {
+            UnicastPattern::Uniform => DestinationSets::random_unicast_dest(n, src, rng),
+            UnicastPattern::HotSpot { node, fraction } => {
+                if src != node && rng.gen::<f64>() < fraction {
+                    node
+                } else {
+                    DestinationSets::random_unicast_dest(n, src, rng)
+                }
+            }
+            UnicastPattern::Complement => {
+                let comp = NodeId((n - 1 - src.idx()) as u32);
+                if comp == src {
+                    DestinationSets::random_unicast_dest(n, src, rng)
+                } else {
+                    comp
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_are_distributions() {
+        let n = 12;
+        for pattern in [
+            UnicastPattern::Uniform,
+            UnicastPattern::HotSpot { node: NodeId(3), fraction: 0.4 },
+            UnicastPattern::Complement,
+        ] {
+            for s in 0..n as u32 {
+                let src = NodeId(s);
+                let total: f64 = (0..n as u32)
+                    .map(NodeId)
+                    .filter(|&d| d != src)
+                    .map(|d| pattern.weight(n, src, d))
+                    .sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-12,
+                    "{pattern:?} row {s} sums to {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_spot_concentrates_weight() {
+        let p = UnicastPattern::HotSpot { node: NodeId(0), fraction: 0.5 };
+        let w_hot = p.weight(10, NodeId(5), NodeId(0));
+        let w_cold = p.weight(10, NodeId(5), NodeId(1));
+        assert!(w_hot > 0.5);
+        assert!(w_cold < 0.06);
+        // Hot node's own traffic is uniform.
+        assert!((p.weight(10, NodeId(0), NodeId(4)) - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complement_is_a_permutation() {
+        let p = UnicastPattern::Complement;
+        assert_eq!(p.weight(8, NodeId(1), NodeId(6)), 1.0);
+        assert_eq!(p.weight(8, NodeId(1), NodeId(5)), 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(p.sample(8, NodeId(2), &mut rng), NodeId(5));
+    }
+
+    #[test]
+    fn complement_self_map_falls_back_to_uniform() {
+        // N = 9: node 4 is its own complement.
+        let p = UnicastPattern::Complement;
+        let src = NodeId(4);
+        let total: f64 = (0..9u32)
+            .map(NodeId)
+            .filter(|&d| d != src)
+            .map(|d| p.weight(9, src, d))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_ne!(p.sample(9, src, &mut rng), src);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_weights_empirically() {
+        let p = UnicastPattern::HotSpot { node: NodeId(2), fraction: 0.3 };
+        let n = 8;
+        let src = NodeId(6);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let trials = 200_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            counts[p.sample(n, src, &mut rng).idx()] += 1;
+        }
+        assert_eq!(counts[src.idx()], 0);
+        for d in 0..n as u32 {
+            let d = NodeId(d);
+            if d == src {
+                continue;
+            }
+            let expected = p.weight(n, src, d);
+            let got = counts[d.idx()] as f64 / trials as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "dest {d:?}: sampled {got}, weight {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(UnicastPattern::Uniform.validate(4).is_ok());
+        assert!(UnicastPattern::HotSpot { node: NodeId(9), fraction: 0.1 }
+            .validate(8)
+            .is_err());
+        assert!(UnicastPattern::HotSpot { node: NodeId(1), fraction: 1.5 }
+            .validate(8)
+            .is_err());
+        assert!(UnicastPattern::HotSpot { node: NodeId(1), fraction: 0.5 }
+            .validate(8)
+            .is_ok());
+    }
+}

@@ -1,0 +1,120 @@
+//! Message-rate sweeps.
+//!
+//! The figures of the paper plot latency against the per-node message
+//! generation rate, swept from near zero to the onset of saturation.
+//! [`RateSweep`] builds such grids.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of generation rates to evaluate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RateSweep {
+    rates: Vec<f64>,
+}
+
+impl RateSweep {
+    /// Explicit list of rates (must be positive and ascending).
+    pub fn explicit(rates: Vec<f64>) -> Self {
+        assert!(rates.iter().all(|r| r.is_finite() && *r > 0.0));
+        assert!(rates.windows(2).all(|w| w[0] < w[1]), "rates must ascend");
+        RateSweep { rates }
+    }
+
+    /// `points` rates spaced linearly over `[lo, hi]` inclusive.
+    pub fn linear(lo: f64, hi: f64, points: usize) -> Self {
+        assert!(points >= 2 && lo > 0.0 && hi > lo);
+        let step = (hi - lo) / (points - 1) as f64;
+        RateSweep {
+            rates: (0..points).map(|i| lo + step * i as f64).collect(),
+        }
+    }
+
+    /// `points` rates spaced geometrically over `[lo, hi]` inclusive —
+    /// denser near zero where latency changes slowly, mirroring how the
+    /// paper's curves sample the low-load region.
+    pub fn geometric(lo: f64, hi: f64, points: usize) -> Self {
+        assert!(points >= 2 && lo > 0.0 && hi > lo);
+        let ratio = (hi / lo).powf(1.0 / (points - 1) as f64);
+        RateSweep {
+            rates: (0..points).map(|i| lo * ratio.powi(i as i32)).collect(),
+        }
+    }
+
+    /// Rates as a slice.
+    #[inline]
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of sweep points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// `true` when the sweep is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Truncate the sweep to rates strictly below `limit` (e.g. an
+    /// analytically determined saturation rate).
+    pub fn below(&self, limit: f64) -> RateSweep {
+        RateSweep {
+            rates: self.rates.iter().copied().filter(|&r| r < limit).collect(),
+        }
+    }
+}
+
+impl IntoIterator for RateSweep {
+    type Item = f64;
+    type IntoIter = std::vec::IntoIter<f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rates.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_covers_endpoints() {
+        let s = RateSweep::linear(0.001, 0.009, 5);
+        assert_eq!(s.len(), 5);
+        assert!((s.rates()[0] - 0.001).abs() < 1e-15);
+        assert!((s.rates()[4] - 0.009).abs() < 1e-15);
+        assert!((s.rates()[2] - 0.005).abs() < 1e-15);
+    }
+
+    #[test]
+    fn geometric_is_multiplicative() {
+        let s = RateSweep::geometric(0.001, 0.016, 5);
+        let r = s.rates();
+        for w in r.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn below_filters() {
+        let s = RateSweep::linear(0.001, 0.01, 10).below(0.0055);
+        assert!(s.rates().iter().all(|&r| r < 0.0055));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn explicit_rejects_unsorted() {
+        RateSweep::explicit(vec![0.01, 0.005]);
+    }
+
+    #[test]
+    fn into_iter_yields_all() {
+        let s = RateSweep::linear(0.001, 0.002, 2);
+        let v: Vec<f64> = s.into_iter().collect();
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Domain scenario: barrier synchronization pressure.
+//!
+//! Barrier implementations on NoCs multicast "arrived" notifications to a
+//! worker group. This example uses the analytical model to explore — in
+//! milliseconds, without running a simulation per design point — how the
+//! barrier group size and the share of barrier traffic move the multicast
+//! latency and the saturation point of a 32-node Quarc, then spot-checks
+//! two design points in simulation.
+//!
+//! This is the workflow the paper argues analytical models enable: rapid
+//! design-space exploration with simulation reserved for verification.
+//!
+//! ```text
+//! cargo run --release --example barrier_synchronization
+//! ```
+
+use quarc_noc::model::max_sustainable_rate;
+use quarc_noc::prelude::*;
+
+fn main() {
+    let topo = Quarc::new(32).unwrap();
+    let msg = 16u32;
+
+    println!("== barrier multicast on a 32-node Quarc (model-driven sweep) ==\n");
+    println!(
+        "{:>8} {:>8} {:>14} {:>16}",
+        "group", "alpha", "sat. rate", "mc lat @60% sat"
+    );
+    for group in [4usize, 8, 16, 31] {
+        for alpha in [0.05, 0.20] {
+            let sets = DestinationSets::random(&topo, group, 11);
+            let proto = Workload::new(msg, 1e-5, alpha, sets).unwrap();
+            let sat = max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
+            let wl = proto.at_rate(sat * 0.6).unwrap();
+            let mc = AnalyticModel::new(&topo, &wl, ModelOptions::default())
+                .evaluate()
+                .map(|p| p.multicast_latency)
+                .unwrap_or(f64::NAN);
+            println!("{group:>8} {alpha:>8.2} {sat:>14.5} {mc:>14.1}cy");
+        }
+    }
+
+    println!("\nspot-check in simulation (group=8, alpha=0.20):");
+    let sets = DestinationSets::random(&topo, 8, 11);
+    let proto = Workload::new(msg, 1e-5, 0.20, sets).unwrap();
+    let sat = max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
+    for frac in [0.4, 0.8] {
+        let wl = proto.at_rate(sat * frac).unwrap();
+        let pred = AnalyticModel::new(&topo, &wl, ModelOptions::default())
+            .evaluate()
+            .unwrap();
+        let res = Simulator::new(&topo, &wl, SimConfig::quick(5)).run();
+        println!(
+            "  {:>4.0}% of saturation: model {:>7.1}cy  sim {:>7.1}cy  (err {:+.1}%)",
+            frac * 100.0,
+            pred.multicast_latency,
+            res.multicast.mean,
+            (pred.multicast_latency - res.multicast.mean) / res.multicast.mean * 100.0
+        );
+    }
+
+    println!("\ntakeaway: widening the barrier group mostly costs saturation");
+    println!("headroom (more port streams, more rim occupancy), while latency");
+    println!("at fixed relative load grows slowly — the asynchronous port");
+    println!("streams hide most of the extra fan-out.");
+}

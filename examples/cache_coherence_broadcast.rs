@@ -1,0 +1,67 @@
+//! Domain scenario: chip-wide cache-line invalidation broadcasts.
+//!
+//! A directory-less coherence protocol broadcasts invalidations to every
+//! core. This example compares how the Quarc's hardware broadcast scales
+//! against the Spidergon's broadcast-by-consecutive-unicast as the chip
+//! grows from 8 to 64 cores, first on an idle interconnect and then with
+//! background read/write (unicast) traffic — the situation the paper's
+//! introduction motivates: collective operations forming part of overall
+//! traffic.
+//!
+//! ```text
+//! cargo run --release --example cache_coherence_broadcast
+//! ```
+
+use quarc_noc::prelude::*;
+
+/// Invalidation payload: an 16-flit message (address + bitmask + control).
+const INVALIDATION_FLITS: u32 = 16;
+
+fn idle_broadcast(topo: &dyn Topology, seed: u64) -> u64 {
+    let sets = DestinationSets::broadcast(topo);
+    let wl = Workload::new(INVALIDATION_FLITS, 0.0, 0.0, sets).unwrap();
+    let mut sim = Simulator::new(topo, &wl, SimConfig::quick(seed));
+    sim.measure_isolated_multicast(NodeId(0))
+}
+
+fn loaded_broadcast_latency(topo: &dyn Topology, unicast_rate: f64, seed: u64) -> (f64, bool) {
+    // 2% of messages are invalidation broadcasts riding on top of regular
+    // read/write unicast traffic.
+    let sets = DestinationSets::broadcast(topo);
+    let wl = Workload::new(INVALIDATION_FLITS, unicast_rate, 0.02, sets).unwrap();
+    let mut sim = Simulator::new(topo, &wl, SimConfig::quick(seed));
+    let res = sim.run();
+    (res.multicast.mean, res.saturated)
+}
+
+fn main() {
+    println!("== cache-line invalidation broadcast: Quarc vs Spidergon ==\n");
+    println!(
+        "{:>6} {:>14} {:>18} {:>9}",
+        "cores", "quarc (idle)", "spidergon (idle)", "speedup"
+    );
+    for n in [8usize, 16, 32, 64] {
+        let quarc = Quarc::new(n).unwrap();
+        let spidergon = Spidergon::new(n).unwrap();
+        let q = idle_broadcast(&quarc, 1);
+        let s = idle_broadcast(&spidergon, 1);
+        println!(
+            "{n:>6} {q:>12}cy {s:>16}cy {:>8.1}x",
+            s as f64 / q as f64
+        );
+    }
+
+    println!("\nwith background unicast load (16-core chip):");
+    println!("{:>12} {:>16} {:>10}", "load", "bcast latency", "saturated");
+    let quarc = Quarc::new(16).unwrap();
+    for rate in [0.001, 0.004, 0.007] {
+        let (lat, sat) = loaded_broadcast_latency(&quarc, rate, 2);
+        println!(
+            "{rate:>12.3} {lat:>14.1}cy {:>10}",
+            if sat { "yes" } else { "no" }
+        );
+    }
+    println!("\nthe Quarc absorbs invalidations in N/4 hops; the Spidergon's");
+    println!("unicast train scales linearly with core count and congests its");
+    println!("single injection port.");
+}

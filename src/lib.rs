@@ -1,0 +1,54 @@
+//! # quarc-noc — facade crate
+//!
+//! One-stop re-export of the IPDPS 2009 reproduction workspace:
+//!
+//! * [`topology`] — Quarc, Spidergon, ring, mesh/torus channel graphs and
+//!   deterministic routing ([`noc_topology`]).
+//! * [`queueing`] — M/G/1 waiting times, exponential order statistics,
+//!   fixed-point solvers, simulation statistics ([`noc_queueing`]).
+//! * [`sim`] — the flit-level wormhole simulator ([`noc_sim`]).
+//! * [`model`] — the paper's analytical unicast + multicast latency model
+//!   ([`quarc_core`]).
+//! * [`workloads`] — destination sets, scenarios and sweep execution
+//!   ([`noc_workloads`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quarc_noc::prelude::*;
+//!
+//! // A 16-node Quarc, 32-flit messages, 5% multicast traffic.
+//! let topo = Quarc::new(16).unwrap();
+//! let sets = DestinationSets::random(&topo, 4, 7);
+//! let workload = Workload::new(32, 0.002, 0.05, sets).unwrap();
+//!
+//! // Analytical prediction (the paper's model)...
+//! let model = AnalyticModel::new(&topo, &workload, ModelOptions::default());
+//! let pred = model.evaluate().unwrap();
+//!
+//! // ...and simulation ground truth.
+//! let mut sim = Simulator::new(&topo, &workload, SimConfig::quick(1));
+//! let measured = sim.run();
+//!
+//! let rel = (pred.multicast_latency - measured.multicast.mean).abs()
+//!     / measured.multicast.mean;
+//! assert!(rel < 0.25, "model within 25% of simulation at low load");
+//! ```
+
+pub use noc_queueing as queueing;
+pub use noc_sim as sim;
+pub use noc_topology as topology;
+pub use noc_workloads as workloads;
+pub use quarc_core as model;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use noc_queueing::expmax::expected_max_exponentials;
+    pub use noc_queueing::mg1::MG1;
+    pub use noc_sim::{SimConfig, SimResults, Simulator};
+    pub use noc_topology::{
+        Hypercube, Mesh, MeshKind, NodeId, PortId, Quarc, Ring, Spidergon, Topology,
+    };
+    pub use noc_workloads::{DestinationSets, Workload};
+    pub use quarc_core::{AnalyticModel, ModelOptions, Prediction};
+}

@@ -1,0 +1,172 @@
+//! Cross-crate property-based tests (proptest): multicast stream
+//! decomposition, destination-set generators and model monotonicity over
+//! randomly drawn configurations.
+
+use proptest::prelude::*;
+use quarc_noc::model::{AnalyticModel, ModelOptions};
+use quarc_noc::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy: a valid Quarc size.
+fn quarc_size() -> impl Strategy<Value = usize> {
+    (2usize..=16).prop_map(|k| k * 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quarc_streams_partition_targets(
+        n in quarc_size(),
+        seed in 0u64..1000,
+        src in 0u32..64,
+        group in 1usize..16,
+    ) {
+        let topo = Quarc::new(n).unwrap();
+        let src = NodeId(src % n as u32);
+        let sets = DestinationSets::random(&topo, group.min(n - 1), seed);
+        let targets = sets.set(src);
+        let streams = topo.multicast_streams(src, targets);
+        // Streams cover every target exactly once.
+        let mut covered = BTreeSet::new();
+        for st in &streams {
+            topo.network().validate_path(&st.path).unwrap();
+            prop_assert_eq!(st.path.dst, *st.targets.last().unwrap());
+            for &t in &st.targets {
+                prop_assert!(covered.insert(t), "target {:?} covered twice", t);
+            }
+        }
+        let expected: BTreeSet<_> = targets.iter().copied().collect();
+        prop_assert_eq!(covered, expected);
+        // No more streams than ports.
+        prop_assert!(streams.len() <= topo.num_ports());
+    }
+
+    #[test]
+    fn quarc_unicast_routes_are_shortest(
+        n in quarc_size(),
+        s in 0u32..64,
+        d in 0u32..64,
+    ) {
+        let topo = Quarc::new(n).unwrap();
+        let s = NodeId(s % n as u32);
+        let d = NodeId(d % n as u32);
+        prop_assume!(s != d);
+        let path = topo.unicast_path(s, d);
+        let dcw = topo.cw_dist(s, d);
+        let dccw = n - dcw;
+        let via_cross = 1 + dcw.abs_diff(n / 2);
+        prop_assert_eq!(path.link_count(), dcw.min(dccw).min(via_cross));
+    }
+
+    #[test]
+    fn localized_sets_share_one_port(
+        n in quarc_size(),
+        seed in 0u64..1000,
+        group in 1usize..8,
+    ) {
+        let topo = Quarc::new(n).unwrap();
+        let sets = DestinationSets::localized(&topo, group, seed);
+        for i in 0..n as u32 {
+            let src = NodeId(i);
+            let set = sets.set(src);
+            prop_assert!(!set.is_empty());
+            let p0 = topo.port_for(src, set[0]);
+            for &t in set {
+                prop_assert_eq!(topo.port_for(src, t), p0);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_streams_partition(
+        n in 4usize..24,
+        seed in 0u64..500,
+        group in 1usize..8,
+    ) {
+        let topo = Ring::new(n).unwrap();
+        let sets = DestinationSets::random(&topo, group.min(n - 1), seed);
+        for i in 0..n as u32 {
+            let src = NodeId(i);
+            let targets = sets.set(src);
+            let streams = topo.multicast_streams(src, targets);
+            let covered: BTreeSet<_> =
+                streams.iter().flat_map(|st| st.targets.clone()).collect();
+            let expected: BTreeSet<_> = targets.iter().copied().collect();
+            prop_assert_eq!(covered, expected);
+            prop_assert!(streams.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn mesh_dual_path_partitions(
+        w in 2usize..6,
+        h in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let topo = Mesh::new(w, h, MeshKind::Mesh).unwrap();
+        let n = w * h;
+        prop_assume!(n > 2);
+        let sets = DestinationSets::random(&topo, (n / 2).max(1), seed);
+        for i in 0..n as u32 {
+            let src = NodeId(i);
+            let streams = topo.multicast_streams(src, sets.set(src));
+            let covered: BTreeSet<_> =
+                streams.iter().flat_map(|st| st.targets.clone()).collect();
+            let expected: BTreeSet<_> = sets.set(src).iter().copied().collect();
+            prop_assert_eq!(covered, expected);
+            prop_assert!(streams.len() <= 2, "dual-path means two streams");
+        }
+    }
+}
+
+proptest! {
+    // Model evaluations are heavier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn model_latency_is_monotone_in_rate(
+        seed in 0u64..100,
+        alpha_pct in 0u32..=15,
+    ) {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, seed);
+        let alpha = alpha_pct as f64 / 100.0;
+        let mut prev_uni = 0.0;
+        let mut prev_mc = 0.0;
+        for rate in [0.001, 0.003, 0.005, 0.007] {
+            let wl = Workload::new(32, rate, alpha, sets.clone()).unwrap();
+            let Ok(pred) = AnalyticModel::new(&topo, &wl, ModelOptions::default()).evaluate()
+            else {
+                break; // saturated: allowed for high alpha at the top rates
+            };
+            prop_assert!(pred.unicast_latency >= prev_uni);
+            prop_assert!(pred.multicast_latency >= prev_mc);
+            prev_uni = pred.unicast_latency;
+            prev_mc = pred.multicast_latency;
+        }
+    }
+
+    #[test]
+    fn model_multicast_grows_with_group_size_at_zero_load(
+        seed in 0u64..100,
+    ) {
+        // At zero load latency is msg + D_j; larger random groups can only
+        // deepen the deepest stream.
+        let topo = Quarc::new(32).unwrap();
+        let mut prev = 0.0;
+        for group in [2usize, 8, 16, 31] {
+            let sets = DestinationSets::random(&topo, group, seed);
+            let wl = Workload::new(32, 0.0, 0.0, sets).unwrap();
+            let pred = AnalyticModel::new(&topo, &wl, ModelOptions::default())
+                .evaluate()
+                .unwrap();
+            prop_assert!(
+                pred.multicast_latency >= prev,
+                "group {} latency {} below previous {}",
+                group, pred.multicast_latency, prev
+            );
+            prev = pred.multicast_latency;
+        }
+    }
+}
