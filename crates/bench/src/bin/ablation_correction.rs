@@ -33,25 +33,34 @@ fn main() {
     let sat = quarc_core::max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
 
     let variants: Vec<(&str, ModelOptions)> = vec![
-        (
-            "PK + self-excluding (default)",
-            ModelOptions::default(),
-        ),
+        ("PK + self-excluding (default)", ModelOptions::default()),
         (
             "PK + literal Eq.6 factor",
-            ModelOptions { correction: ServiceCorrection::LiteralEq6, ..Default::default() },
+            ModelOptions {
+                correction: ServiceCorrection::LiteralEq6,
+                ..Default::default()
+            },
         ),
         (
             "PK + no correction",
-            ModelOptions { correction: ServiceCorrection::None, ..Default::default() },
+            ModelOptions {
+                correction: ServiceCorrection::None,
+                ..Default::default()
+            },
         ),
         (
             "literal Eq.3 prefactor",
-            ModelOptions { formula: WaitingFormula::LiteralEq3, ..Default::default() },
+            ModelOptions {
+                formula: WaitingFormula::LiteralEq3,
+                ..Default::default()
+            },
         ),
         (
             "clone ejection load counted",
-            ModelOptions { clone_ejection_load: true, ..Default::default() },
+            ModelOptions {
+                clone_ejection_load: true,
+                ..Default::default()
+            },
         ),
     ];
 

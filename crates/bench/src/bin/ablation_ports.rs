@@ -22,13 +22,7 @@ use quarc_core::multicast::largest_subset_latency;
 use quarc_core::rates::ChannelLoads;
 use quarc_core::{max_sustainable_rate, service, AnalyticModel, ModelOptions};
 
-fn run_topo(
-    name: &str,
-    topo: &dyn Topology,
-    group: usize,
-    opts: &Options,
-    table: &mut Table,
-) {
+fn run_topo(name: &str, topo: &dyn Topology, group: usize, opts: &Options, table: &mut Table) {
     let sets = DestinationSets::random(topo, group, opts.seed);
     let proto = Workload::new(32, 1e-5, 0.05, sets).unwrap();
     let mo = ModelOptions::default();
@@ -39,7 +33,14 @@ fn run_topo(
         let loads = ChannelLoads::build(topo, &wl, &mo);
         let heuristic = service::solve(topo, &loads, wl.msg_len as f64, &mo)
             .map(|sol| {
-                largest_subset_latency(topo, wl.msg_len as f64, &|n| wl.multicast_set(n), &loads, &sol, &mo)
+                largest_subset_latency(
+                    topo,
+                    wl.msg_len as f64,
+                    &|n| wl.multicast_set(n),
+                    &loads,
+                    &sol,
+                    &mo,
+                )
             })
             .unwrap_or(f64::NAN);
         let sim = Simulator::new(topo, &wl, opts.sim_config()).run();

@@ -32,7 +32,10 @@ fn run(topo: &dyn Topology, opts: &Options, table: &mut Table) {
         };
         let sim = Simulator::new(topo, &wl, opts.sim_config()).run();
         let err = if mm.is_finite() && sim.multicast.mean > 0.0 {
-            format!("{:.1}", (mm - sim.multicast.mean).abs() / sim.multicast.mean * 100.0)
+            format!(
+                "{:.1}",
+                (mm - sim.multicast.mean).abs() / sim.multicast.mean * 100.0
+            )
         } else {
             "-".into()
         };

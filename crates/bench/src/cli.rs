@@ -59,15 +59,14 @@ impl Options {
                 "--seed" => o.seed = next_num(&mut it, "--seed")?,
                 "--out" => {
                     o.out = PathBuf::from(
-                        it.next().ok_or_else(|| "--out needs a directory".to_string())?,
+                        it.next()
+                            .ok_or_else(|| "--out needs a directory".to_string())?,
                     )
                 }
-                "--help" | "-h" => {
-                    return Err(
-                        "usage: [--quick] [--full] [--points N] [--threads N] [--seed N] [--out DIR]"
-                            .to_string(),
-                    )
-                }
+                "--help" | "-h" => return Err(
+                    "usage: [--quick] [--full] [--points N] [--threads N] [--seed N] [--out DIR]"
+                        .to_string(),
+                ),
                 other => return Err(format!("unknown flag: {other}")),
             }
         }
@@ -134,7 +133,16 @@ mod tests {
     #[test]
     fn flags_parse() {
         let o = parse(&[
-            "--quick", "--full", "--points", "5", "--threads", "4", "--seed", "7", "--out", "x",
+            "--quick",
+            "--full",
+            "--points",
+            "5",
+            "--threads",
+            "4",
+            "--seed",
+            "7",
+            "--out",
+            "x",
         ])
         .unwrap();
         assert!(o.quick);

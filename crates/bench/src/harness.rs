@@ -325,9 +325,7 @@ mod tests {
     fn full_grid_covers_cross_product_within_assumption() {
         let panels = full_panels(Pattern::Random, 1);
         assert_eq!(panels.len(), 45, "4x4x3 minus assumption-violating cells");
-        assert!(panels
-            .iter()
-            .all(|p| p.msg_len as usize >= p.n / 4));
+        assert!(panels.iter().all(|p| p.msg_len as usize >= p.n / 4));
         // N=128 keeps only M in {32, 48, 64}.
         assert_eq!(panels.iter().filter(|p| p.n == 128).count(), 9);
         // N=16 keeps every message length.

@@ -42,7 +42,10 @@ impl std::error::Error for ModelError {}
 
 impl From<Saturated> for ModelError {
     fn from(s: Saturated) -> Self {
-        ModelError::Saturated { bottleneck: s.bottleneck, rho: s.rho }
+        ModelError::Saturated {
+            bottleneck: s.bottleneck,
+            rho: s.rho,
+        }
     }
 }
 
@@ -83,7 +86,12 @@ impl<'a> AnalyticModel<'a> {
     /// Solve the service recursion (diagnostics / tests).
     pub fn solve_service(&self) -> Result<ServiceSolution, ModelError> {
         let loads = self.channel_loads();
-        Ok(service::solve(self.topo, &loads, self.wl.msg_len as f64, &self.opts)?)
+        Ok(service::solve(
+            self.topo,
+            &loads,
+            self.wl.msg_len as f64,
+            &self.opts,
+        )?)
     }
 
     /// Evaluate the full model.
@@ -216,7 +224,10 @@ mod tests {
         let with = AnalyticModel::new(
             &topo,
             &wl,
-            ModelOptions { clone_ejection_load: true, ..Default::default() },
+            ModelOptions {
+                clone_ejection_load: true,
+                ..Default::default()
+            },
         )
         .evaluate()
         .unwrap();

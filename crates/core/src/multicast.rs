@@ -88,7 +88,13 @@ pub fn evaluate<'s>(
         let waiting = expected_last_completion(&port_waits);
         let latency = waiting + msg_len + max_hops as f64;
         total += latency;
-        per_node.push(NodeMulticast { node, port_waits, waiting, max_hops, latency });
+        per_node.push(NodeMulticast {
+            node,
+            port_waits,
+            waiting,
+            max_hops,
+            latency,
+        });
     }
     let avg = if per_node.is_empty() {
         f64::NAN
@@ -169,14 +175,7 @@ mod tests {
         let opts = ModelOptions::default();
         let loads = ChannelLoads::build(&topo, &wl, &opts);
         let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
-        let (per_node, avg) = evaluate(
-            &topo,
-            32.0,
-            &|n| wl.multicast_set(n),
-            &loads,
-            &sol,
-            &opts,
-        );
+        let (per_node, avg) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
         assert_eq!(per_node.len(), 16);
         // All broadcast streams are k = 4 links → hop_count = 5.
         for nm in &per_node {
@@ -206,19 +205,11 @@ mod tests {
         let opts = ModelOptions::default();
         let loads = ChannelLoads::build(&topo, &wl, &opts);
         let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
-        let (per_node, avg) = evaluate(
-            &topo,
-            32.0,
-            &|n| wl.multicast_set(n),
-            &loads,
-            &sol,
-            &opts,
-        );
+        let (per_node, avg) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
         assert!(avg.is_finite() && avg > 32.0);
         for nm in &per_node {
             if nm.port_waits.len() >= 2 {
-                let mean_port =
-                    nm.port_waits.iter().sum::<f64>() / nm.port_waits.len() as f64;
+                let mean_port = nm.port_waits.iter().sum::<f64>() / nm.port_waits.len() as f64;
                 assert!(
                     nm.waiting >= mean_port - 1e-9,
                     "E[max] must dominate the mean port wait"
@@ -244,14 +235,8 @@ mod tests {
         let loads = ChannelLoads::build(&topo, &wl, &opts);
         let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
         let (_, full) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
-        let heuristic = largest_subset_latency(
-            &topo,
-            32.0,
-            &|n| wl.multicast_set(n),
-            &loads,
-            &sol,
-            &opts,
-        );
+        let heuristic =
+            largest_subset_latency(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
         assert!(
             full > heuristic - 1e-9,
             "E[max] model ({full}) should exceed the largest-subset heuristic ({heuristic})"

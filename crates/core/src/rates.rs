@@ -259,7 +259,10 @@ mod tests {
         let with = ChannelLoads::build(
             &topo,
             &wl,
-            &ModelOptions { clone_ejection_load: true, ..Default::default() },
+            &ModelOptions {
+                clone_ejection_load: true,
+                ..Default::default()
+            },
         );
         let sum_base: f64 = base.lambda.iter().sum();
         let sum_with: f64 = with.lambda.iter().sum();

@@ -111,6 +111,9 @@ mod tests {
         let (_, wl_hi) = proto(16, 32, 0.5);
         let r_lo = max_sustainable_rate(&topo, &wl_lo, ModelOptions::default(), 0.02);
         let r_hi = max_sustainable_rate(&topo, &wl_hi, ModelOptions::default(), 0.02);
-        assert!(r_hi < r_lo, "alpha 0.5 must saturate earlier ({r_hi} vs {r_lo})");
+        assert!(
+            r_hi < r_lo,
+            "alpha 0.5 must saturate earlier ({r_hi} vs {r_lo})"
+        );
     }
 }

@@ -133,7 +133,10 @@ pub fn solve(
                     // stability limit.
                     if residual > 1e-3 {
                         let (idx, rho) = max_rho(&loads.lambda, &service);
-                        return Err(Saturated { bottleneck: ChannelId(idx as u32), rho });
+                        return Err(Saturated {
+                            bottleneck: ChannelId(idx as u32),
+                            rho,
+                        });
                     }
                     opts.fixed_point.max_iterations
                 }
@@ -145,16 +148,27 @@ pub fn solve(
             // saturation (W would be infinite).
             let (idx, rho) = max_rho(&loads.lambda, &service);
             if rho >= 1.0 || waiting.iter().any(|w| !w.is_finite()) {
-                return Err(Saturated { bottleneck: ChannelId(idx as u32), rho });
+                return Err(Saturated {
+                    bottleneck: ChannelId(idx as u32),
+                    rho,
+                });
             }
             let rho_v = (0..nc).map(|i| loads.lambda[i] * service[i]).collect();
-            Ok(ServiceSolution { service, waiting, rho: rho_v, iterations })
+            Ok(ServiceSolution {
+                service,
+                waiting,
+                rho: rho_v,
+                iterations,
+            })
         }
         Err(FixedPointError::Diverged { .. }) => {
             // Identify the bottleneck from the raw loads (the diverging
             // component's own rho may be distorted; report the largest).
             let (idx, rho) = max_rho(&loads.lambda, &vec![msg_len; nc]);
-            Err(Saturated { bottleneck: ChannelId(idx as u32), rho })
+            Err(Saturated {
+                bottleneck: ChannelId(idx as u32),
+                rho,
+            })
         }
     }
 }
@@ -204,7 +218,10 @@ mod tests {
         // Waits exist but are small at 0.002 msgs/node/cycle.
         let max_w = sol.waiting.iter().copied().fold(0.0, f64::max);
         assert!(max_w > 0.0, "some channel must have queueing");
-        assert!(max_w < 32.0, "waits should be below one service time, got {max_w}");
+        assert!(
+            max_w < 32.0,
+            "waits should be below one service time, got {max_w}"
+        );
         // Service times at loaded link channels exceed the drain time
         // (downstream hop cost) but stay bounded.
         let net = topo.network();
@@ -235,7 +252,11 @@ mod tests {
         let opts = ModelOptions::default();
         let loads = ChannelLoads::build(&topo, &wl, &opts);
         let err = solve(&topo, &loads, 32.0, &opts).unwrap_err();
-        assert!(err.rho >= 1.0, "reported rho {} must flag overload", err.rho);
+        assert!(
+            err.rho >= 1.0,
+            "reported rho {} must flag overload",
+            err.rho
+        );
     }
 
     #[test]

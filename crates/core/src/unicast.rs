@@ -126,7 +126,10 @@ mod tests {
         for rate in [0.0, 0.002, 0.006, 0.009] {
             let (topo, _wl, loads, sol, opts) = solved(rate);
             let avg = average_latency(&topo, 32.0, &UnicastPattern::Uniform, &loads, &sol, &opts);
-            assert!(avg > prev, "latency must increase with load ({rate}: {avg})");
+            assert!(
+                avg > prev,
+                "latency must increase with load ({rate}: {avg})"
+            );
             prev = avg;
         }
     }

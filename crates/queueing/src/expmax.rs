@@ -67,7 +67,11 @@ pub fn expected_max_exponentials(rates: &[f64]) -> f64 {
                 rate_sum += r;
             }
         }
-        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if mask.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         total += sign / rate_sum;
     }
     total
@@ -238,6 +242,67 @@ mod tests {
             let max = expected_max_exponentials(&rates);
             let sum: f64 = rates.iter().map(|r| 1.0 / r).sum();
             prop_assert!(max <= sum + 1e-9);
+        }
+    }
+
+    // Order-statistics monotonicity: both expectations respect the
+    // stochastic ordering of exponentials — raising any rate (making that
+    // port faster) can only lower the expected min and max, and the two
+    // statistics never cross.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn min_never_exceeds_max(
+            rates in proptest::collection::vec(0.01f64..100.0, 1..7)
+        ) {
+            let min = expected_min_exponentials(&rates);
+            let max = expected_max_exponentials(&rates);
+            prop_assert!(min <= max + 1e-12, "min {min} above max {max}");
+        }
+
+        #[test]
+        fn min_is_inverse_rate_sum(
+            rates in proptest::collection::vec(0.01f64..100.0, 1..7)
+        ) {
+            let min = expected_min_exponentials(&rates);
+            let sum: f64 = rates.iter().sum();
+            prop_assert!(close(min, 1.0 / sum, 1e-12));
+        }
+
+        #[test]
+        fn raising_one_rate_lowers_both_order_stats(
+            rates in proptest::collection::vec(0.01f64..100.0, 1..6),
+            which in 0usize..6,
+            factor in 1.0f64..50.0,
+        ) {
+            let idx = which % rates.len();
+            let mut faster = rates.clone();
+            faster[idx] *= factor;
+            prop_assert!(
+                expected_min_exponentials(&faster)
+                    <= expected_min_exponentials(&rates) + 1e-12
+            );
+            prop_assert!(
+                expected_max_exponentials(&faster)
+                    <= expected_max_exponentials(&rates) + 1e-9
+            );
+        }
+
+        #[test]
+        fn scale_invariance(
+            rates in proptest::collection::vec(0.01f64..100.0, 1..6),
+            c in 0.1f64..10.0,
+        ) {
+            // Exponentials with rates cµ are the originals divided by c, so
+            // both expectations scale by exactly 1/c.
+            let scaled: Vec<f64> = rates.iter().map(|r| r * c).collect();
+            let max = expected_max_exponentials(&rates);
+            let max_scaled = expected_max_exponentials(&scaled);
+            prop_assert!(close(max_scaled, max / c, 1e-6), "{max_scaled} vs {}", max / c);
+            let min = expected_min_exponentials(&rates);
+            let min_scaled = expected_min_exponentials(&scaled);
+            prop_assert!(close(min_scaled, min / c, 1e-9));
         }
     }
 }

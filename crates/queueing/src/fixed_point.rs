@@ -109,7 +109,12 @@ impl FixedPoint {
                 x[i] = updated;
             }
             if residual < self.tolerance {
-                return Ok((x, FixedPointOutcome::Converged { iterations: iter + 1 }));
+                return Ok((
+                    x,
+                    FixedPointOutcome::Converged {
+                        iterations: iter + 1,
+                    },
+                ));
             }
         }
         // One final evaluation to report the residual.
@@ -130,10 +135,11 @@ mod tests {
     #[test]
     fn solves_scalar_contraction() {
         // x = cos(x) has the Dottie fixed point ~0.739085.
-        let fp = FixedPoint { damping: 1.0, ..Default::default() };
-        let (x, outcome) = fp
-            .solve(vec![0.0], |x, out| out[0] = x[0].cos())
-            .unwrap();
+        let fp = FixedPoint {
+            damping: 1.0,
+            ..Default::default()
+        };
+        let (x, outcome) = fp.solve(vec![0.0], |x, out| out[0] = x[0].cos()).unwrap();
         assert!((x[0] - 0.739_085_133).abs() < 1e-6);
         assert!(matches!(outcome, FixedPointOutcome::Converged { .. }));
     }
@@ -158,7 +164,10 @@ mod tests {
     fn damping_tames_oscillation() {
         // x = -x + 2 oscillates undamped from x=0 (0 -> 2 -> 0 ...);
         // damping 0.5 converges to the fixed point x = 1.
-        let fp = FixedPoint { damping: 0.5, ..Default::default() };
+        let fp = FixedPoint {
+            damping: 0.5,
+            ..Default::default()
+        };
         let (x, outcome) = fp.solve(vec![0.0], |x, out| out[0] = -x[0] + 2.0).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-6);
         assert!(matches!(outcome, FixedPointOutcome::Converged { .. }));
@@ -166,7 +175,10 @@ mod tests {
 
     #[test]
     fn divergence_is_detected() {
-        let fp = FixedPoint { bound: 1e6, ..Default::default() };
+        let fp = FixedPoint {
+            bound: 1e6,
+            ..Default::default()
+        };
         let err = fp
             .solve(vec![1.0], |x, out| out[0] = 10.0 * x[0])
             .unwrap_err();
@@ -187,7 +199,11 @@ mod tests {
 
     #[test]
     fn iteration_budget_reports_residual() {
-        let fp = FixedPoint { max_iterations: 3, damping: 0.1, ..Default::default() };
+        let fp = FixedPoint {
+            max_iterations: 3,
+            damping: 0.1,
+            ..Default::default()
+        };
         let (_, outcome) = fp.solve(vec![0.0], |x, out| out[0] = x[0].cos()).unwrap();
         match outcome {
             FixedPointOutcome::MaxIterations { residual } => assert!(residual > 0.0),

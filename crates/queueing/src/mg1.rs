@@ -49,7 +49,11 @@ impl MG1 {
     /// Construct a queue with explicit moments.
     pub fn new(lambda: f64, mean_service: f64, sigma: f64) -> Self {
         debug_assert!(lambda >= 0.0 && mean_service >= 0.0 && sigma >= 0.0);
-        MG1 { lambda, mean_service, sigma }
+        MG1 {
+            lambda,
+            mean_service,
+            sigma,
+        }
     }
 
     /// Construct a queue using the paper's variance heuristic
@@ -118,7 +122,11 @@ mod tests {
         let q = MG1::new(0.01, 32.0, 0.0);
         let rho = 0.32;
         let expected = rho * 32.0 / (2.0 * (1.0 - rho));
-        assert!(close(q.waiting(WaitingFormula::PollaczekKhinchine), expected, 1e-12));
+        assert!(close(
+            q.waiting(WaitingFormula::PollaczekKhinchine),
+            expected,
+            1e-12
+        ));
     }
 
     #[test]
@@ -129,7 +137,11 @@ mod tests {
         let q = MG1::new(lambda, x, x);
         let rho = lambda * x;
         let expected = rho * x / (1.0 - rho);
-        assert!(close(q.waiting(WaitingFormula::PollaczekKhinchine), expected, 1e-12));
+        assert!(close(
+            q.waiting(WaitingFormula::PollaczekKhinchine),
+            expected,
+            1e-12
+        ));
     }
 
     #[test]
@@ -173,6 +185,10 @@ mod tests {
     fn sojourn_adds_service() {
         let q = MG1::new(0.004, 25.0, 5.0);
         let w = q.waiting(WaitingFormula::PollaczekKhinchine);
-        assert!(close(q.sojourn(WaitingFormula::PollaczekKhinchine), w + 25.0, 1e-12));
+        assert!(close(
+            q.sojourn(WaitingFormula::PollaczekKhinchine),
+            w + 25.0,
+            1e-12
+        ));
     }
 }

@@ -165,9 +165,11 @@ impl<'a> Simulator<'a> {
                 for st in topo.multicast_streams(src, set) {
                     debug_assert!(net.validate_path(&st.path).is_ok());
                     total += st.targets.len() as u32;
-                    let absorbs =
-                        absorb_schedule(&st.path, &st.targets, |c| net.downstream(c));
-                    pre.push(PreStream { path: Arc::new(st.path), absorbs });
+                    let absorbs = absorb_schedule(&st.path, &st.targets, |c| net.downstream(c));
+                    pre.push(PreStream {
+                        path: Arc::new(st.path),
+                        absorbs,
+                    });
                 }
             }
             streams.push(pre);
@@ -175,7 +177,11 @@ impl<'a> Simulator<'a> {
         }
 
         let rngs = (0..n)
-            .map(|i| SmallRng::seed_from_u64(cfg.seed ^ (0xA076_1D64_78BD_642F_u64.wrapping_mul(i as u64 + 1))))
+            .map(|i| {
+                SmallRng::seed_from_u64(
+                    cfg.seed ^ (0xA076_1D64_78BD_642F_u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
             .collect();
 
         let channels = net.num_channels();
@@ -295,7 +301,8 @@ impl<'a> Simulator<'a> {
                         let pre = &self.streams[node][si];
                         (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
                     };
-                    let id = self.alloc_msg(ActiveMsg::stream(path, len, gen, tagging, op, absorbs));
+                    let id =
+                        self.alloc_msg(ActiveMsg::stream(path, len, gen, tagging, op, absorbs));
                     self.total_generated += 1;
                     self.enqueue(id);
                 }
@@ -614,7 +621,11 @@ impl<'a> Simulator<'a> {
     /// Intended for deterministic micro-benchmarks and timing tests; it
     /// composes with background Poisson traffic.
     pub fn inject_unicast_now(&mut self, src: NodeId, dst: NodeId) -> MsgId {
-        let path = Arc::clone(self.unicast_paths[src.idx() * self.n + dst.idx()].as_ref().unwrap());
+        let path = Arc::clone(
+            self.unicast_paths[src.idx() * self.n + dst.idx()]
+                .as_ref()
+                .unwrap(),
+        );
         let id = self.alloc_msg(ActiveMsg::unicast(path, self.wl.msg_len, self.cycle, false));
         self.total_generated += 1;
         self.enqueue(id);
@@ -744,13 +755,7 @@ mod tests {
     use noc_workloads::DestinationSets;
 
     fn zero_workload(topo: &dyn Topology, msg_len: u32) -> Workload {
-        Workload::new(
-            msg_len,
-            0.0,
-            0.0,
-            DestinationSets::random(topo, 4, 1),
-        )
-        .unwrap()
+        Workload::new(msg_len, 0.0, 0.0, DestinationSets::random(topo, 4, 1)).unwrap()
     }
 
     #[test]
@@ -827,7 +832,10 @@ mod tests {
         cfg.backlog_limit = 2_000;
         let mut sim = Simulator::new(&topo, &wl, cfg);
         let res = sim.run();
-        assert!(res.saturated, "rate 0.9 with 64-flit messages must saturate");
+        assert!(
+            res.saturated,
+            "rate 0.9 with 64-flit messages must saturate"
+        );
     }
 
     #[test]
@@ -842,7 +850,10 @@ mod tests {
         assert_eq!(r1.multicast.mean, r2.multicast.mean);
         assert_eq!(r1.flit_moves, r2.flit_moves);
         let r3 = Simulator::new(&topo, &wl, SimConfig::quick(100)).run();
-        assert_ne!(r1.flit_moves, r3.flit_moves, "different seed, different run");
+        assert_ne!(
+            r1.flit_moves, r3.flit_moves,
+            "different seed, different run"
+        );
     }
 
     #[test]

@@ -112,7 +112,11 @@ impl ActiveMsg {
             len,
             gen,
             traversed: vec![0u32; hops].into_boxed_slice(),
-            multicast: Some(StreamState { op, absorbs, next_absorb: 0 }),
+            multicast: Some(StreamState {
+                op,
+                absorbs,
+                next_absorb: 0,
+            }),
             tagged,
         }
     }

@@ -107,10 +107,7 @@ pub struct SimResults {
 impl SimResults {
     /// Largest link-channel utilisation (the bottleneck channel load).
     pub fn max_utilization(&self) -> f64 {
-        self.channel_utilization
-            .iter()
-            .copied()
-            .fold(0.0, f64::max)
+        self.channel_utilization.iter().copied().fold(0.0, f64::max)
     }
 
     /// All tagged traffic delivered?

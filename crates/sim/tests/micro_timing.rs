@@ -79,8 +79,16 @@ fn fifo_arbitration_earlier_request_wins_and_blocks_exactly_l_cycles() {
     let m2 = sim.inject_unicast_now(NodeId(1), NodeId(3));
     let t2 = sim.run_until_complete(m2);
     let t1 = sim.run_until_complete(m1);
-    assert_eq!(t2 - g, isolated(2), "m2 wins arbitration and is unobstructed");
-    assert_eq!(t1 - g, isolated(2) + L, "m1 blocks for exactly one message drain");
+    assert_eq!(
+        t2 - g,
+        isolated(2),
+        "m2 wins arbitration and is unobstructed"
+    );
+    assert_eq!(
+        t1 - g,
+        isolated(2) + L,
+        "m1 blocks for exactly one message drain"
+    );
 }
 
 #[test]

@@ -86,7 +86,12 @@ impl Hypercube {
             }
         }
         let net = Network::new(n, dim, channels, injection, ejection);
-        Ok(Hypercube { dim, n, net, out_link })
+        Ok(Hypercube {
+            dim,
+            n,
+            net,
+            out_link,
+        })
     }
 
     /// Hypercube dimension (`log2 N`).
@@ -146,7 +151,12 @@ impl Hypercube {
         hops.push(Hop::new(self.net.ejection_channel(at, arrival), 0));
         MulticastStream {
             port: first_port,
-            path: Path { src, dst: at, port: first_port, hops },
+            path: Path {
+                src,
+                dst: at,
+                port: first_port,
+                hops,
+            },
             targets: labels.iter().map(|&l| self.node_at_gray(l)).collect(),
         }
     }
@@ -179,7 +189,12 @@ impl Topology for Hypercube {
             at ^= 1 << dim;
         }
         hops.push(Hop::new(self.net.ejection_channel(dst, arrival), 0));
-        Path { src, dst, port: first_port, hops }
+        Path {
+            src,
+            dst,
+            port: first_port,
+            hops,
+        }
     }
 
     fn quadrant(&self, src: NodeId, p: PortId) -> Vec<NodeId> {

@@ -103,35 +103,83 @@ impl Mesh {
                 let from = node(x, y);
                 // +x
                 if x + 1 < width {
-                    push_link(&mut channels, from, node(x + 1, y), port::XPLUS, false,
-                        format!("x+ ({x},{y})"));
+                    push_link(
+                        &mut channels,
+                        from,
+                        node(x + 1, y),
+                        port::XPLUS,
+                        false,
+                        format!("x+ ({x},{y})"),
+                    );
                 } else if kind == MeshKind::Torus {
-                    push_link(&mut channels, from, node(0, y), port::XPLUS, true,
-                        format!("x+ wrap ({x},{y})"));
+                    push_link(
+                        &mut channels,
+                        from,
+                        node(0, y),
+                        port::XPLUS,
+                        true,
+                        format!("x+ wrap ({x},{y})"),
+                    );
                 }
                 // -x
                 if x > 0 {
-                    push_link(&mut channels, from, node(x - 1, y), port::XMINUS, false,
-                        format!("x- ({x},{y})"));
+                    push_link(
+                        &mut channels,
+                        from,
+                        node(x - 1, y),
+                        port::XMINUS,
+                        false,
+                        format!("x- ({x},{y})"),
+                    );
                 } else if kind == MeshKind::Torus {
-                    push_link(&mut channels, from, node(width - 1, y), port::XMINUS, true,
-                        format!("x- wrap ({x},{y})"));
+                    push_link(
+                        &mut channels,
+                        from,
+                        node(width - 1, y),
+                        port::XMINUS,
+                        true,
+                        format!("x- wrap ({x},{y})"),
+                    );
                 }
                 // +y
                 if y + 1 < height {
-                    push_link(&mut channels, from, node(x, y + 1), port::YPLUS, false,
-                        format!("y+ ({x},{y})"));
+                    push_link(
+                        &mut channels,
+                        from,
+                        node(x, y + 1),
+                        port::YPLUS,
+                        false,
+                        format!("y+ ({x},{y})"),
+                    );
                 } else if kind == MeshKind::Torus {
-                    push_link(&mut channels, from, node(x, 0), port::YPLUS, true,
-                        format!("y+ wrap ({x},{y})"));
+                    push_link(
+                        &mut channels,
+                        from,
+                        node(x, 0),
+                        port::YPLUS,
+                        true,
+                        format!("y+ wrap ({x},{y})"),
+                    );
                 }
                 // -y
                 if y > 0 {
-                    push_link(&mut channels, from, node(x, y - 1), port::YMINUS, false,
-                        format!("y- ({x},{y})"));
+                    push_link(
+                        &mut channels,
+                        from,
+                        node(x, y - 1),
+                        port::YMINUS,
+                        false,
+                        format!("y- ({x},{y})"),
+                    );
                 } else if kind == MeshKind::Torus {
-                    push_link(&mut channels, from, node(x, height - 1), port::YMINUS, true,
-                        format!("y- wrap ({x},{y})"));
+                    push_link(
+                        &mut channels,
+                        from,
+                        node(x, height - 1),
+                        port::YMINUS,
+                        true,
+                        format!("y- wrap ({x},{y})"),
+                    );
                 }
             }
         }
@@ -139,8 +187,12 @@ impl Mesh {
         for i in 0..n {
             for p in 0..4u8 {
                 let id = ChannelId(channels.len() as u32);
-                channels.push(Channel::injection(id, NodeId(i as u32), PortId(p),
-                    format!("inj {i}.{p}")));
+                channels.push(Channel::injection(
+                    id,
+                    NodeId(i as u32),
+                    PortId(p),
+                    format!("inj {i}.{p}"),
+                ));
                 injection.push(id);
             }
         }
@@ -148,13 +200,23 @@ impl Mesh {
         for i in 0..n {
             for p in 0..4u8 {
                 let id = ChannelId(channels.len() as u32);
-                channels.push(Channel::ejection(id, NodeId(i as u32), PortId(p),
-                    format!("ej {i}.{p}")));
+                channels.push(Channel::ejection(
+                    id,
+                    NodeId(i as u32),
+                    PortId(p),
+                    format!("ej {i}.{p}"),
+                ));
                 ejection.push(id);
             }
         }
         let net = Network::new(n, 4, channels, injection, ejection);
-        Ok(Mesh { width, height, kind, net, out_link })
+        Ok(Mesh {
+            width,
+            height,
+            kind,
+            net,
+            out_link,
+        })
     }
 
     /// Grid width.
@@ -313,7 +375,12 @@ impl Mesh {
         hops.push(Hop::new(self.net.ejection_channel(dst, arrival_port), 0));
         MulticastStream {
             port: first_port,
-            path: Path { src, dst, port: first_port, hops },
+            path: Path {
+                src,
+                dst,
+                port: first_port,
+                hops,
+            },
             targets: labels.iter().map(|&l| self.node_at_label(l)).collect(),
         }
     }
@@ -356,7 +423,12 @@ impl Topology for Mesh {
             }
         }
         hops.push(Hop::new(self.net.ejection_channel(at, arrival), 0));
-        Path { src, dst: at, port: first_port, hops }
+        Path {
+            src,
+            dst: at,
+            port: first_port,
+            hops,
+        }
     }
 
     fn quadrant(&self, src: NodeId, p: PortId) -> Vec<NodeId> {

@@ -118,9 +118,7 @@ impl Network {
 
     /// Iterate over all link channels.
     pub fn links(&self) -> impl Iterator<Item = &Channel> {
-        self.channels
-            .iter()
-            .filter(|c| c.kind == ChannelKind::Link)
+        self.channels.iter().filter(|c| c.kind == ChannelKind::Link)
     }
 
     /// The downstream node of a channel (`to` endpoint).
@@ -268,12 +266,30 @@ mod tests {
 
     /// Tiny 2-node hand-built network: n0 --link--> n1.
     fn two_node_net() -> Network {
-        let channels = vec![Channel::injection(ChannelId(0), NodeId(0), PortId(0), "inj0"),
+        let channels = vec![
+            Channel::injection(ChannelId(0), NodeId(0), PortId(0), "inj0"),
             Channel::injection(ChannelId(1), NodeId(1), PortId(0), "inj1"),
-            Channel::link(ChannelId(2), NodeId(0), NodeId(1), PortId(0), 1, false, "l01"),
-            Channel::link(ChannelId(3), NodeId(1), NodeId(0), PortId(0), 1, false, "l10"),
+            Channel::link(
+                ChannelId(2),
+                NodeId(0),
+                NodeId(1),
+                PortId(0),
+                1,
+                false,
+                "l01",
+            ),
+            Channel::link(
+                ChannelId(3),
+                NodeId(1),
+                NodeId(0),
+                PortId(0),
+                1,
+                false,
+                "l10",
+            ),
             Channel::ejection(ChannelId(4), NodeId(0), PortId(0), "ej0"),
-            Channel::ejection(ChannelId(5), NodeId(1), PortId(0), "ej1")];
+            Channel::ejection(ChannelId(5), NodeId(1), PortId(0), "ej1"),
+        ];
         Network::new(
             2,
             1,
@@ -303,9 +319,18 @@ mod tests {
             dst: NodeId(1),
             port: PortId(0),
             hops: vec![
-                Hop { channel: ChannelId(0), vc: VcId(0) },
-                Hop { channel: ChannelId(2), vc: VcId(0) },
-                Hop { channel: ChannelId(5), vc: VcId(0) },
+                Hop {
+                    channel: ChannelId(0),
+                    vc: VcId(0),
+                },
+                Hop {
+                    channel: ChannelId(2),
+                    vc: VcId(0),
+                },
+                Hop {
+                    channel: ChannelId(5),
+                    vc: VcId(0),
+                },
             ],
         };
         assert_eq!(net.validate_path(&p), Ok(()));
@@ -319,9 +344,18 @@ mod tests {
             dst: NodeId(1),
             port: PortId(0),
             hops: vec![
-                Hop { channel: ChannelId(0), vc: VcId(0) },
-                Hop { channel: ChannelId(3), vc: VcId(0) }, // wrong direction
-                Hop { channel: ChannelId(5), vc: VcId(0) },
+                Hop {
+                    channel: ChannelId(0),
+                    vc: VcId(0),
+                },
+                Hop {
+                    channel: ChannelId(3),
+                    vc: VcId(0),
+                }, // wrong direction
+                Hop {
+                    channel: ChannelId(5),
+                    vc: VcId(0),
+                },
             ],
         };
         assert!(net.validate_path(&p).is_err());
@@ -335,9 +369,18 @@ mod tests {
             dst: NodeId(1),
             port: PortId(0),
             hops: vec![
-                Hop { channel: ChannelId(0), vc: VcId(0) },
-                Hop { channel: ChannelId(2), vc: VcId(1) }, // channel has 1 vc
-                Hop { channel: ChannelId(5), vc: VcId(0) },
+                Hop {
+                    channel: ChannelId(0),
+                    vc: VcId(0),
+                },
+                Hop {
+                    channel: ChannelId(2),
+                    vc: VcId(1),
+                }, // channel has 1 vc
+                Hop {
+                    channel: ChannelId(5),
+                    vc: VcId(0),
+                },
             ],
         };
         assert!(net.validate_path(&p).is_err());
@@ -351,9 +394,18 @@ mod tests {
             dst: NodeId(0),
             port: PortId(0),
             hops: vec![
-                Hop { channel: ChannelId(0), vc: VcId(0) },
-                Hop { channel: ChannelId(2), vc: VcId(0) },
-                Hop { channel: ChannelId(5), vc: VcId(0) }, // ejection at n1, dst says n0
+                Hop {
+                    channel: ChannelId(0),
+                    vc: VcId(0),
+                },
+                Hop {
+                    channel: ChannelId(2),
+                    vc: VcId(0),
+                },
+                Hop {
+                    channel: ChannelId(5),
+                    vc: VcId(0),
+                }, // ejection at n1, dst says n0
             ],
         };
         assert!(net.validate_path(&p).is_err());

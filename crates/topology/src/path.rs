@@ -113,7 +113,10 @@ impl MulticastStream {
         let mut next_target = 0usize;
         // Link hops are hops[1..len-1]; hop i (1-based among links) lands on
         // downstream_of(channel).
-        for (i, hop) in self.path.hops[1..self.path.hops.len() - 1].iter().enumerate() {
+        for (i, hop) in self.path.hops[1..self.path.hops.len() - 1]
+            .iter()
+            .enumerate()
+        {
             let node = downstream_of(hop.channel);
             if next_target < self.targets.len() && self.targets[next_target] == node {
                 out.push(i + 1);
@@ -133,11 +136,13 @@ mod tests {
             src: NodeId(0),
             dst: NodeId(3),
             port: PortId(0),
-            hops: vec![Hop::new(ChannelId(100), 0), // injection
+            hops: vec![
+                Hop::new(ChannelId(100), 0), // injection
                 Hop::new(ChannelId(0), 0),
                 Hop::new(ChannelId(1), 0),
                 Hop::new(ChannelId(2), 1),
-                Hop::new(ChannelId(200), 0) /* ejection */],
+                Hop::new(ChannelId(200), 0), /* ejection */
+            ],
         }
     }
 

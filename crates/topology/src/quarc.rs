@@ -226,7 +226,12 @@ impl Quarc {
         hops.push(Hop::new(self.net.injection_channel(s, port::CW), 0));
         self.push_cw_hops(&mut hops, s.idx(), d);
         hops.push(Hop::new(self.net.ejection_channel(dst, port::CW), 0));
-        Path { src: s, dst, port: port::CW, hops }
+        Path {
+            src: s,
+            dst,
+            port: port::CW,
+            hops,
+        }
     }
 
     /// Build the route serving counter-clockwise destination at ccw
@@ -237,7 +242,12 @@ impl Quarc {
         hops.push(Hop::new(self.net.injection_channel(s, port::CCW), 0));
         self.push_ccw_hops(&mut hops, s.idx(), d);
         hops.push(Hop::new(self.net.ejection_channel(dst, port::CCW), 0));
-        Path { src: s, dst, port: port::CCW, hops }
+        Path {
+            src: s,
+            dst,
+            port: port::CCW,
+            hops,
+        }
     }
 
     /// Build the cross-left route to cw distance `d ∈ [k+1, 2k]`:
@@ -250,9 +260,18 @@ impl Quarc {
         hops.push(Hop::new(self.net.injection_channel(s, port::CROSS_LEFT), 0));
         hops.push(Hop::new(self.xl_link(s.idx()), 0));
         self.push_ccw_hops(&mut hops, opposite, rim);
-        let ej_port = if rim == 0 { port::CROSS_LEFT } else { port::CCW };
+        let ej_port = if rim == 0 {
+            port::CROSS_LEFT
+        } else {
+            port::CCW
+        };
         hops.push(Hop::new(self.net.ejection_channel(dst, ej_port), 0));
-        Path { src: s, dst, port: port::CROSS_LEFT, hops }
+        Path {
+            src: s,
+            dst,
+            port: port::CROSS_LEFT,
+            hops,
+        }
     }
 
     /// Build the cross-right route to cw distance `d ∈ [2k+1, 3k−1]`:
@@ -262,12 +281,20 @@ impl Quarc {
         let rim = d - 2 * self.k;
         let dst = self.node(s.idx() + d);
         let mut hops = Vec::with_capacity(rim + 3);
-        hops.push(Hop::new(self.net.injection_channel(s, port::CROSS_RIGHT), 0));
+        hops.push(Hop::new(
+            self.net.injection_channel(s, port::CROSS_RIGHT),
+            0,
+        ));
         hops.push(Hop::new(self.xr_link(s.idx()), 0));
         self.push_cw_hops(&mut hops, opposite, rim);
         // rim >= 1 always in this quadrant, so arrival is via a cw link.
         hops.push(Hop::new(self.net.ejection_channel(dst, port::CW), 0));
-        Path { src: s, dst, port: port::CROSS_RIGHT, hops }
+        Path {
+            src: s,
+            dst,
+            port: port::CROSS_RIGHT,
+            hops,
+        }
     }
 
     /// The last node visited by a broadcast stream on `p` (the destination
@@ -368,7 +395,11 @@ impl Topology for Quarc {
                 .iter()
                 .map(|&d| self.node(src.idx() + d))
                 .collect();
-            streams.push(MulticastStream { port: p, path, targets });
+            streams.push(MulticastStream {
+                port: p,
+                path,
+                targets,
+            });
         }
         streams
     }
@@ -572,7 +603,10 @@ mod tests {
         assert_eq!(cw.targets, vec![NodeId(3)]);
         assert_eq!(cw.path.dst, NodeId(3));
         // Cross-left: visits 8 then 6; last target 6.
-        let xl = streams.iter().find(|st| st.port == port::CROSS_LEFT).unwrap();
+        let xl = streams
+            .iter()
+            .find(|st| st.port == port::CROSS_LEFT)
+            .unwrap();
         assert_eq!(xl.targets, vec![NodeId(8), NodeId(6)]);
         assert_eq!(xl.path.dst, NodeId(6));
         // Cross-right: visits 9 then 11.

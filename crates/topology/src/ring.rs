@@ -142,7 +142,12 @@ impl Ring {
             hops.push(Hop::new(link, u8::from(crossed)));
         }
         hops.push(Hop::new(self.net.ejection_channel(dst, p), 0));
-        Path { src: s, dst, port: p, hops }
+        Path {
+            src: s,
+            dst,
+            port: p,
+            hops,
+        }
     }
 }
 

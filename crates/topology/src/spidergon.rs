@@ -97,13 +97,23 @@ impl Spidergon {
         let mut injection = Vec::with_capacity(n);
         for i in 0..nu {
             let id = ChannelId(3 * nu + i);
-            channels.push(Channel::injection(id, NodeId(i), THE_PORT, format!("inj {i}")));
+            channels.push(Channel::injection(
+                id,
+                NodeId(i),
+                THE_PORT,
+                format!("inj {i}"),
+            ));
             injection.push(id);
         }
         let mut ejection = Vec::with_capacity(n);
         for i in 0..nu {
             let id = ChannelId(4 * nu + i);
-            channels.push(Channel::ejection(id, NodeId(i), THE_PORT, format!("ej {i}")));
+            channels.push(Channel::ejection(
+                id,
+                NodeId(i),
+                THE_PORT,
+                format!("ej {i}"),
+            ));
             ejection.push(id);
         }
         let net = Network::new(n, 1, channels, injection, ejection);
@@ -191,7 +201,12 @@ impl Topology for Spidergon {
             }
         }
         hops.push(Hop::new(self.net.ejection_channel(dst, THE_PORT), 0));
-        Path { src, dst, port: THE_PORT, hops }
+        Path {
+            src,
+            dst,
+            port: THE_PORT,
+            hops,
+        }
     }
 
     fn quadrant(&self, src: NodeId, p: PortId) -> Vec<NodeId> {

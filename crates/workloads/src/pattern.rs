@@ -116,7 +116,10 @@ mod tests {
         let n = 12;
         for pattern in [
             UnicastPattern::Uniform,
-            UnicastPattern::HotSpot { node: NodeId(3), fraction: 0.4 },
+            UnicastPattern::HotSpot {
+                node: NodeId(3),
+                fraction: 0.4,
+            },
             UnicastPattern::Complement,
         ] {
             for s in 0..n as u32 {
@@ -136,7 +139,10 @@ mod tests {
 
     #[test]
     fn hot_spot_concentrates_weight() {
-        let p = UnicastPattern::HotSpot { node: NodeId(0), fraction: 0.5 };
+        let p = UnicastPattern::HotSpot {
+            node: NodeId(0),
+            fraction: 0.5,
+        };
         let w_hot = p.weight(10, NodeId(5), NodeId(0));
         let w_cold = p.weight(10, NodeId(5), NodeId(1));
         assert!(w_hot > 0.5);
@@ -173,7 +179,10 @@ mod tests {
 
     #[test]
     fn sampling_matches_weights_empirically() {
-        let p = UnicastPattern::HotSpot { node: NodeId(2), fraction: 0.3 };
+        let p = UnicastPattern::HotSpot {
+            node: NodeId(2),
+            fraction: 0.3,
+        };
         let n = 8;
         let src = NodeId(6);
         let mut rng = SmallRng::seed_from_u64(11);
@@ -200,14 +209,23 @@ mod tests {
     #[test]
     fn validation() {
         assert!(UnicastPattern::Uniform.validate(4).is_ok());
-        assert!(UnicastPattern::HotSpot { node: NodeId(9), fraction: 0.1 }
-            .validate(8)
-            .is_err());
-        assert!(UnicastPattern::HotSpot { node: NodeId(1), fraction: 1.5 }
-            .validate(8)
-            .is_err());
-        assert!(UnicastPattern::HotSpot { node: NodeId(1), fraction: 0.5 }
-            .validate(8)
-            .is_ok());
+        assert!(UnicastPattern::HotSpot {
+            node: NodeId(9),
+            fraction: 0.1
+        }
+        .validate(8)
+        .is_err());
+        assert!(UnicastPattern::HotSpot {
+            node: NodeId(1),
+            fraction: 1.5
+        }
+        .validate(8)
+        .is_err());
+        assert!(UnicastPattern::HotSpot {
+            node: NodeId(1),
+            fraction: 0.5
+        }
+        .validate(8)
+        .is_ok());
     }
 }

@@ -22,7 +22,10 @@ impl fmt::Display for WorkloadError {
         match self {
             WorkloadError::ZeroLengthMessage => write!(f, "message length must be >= 1 flit"),
             WorkloadError::InvalidRate(r) => {
-                write!(f, "generation rate {r} must be in [0, 1) messages/node/cycle")
+                write!(
+                    f,
+                    "generation rate {r} must be in [0, 1) messages/node/cycle"
+                )
             }
             WorkloadError::InvalidFraction(a) => {
                 write!(f, "multicast fraction {a} must be in [0, 1]")

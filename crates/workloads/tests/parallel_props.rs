@@ -1,0 +1,54 @@
+//! Property tests for `noc_workloads::parallel::parallel_map`: for every
+//! input and worker count the result must equal the sequential map (order
+//! preservation), and any thread count must degrade gracefully to the
+//! serial result.
+
+use noc_workloads::parallel::{effective_threads, parallel_map};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_sequential_map_in_order(
+        items in proptest::collection::vec(0u64..1_000_000, 0..200),
+        threads in 0usize..9,
+    ) {
+        let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761) ^ x).collect();
+        let got = parallel_map(&items, threads, |&x| x.wrapping_mul(2654435761) ^ x);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result(
+        items in proptest::collection::vec(0u64..1_000, 1..64),
+        threads in 2usize..17,
+    ) {
+        let serial = parallel_map(&items, 1, |&x| x + 1);
+        let parallel = parallel_map(&items, threads, |&x| x + 1);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn oversubscribed_threads_degrade_to_item_count(
+        len in 1usize..8,
+        threads in 8usize..64,
+    ) {
+        // More workers than items must still process each item exactly once.
+        let items: Vec<usize> = (0..len).collect();
+        let got = parallel_map(&items, threads, |&i| i * i);
+        prop_assert_eq!(got.len(), len);
+        for (i, v) in got.iter().enumerate() {
+            prop_assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn effective_threads_is_positive(requested in 0usize..32) {
+        let n = effective_threads(requested);
+        prop_assert!(n >= 1);
+        if requested > 0 {
+            prop_assert_eq!(n, requested);
+        }
+    }
+}

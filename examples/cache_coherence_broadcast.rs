@@ -45,10 +45,7 @@ fn main() {
         let spidergon = Spidergon::new(n).unwrap();
         let q = idle_broadcast(&quarc, 1);
         let s = idle_broadcast(&spidergon, 1);
-        println!(
-            "{n:>6} {q:>12}cy {s:>16}cy {:>8.1}x",
-            s as f64 / q as f64
-        );
+        println!("{n:>6} {q:>12}cy {s:>16}cy {:>8.1}x", s as f64 / q as f64);
     }
 
     println!("\nwith background unicast load (16-core chip):");

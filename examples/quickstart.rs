@@ -26,7 +26,10 @@ fn main() {
     let sets = DestinationSets::random(&topo, 4, 7);
     println!("mean multicast group size: {}", sets.mean_group_size());
 
-    println!("\n{:>9}  {:>10} {:>10}  {:>10} {:>10}", "rate", "model_uni", "sim_uni", "model_mc", "sim_mc");
+    println!(
+        "\n{:>9}  {:>10} {:>10}  {:>10} {:>10}",
+        "rate", "model_uni", "sim_uni", "model_mc", "sim_mc"
+    );
     for rate in [0.002, 0.005, 0.008] {
         let workload = Workload::new(32, rate, 0.05, sets.clone()).expect("valid workload");
 

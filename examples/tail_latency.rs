@@ -39,11 +39,7 @@ fn main() {
             .map(|nm| (nm.latency - nm.waiting, nm.waiting_distribution()))
             .collect();
         let mixture_cdf = |t: f64| -> f64 {
-            dists
-                .iter()
-                .map(|(det, d)| d.cdf(t - det))
-                .sum::<f64>()
-                / dists.len() as f64
+            dists.iter().map(|(det, d)| d.cdf(t - det)).sum::<f64>() / dists.len() as f64
         };
         let q = |p: f64| -> f64 {
             let (mut lo, mut hi) = (0.0, 10_000.0);

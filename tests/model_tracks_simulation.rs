@@ -24,7 +24,10 @@ fn compare(topo: &dyn Topology, proto: &Workload, load_frac: f64, seed: u64) -> 
         .evaluate()
         .expect("operating point below saturation");
     let res = Simulator::new(topo, &wl, SimConfig::quick(seed)).run();
-    assert!(!res.saturated, "simulation must not saturate at {load_frac} of model sat");
+    assert!(
+        !res.saturated,
+        "simulation must not saturate at {load_frac} of model sat"
+    );
     assert!(res.unicast.count > 100, "need unicast samples");
     assert!(res.multicast.count > 10, "need multicast samples");
     Agreement {
@@ -40,7 +43,11 @@ fn quarc16_random_destinations_low_load() {
     let proto = Workload::new(32, 1e-5, 0.05, sets).unwrap();
     let a = compare(&topo, &proto, 0.35, 17);
     assert!(a.unicast_err < 0.08, "unicast error {:.3}", a.unicast_err);
-    assert!(a.multicast_err < 0.12, "multicast error {:.3}", a.multicast_err);
+    assert!(
+        a.multicast_err < 0.12,
+        "multicast error {:.3}",
+        a.multicast_err
+    );
 }
 
 #[test]
@@ -50,7 +57,11 @@ fn quarc16_localized_destinations_low_load() {
     let proto = Workload::new(32, 1e-5, 0.05, sets).unwrap();
     let a = compare(&topo, &proto, 0.35, 19);
     assert!(a.unicast_err < 0.08, "unicast error {:.3}", a.unicast_err);
-    assert!(a.multicast_err < 0.12, "multicast error {:.3}", a.multicast_err);
+    assert!(
+        a.multicast_err < 0.12,
+        "multicast error {:.3}",
+        a.multicast_err
+    );
 }
 
 #[test]
@@ -60,7 +71,11 @@ fn quarc32_long_messages_high_alpha() {
     let proto = Workload::new(64, 1e-5, 0.10, sets).unwrap();
     let a = compare(&topo, &proto, 0.4, 23);
     assert!(a.unicast_err < 0.10, "unicast error {:.3}", a.unicast_err);
-    assert!(a.multicast_err < 0.15, "multicast error {:.3}", a.multicast_err);
+    assert!(
+        a.multicast_err < 0.15,
+        "multicast error {:.3}",
+        a.multicast_err
+    );
 }
 
 #[test]
@@ -70,7 +85,11 @@ fn quarc16_short_messages() {
     let proto = Workload::new(16, 1e-5, 0.03, sets).unwrap();
     let a = compare(&topo, &proto, 0.4, 29);
     assert!(a.unicast_err < 0.10, "unicast error {:.3}", a.unicast_err);
-    assert!(a.multicast_err < 0.15, "multicast error {:.3}", a.multicast_err);
+    assert!(
+        a.multicast_err < 0.15,
+        "multicast error {:.3}",
+        a.multicast_err
+    );
 }
 
 #[test]
@@ -80,7 +99,11 @@ fn ring_two_ports_tracks_simulation() {
     let proto = Workload::new(32, 1e-5, 0.08, sets).unwrap();
     let a = compare(&topo, &proto, 0.35, 31);
     assert!(a.unicast_err < 0.10, "unicast error {:.3}", a.unicast_err);
-    assert!(a.multicast_err < 0.15, "multicast error {:.3}", a.multicast_err);
+    assert!(
+        a.multicast_err < 0.15,
+        "multicast error {:.3}",
+        a.multicast_err
+    );
 }
 
 #[test]
@@ -90,7 +113,11 @@ fn mesh_dual_path_tracks_simulation() {
     let proto = Workload::new(32, 1e-5, 0.08, sets).unwrap();
     let a = compare(&topo, &proto, 0.35, 37);
     assert!(a.unicast_err < 0.10, "unicast error {:.3}", a.unicast_err);
-    assert!(a.multicast_err < 0.15, "multicast error {:.3}", a.multicast_err);
+    assert!(
+        a.multicast_err < 0.15,
+        "multicast error {:.3}",
+        a.multicast_err
+    );
 }
 
 #[test]
@@ -125,7 +152,11 @@ fn hypercube_unicast_tracks_simulation() {
     let proto = Workload::new(32, 1e-5, 0.05, sets).unwrap();
     let a = compare(&topo, &proto, 0.35, 43);
     assert!(a.unicast_err < 0.08, "unicast error {:.3}", a.unicast_err);
-    assert!(a.multicast_err < 0.35, "multicast error {:.3}", a.multicast_err);
+    assert!(
+        a.multicast_err < 0.35,
+        "multicast error {:.3}",
+        a.multicast_err
+    );
 }
 
 #[test]

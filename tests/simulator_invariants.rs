@@ -54,7 +54,11 @@ fn observed_latency_never_below_zero_load_bound() {
     assert!(res.unicast.min >= 34.0, "unicast min {}", res.unicast.min);
     // Cheapest multicast: the farthest target of the op is at least one
     // link away; completion also needs all streams done.
-    assert!(res.multicast.min >= 34.0, "multicast min {}", res.multicast.min);
+    assert!(
+        res.multicast.min >= 34.0,
+        "multicast min {}",
+        res.multicast.min
+    );
 }
 
 #[test]

@@ -18,7 +18,10 @@ fn proto(topo: &dyn Topology, pattern: UnicastPattern) -> Workload {
 #[test]
 fn model_tracks_simulation_under_hot_spot_traffic() {
     let topo = Quarc::new(16).unwrap();
-    let pattern = UnicastPattern::HotSpot { node: NodeId(5), fraction: 0.25 };
+    let pattern = UnicastPattern::HotSpot {
+        node: NodeId(5),
+        fraction: 0.25,
+    };
     let p = proto(&topo, pattern);
     let sat = max_sustainable_rate(&topo, &p, ModelOptions::default(), 0.01);
     assert!(sat > 0.0);
@@ -40,7 +43,10 @@ fn hot_spot_collapses_the_saturation_rate() {
     let uniform = proto(&topo, UnicastPattern::Uniform);
     let hot = proto(
         &topo,
-        UnicastPattern::HotSpot { node: NodeId(0), fraction: 0.5 },
+        UnicastPattern::HotSpot {
+            node: NodeId(0),
+            fraction: 0.5,
+        },
     );
     let sat_u = max_sustainable_rate(&topo, &uniform, ModelOptions::default(), 0.01);
     let sat_h = max_sustainable_rate(&topo, &hot, ModelOptions::default(), 0.01);
@@ -56,9 +62,15 @@ fn hot_spot_concentrates_simulated_traffic() {
     // than those of an ordinary node.
     let topo = Quarc::new(16).unwrap();
     let hot = NodeId(4);
-    let wl = proto(&topo, UnicastPattern::HotSpot { node: hot, fraction: 0.4 })
-        .at_rate(0.003)
-        .unwrap();
+    let wl = proto(
+        &topo,
+        UnicastPattern::HotSpot {
+            node: hot,
+            fraction: 0.4,
+        },
+    )
+    .at_rate(0.003)
+    .unwrap();
     let res = Simulator::new(&topo, &wl, SimConfig::quick(5)).run();
     let net = topo.network();
     let absorbed_at = |node: NodeId| -> f64 {
@@ -97,7 +109,9 @@ fn complement_unicast_latency_reflects_fixed_distance() {
     // N-1-s; at zero-ish load the mean unicast latency must equal the
     // mean over exactly those pairs, not the all-pairs mean.
     let topo = Quarc::new(16).unwrap();
-    let p = proto(&topo, UnicastPattern::Complement).at_rate(1e-5).unwrap();
+    let p = proto(&topo, UnicastPattern::Complement)
+        .at_rate(1e-5)
+        .unwrap();
     let pred = AnalyticModel::new(&topo, &p, ModelOptions::default())
         .evaluate()
         .unwrap();
@@ -121,10 +135,16 @@ fn pattern_validation_guards_simulator_and_model() {
     let topo = Quarc::new(8).unwrap();
     let bad = proto(
         &topo,
-        UnicastPattern::HotSpot { node: NodeId(99), fraction: 0.2 },
+        UnicastPattern::HotSpot {
+            node: NodeId(99),
+            fraction: 0.2,
+        },
     );
     let result = std::panic::catch_unwind(|| {
         let _ = Simulator::new(&topo, &bad, SimConfig::quick(1));
     });
-    assert!(result.is_err(), "simulator must reject an out-of-range hot node");
+    assert!(
+        result.is_err(),
+        "simulator must reject an out-of-range hot node"
+    );
 }

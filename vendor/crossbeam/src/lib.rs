@@ -1,0 +1,82 @@
+//! Offline, API-compatible subset of `crossbeam`: scoped threads.
+//!
+//! `crossbeam::scope` predates `std::thread::scope`; this shim keeps the
+//! crossbeam calling convention (`scope(|s| ...)` returning a
+//! `thread::Result`, spawn closures taking `&Scope`) while delegating the
+//! actual lifetime machinery to the standard library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of a scope: `Err` carries the payload of a panicking worker.
+pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle; spawn borrows the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives the scope (crossbeam
+    /// convention) so workers can spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowing worker threads can be spawned;
+/// all workers are joined before `scope` returns. A panicking worker turns
+/// the result into `Err` with the panic payload.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let res = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(res.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let res = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let counter = AtomicUsize::new(0);
+        let res = super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        });
+        assert!(res.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

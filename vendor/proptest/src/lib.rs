@@ -1,0 +1,459 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Implements the surface the workspace property tests use:
+//!
+//! * [`Strategy`] with integer-range strategies (`a..b`, `a..=b`),
+//!   [`Strategy::prop_map`], tuple strategies, and `Just`;
+//! * the [`proptest!`] macro: `#[test] fn name(x in strategy, ...) { .. }`
+//!   items with an optional `#![proptest_config(..)]` header;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from real proptest: no shrinking (a failure reports the
+//! drawn inputs verbatim) and generation is a fixed deterministic seed per
+//! test function, so failures reproduce across runs. The per-case RNG seed
+//! is printed on failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRunnerState,
+    };
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded, not failed.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Configuration for one `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generator of values for one test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Map the generated value through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Size specification for a generated collection.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(strategy, 1..7)` — a vector whose length is drawn from the
+    /// size range and whose elements are drawn from `strategy`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+);
+
+/// Driver state shared by the expansion of one `proptest!` test function.
+/// Public because the macro expansion references it; not part of the real
+/// proptest API.
+pub struct TestRunnerState {
+    config: ProptestConfig,
+    rng: SmallRng,
+    passed: u32,
+    rejected: u32,
+    case_seed: u64,
+}
+
+impl TestRunnerState {
+    /// New runner for `test_name` (the seed derives from the name, so each
+    /// test function draws a distinct but reproducible sequence).
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunnerState {
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            passed: 0,
+            rejected: 0,
+            case_seed: seed,
+        }
+    }
+
+    /// Whether another case should run.
+    pub fn more_cases(&self) -> bool {
+        self.passed < self.config.cases && self.rejected < self.config.max_global_rejects
+    }
+
+    /// Start a case: returns the RNG to draw this case's inputs from.
+    pub fn case_rng(&mut self) -> SmallRng {
+        self.case_seed = self.rng.next_u64();
+        SmallRng::seed_from_u64(self.case_seed)
+    }
+
+    /// Record a case outcome; panics (failing the `#[test]`) on `Fail`.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>, inputs: &str) {
+        match outcome {
+            Ok(()) => self.passed += 1,
+            Err(TestCaseError::Reject(_)) => self.rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed (case seed {:#x}):\n  inputs: {}\n  {}",
+                    self.case_seed, inputs, msg
+                );
+            }
+        }
+    }
+
+    /// Check the configured number of cases actually ran; aborts like real
+    /// proptest's "too many global rejects" when `prop_assume!` discarded
+    /// so many cases that the target was never reached.
+    pub fn finish(&self, test_name: &str) {
+        assert!(
+            self.passed >= self.config.cases,
+            "proptest {test_name}: too many rejected cases ({} rejected, only {} of {} passed)",
+            self.rejected,
+            self.passed,
+            self.config.cases
+        );
+    }
+}
+
+/// Assert inside a proptest case; on failure the case (and test) fails
+/// with the drawn inputs in the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with better diagnostics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!(a != b)` with better diagnostics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Define property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u32..10, y in 0usize..=4) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::Strategy as _;
+                let mut runner =
+                    $crate::TestRunnerState::new($cfg, concat!(module_path!(), "::", stringify!($name)));
+                while runner.more_cases() {
+                    let mut case_rng = runner.case_rng();
+                    $(let $arg = ($strat).sample(&mut case_rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+),
+                        $(&$arg),+
+                    );
+                    let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        return ::core::result::Result::Ok(());
+                    })();
+                    runner.record(outcome, &inputs);
+                }
+                runner.finish(stringify!($name));
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_in_bounds() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let s = (2usize..=16).prop_map(|k| k * 4);
+        for _ in 0..1000 {
+            let v = s.sample(&mut rng);
+            assert!(v % 4 == 0 && (8..=64).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u32..5, y in 0usize..=3, z in (0u64..10, 1u64..2)) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!(y <= 3);
+            prop_assert_eq!(z.1, 1);
+            prop_assert_ne!(x, 0);
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #[allow(dead_code)]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so
+//! downstream users can persist results, but nothing in-tree serialises
+//! through serde yet (the table writers are dependency-free by design).
+//! This shim therefore provides the two traits as markers plus no-op
+//! derive macros, keeping every `#[derive(Serialize, Deserialize)]` in the
+//! source tree compiling unchanged. Swapping in real serde later is a
+//! manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialised (no-op subset).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialised (no-op subset).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,139 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! shim. Implemented directly on `proc_macro` (no syn/quote, which are not
+//! available offline): the macro scans the item for its name and generic
+//! parameters and emits an empty marker-trait impl.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Serialize")
+}
+
+/// Derive the no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Deserialize")
+}
+
+/// Parsed `<...>` generics of the item, split into the declaration list
+/// (with bounds, for `impl<...>`) and the usage list (names only, for the
+/// self type).
+struct Generics {
+    decl: String,
+    usage: String,
+}
+
+fn empty_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes, visibility and modifiers until `struct`/`enum`/`union`.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(n)) = tokens.next() {
+                        name = Some(n.to_string());
+                    }
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the attribute group that follows `#`.
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    tokens.next();
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde_derive: could not find type name in derive input");
+    let generics = parse_generics(&mut tokens);
+
+    let code = format!(
+        "impl{decl} serde::{tr} for {name}{usage} {{}}",
+        decl = generics.decl,
+        tr = trait_name,
+        name = name,
+        usage = generics.usage,
+    );
+    code.parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+/// Consume a `<...>` generic-parameter list if one immediately follows the
+/// type name; otherwise return empty lists.
+fn parse_generics(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Generics {
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => {
+            return Generics {
+                decl: String::new(),
+                usage: String::new(),
+            }
+        }
+    }
+    tokens.next(); // consume `<`
+
+    let mut depth = 1usize;
+    let mut decl = String::from("<");
+    let mut params: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut in_bounds = false;
+
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ':' if depth == 1 => in_bounds = true,
+                ',' if depth == 1 => {
+                    if !current.is_empty() {
+                        params.push(current.clone());
+                        current.clear();
+                    }
+                    in_bounds = false;
+                    decl.push(',');
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        let piece = tt.to_string();
+        decl.push_str(&piece);
+        if piece != "'" {
+            decl.push(' ');
+        }
+        if !in_bounds {
+            // `const N : usize` usage list needs just `N`; lifetimes and
+            // type params contribute their own token.
+            if piece != "const" {
+                current.push_str(&piece);
+            }
+        }
+    }
+    if !current.is_empty() {
+        params.push(current);
+    }
+    decl.push('>');
+
+    Generics {
+        usage: if params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", params.join(","))
+        },
+        decl,
+    }
+}
