@@ -1,13 +1,24 @@
-//! Macrobenchmark: flit-level simulator throughput.
+//! Macrobenchmark: flit-level simulator throughput, both engines side by
+//! side.
 //!
-//! Runs a fixed-length simulation at a moderate operating point and
-//! reports wall time; combined with the `flit_moves` counter this gives
-//! flit-traversals per second, the figure of merit for sweep cost.
+//! Sweeps the generation rate from deep low-load (where the Fig. 6/7
+//! validation protocol spends most of its points, and where the
+//! event-driven engine's inert-cycle skipping pays off) up to a busy
+//! operating point, on a small and a large Quarc. Every `(n, rate)` pair
+//! is measured under the cycle-stepped reference engine and the
+//! event-driven engine; both are constructed on one shared [`SimPlan`] so
+//! the comparison isolates run cost.
+//!
+//! Besides the criterion report, the harness writes `BENCH_sim.json` with
+//! every measured point and the per-`n` lowest-rate speedup, so CI can
+//! record the performance trajectory over time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use noc_sim::{SimConfig, Simulator};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use noc_sim::{EngineKind, EventSimulator, SimConfig, SimPlan, Simulator};
 use noc_topology::Quarc;
 use noc_workloads::{DestinationSets, Workload};
+use std::sync::Arc;
+use std::time::Instant;
 
 fn short_cfg(seed: u64) -> SimConfig {
     SimConfig {
@@ -18,25 +29,182 @@ fn short_cfg(seed: u64) -> SimConfig {
         buffer_depth: 2,
         backlog_limit: 50_000,
         batch_size: 32,
+        engine: EngineKind::default(),
+    }
+}
+
+/// The swept operating points per network size: the lowest rate is a deep
+/// low-load point — the regime the Fig. 6/7 sweeps mostly sample (large-N
+/// panels start near 0.05× of a per-node saturation rate of a few 1e-4) —
+/// and the last approaches the busy knee.
+fn rates_for(n: usize) -> [f64; 3] {
+    match n {
+        16 => [0.0001, 0.002, 0.008],
+        _ => [0.00002, 0.0008, 0.003],
+    }
+}
+
+struct Panel {
+    n: usize,
+    topo: Quarc,
+    wl_proto: Workload,
+    plan: Arc<SimPlan>,
+}
+
+fn panels() -> Vec<Panel> {
+    [16usize, 64]
+        .into_iter()
+        .map(|n| {
+            let topo = Quarc::new(n).unwrap();
+            let sets = DestinationSets::random(&topo, n / 4, 1);
+            let wl_proto = Workload::new(32, 0.004, 0.05, sets).unwrap();
+            let plan = SimPlan::build(&topo, &wl_proto);
+            Panel {
+                n,
+                topo,
+                wl_proto,
+                plan,
+            }
+        })
+        .collect()
+}
+
+fn run_once(panel: &Panel, wl: &Workload, engine: EngineKind) -> noc_sim::SimResults {
+    let cfg = short_cfg(7);
+    match engine {
+        EngineKind::Cycle => {
+            Simulator::with_plan(&panel.topo, wl, cfg, Arc::clone(&panel.plan)).run()
+        }
+        EngineKind::EventDriven => {
+            EventSimulator::with_plan(&panel.topo, wl, cfg, Arc::clone(&panel.plan)).run()
+        }
     }
 }
 
 fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_throughput");
     g.sample_size(10);
-    for n in [16usize, 64] {
-        let topo = Quarc::new(n).unwrap();
-        let sets = DestinationSets::random(&topo, n / 4, 1);
-        let wl = Workload::new(32, 0.004, 0.05, sets).unwrap();
-        g.bench_with_input(BenchmarkId::new("quarc_run", n), &n, |b, _| {
-            b.iter(|| {
-                let mut sim = Simulator::new(&topo, &wl, short_cfg(7));
-                sim.run()
-            })
-        });
+    for panel in &panels() {
+        for rate in rates_for(panel.n) {
+            let wl = panel.wl_proto.at_rate(rate).unwrap();
+            for (label, engine) in [
+                ("cycle", EngineKind::Cycle),
+                ("event", EngineKind::EventDriven),
+            ] {
+                let id =
+                    BenchmarkId::new(format!("quarc{}_{label}", panel.n), format!("rate{rate}"));
+                g.bench_with_input(id, &rate, |b, _| b.iter(|| run_once(panel, &wl, engine)));
+            }
+        }
     }
     g.finish();
 }
 
 criterion_group!(benches, bench_sim);
-criterion_main!(benches);
+
+/// One measured point of the JSON record.
+struct Point {
+    n: usize,
+    rate: f64,
+    engine: &'static str,
+    median_ns: u128,
+    flit_moves: u64,
+    cycles: u64,
+}
+
+/// Median wall time of `samples` runs (after one warmup run).
+fn time_runs(
+    panel: &Panel,
+    wl: &Workload,
+    engine: EngineKind,
+    samples: usize,
+) -> (u128, noc_sim::SimResults) {
+    let last = run_once(panel, wl, engine); // warmup + result capture
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = run_once(panel, wl, engine);
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], last)
+}
+
+/// Measure every point once more (few samples — this is the recorded
+/// trajectory, not the statistically careful report) and write
+/// `BENCH_sim.json`.
+fn emit_json() {
+    let samples = 5usize;
+    let mut points = Vec::new();
+    let mut speedups = Vec::new();
+    for panel in &panels() {
+        let rates = rates_for(panel.n);
+        let mut lowest_pair = (0u128, 0u128); // (cycle, event) at rates[0]
+        for rate in rates {
+            let wl = panel.wl_proto.at_rate(rate).unwrap();
+            for (label, engine) in [
+                ("cycle", EngineKind::Cycle),
+                ("event", EngineKind::EventDriven),
+            ] {
+                let (median_ns, res) = time_runs(panel, &wl, engine, samples);
+                if rate == rates[0] {
+                    if engine == EngineKind::Cycle {
+                        lowest_pair.0 = median_ns;
+                    } else {
+                        lowest_pair.1 = median_ns;
+                    }
+                }
+                points.push(Point {
+                    n: panel.n,
+                    rate,
+                    engine: label,
+                    median_ns,
+                    flit_moves: res.flit_moves,
+                    cycles: res.cycles,
+                });
+            }
+        }
+        let speedup = lowest_pair.0 as f64 / lowest_pair.1.max(1) as f64;
+        eprintln!(
+            "quarc{}: event engine speedup at lowest rate {}: {speedup:.1}x",
+            panel.n, rates[0]
+        );
+        speedups.push((panel.n, speedup));
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"sim-throughput\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"topology\": \"quarc\", \"n\": {}, \"rate\": {}, \"engine\": \"{}\", \
+             \"median_ns\": {}, \"flit_moves\": {}, \"cycles\": {}}}{}\n",
+            p.n,
+            p.rate,
+            p.engine,
+            p.median_ns,
+            p.flit_moves,
+            p.cycles,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"speedup_at_lowest_rate\": {");
+    for (i, (n, s)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "\"quarc{n}\": {s:.2}{}",
+            if i + 1 < speedups.len() { ", " } else { "" }
+        ));
+    }
+    json.push_str("}\n}\n");
+    // cargo runs benches with the package dir as cwd; record the file at
+    // the workspace root where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote BENCH_sim.json ({} points)", points.len()),
+        Err(e) => eprintln!("could not write BENCH_sim.json: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    emit_json();
+}

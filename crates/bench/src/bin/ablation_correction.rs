@@ -15,7 +15,7 @@
 
 use noc_bench::cli::Options;
 use noc_bench::harness::{FigureConfig, Pattern};
-use noc_sim::Simulator;
+use noc_sim::build_engine;
 use noc_workloads::table::{fmt_latency, Table};
 use quarc_core::{AnalyticModel, ModelOptions, ServiceCorrection, WaitingFormula};
 
@@ -69,7 +69,7 @@ fn main() {
     for load_frac in [0.3, 0.6, 0.85] {
         let rate = sat * load_frac;
         let wl = proto.at_rate(rate).unwrap();
-        let sim = Simulator::new(&topo, &wl, opts.sim_config()).run();
+        let sim = build_engine(&topo, &wl, opts.sim_config()).run();
         for (name, mo) in &variants {
             let model_mc = match AnalyticModel::new(&topo, &wl, *mo).evaluate() {
                 Ok(p) => p.multicast_latency,

@@ -14,7 +14,7 @@
 //! ```
 
 use noc_bench::cli::Options;
-use noc_sim::Simulator;
+use noc_sim::build_engine;
 use noc_topology::{Quarc, Ring, Topology};
 use noc_workloads::table::{fmt_latency, Table};
 use noc_workloads::{DestinationSets, Workload};
@@ -43,7 +43,7 @@ fn run_topo(name: &str, topo: &dyn Topology, group: usize, opts: &Options, table
                 )
             })
             .unwrap_or(f64::NAN);
-        let sim = Simulator::new(topo, &wl, opts.sim_config()).run();
+        let sim = build_engine(topo, &wl, opts.sim_config()).run();
         let (emax, ports) = match &pred {
             Ok(p) => (
                 p.multicast_latency,

@@ -10,7 +10,7 @@
 //! ```
 
 use noc_bench::cli::Options;
-use noc_sim::Simulator;
+use noc_sim::build_engine;
 use noc_topology::{Hypercube, Topology};
 use noc_workloads::table::{fmt_latency, Table};
 use noc_workloads::{DestinationSets, Workload};
@@ -43,7 +43,7 @@ fn main() {
                 Ok(p) => (p.unicast_latency, p.multicast_latency),
                 Err(_) => (f64::NAN, f64::NAN),
             };
-            let sim = Simulator::new(&topo, &wl, opts.sim_config()).run();
+            let sim = build_engine(&topo, &wl, opts.sim_config()).run();
             let err = if mm.is_finite() && sim.multicast.mean > 0.0 {
                 format!(
                     "{:.1}",

@@ -12,7 +12,7 @@
 //! ```
 
 use noc_bench::cli::Options;
-use noc_sim::Simulator;
+use noc_sim::build_engine;
 use noc_topology::{Mesh, MeshKind, Topology};
 use noc_workloads::table::{fmt_latency, Table};
 use noc_workloads::{DestinationSets, Workload};
@@ -30,7 +30,7 @@ fn run(topo: &dyn Topology, opts: &Options, table: &mut Table) {
             Ok(p) => (p.unicast_latency, p.multicast_latency),
             Err(_) => (f64::NAN, f64::NAN),
         };
-        let sim = Simulator::new(topo, &wl, opts.sim_config()).run();
+        let sim = build_engine(topo, &wl, opts.sim_config()).run();
         let err = if mm.is_finite() && sim.multicast.mean > 0.0 {
             format!(
                 "{:.1}",

@@ -15,7 +15,7 @@
 //! ```
 
 use noc_bench::cli::Options;
-use noc_sim::{SimConfig, Simulator};
+use noc_sim::{build_engine, SimConfig};
 use noc_topology::{NodeId, Quarc, Spidergon, Topology};
 use noc_workloads::table::Table;
 use noc_workloads::{DestinationSets, Workload};
@@ -25,7 +25,7 @@ use noc_workloads::{DestinationSets, Workload};
 fn idle_broadcast_latency(topo: &dyn Topology, msg_len: u32) -> u64 {
     let sets = DestinationSets::broadcast(topo);
     let wl = Workload::new(msg_len, 0.0, 0.0, sets).unwrap();
-    let mut sim = Simulator::new(topo, &wl, SimConfig::quick(1));
+    let mut sim = build_engine(topo, &wl, SimConfig::quick(1));
     sim.measure_isolated_multicast(NodeId(0))
 }
 

@@ -6,9 +6,11 @@
 //! * `--points <n>` — sweep points per panel;
 //! * `--threads <n>` — parallel workers (0 = all cores);
 //! * `--seed <n>` — master seed;
+//! * `--engine <event|cycle>` — simulation engine (default `event`;
+//!   `cycle` selects the cycle-stepped reference oracle);
 //! * `--out <dir>` — directory for CSV output (default `results/`).
 
-use noc_sim::SimConfig;
+use noc_sim::{EngineKind, SimConfig};
 use std::path::PathBuf;
 
 /// Parsed common options.
@@ -25,6 +27,8 @@ pub struct Options {
     pub threads: usize,
     /// Master seed.
     pub seed: u64,
+    /// Simulation engine.
+    pub engine: EngineKind,
     /// CSV output directory.
     pub out: PathBuf,
 }
@@ -37,6 +41,7 @@ impl Default for Options {
             points: 8,
             threads: 0,
             seed: 42,
+            engine: EngineKind::default(),
             out: PathBuf::from("results"),
         }
     }
@@ -57,16 +62,27 @@ impl Options {
                 "--points" => o.points = next_num(&mut it, "--points")? as usize,
                 "--threads" => o.threads = next_num(&mut it, "--threads")? as usize,
                 "--seed" => o.seed = next_num(&mut it, "--seed")?,
+                "--engine" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--engine needs a value".to_string())?;
+                    o.engine = match v.as_str() {
+                        "event" | "event-driven" => EngineKind::EventDriven,
+                        "cycle" => EngineKind::Cycle,
+                        other => return Err(format!("--engine: unknown engine '{other}'")),
+                    };
+                }
                 "--out" => {
                     o.out = PathBuf::from(
                         it.next()
                             .ok_or_else(|| "--out needs a directory".to_string())?,
                     )
                 }
-                "--help" | "-h" => return Err(
-                    "usage: [--quick] [--full] [--points N] [--threads N] [--seed N] [--out DIR]"
-                        .to_string(),
-                ),
+                "--help" | "-h" => {
+                    return Err("usage: [--quick] [--full] [--points N] [--threads N] \
+                         [--seed N] [--engine event|cycle] [--out DIR]"
+                        .to_string())
+                }
                 other => return Err(format!("unknown flag: {other}")),
             }
         }
@@ -87,13 +103,14 @@ impl Options {
         }
     }
 
-    /// The simulator configuration implied by `--quick`.
+    /// The simulator configuration implied by `--quick` and `--engine`.
     pub fn sim_config(&self) -> SimConfig {
-        if self.quick {
+        let base = if self.quick {
             SimConfig::quick(self.seed)
         } else {
             SimConfig::standard(self.seed)
-        }
+        };
+        base.with_engine(self.engine)
     }
 
     /// Write a CSV file under the output directory, creating it if needed.
@@ -152,6 +169,20 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.out, PathBuf::from("x"));
         assert_eq!(o.sim_config(), SimConfig::quick(7));
+    }
+
+    #[test]
+    fn engine_flag_selects_the_oracle_or_the_default() {
+        assert_eq!(parse(&[]).unwrap().engine, EngineKind::EventDriven);
+        let o = parse(&["--engine", "cycle"]).unwrap();
+        assert_eq!(o.engine, EngineKind::Cycle);
+        assert_eq!(o.sim_config().engine, EngineKind::Cycle);
+        assert_eq!(
+            parse(&["--engine", "event"]).unwrap().engine,
+            EngineKind::EventDriven
+        );
+        assert!(parse(&["--engine", "warp"]).is_err());
+        assert!(parse(&["--engine"]).is_err());
     }
 
     #[test]

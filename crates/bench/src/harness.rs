@@ -1,10 +1,11 @@
 //! The model-vs-simulation experiment harness behind Fig. 6 and Fig. 7.
 
-use noc_sim::{SimConfig, Simulator};
+use noc_sim::{build_engine_with_plan, SimConfig, SimPlan};
 use noc_topology::Quarc;
 use noc_workloads::table::{fmt_latency, Table};
 use noc_workloads::{parallel_map, DestinationSets, RateSweep, Workload};
 use quarc_core::{max_sustainable_rate, AnalyticModel, ModelOptions};
+use std::sync::Arc;
 
 /// Destination-set spatial pattern (the difference between Fig. 6 and
 /// Fig. 7).
@@ -109,6 +110,11 @@ pub fn sweep_for(cfg: &FigureConfig, points: usize) -> RateSweep {
 
 /// Evaluate one panel: model + simulation at every sweep rate
 /// (simulations run in parallel across `threads` workers).
+///
+/// The engine is selected by `sim_cfg.engine` — event-driven by default,
+/// which is what makes dense sweeps over the low-load region affordable.
+/// One [`SimPlan`] is built per panel and shared across every sweep point
+/// and worker.
 pub fn run_panel(
     cfg: &FigureConfig,
     sweep: &RateSweep,
@@ -116,6 +122,7 @@ pub fn run_panel(
     threads: usize,
 ) -> Vec<PointResult> {
     let (topo, proto) = cfg.build();
+    let plan = SimPlan::build(&topo, &proto);
     let rates: Vec<f64> = sweep.rates().to_vec();
     parallel_map(&rates, threads, |&rate| {
         let wl = proto.at_rate(rate).expect("swept rate is valid");
@@ -124,8 +131,7 @@ pub fn run_panel(
                 Ok(p) => (p.unicast_latency, p.multicast_latency),
                 Err(_) => (f64::NAN, f64::NAN),
             };
-        let mut sim = Simulator::new(&topo, &wl, sim_cfg);
-        let res = sim.run();
+        let res = build_engine_with_plan(&topo, &wl, sim_cfg, Arc::clone(&plan)).run();
         PointResult {
             rate,
             model_unicast,

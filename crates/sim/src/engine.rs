@@ -1,4 +1,4 @@
-//! The cycle-accurate wormhole engine.
+//! The cycle-stepped wormhole engine — the reference oracle.
 //!
 //! See the crate-level documentation for the node model and timing
 //! conventions. The engine state is a flat set of *channel virtual-channel*
@@ -8,10 +8,11 @@
 //!
 //! Every cycle:
 //!
-//! 1. **Generation** — each node's Poisson source may emit a unicast (path
-//!    from the precomputed table) or a multicast operation (one stream per
-//!    active injection port); new messages join the injection channel's
-//!    waiter queue (the "passive queue" in creation-time order).
+//! 1. **Generation** — each node's Poisson source ([`ArrivalStream`]) may
+//!    emit a unicast (path from the precomputed table) or a multicast
+//!    operation (one stream per active injection port); new messages join
+//!    the injection channel's waiter queue (the "passive queue" in
+//!    creation-time order).
 //! 2. **Selection** — each active physical channel picks at most one of its
 //!    cvs (round-robin) whose owner can move a flit, judged against the
 //!    *previous* cycle's counters (one-cycle credit loop).
@@ -21,52 +22,31 @@
 //!    at ejection).
 //! 4. **Grants** — released or newly requested free cvs are granted to the
 //!    FIFO head of their waiter queues.
+//!
+//! This engine advances *every* cycle, active or idle. That makes it slow
+//! at low load and trivially correct — exactly what a differential oracle
+//! should be. The production engine is [`crate::EventSimulator`], which
+//! reproduces this engine's runs bit-for-bit while skipping inert cycles.
 
 use crate::config::SimConfig;
-use crate::message::{absorb_schedule, ActiveMsg, MsgId, MulticastOp, OpId};
-use crate::results::{LatencyStats, SimResults};
-use noc_queueing::{BatchMeans, Histogram, Welford};
-use noc_topology::{ChannelKind, NodeId, Path, Topology};
+use crate::engine_api::{audit_state, AuditInput, EngineAudit, SimEngine};
+use crate::message::{ActiveMsg, CvState, MsgId, MulticastOp, OpId};
+use crate::metrics::Metrics;
+use crate::plan::SimPlan;
+use crate::results::SimResults;
+use crate::schedule::{Arrival, ArrivalStream};
+use noc_topology::{ChannelKind, NodeId, Topology};
 use noc_workloads::Workload;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Per-(channel, vc) resource state.
-#[derive(Clone, Debug, Default)]
-struct CvState {
-    /// Owning message and the hop index it holds this cv at.
-    owner: Option<(MsgId, u16)>,
-    /// Headers waiting for this cv, FIFO.
-    waiters: VecDeque<(MsgId, u16)>,
-}
-
-/// Precomputed multicast stream for one node.
-struct PreStream {
-    path: Arc<Path>,
-    absorbs: crate::message::AbsorbSchedule,
-}
-
-/// The simulator. Borrowing the topology and workload keeps runs cheap to
-/// set up inside parameter sweeps.
+/// The cycle-stepped simulator. Borrowing the topology and workload keeps
+/// runs cheap to set up inside parameter sweeps; the precomputed
+/// [`SimPlan`] can additionally be shared across runs.
 pub struct Simulator<'a> {
     topo: &'a dyn Topology,
     wl: &'a Workload,
     cfg: SimConfig,
-
-    // --- static tables ---
-    n: usize,
-    /// First cv index of each channel.
-    cv_base: Vec<u32>,
-    /// Virtual-channel count per channel.
-    vcs: Vec<u8>,
-    /// Precomputed unicast paths, `src * n + dst` (None on the diagonal).
-    unicast_paths: Vec<Option<Arc<Path>>>,
-    /// Precomputed multicast streams per source node.
-    streams: Vec<Vec<PreStream>>,
-    /// Total targets per multicast operation per node.
-    op_targets: Vec<u32>,
+    plan: Arc<SimPlan>,
 
     // --- dynamic state ---
     cycle: u64,
@@ -80,7 +60,10 @@ pub struct Simulator<'a> {
     free_msgs: Vec<MsgId>,
     ops: Vec<MulticastOp>,
     free_ops: Vec<OpId>,
-    rngs: Vec<SmallRng>,
+    ops_allocated: u64,
+    ops_completed: u64,
+    /// Per-node Poisson sources.
+    arrivals: Vec<ArrivalStream>,
     /// Messages waiting at injection channels (backlog).
     inj_backlog: usize,
     peak_backlog: usize,
@@ -94,19 +77,7 @@ pub struct Simulator<'a> {
     regrant: Vec<u32>,
 
     // --- statistics ---
-    unicast_lat: BatchMeans,
-    multicast_lat: BatchMeans,
-    multicast_hist: Histogram,
-    multicast_by_source: Vec<Welford>,
-    stream_lat: BatchMeans,
-    unicast_injected: u64,
-    unicast_delivered: u64,
-    multicast_injected: u64,
-    multicast_delivered: u64,
-    total_generated: u64,
-    total_absorbed: u64,
-    flit_moves: u64,
-    channel_traversals: Vec<u64>,
+    metrics: Metrics,
 }
 
 impl<'a> Simulator<'a> {
@@ -117,86 +88,31 @@ impl<'a> Simulator<'a> {
     /// Panics if the configuration is invalid or if `wl` has a positive
     /// multicast fraction but an empty destination set on some node.
     pub fn new(topo: &'a dyn Topology, wl: &'a Workload, cfg: SimConfig) -> Self {
+        let plan = SimPlan::build(topo, wl);
+        Simulator::with_plan(topo, wl, cfg, plan)
+    }
+
+    /// Build a simulator on a prebuilt [`SimPlan`] (shared across the runs
+    /// of a sweep, or with the event engine of a differential pair).
+    pub fn with_plan(
+        topo: &'a dyn Topology,
+        wl: &'a Workload,
+        cfg: SimConfig,
+        plan: Arc<SimPlan>,
+    ) -> Self {
         cfg.validate().expect("invalid simulator configuration");
-        let net = topo.network();
-        let n = net.num_nodes();
-        assert!(n >= 2, "need at least two nodes");
-        wl.unicast_pattern
-            .validate(n)
-            .expect("unicast pattern must fit the topology");
-        if wl.multicast_fraction > 0.0 {
-            for i in 0..n {
-                assert!(
-                    !wl.multicast_set(NodeId(i as u32)).is_empty(),
-                    "node {i} has an empty multicast set but alpha > 0"
-                );
-            }
-        }
-
-        let mut cv_base = Vec::with_capacity(net.num_channels());
-        let mut vcs = Vec::with_capacity(net.num_channels());
-        let mut acc = 0u32;
-        for ch in net.channels() {
-            cv_base.push(acc);
-            vcs.push(ch.vcs);
-            acc += ch.vcs as u32;
-        }
-        let num_cvs = acc as usize;
-
-        let mut unicast_paths: Vec<Option<Arc<Path>>> = vec![None; n * n];
-        for s in 0..n {
-            for d in 0..n {
-                if s != d {
-                    let p = topo.unicast_path(NodeId(s as u32), NodeId(d as u32));
-                    debug_assert!(net.validate_path(&p).is_ok());
-                    unicast_paths[s * n + d] = Some(Arc::new(p));
-                }
-            }
-        }
-
-        let mut streams: Vec<Vec<PreStream>> = Vec::with_capacity(n);
-        let mut op_targets = Vec::with_capacity(n);
-        for s in 0..n {
-            let src = NodeId(s as u32);
-            let set = wl.multicast_set(src);
-            let mut pre = Vec::new();
-            let mut total = 0u32;
-            if !set.is_empty() {
-                for st in topo.multicast_streams(src, set) {
-                    debug_assert!(net.validate_path(&st.path).is_ok());
-                    total += st.targets.len() as u32;
-                    let absorbs = absorb_schedule(&st.path, &st.targets, |c| net.downstream(c));
-                    pre.push(PreStream {
-                        path: Arc::new(st.path),
-                        absorbs,
-                    });
-                }
-            }
-            streams.push(pre);
-            op_targets.push(total);
-        }
-
-        let rngs = (0..n)
-            .map(|i| {
-                SmallRng::seed_from_u64(
-                    cfg.seed ^ (0xA076_1D64_78BD_642F_u64.wrapping_mul(i as u64 + 1)),
-                )
-            })
+        plan.assert_matches(topo, wl);
+        let arrivals = (0..plan.n)
+            .map(|i| ArrivalStream::new(cfg.seed, i, wl.gen_rate))
             .collect();
-
-        let channels = net.num_channels();
+        let channels = plan.num_channels;
+        let metrics = Metrics::new(&cfg, plan.n, channels);
         Simulator {
             topo,
             wl,
             cfg,
-            n,
-            cv_base,
-            vcs,
-            unicast_paths,
-            streams,
-            op_targets,
             cycle: 0,
-            cvs: vec![CvState::default(); num_cvs],
+            cvs: vec![CvState::default(); plan.num_cvs],
             rr: vec![0; channels],
             active: Vec::with_capacity(channels),
             active_flag: vec![false; channels],
@@ -204,32 +120,23 @@ impl<'a> Simulator<'a> {
             free_msgs: Vec::new(),
             ops: Vec::new(),
             free_ops: Vec::new(),
-            rngs,
+            ops_allocated: 0,
+            ops_completed: 0,
+            arrivals,
             inj_backlog: 0,
             peak_backlog: 0,
             tagged_outstanding: 0,
             last_move_cycle: 0,
             moves: Vec::new(),
             regrant: Vec::new(),
-            unicast_lat: BatchMeans::new(cfg.batch_size),
-            multicast_lat: BatchMeans::new(cfg.batch_size),
-            multicast_hist: Histogram::new(4.0, 4096),
-            multicast_by_source: vec![Welford::new(); n],
-            stream_lat: BatchMeans::new(cfg.batch_size),
-            unicast_injected: 0,
-            unicast_delivered: 0,
-            multicast_injected: 0,
-            multicast_delivered: 0,
-            total_generated: 0,
-            total_absorbed: 0,
-            flit_moves: 0,
-            channel_traversals: vec![0; channels],
+            metrics,
+            plan,
         }
     }
 
     #[inline]
     fn cv_index(&self, hop: noc_topology::Hop) -> u32 {
-        self.cv_base[hop.channel.idx()] + hop.vc.0 as u32
+        self.plan.cv_index(hop)
     }
 
     fn alloc_msg(&mut self, msg: ActiveMsg) -> MsgId {
@@ -243,6 +150,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn alloc_op(&mut self, op: MulticastOp) -> OpId {
+        self.ops_allocated += 1;
         if let Some(id) = self.free_ops.pop() {
             self.ops[id as usize] = op;
             id
@@ -269,62 +177,56 @@ impl<'a> Simulator<'a> {
         self.regrant.push(cv as u32);
     }
 
-    /// Phase 1: Poisson generation at every node.
-    fn generate(&mut self, tagging: bool) {
-        let rate = self.wl.gen_rate;
-        if rate <= 0.0 {
-            return;
-        }
-        let alpha = self.wl.multicast_fraction;
+    /// Spawn the message(s) of one arrival at `node` this cycle.
+    fn spawn(&mut self, node: usize, arrival: Arrival, tagging: bool) {
         let len = self.wl.msg_len;
         let gen = self.cycle;
-        for node in 0..self.n {
-            let arrive = self.rngs[node].gen::<f64>() < rate;
-            if !arrive {
-                continue;
-            }
-            let is_multicast = alpha > 0.0 && self.rngs[node].gen::<f64>() < alpha;
-            if is_multicast {
+        match arrival {
+            Arrival::Multicast => {
                 let op = self.alloc_op(MulticastOp {
                     src: NodeId(node as u32),
                     gen,
-                    remaining: self.op_targets[node],
+                    remaining: self.plan.op_targets[node],
                     last_absorb: gen,
                     tagged: tagging,
                 });
                 if tagging {
-                    self.multicast_injected += 1;
+                    self.metrics.multicast_injected += 1;
                     self.tagged_outstanding += 1;
                 }
-                for si in 0..self.streams[node].len() {
+                for si in 0..self.plan.streams[node].len() {
                     let (path, absorbs) = {
-                        let pre = &self.streams[node][si];
+                        let pre = &self.plan.streams[node][si];
                         (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
                     };
                     let id =
                         self.alloc_msg(ActiveMsg::stream(path, len, gen, tagging, op, absorbs));
-                    self.total_generated += 1;
+                    self.metrics.total_generated += 1;
                     self.enqueue(id);
                 }
-            } else {
-                let dst = self.wl.unicast_pattern.sample(
-                    self.n,
-                    NodeId(node as u32),
-                    &mut self.rngs[node],
-                );
-                let path = Arc::clone(
-                    self.unicast_paths[node * self.n + dst.idx()]
-                        .as_ref()
-                        .expect("off-diagonal path exists"),
-                );
+            }
+            Arrival::Unicast(dst) => {
+                let path = self.plan.unicast_path(NodeId(node as u32), dst);
                 let id = self.alloc_msg(ActiveMsg::unicast(path, len, gen, tagging));
                 if tagging {
-                    self.unicast_injected += 1;
+                    self.metrics.unicast_injected += 1;
                     self.tagged_outstanding += 1;
                 }
-                self.total_generated += 1;
+                self.metrics.total_generated += 1;
                 self.enqueue(id);
             }
+        }
+    }
+
+    /// Phase 1: Poisson generation at every node (in node order — the
+    /// deterministic spawn order both engines share).
+    fn generate(&mut self, tagging: bool) {
+        for node in 0..self.plan.n {
+            if self.arrivals[node].next_arrival() != self.cycle {
+                continue;
+            }
+            let arrival = self.arrivals[node].pop(self.wl, self.plan.n, NodeId(node as u32));
+            self.spawn(node, arrival, tagging);
         }
     }
 
@@ -336,8 +238,8 @@ impl<'a> Simulator<'a> {
         let mut i = 0;
         while i < self.active.len() {
             let pc = self.active[i] as usize;
-            let base = self.cv_base[pc];
-            let nv = self.vcs[pc];
+            let base = self.plan.cv_base[pc];
+            let nv = self.plan.vcs[pc];
             let mut any_owned = false;
             let mut chosen: Option<u8> = None;
             for j in 0..nv {
@@ -391,7 +293,7 @@ impl<'a> Simulator<'a> {
         for &(mid, h16) in &moves {
             let h = h16 as usize;
             // --- advance the flit ---
-            let (channel_of_h, header_arrived, tail_passed, prev_hop, next_hop, len) = {
+            let (channel_of_h, header_arrived, tail_passed, prev_hop, next_hop) = {
                 let msg = self.msgs[mid as usize].as_mut().unwrap();
                 msg.traversed[h] += 1;
                 let t = msg.traversed[h];
@@ -401,14 +303,9 @@ impl<'a> Simulator<'a> {
                     t == msg.len,
                     (h > 0).then(|| msg.path.hops[h - 1]),
                     (h + 1 < msg.path.len()).then(|| msg.path.hops[h + 1]),
-                    msg.len,
                 )
             };
-            let _ = len;
-            self.flit_moves += 1;
-            if measuring {
-                self.channel_traversals[channel_of_h] += 1;
-            }
+            self.metrics.record_flit_move(channel_of_h, measuring);
 
             // --- header entered buffer(h): request the next channel ---
             if header_arrived {
@@ -460,13 +357,10 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 if let Some(opid) = op_done {
+                    self.ops_completed += 1;
                     let op = &self.ops[opid as usize];
                     if op.tagged {
-                        let lat = (op.last_absorb - op.gen) as f64;
-                        self.multicast_lat.push(lat);
-                        self.multicast_hist.push(lat);
-                        self.multicast_by_source[op.src.idx()].push(lat);
-                        self.multicast_delivered += 1;
+                        self.metrics.record_op_delivery(op);
                         self.tagged_outstanding -= 1;
                     }
                     self.free_ops.push(opid);
@@ -484,7 +378,7 @@ impl<'a> Simulator<'a> {
                     debug_assert_eq!(self.cvs[cv].owner, Some((mid, h16)));
                     self.cvs[cv].owner = None;
                     self.regrant.push(cv as u32);
-                    self.total_absorbed += 1;
+                    self.metrics.total_absorbed += 1;
 
                     let (tagged, gen, is_unicast) = {
                         let msg = self.msgs[mid as usize].as_ref().unwrap();
@@ -492,12 +386,11 @@ impl<'a> Simulator<'a> {
                     };
                     if is_unicast {
                         if tagged {
-                            self.unicast_lat.push((now - gen) as f64);
-                            self.unicast_delivered += 1;
+                            self.metrics.record_unicast_delivery(now, gen);
                             self.tagged_outstanding -= 1;
                         }
                     } else if stream_tagged {
-                        self.stream_lat.push((now - stream_gen) as f64);
+                        self.metrics.record_stream_delivery(now, stream_gen);
                     }
                     // Free the slot.
                     self.msgs[mid as usize] = None;
@@ -581,36 +474,17 @@ impl<'a> Simulator<'a> {
             }
         }
 
-        let measured_cycles = self.cfg.measure_cycles.max(1) as f64;
-        let channel_utilization = self
-            .channel_traversals
-            .iter()
-            .map(|&t| t as f64 / measured_cycles)
-            .collect();
-
-        SimResults {
-            unicast: LatencyStats::from_batch_means(&self.unicast_lat),
-            multicast: LatencyStats::from_batch_means(&self.multicast_lat),
-            multicast_by_source: self
-                .multicast_by_source
-                .iter()
-                .map(LatencyStats::from_welford)
-                .collect(),
-            multicast_hist: self.multicast_hist.clone(),
-            stream: LatencyStats::from_batch_means(&self.stream_lat),
-            unicast_injected: self.unicast_injected,
-            unicast_delivered: self.unicast_delivered,
-            multicast_injected: self.multicast_injected,
-            multicast_delivered: self.multicast_delivered,
-            total_generated: self.total_generated,
-            total_absorbed: self.total_absorbed,
+        // Normalise utilisation by the cycles actually spent measuring: a
+        // run that breaks out early (saturation, backlog overflow) covers
+        // less than the configured window.
+        let measured_cycles = self.cycle.min(measure_end).saturating_sub(warmup);
+        self.metrics.finish(
             saturated,
             deadlocked,
-            cycles: self.cycle,
-            flit_moves: self.flit_moves,
-            peak_backlog: self.peak_backlog,
-            channel_utilization,
-        }
+            self.cycle,
+            self.peak_backlog,
+            measured_cycles,
+        )
     }
 
     /// Scripted-injection hook: enqueue a unicast `src → dst` *now* and
@@ -621,13 +495,9 @@ impl<'a> Simulator<'a> {
     /// Intended for deterministic micro-benchmarks and timing tests; it
     /// composes with background Poisson traffic.
     pub fn inject_unicast_now(&mut self, src: NodeId, dst: NodeId) -> MsgId {
-        let path = Arc::clone(
-            self.unicast_paths[src.idx() * self.n + dst.idx()]
-                .as_ref()
-                .unwrap(),
-        );
+        let path = self.plan.unicast_path(src, dst);
         let id = self.alloc_msg(ActiveMsg::unicast(path, self.wl.msg_len, self.cycle, false));
-        self.total_generated += 1;
+        self.metrics.total_generated += 1;
         self.enqueue(id);
         self.grant();
         id
@@ -639,20 +509,20 @@ impl<'a> Simulator<'a> {
         let gen = self.cycle;
         let node = src.idx();
         assert!(
-            !self.streams[node].is_empty(),
+            !self.plan.streams[node].is_empty(),
             "source has no multicast streams configured"
         );
         let op = self.alloc_op(MulticastOp {
             src,
             gen,
-            remaining: self.op_targets[node],
+            remaining: self.plan.op_targets[node],
             last_absorb: gen,
             tagged: false,
         });
         let mut ids = Vec::new();
-        for si in 0..self.streams[node].len() {
+        for si in 0..self.plan.streams[node].len() {
             let (path, absorbs) = {
-                let pre = &self.streams[node][si];
+                let pre = &self.plan.streams[node][si];
                 (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
             };
             let id = self.alloc_msg(ActiveMsg::stream(
@@ -663,7 +533,7 @@ impl<'a> Simulator<'a> {
                 op,
                 absorbs,
             ));
-            self.total_generated += 1;
+            self.metrics.total_generated += 1;
             self.enqueue(id);
             ids.push(id);
         }
@@ -682,19 +552,15 @@ impl<'a> Simulator<'a> {
         self.msgs[id as usize].is_some()
     }
 
-    /// Step until `id` completes, returning the completion cycle.
+    /// Step until `id` completes, returning the completion cycle (the
+    /// shared [`SimEngine::run_until_complete`] loop).
     ///
     /// # Panics
     ///
     /// Panics if the message does not complete within 1M cycles (deadlock
     /// or a forgotten zero-length path — both are bugs).
     pub fn run_until_complete(&mut self, id: MsgId) -> u64 {
-        let guard = self.cycle + 1_000_000;
-        while self.message_in_flight(id) {
-            self.step_one();
-            assert!(self.cycle < guard, "message {id} did not complete");
-        }
-        self.cycle
+        SimEngine::run_until_complete(self, id)
     }
 
     /// Inject a single message immediately (testing hook): returns the
@@ -727,6 +593,24 @@ impl<'a> Simulator<'a> {
         self.ops[op as usize].last_absorb - gen
     }
 
+    /// Structural self-check (see [`SimEngine::audit`]).
+    pub fn audit(&self) -> Result<EngineAudit, String> {
+        audit_state(AuditInput {
+            cycle: self.cycle,
+            cvs: &self.cvs,
+            msgs: &self.msgs,
+            ops: &self.ops,
+            free_ops: &self.free_ops,
+            plan: &self.plan,
+            inj_backlog: self.inj_backlog,
+            tagged_outstanding: self.tagged_outstanding,
+            ops_allocated: self.ops_allocated,
+            ops_completed: self.ops_completed,
+            total_generated: self.metrics.total_generated,
+            total_absorbed: self.metrics.total_absorbed,
+        })
+    }
+
     /// Current simulated cycle (testing/diagnostics).
     pub fn now(&self) -> u64 {
         self.cycle
@@ -745,6 +629,44 @@ impl<'a> Simulator<'a> {
             .iter()
             .filter(|c| c.kind == kind)
             .count()
+    }
+}
+
+impl SimEngine for Simulator<'_> {
+    fn run(&mut self) -> SimResults {
+        Simulator::run(self)
+    }
+
+    fn step_one(&mut self) {
+        Simulator::step_one(self)
+    }
+
+    fn now(&self) -> u64 {
+        Simulator::now(self)
+    }
+
+    fn message_in_flight(&self, id: MsgId) -> bool {
+        Simulator::message_in_flight(self, id)
+    }
+
+    fn inject_unicast_now(&mut self, src: NodeId, dst: NodeId) -> MsgId {
+        Simulator::inject_unicast_now(self, src, dst)
+    }
+
+    fn inject_multicast_now(&mut self, src: NodeId) -> Vec<MsgId> {
+        Simulator::inject_multicast_now(self, src)
+    }
+
+    fn measure_isolated_unicast(&mut self, src: NodeId, dst: NodeId) -> u64 {
+        Simulator::measure_isolated_unicast(self, src, dst)
+    }
+
+    fn measure_isolated_multicast(&mut self, src: NodeId) -> u64 {
+        Simulator::measure_isolated_multicast(self, src)
+    }
+
+    fn audit(&self) -> Result<EngineAudit, String> {
+        Simulator::audit(self)
     }
 }
 
@@ -803,6 +725,7 @@ mod tests {
             in_flight < 3000,
             "untagged in-flight backlog should be small at low load, got {in_flight}"
         );
+        sim.audit().expect("post-run audit");
     }
 
     #[test]
@@ -839,6 +762,43 @@ mod tests {
     }
 
     #[test]
+    fn early_break_normalises_utilization_by_actual_measured_cycles() {
+        // Force an early backlog break well inside the measurement window
+        // and check the utilisation denominator is the cycles actually
+        // measured, not the configured window. With the configured-window
+        // denominator the busiest channel of a saturated 8-node Quarc
+        // would read far below its true (≈1) utilisation.
+        let topo = Quarc::new(8).unwrap();
+        let sets = DestinationSets::random(&topo, 2, 3);
+        let wl = Workload::new(64, 0.9, 0.5, sets).unwrap();
+        let mut cfg = SimConfig::quick(13);
+        cfg.warmup_cycles = 100;
+        cfg.measure_cycles = 1_000_000; // never reached
+        cfg.backlog_limit = 2_000;
+        let mut sim = Simulator::new(&topo, &wl, cfg);
+        let res = sim.run();
+        assert!(res.saturated);
+        assert!(
+            res.cycles < cfg.warmup_cycles + cfg.measure_cycles,
+            "the run must have broken out early"
+        );
+        let measured = res.cycles - cfg.warmup_cycles;
+        // The busiest channel moves a flit nearly every measured cycle at
+        // this load; the old `measure_cycles` denominator would report
+        // measured / 1_000_000 ≪ 0.5.
+        assert!(
+            res.max_utilization() > 0.5,
+            "bottleneck utilisation {} should be ~1 over the {} measured cycles",
+            res.max_utilization(),
+            measured
+        );
+        assert!(
+            res.max_utilization() <= 1.0 + 1e-12,
+            "utilisation cannot exceed one flit per cycle"
+        );
+    }
+
+    #[test]
     fn deterministic_under_same_seed() {
         let topo = Quarc::new(16).unwrap();
         let sets = DestinationSets::random(&topo, 4, 5);
@@ -867,5 +827,19 @@ mod tests {
             res.multicast.mean >= res.stream.mean,
             "op latency (max over streams) must dominate stream latency"
         );
+    }
+
+    #[test]
+    fn shared_plan_reproduces_fresh_construction() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 5);
+        let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
+        let plan = SimPlan::build(&topo, &wl);
+        let a = Simulator::new(&topo, &wl, SimConfig::quick(5)).run();
+        let b = Simulator::with_plan(&topo, &wl, SimConfig::quick(5), Arc::clone(&plan)).run();
+        let c = Simulator::with_plan(&topo, &wl, SimConfig::quick(5), plan).run();
+        assert_eq!(a.flit_moves, b.flit_moves);
+        assert_eq!(a.unicast.mean, b.unicast.mean);
+        assert_eq!(b.flit_moves, c.flit_moves, "plans are reusable");
     }
 }

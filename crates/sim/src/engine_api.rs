@@ -1,0 +1,219 @@
+//! The engine abstraction: one simulation contract, two implementations.
+//!
+//! [`SimEngine`] is the interface the rest of the workspace programs
+//! against — the harness, the figure binaries and the timing tests all
+//! accept `dyn SimEngine`, so the cycle-stepped reference engine
+//! ([`crate::Simulator`]) and the event-driven engine
+//! ([`crate::EventSimulator`]) are interchangeable. [`build_engine`]
+//! dispatches on [`crate::config::EngineKind`].
+//!
+//! The two engines promise *bit-identical* runs under the same seed:
+//! identical delivered counts, identical latency samples in identical
+//! order, identical cycle counts. `tests/engine_equivalence.rs` enforces
+//! the promise differentially; [`SimEngine::audit`] exposes the structural
+//! invariants (ownership consistency, conservation counters) that the
+//! property tests check on both.
+
+use crate::config::{EngineKind, SimConfig};
+use crate::event_engine::EventSimulator;
+use crate::message::{ActiveMsg, CvState, MsgId, MulticastOp, OpId};
+use crate::plan::SimPlan;
+use crate::results::SimResults;
+use noc_topology::{NodeId, Topology};
+use noc_workloads::Workload;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A flit-level wormhole simulation engine.
+///
+/// Implementations must agree cycle-for-cycle: every method here has the
+/// exact semantics documented on the reference [`crate::Simulator`].
+pub trait SimEngine {
+    /// Run to completion and produce results.
+    fn run(&mut self) -> SimResults;
+
+    /// Advance exactly one cycle without tagging or measuring (testing
+    /// hook for cycle-precise assertions).
+    fn step_one(&mut self);
+
+    /// Current simulated cycle.
+    fn now(&self) -> u64;
+
+    /// Is the message still in the network (queued or in flight)?
+    fn message_in_flight(&self, id: MsgId) -> bool;
+
+    /// Scripted-injection hook: enqueue a unicast `src → dst` *now*,
+    /// eligible for injection next cycle.
+    fn inject_unicast_now(&mut self, src: NodeId, dst: NodeId) -> MsgId;
+
+    /// Scripted-injection hook: start `src`'s configured multicast
+    /// operation *now*; returns the ids of its port-stream messages.
+    fn inject_multicast_now(&mut self, src: NodeId) -> Vec<MsgId>;
+
+    /// Inject a single unicast on an idle network and return its latency.
+    /// Must be called on a simulator with a zero-rate workload.
+    fn measure_isolated_unicast(&mut self, src: NodeId, dst: NodeId) -> u64;
+
+    /// Inject a single multicast operation on an idle network and return
+    /// the operation latency (generation until the last target absorbs).
+    fn measure_isolated_multicast(&mut self, src: NodeId) -> u64;
+
+    /// Structural self-check: ownership consistency plus the conservation
+    /// counters. `Err` describes the first violated invariant.
+    fn audit(&self) -> Result<EngineAudit, String>;
+
+    /// Step until `id` completes, returning the completion cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message does not complete within 1M cycles (deadlock
+    /// or a forgotten zero-length path — both are bugs).
+    fn run_until_complete(&mut self, id: MsgId) -> u64 {
+        let guard = self.now() + 1_000_000;
+        while self.message_in_flight(id) {
+            self.step_one();
+            assert!(self.now() < guard, "message {id} did not complete");
+        }
+        self.now()
+    }
+}
+
+/// Snapshot of an engine's structural counters, produced by
+/// [`SimEngine::audit`] after the per-resource consistency checks pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineAudit {
+    /// Current simulated cycle.
+    pub cycle: u64,
+    /// Messages allocated and not yet absorbed (queued or in flight).
+    pub live_messages: u64,
+    /// Messages waiting at injection channels (the backlog).
+    pub queued_messages: u64,
+    /// Cv resources currently owned by a message.
+    pub owned_cvs: u64,
+    /// Multicast operations allocated and not yet completed.
+    pub live_ops: u64,
+    /// Multicast operations allocated since the start of the run.
+    pub ops_allocated: u64,
+    /// Multicast operations whose `remaining` reached zero (each op must
+    /// complete exactly once: `ops_allocated == ops_completed + live_ops`).
+    pub ops_completed: u64,
+    /// Messages generated (all classes, tagged or not).
+    pub total_generated: u64,
+    /// Messages fully absorbed by sinks.
+    pub total_absorbed: u64,
+    /// Tagged traffic still outstanding.
+    pub tagged_outstanding: u64,
+}
+
+/// Build the engine selected by `cfg.engine`.
+pub fn build_engine<'a>(
+    topo: &'a dyn Topology,
+    wl: &'a Workload,
+    cfg: SimConfig,
+) -> Box<dyn SimEngine + 'a> {
+    build_engine_with_plan(topo, wl, cfg, SimPlan::build(topo, wl))
+}
+
+/// Build the engine selected by `cfg.engine` on a prebuilt [`SimPlan`]
+/// (rate sweeps and differential pairs share one plan across runs).
+pub fn build_engine_with_plan<'a>(
+    topo: &'a dyn Topology,
+    wl: &'a Workload,
+    cfg: SimConfig,
+    plan: Arc<SimPlan>,
+) -> Box<dyn SimEngine + 'a> {
+    match cfg.engine {
+        EngineKind::Cycle => Box::new(crate::Simulator::with_plan(topo, wl, cfg, plan)),
+        EngineKind::EventDriven => Box::new(EventSimulator::with_plan(topo, wl, cfg, plan)),
+    }
+}
+
+/// Borrowed view of an engine's dynamic state for [`audit_state`].
+pub(crate) struct AuditInput<'s> {
+    pub cycle: u64,
+    pub cvs: &'s [CvState],
+    pub msgs: &'s [Option<ActiveMsg>],
+    pub ops: &'s [MulticastOp],
+    pub free_ops: &'s [OpId],
+    pub plan: &'s SimPlan,
+    pub inj_backlog: usize,
+    pub tagged_outstanding: u64,
+    pub ops_allocated: u64,
+    pub ops_completed: u64,
+    pub total_generated: u64,
+    pub total_absorbed: u64,
+}
+
+/// Shared audit over both engines' identically-shaped state: checks that
+/// every owned cv points at a live message whose path actually crosses
+/// that cv, that no (message, hop) owns two cvs, that waiters reference
+/// live messages, and that every live multicast operation still has
+/// targets outstanding.
+pub(crate) fn audit_state(inp: AuditInput<'_>) -> Result<EngineAudit, String> {
+    let mut owned_cvs = 0u64;
+    let mut holders: HashSet<(MsgId, u16)> = HashSet::new();
+    for (cv, state) in inp.cvs.iter().enumerate() {
+        if let Some((m, h)) = state.owner {
+            owned_cvs += 1;
+            let msg = inp
+                .msgs
+                .get(m as usize)
+                .and_then(|s| s.as_ref())
+                .ok_or_else(|| format!("cv {cv} owned by dead message {m}"))?;
+            let hop = *msg
+                .path
+                .hops
+                .get(h as usize)
+                .ok_or_else(|| format!("cv {cv} owner hop {h} beyond message {m}'s path"))?;
+            if inp.plan.cv_index(hop) as usize != cv {
+                return Err(format!(
+                    "cv {cv} owned by message {m} at hop {h}, but that hop maps to cv {}",
+                    inp.plan.cv_index(hop)
+                ));
+            }
+            if !holders.insert((m, h)) {
+                return Err(format!("message {m} hop {h} owns two cvs"));
+            }
+        }
+        for &(m, _) in &state.waiters {
+            if inp.msgs.get(m as usize).and_then(|s| s.as_ref()).is_none() {
+                return Err(format!("cv {cv} queues dead message {m}"));
+            }
+        }
+    }
+
+    let free: HashSet<OpId> = inp.free_ops.iter().copied().collect();
+    let live_ops = (inp.ops.len() - free.len()) as u64;
+    for (i, op) in inp.ops.iter().enumerate() {
+        if !free.contains(&(i as OpId)) && op.remaining == 0 {
+            return Err(format!("live multicast op {i} has zero targets remaining"));
+        }
+    }
+    if inp.ops_allocated != inp.ops_completed + live_ops {
+        return Err(format!(
+            "op accounting broken: {} allocated != {} completed + {} live",
+            inp.ops_allocated, inp.ops_completed, live_ops
+        ));
+    }
+
+    let live_messages = inp.msgs.iter().filter(|m| m.is_some()).count() as u64;
+    if inp.total_generated != inp.total_absorbed + live_messages {
+        return Err(format!(
+            "flit conservation broken: {} generated != {} absorbed + {} live",
+            inp.total_generated, inp.total_absorbed, live_messages
+        ));
+    }
+
+    Ok(EngineAudit {
+        cycle: inp.cycle,
+        live_messages,
+        queued_messages: inp.inj_backlog as u64,
+        owned_cvs,
+        live_ops,
+        ops_allocated: inp.ops_allocated,
+        ops_completed: inp.ops_completed,
+        total_generated: inp.total_generated,
+        total_absorbed: inp.total_absorbed,
+        tagged_outstanding: inp.tagged_outstanding,
+    })
+}

@@ -1,0 +1,1049 @@
+//! The event-driven wormhole engine.
+//!
+//! Same semantics as the cycle-stepped reference engine
+//! ([`crate::Simulator`]), different relationship with time: instead of
+//! advancing every cycle, this engine only *simulates* cycles on which the
+//! network state can change, and jumps over the rest. Runs are
+//! bit-identical to the reference under the same seed — same arrivals
+//! (both engines draw from the shared per-node [`ArrivalStream`]s), same
+//! arbitration outcomes, same statistics in the same order — which the
+//! differential suite (`tests/engine_equivalence.rs`) enforces.
+//!
+//! ## Which cycles can be skipped?
+//!
+//! A cycle is *inert* when simulating it would change nothing. Two
+//! situations guarantee that, and the engine proves them incrementally:
+//!
+//! * **Idle** — no cv is owned (`active` is empty). Then no flit can
+//!   move, no waiter exists (a waiter on a free cv would have been
+//!   granted when it enqueued), and only a new arrival changes anything.
+//! * **Stalled** — the last simulated cycle selected no moves and granted
+//!   no new owners. Selection judges supply/capacity purely on the flit
+//!   counters, which only moves mutate, and round-robin pointers only
+//!   advance on a chosen move; so if nothing moved and nothing was
+//!   granted, the next cycle's selection reaches the identical verdict.
+//!   The state is a fixpoint until the next arrival.
+//!
+//! In either situation the engine advances straight to the earliest of:
+//! the next scheduled arrival (from the binary-heap [`EventQueue`]), the
+//! end of the measurement window (where the run may terminate), the drain
+//! deadline, and — when channels are still held — the next deadlock
+//! watchdog tick. Each of those is exactly a cycle where the reference
+//! engine's run loop could newly break or its state could change, so the
+//! observable trajectory (break cycle, flags, every counter) is preserved.
+//!
+//! ## Streaming fast-forward
+//!
+//! Between structural events a wormhole message simply *streams*: every
+//! channel of its granted window moves one flit per cycle, and the cycle
+//! outcome repeats verbatim. After simulating a cycle the engine checks
+//! whether the next cycles are guaranteed replays — every active channel
+//! either moved its single owned cv (with stable supply and credit) or is
+//! stably blocked, nothing was granted, no tail/header/absorb threshold,
+//! arrival, run boundary or watchdog tick is due — and if so it applies
+//! `K` repetitions in one bulk update of the flit counters
+//! ([`EventSimulator::apply_streaming_span`]). Grant-to-grant, the
+//! per-cycle machinery only runs on cycles where arbitration can change.
+//!
+//! Together the two mechanisms collapse the cost from O(cycles) to
+//! O(structural events): injections, header hand-offs, grants and tail
+//! releases. That is the 10–50× lever the Fig. 6/7 sweeps need at low
+//! load, with the cycle engine retained as the oracle.
+
+use crate::config::SimConfig;
+use crate::engine_api::{audit_state, AuditInput, EngineAudit, SimEngine};
+use crate::message::{ActiveMsg, CvState, MsgId, MulticastOp, OpId};
+use crate::metrics::Metrics;
+use crate::plan::SimPlan;
+use crate::results::SimResults;
+use crate::schedule::{Arrival, ArrivalStream, EventQueue};
+use noc_topology::{NodeId, Topology};
+use noc_workloads::Workload;
+use std::sync::Arc;
+
+/// Deadlock-watchdog parameters, shared verbatim with the reference
+/// engine: checked on multiples of `WATCHDOG_STRIDE`, firing after
+/// `WATCHDOG_WINDOW` move-free cycles with channels still held.
+const WATCHDOG_STRIDE: u64 = 1024;
+const WATCHDOG_WINDOW: u64 = 10_000;
+
+/// The event-driven simulator — the default engine.
+pub struct EventSimulator<'a> {
+    topo: &'a dyn Topology,
+    wl: &'a Workload,
+    cfg: SimConfig,
+    plan: Arc<SimPlan>,
+
+    // --- dynamic state (same resource model as the reference engine) ---
+    cycle: u64,
+    cvs: Vec<CvState>,
+    rr: Vec<u8>,
+    active: Vec<u32>,
+    active_flag: Vec<bool>,
+    msgs: Vec<Option<ActiveMsg>>,
+    free_msgs: Vec<MsgId>,
+    ops: Vec<MulticastOp>,
+    free_ops: Vec<OpId>,
+    ops_allocated: u64,
+    ops_completed: u64,
+    inj_backlog: usize,
+    peak_backlog: usize,
+    tagged_outstanding: u64,
+    last_move_cycle: u64,
+
+    // --- event scheduling ---
+    /// Per-node Poisson sources (shared sampling code with the reference).
+    arrivals: Vec<ArrivalStream>,
+    /// Min-heap of `(next arrival cycle, node)`; same-cycle entries pop in
+    /// node order, matching the reference engine's generation loop.
+    queue: EventQueue,
+    /// The last simulated cycle moved no flit and granted no owner: the
+    /// state is a fixpoint until the next arrival (see module docs).
+    stalled: bool,
+    /// Cycles actually simulated (diagnostics: the skip ratio
+    /// `cycle / simulated_cycles` is the engine's whole point).
+    simulated_cycles: u64,
+
+    // --- scratch ---
+    moves: Vec<(MsgId, u16)>,
+    /// cv index of each entry in `moves` (parallel vector).
+    move_cvs: Vec<u32>,
+    /// Did this cv move a flit in the current cycle? (Reset lazily from
+    /// `move_cvs` at the next selection; powers the O(1) move-set lookup
+    /// of the streaming fast-forward.)
+    cv_moved: Vec<bool>,
+    /// Owned-cv count per physical channel, maintained incrementally on
+    /// grant/release (the fast-forward's single-ownership test).
+    owned_count: Vec<u8>,
+    /// Channels that moved this cycle (scratch of the fast-forward scan,
+    /// cleared before it returns).
+    channel_moved: Vec<bool>,
+    regrant: Vec<u32>,
+
+    // --- statistics ---
+    metrics: Metrics,
+}
+
+impl<'a> EventSimulator<'a> {
+    /// Build an event-driven simulator for `topo` under `wl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or if `wl` has a positive
+    /// multicast fraction but an empty destination set on some node.
+    pub fn new(topo: &'a dyn Topology, wl: &'a Workload, cfg: SimConfig) -> Self {
+        let plan = SimPlan::build(topo, wl);
+        EventSimulator::with_plan(topo, wl, cfg, plan)
+    }
+
+    /// Build on a prebuilt [`SimPlan`] (shared across sweep points and
+    /// with the reference engine of a differential pair).
+    pub fn with_plan(
+        topo: &'a dyn Topology,
+        wl: &'a Workload,
+        cfg: SimConfig,
+        plan: Arc<SimPlan>,
+    ) -> Self {
+        cfg.validate().expect("invalid simulator configuration");
+        plan.assert_matches(topo, wl);
+        let arrivals: Vec<ArrivalStream> = (0..plan.n)
+            .map(|i| ArrivalStream::new(cfg.seed, i, wl.gen_rate))
+            .collect();
+        let mut queue = EventQueue::with_capacity(plan.n);
+        for (node, stream) in arrivals.iter().enumerate() {
+            if stream.next_arrival() != u64::MAX {
+                queue.push(stream.next_arrival(), node as u32);
+            }
+        }
+        let channels = plan.num_channels;
+        let metrics = Metrics::new(&cfg, plan.n, channels);
+        EventSimulator {
+            topo,
+            wl,
+            cfg,
+            cycle: 0,
+            cvs: vec![CvState::default(); plan.num_cvs],
+            rr: vec![0; channels],
+            active: Vec::with_capacity(channels),
+            active_flag: vec![false; channels],
+            msgs: Vec::new(),
+            free_msgs: Vec::new(),
+            ops: Vec::new(),
+            free_ops: Vec::new(),
+            ops_allocated: 0,
+            ops_completed: 0,
+            inj_backlog: 0,
+            peak_backlog: 0,
+            tagged_outstanding: 0,
+            last_move_cycle: 0,
+            arrivals,
+            queue,
+            stalled: false,
+            simulated_cycles: 0,
+            moves: Vec::new(),
+            move_cvs: Vec::new(),
+            cv_moved: vec![false; plan.num_cvs],
+            owned_count: vec![0; channels],
+            channel_moved: vec![false; channels],
+            regrant: Vec::new(),
+            metrics,
+            plan,
+        }
+    }
+
+    #[inline]
+    fn cv_index(&self, hop: noc_topology::Hop) -> u32 {
+        self.plan.cv_index(hop)
+    }
+
+    fn alloc_msg(&mut self, msg: ActiveMsg) -> MsgId {
+        if let Some(id) = self.free_msgs.pop() {
+            self.msgs[id as usize] = Some(msg);
+            id
+        } else {
+            self.msgs.push(Some(msg));
+            (self.msgs.len() - 1) as MsgId
+        }
+    }
+
+    fn alloc_op(&mut self, op: MulticastOp) -> OpId {
+        self.ops_allocated += 1;
+        if let Some(id) = self.free_ops.pop() {
+            self.ops[id as usize] = op;
+            id
+        } else {
+            self.ops.push(op);
+            (self.ops.len() - 1) as OpId
+        }
+    }
+
+    fn activate(&mut self, channel: usize) {
+        if !self.active_flag[channel] {
+            self.active_flag[channel] = true;
+            self.active.push(channel as u32);
+        }
+    }
+
+    fn enqueue(&mut self, id: MsgId) {
+        let hop0 = self.msgs[id as usize].as_ref().unwrap().path.hops[0];
+        let cv = self.cv_index(hop0) as usize;
+        self.cvs[cv].waiters.push_back((id, 0));
+        self.inj_backlog += 1;
+        self.peak_backlog = self.peak_backlog.max(self.inj_backlog);
+        self.regrant.push(cv as u32);
+    }
+
+    /// Spawn the message(s) of one arrival at `node` this cycle —
+    /// identical bookkeeping to the reference engine's spawn.
+    fn spawn(&mut self, node: usize, arrival: Arrival, tagging: bool) {
+        let len = self.wl.msg_len;
+        let gen = self.cycle;
+        match arrival {
+            Arrival::Multicast => {
+                let op = self.alloc_op(MulticastOp {
+                    src: NodeId(node as u32),
+                    gen,
+                    remaining: self.plan.op_targets[node],
+                    last_absorb: gen,
+                    tagged: tagging,
+                });
+                if tagging {
+                    self.metrics.multicast_injected += 1;
+                    self.tagged_outstanding += 1;
+                }
+                for si in 0..self.plan.streams[node].len() {
+                    let (path, absorbs) = {
+                        let pre = &self.plan.streams[node][si];
+                        (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
+                    };
+                    let id =
+                        self.alloc_msg(ActiveMsg::stream(path, len, gen, tagging, op, absorbs));
+                    self.metrics.total_generated += 1;
+                    self.enqueue(id);
+                }
+            }
+            Arrival::Unicast(dst) => {
+                let path = self.plan.unicast_path(NodeId(node as u32), dst);
+                let id = self.alloc_msg(ActiveMsg::unicast(path, len, gen, tagging));
+                if tagging {
+                    self.metrics.unicast_injected += 1;
+                    self.tagged_outstanding += 1;
+                }
+                self.metrics.total_generated += 1;
+                self.enqueue(id);
+            }
+        }
+    }
+
+    /// Pop every arrival due this cycle off the heap (node-ascending for
+    /// ties) and spawn it; reschedule each source at its next firing.
+    fn generate(&mut self, tagging: bool) {
+        while let Some(node) = self.queue.pop_due(self.cycle) {
+            let n = node as usize;
+            debug_assert_eq!(self.arrivals[n].next_arrival(), self.cycle);
+            let arrival = self.arrivals[n].pop(self.wl, self.plan.n, NodeId(node));
+            self.spawn(n, arrival, tagging);
+            let next = self.arrivals[n].next_arrival();
+            if next != u64::MAX {
+                self.queue.push(next, node);
+            }
+        }
+    }
+
+    /// Selection, judged on the previous cycle's counters — byte-for-byte
+    /// the reference engine's arbitration (round-robin start, FIFO
+    /// tie-breaks, lazy deactivation order all included, because the
+    /// active-list permutation feeds the order statistics are recorded in).
+    fn select_moves(&mut self) {
+        for &cv in &self.move_cvs {
+            self.cv_moved[cv as usize] = false;
+        }
+        self.moves.clear();
+        self.move_cvs.clear();
+        let buffer_depth = self.cfg.buffer_depth;
+        let mut i = 0;
+        while i < self.active.len() {
+            let pc = self.active[i] as usize;
+            let base = self.plan.cv_base[pc];
+            let nv = self.plan.vcs[pc];
+            let mut any_owned = false;
+            let mut chosen: Option<u8> = None;
+            for j in 0..nv {
+                let vc = (self.rr[pc] + j) % nv;
+                let cv = &self.cvs[(base + vc as u32) as usize];
+                let Some((m, h)) = cv.owner else { continue };
+                any_owned = true;
+                if chosen.is_some() {
+                    continue;
+                }
+                let msg = self.msgs[m as usize].as_ref().unwrap();
+                let h = h as usize;
+                let supply = if h == 0 {
+                    msg.traversed[0] < msg.len
+                } else {
+                    msg.traversed[h] < msg.traversed[h - 1]
+                };
+                if !supply {
+                    continue;
+                }
+                if h + 1 < msg.path.len() && msg.occupancy(h) >= buffer_depth {
+                    continue;
+                }
+                chosen = Some(vc);
+            }
+            if let Some(vc) = chosen {
+                let cv_idx = base + vc as u32;
+                let (m, h) = self.cvs[cv_idx as usize].owner.unwrap();
+                self.moves.push((m, h));
+                self.move_cvs.push(cv_idx);
+                self.cv_moved[cv_idx as usize] = true;
+                self.rr[pc] = (vc + 1) % nv;
+            }
+            if any_owned {
+                i += 1;
+            } else {
+                self.active_flag[pc] = false;
+                self.active.swap_remove(i);
+            }
+        }
+    }
+
+    /// Apply the selected moves (requests, releases, absorptions,
+    /// completions) in selection order — the order statistics accumulate
+    /// in, which bit-identicality depends on.
+    fn apply_moves(&mut self, measuring: bool) {
+        let now = self.cycle;
+        let moves = std::mem::take(&mut self.moves);
+        for &(mid, h16) in &moves {
+            let h = h16 as usize;
+            let (channel_of_h, header_arrived, tail_passed, prev_hop, next_hop) = {
+                let msg = self.msgs[mid as usize].as_mut().unwrap();
+                msg.traversed[h] += 1;
+                let t = msg.traversed[h];
+                (
+                    msg.path.hops[h].channel.idx(),
+                    t == 1,
+                    t == msg.len,
+                    (h > 0).then(|| msg.path.hops[h - 1]),
+                    (h + 1 < msg.path.len()).then(|| msg.path.hops[h + 1]),
+                )
+            };
+            self.metrics.record_flit_move(channel_of_h, measuring);
+
+            if header_arrived {
+                if h == 0 {
+                    self.inj_backlog -= 1;
+                }
+                if let Some(next) = next_hop {
+                    let cv = self.cv_index(next) as usize;
+                    self.cvs[cv].waiters.push_back((mid, (h + 1) as u16));
+                    self.regrant.push(cv as u32);
+                }
+            }
+
+            if tail_passed {
+                if let Some(prev) = prev_hop {
+                    let cv = self.cv_index(prev) as usize;
+                    debug_assert_eq!(self.cvs[cv].owner, Some((mid, (h - 1) as u16)));
+                    self.cvs[cv].owner = None;
+                    self.owned_count[prev.channel.idx()] -= 1;
+                    self.regrant.push(cv as u32);
+                }
+                let mut absorbed_here = 0u32;
+                let mut op_done: Option<OpId> = None;
+                let mut stream_tagged = false;
+                let mut stream_gen = 0u64;
+                {
+                    let msg = self.msgs[mid as usize].as_mut().unwrap();
+                    if let Some(stream) = msg.multicast.as_mut() {
+                        while (stream.next_absorb as usize) < stream.absorbs.len()
+                            && stream.absorbs[stream.next_absorb as usize].0 == h16
+                        {
+                            stream.next_absorb += 1;
+                            absorbed_here += 1;
+                        }
+                        if absorbed_here > 0 {
+                            let op = &mut self.ops[stream.op as usize];
+                            op.remaining -= absorbed_here;
+                            op.last_absorb = now;
+                            if op.remaining == 0 {
+                                op_done = Some(stream.op);
+                            }
+                        }
+                        stream_tagged = msg.tagged;
+                        stream_gen = msg.gen;
+                    }
+                }
+                if let Some(opid) = op_done {
+                    self.ops_completed += 1;
+                    let op = &self.ops[opid as usize];
+                    if op.tagged {
+                        self.metrics.record_op_delivery(op);
+                        self.tagged_outstanding -= 1;
+                    }
+                    self.free_ops.push(opid);
+                }
+
+                let is_last = {
+                    let msg = self.msgs[mid as usize].as_ref().unwrap();
+                    h == msg.last_hop()
+                };
+                if is_last {
+                    let msg = self.msgs[mid as usize].as_ref().unwrap();
+                    let eject = msg.path.hops[h];
+                    let cv = self.cv_index(eject) as usize;
+                    debug_assert_eq!(self.cvs[cv].owner, Some((mid, h16)));
+                    self.cvs[cv].owner = None;
+                    self.owned_count[eject.channel.idx()] -= 1;
+                    self.regrant.push(cv as u32);
+                    self.metrics.total_absorbed += 1;
+
+                    let (tagged, gen, is_unicast) = {
+                        let msg = self.msgs[mid as usize].as_ref().unwrap();
+                        (msg.tagged, msg.gen, msg.multicast.is_none())
+                    };
+                    if is_unicast {
+                        if tagged {
+                            self.metrics.record_unicast_delivery(now, gen);
+                            self.tagged_outstanding -= 1;
+                        }
+                    } else if stream_tagged {
+                        self.metrics.record_stream_delivery(now, stream_gen);
+                    }
+                    self.msgs[mid as usize] = None;
+                    self.free_msgs.push(mid);
+                }
+            }
+        }
+        // Unlike the reference engine, keep the move set: the streaming
+        // fast-forward inspects it after the cycle (select clears it).
+        self.moves = moves;
+    }
+
+    /// Grant free channels to FIFO-first waiters; returns how many new
+    /// owners were installed (zero feeds the stall detector).
+    fn grant(&mut self) -> usize {
+        let mut granted = 0usize;
+        let regrant = std::mem::take(&mut self.regrant);
+        for &cv_u in &regrant {
+            let cv = cv_u as usize;
+            if self.cvs[cv].owner.is_none() {
+                if let Some((m, h)) = self.cvs[cv].waiters.pop_front() {
+                    self.cvs[cv].owner = Some((m, h));
+                    granted += 1;
+                    let msg = self.msgs[m as usize].as_ref().unwrap();
+                    let channel = msg.path.hops[h as usize].channel.idx();
+                    self.owned_count[channel] += 1;
+                    self.activate(channel);
+                }
+            }
+        }
+        self.regrant = regrant;
+        self.regrant.clear();
+        granted
+    }
+
+    /// Simulate exactly cycle `target` (every cycle strictly between the
+    /// current one and `target` is inert by construction — see the module
+    /// docs) and update the stall detector. Returns the number of new
+    /// grants (the streaming fast-forward needs grant-free cycles).
+    ///
+    /// `self.moves` still holds the cycle's move set afterwards, for the
+    /// fast-forward eligibility scan.
+    fn simulate_cycle(&mut self, target: u64, tagging: bool, measuring: bool) -> usize {
+        debug_assert!(target > self.cycle);
+        self.cycle = target;
+        self.simulated_cycles += 1;
+        self.generate(tagging);
+        self.select_moves();
+        let moved = !self.moves.is_empty();
+        if moved {
+            self.last_move_cycle = self.cycle;
+        }
+        self.apply_moves(measuring);
+        let granted = self.grant();
+        self.stalled = !moved && granted == 0;
+        granted
+    }
+
+    /// Did hop `h` of message `m` (with body `msg`) move this cycle?
+    /// O(1): a hop's flits cross exactly its path cv, so the per-cv moved
+    /// bitmap plus the ownership check identifies the pair. Only valid in
+    /// the streaming eligibility scan, where no release or grant has
+    /// disturbed the cycle's ownership (both are disqualifying events).
+    #[inline]
+    fn in_move_set(&self, msg: &ActiveMsg, m: MsgId, h: usize) -> bool {
+        let cv = self.plan.cv_index(msg.path.hops[h]) as usize;
+        self.cv_moved[cv] && self.cvs[cv].owner == Some((m, h as u16))
+    }
+
+    /// How many cycles after the just-simulated one are guaranteed exact
+    /// replays of its move set, with no structural event (grant, header or
+    /// tail threshold, absorb, arrival, deactivation, run boundary or
+    /// watchdog tick)? Returns 0 when the next cycle must be simulated
+    /// normally.
+    ///
+    /// Must only be called when the simulated cycle moved flits and
+    /// granted nothing.
+    fn streaming_span_len(&mut self, warmup: u64, measure_end: u64, deadline: u64) -> u64 {
+        let c = self.cycle;
+
+        // External caps: the span may not contain an arrival, cross the
+        // warmup or measurement boundary (the measuring flag must stay
+        // constant and the run loop may break at `measure_end`), or pass
+        // the drain deadline.
+        let next_arrival = self.queue.peek_time().unwrap_or(u64::MAX);
+        let mut k = next_arrival.saturating_sub(c + 1);
+        if c < warmup {
+            k = k.min(warmup - c);
+        } else if c < measure_end {
+            k = k.min(measure_end - c);
+        }
+        k = k.min(deadline.saturating_sub(c));
+        if k == 0 {
+            return 0;
+        }
+
+        // Movers: numeric caps, single-ownership, and channel marking.
+        // On the streaming fast path this loop is the whole scan.
+        let buffer_depth = self.cfg.buffer_depth;
+        let mut ok = true;
+        let moves = std::mem::take(&mut self.moves);
+        for &(m, h16) in &moves {
+            // A released/absorbed message or a crossed tail threshold
+            // means this cycle had structural aftermath (releases, lazy
+            // deactivation): let the per-cycle machinery settle it.
+            let Some(msg) = self.msgs[m as usize].as_ref() else {
+                ok = false;
+                break;
+            };
+            let h = h16 as usize;
+            let t = msg.traversed[h];
+            if t >= msg.len {
+                ok = false;
+                break;
+            }
+            let pc = msg.path.hops[h].channel.idx();
+            if self.owned_count[pc] != 1 {
+                // A sibling vc would rotate in via round-robin: not a
+                // replay.
+                ok = false;
+                break;
+            }
+            self.channel_moved[pc] = true;
+            // Stop before the tail threshold (`t == len` is a structural
+            // cycle: releases, absorbs, completions).
+            k = k.min((msg.len - 1 - t) as u64);
+            // Supply: upstream counter is frozen unless hop h−1 is also
+            // streaming in this span.
+            if h > 0 && !self.in_move_set(msg, m, h - 1) {
+                k = k.min((msg.traversed[h - 1] - t) as u64);
+            }
+            // Credit: downstream occupancy grows unless hop h+1 is also
+            // streaming.
+            if h + 1 < msg.path.len() && !self.in_move_set(msg, m, h + 1) {
+                k = k.min((buffer_depth - msg.occupancy(h)) as u64);
+            }
+            if k == 0 {
+                ok = false;
+                break;
+            }
+        }
+
+        // Blocked channels (held but not moving): every owned cv must stay
+        // unelectable for the whole span. Empty on the pure-streaming
+        // fast path.
+        if ok {
+            'channels: for &pc_u in &self.active {
+                let pc = pc_u as usize;
+                if self.channel_moved[pc] {
+                    continue;
+                }
+                if self.owned_count[pc] == 0 {
+                    // Fully released channel: the next select pass must
+                    // lazily deactivate it to keep the active-list
+                    // permutation (and with it every downstream ordering)
+                    // identical to the reference engine's.
+                    ok = false;
+                    break;
+                }
+                let base = self.plan.cv_base[pc];
+                let nv = self.plan.vcs[pc];
+                for vc in 0..nv {
+                    let Some((m, h)) = self.cvs[(base + vc as u32) as usize].owner else {
+                        continue;
+                    };
+                    let msg = self.msgs[m as usize].as_ref().unwrap();
+                    let h = h as usize;
+                    let supply = if h == 0 {
+                        msg.traversed[0] < msg.len
+                    } else {
+                        msg.traversed[h] < msg.traversed[h - 1]
+                    };
+                    if !supply {
+                        // Starved: stays starved iff the upstream hop is
+                        // not streaming (h == 0 starvation means the whole
+                        // message already crossed this hop — permanent).
+                        if h > 0 && self.in_move_set(msg, m, h - 1) {
+                            ok = false;
+                            break 'channels;
+                        }
+                    } else if h + 1 < msg.path.len() && msg.occupancy(h) >= buffer_depth {
+                        // Credit-blocked: stays blocked iff the downstream
+                        // hop is not draining.
+                        if self.in_move_set(msg, m, h + 1) {
+                            ok = false;
+                            break 'channels;
+                        }
+                    } else {
+                        // Supply and credit fine yet not selected — only
+                        // possible through round-robin interplay this scan
+                        // does not model; be conservative.
+                        ok = false;
+                        break 'channels;
+                    }
+                }
+            }
+        }
+
+        // Clear the channel marks (messages are untouched by the scan, so
+        // every marked mover is still resolvable).
+        for &(m, h16) in &moves {
+            if let Some(msg) = self.msgs[m as usize].as_ref() {
+                self.channel_moved[msg.path.hops[h16 as usize].channel.idx()] = false;
+            }
+        }
+        self.moves = moves;
+        if ok {
+            k
+        } else {
+            0
+        }
+    }
+
+    /// Apply `k` exact replays of the current move set in one step: every
+    /// moving hop advances `k` flits, time and the watchdog anchor jump to
+    /// the span's end. No grants, releases, deliveries or backlog changes
+    /// occur inside a span by construction.
+    fn apply_streaming_span(&mut self, k: u64, measuring: bool) {
+        let moves = std::mem::take(&mut self.moves);
+        for &(m, h) in &moves {
+            let msg = self.msgs[m as usize].as_mut().unwrap();
+            msg.traversed[h as usize] += k as u32;
+            let channel = msg.path.hops[h as usize].channel.idx();
+            self.metrics.record_flit_moves_bulk(channel, k, measuring);
+        }
+        self.moves = moves;
+        self.cycle += k;
+        self.last_move_cycle = self.cycle;
+    }
+
+    /// The next cycle on which anything can happen or the run loop could
+    /// newly terminate. When the network can make progress that is simply
+    /// the next cycle; when it is idle or stalled, jump to the earliest
+    /// external event.
+    fn next_cycle_of_interest(&self, measure_end: u64, deadline: u64) -> u64 {
+        let next = self.cycle + 1;
+        if !self.active.is_empty() && !self.stalled {
+            return next;
+        }
+        let mut t = self.queue.peek_time().unwrap_or(u64::MAX);
+        if self.tagged_outstanding == 0 {
+            // The run may end at the measurement boundary.
+            t = t.min(measure_end);
+        }
+        t = t.min(deadline);
+        if !self.active.is_empty() {
+            // Channels are held but nothing moves: the deadlock watchdog
+            // must fire on the same cycle the reference engine fires on.
+            t = t.min(self.next_watchdog_cycle());
+        }
+        t.max(next)
+    }
+
+    /// First stride-aligned cycle at which the watchdog condition
+    /// `cycle − last_move > window` holds.
+    fn next_watchdog_cycle(&self) -> u64 {
+        self.last_move_cycle
+            .saturating_add(WATCHDOG_WINDOW + 1)
+            .max(self.cycle + 1)
+            .next_multiple_of(WATCHDOG_STRIDE)
+    }
+
+    fn watchdog_fires(&self) -> bool {
+        self.cycle.saturating_sub(self.last_move_cycle) > WATCHDOG_WINDOW && !self.active.is_empty()
+    }
+
+    /// Run to completion and produce results — the same observable
+    /// trajectory as the reference engine's run loop, evaluated only on
+    /// cycles of interest.
+    pub fn run(&mut self) -> SimResults {
+        let warmup = self.cfg.warmup_cycles;
+        let measure_end = self.cfg.measure_end();
+        let deadline = self.cfg.deadline();
+        let mut saturated = false;
+        let mut deadlocked = false;
+
+        loop {
+            let target = self.next_cycle_of_interest(measure_end, deadline);
+            let tagging = target > warmup && target <= measure_end;
+            let granted = self.simulate_cycle(target, tagging, tagging);
+
+            if self.cycle >= measure_end && self.tagged_outstanding == 0 {
+                break;
+            }
+            if self.cycle >= deadline {
+                saturated = self.tagged_outstanding > 0;
+                break;
+            }
+            if self.inj_backlog > self.cfg.backlog_limit {
+                saturated = true;
+                break;
+            }
+            if self.cycle.is_multiple_of(WATCHDOG_STRIDE) && self.watchdog_fires() {
+                deadlocked = true;
+                saturated = true;
+                break;
+            }
+
+            // Streaming fast-forward: while nothing structural can happen,
+            // replay this cycle's move set in bulk. Only the two break
+            // conditions the span caps can land on need re-evaluation.
+            if granted == 0 && !self.moves.is_empty() {
+                let k = self.streaming_span_len(warmup, measure_end, deadline);
+                if k > 0 {
+                    let measuring = self.cycle >= warmup && self.cycle < measure_end;
+                    self.apply_streaming_span(k, measuring);
+                    if self.cycle >= measure_end && self.tagged_outstanding == 0 {
+                        break;
+                    }
+                    if self.cycle >= deadline {
+                        saturated = self.tagged_outstanding > 0;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let measured_cycles = self.cycle.min(measure_end).saturating_sub(warmup);
+        self.metrics.finish(
+            saturated,
+            deadlocked,
+            self.cycle,
+            self.peak_backlog,
+            measured_cycles,
+        )
+    }
+
+    /// Scripted-injection hook — see
+    /// [`Simulator::inject_unicast_now`](crate::Simulator::inject_unicast_now).
+    pub fn inject_unicast_now(&mut self, src: NodeId, dst: NodeId) -> MsgId {
+        let path = self.plan.unicast_path(src, dst);
+        let id = self.alloc_msg(ActiveMsg::unicast(path, self.wl.msg_len, self.cycle, false));
+        self.metrics.total_generated += 1;
+        self.enqueue(id);
+        self.grant();
+        // New work exists; whatever stall was proven before no longer holds.
+        self.stalled = false;
+        id
+    }
+
+    /// Scripted-injection hook — see
+    /// [`Simulator::inject_multicast_now`](crate::Simulator::inject_multicast_now).
+    pub fn inject_multicast_now(&mut self, src: NodeId) -> Vec<MsgId> {
+        let gen = self.cycle;
+        let node = src.idx();
+        assert!(
+            !self.plan.streams[node].is_empty(),
+            "source has no multicast streams configured"
+        );
+        let op = self.alloc_op(MulticastOp {
+            src,
+            gen,
+            remaining: self.plan.op_targets[node],
+            last_absorb: gen,
+            tagged: false,
+        });
+        let mut ids = Vec::new();
+        for si in 0..self.plan.streams[node].len() {
+            let (path, absorbs) = {
+                let pre = &self.plan.streams[node][si];
+                (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
+            };
+            let id = self.alloc_msg(ActiveMsg::stream(
+                path,
+                self.wl.msg_len,
+                gen,
+                false,
+                op,
+                absorbs,
+            ));
+            self.metrics.total_generated += 1;
+            self.enqueue(id);
+            ids.push(id);
+        }
+        self.grant();
+        self.stalled = false;
+        ids
+    }
+
+    /// Advance exactly one cycle without tagging or measuring (testing
+    /// hook for cycle-precise assertions; no skipping).
+    pub fn step_one(&mut self) {
+        self.simulate_cycle(self.cycle + 1, false, false);
+    }
+
+    /// Is the message still in the network (queued or in flight)?
+    pub fn message_in_flight(&self, id: MsgId) -> bool {
+        self.msgs[id as usize].is_some()
+    }
+
+    /// Step until `id` completes, returning the completion cycle (the
+    /// shared [`SimEngine::run_until_complete`] loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message does not complete within 1M cycles.
+    pub fn run_until_complete(&mut self, id: MsgId) -> u64 {
+        SimEngine::run_until_complete(self, id)
+    }
+
+    /// Isolated unicast latency on an idle network (testing hook).
+    pub fn measure_isolated_unicast(&mut self, src: NodeId, dst: NodeId) -> u64 {
+        assert_eq!(self.wl.gen_rate, 0.0, "requires a zero-rate workload");
+        let gen = self.cycle;
+        let id = self.inject_unicast_now(src, dst);
+        self.run_until_complete(id) - gen
+    }
+
+    /// Isolated multicast operation latency on an idle network (testing
+    /// hook).
+    pub fn measure_isolated_multicast(&mut self, src: NodeId) -> u64 {
+        assert_eq!(self.wl.gen_rate, 0.0, "requires a zero-rate workload");
+        let gen = self.cycle;
+        let ids = self.inject_multicast_now(src);
+        let op = self.msgs[ids[0] as usize]
+            .as_ref()
+            .unwrap()
+            .multicast
+            .as_ref()
+            .unwrap()
+            .op;
+        for id in ids {
+            self.run_until_complete(id);
+        }
+        self.ops[op as usize].last_absorb - gen
+    }
+
+    /// Structural self-check (see [`SimEngine::audit`]): the shared state
+    /// audit plus the event engine's incremental ownership counters.
+    pub fn audit(&self) -> Result<EngineAudit, String> {
+        for (pc, &count) in self.owned_count.iter().enumerate() {
+            let base = self.plan.cv_base[pc];
+            let nv = self.plan.vcs[pc];
+            let actual = (0..nv)
+                .filter(|&vc| self.cvs[(base + vc as u32) as usize].owner.is_some())
+                .count();
+            if actual != count as usize {
+                return Err(format!(
+                    "channel {pc}: owned-cv count drifted (cached {count}, actual {actual})"
+                ));
+            }
+        }
+        audit_state(AuditInput {
+            cycle: self.cycle,
+            cvs: &self.cvs,
+            msgs: &self.msgs,
+            ops: &self.ops,
+            free_ops: &self.free_ops,
+            plan: &self.plan,
+            inj_backlog: self.inj_backlog,
+            tagged_outstanding: self.tagged_outstanding,
+            ops_allocated: self.ops_allocated,
+            ops_completed: self.ops_completed,
+            total_generated: self.metrics.total_generated,
+            total_absorbed: self.metrics.total_absorbed,
+        })
+    }
+
+    /// Current simulated cycle (testing/diagnostics).
+    pub fn now(&self) -> u64 {
+        self.cycle
+    }
+
+    /// How many cycles were actually simulated (the rest were skipped or
+    /// fast-forwarded). Diagnostics: `now() / simulated_cycles()` is the
+    /// engine's effective compression ratio.
+    pub fn simulated_cycles(&self) -> u64 {
+        self.simulated_cycles
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo
+    }
+}
+
+impl SimEngine for EventSimulator<'_> {
+    fn run(&mut self) -> SimResults {
+        EventSimulator::run(self)
+    }
+
+    fn step_one(&mut self) {
+        EventSimulator::step_one(self)
+    }
+
+    fn now(&self) -> u64 {
+        EventSimulator::now(self)
+    }
+
+    fn message_in_flight(&self, id: MsgId) -> bool {
+        EventSimulator::message_in_flight(self, id)
+    }
+
+    fn inject_unicast_now(&mut self, src: NodeId, dst: NodeId) -> MsgId {
+        EventSimulator::inject_unicast_now(self, src, dst)
+    }
+
+    fn inject_multicast_now(&mut self, src: NodeId) -> Vec<MsgId> {
+        EventSimulator::inject_multicast_now(self, src)
+    }
+
+    fn measure_isolated_unicast(&mut self, src: NodeId, dst: NodeId) -> u64 {
+        EventSimulator::measure_isolated_unicast(self, src, dst)
+    }
+
+    fn measure_isolated_multicast(&mut self, src: NodeId) -> u64 {
+        EventSimulator::measure_isolated_multicast(self, src)
+    }
+
+    fn audit(&self) -> Result<EngineAudit, String> {
+        EventSimulator::audit(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::Quarc;
+    use noc_workloads::DestinationSets;
+
+    #[test]
+    fn zero_load_latency_is_exact() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 1);
+        let wl = Workload::new(32, 0.0, 0.0, sets).unwrap();
+        let mut sim = EventSimulator::new(&topo, &wl, SimConfig::quick(1));
+        let lat = sim.measure_isolated_unicast(NodeId(0), NodeId(8));
+        let path = topo.unicast_path(NodeId(0), NodeId(8));
+        assert_eq!(lat, 32 + path.hop_count() as u64);
+    }
+
+    #[test]
+    fn low_load_run_completes_and_audits_clean() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 3);
+        let wl = Workload::new(16, 0.004, 0.05, sets).unwrap();
+        let mut sim = EventSimulator::new(&topo, &wl, SimConfig::quick(7));
+        let res = sim.run();
+        assert!(!res.saturated);
+        assert!(res.complete());
+        assert!(res.total_generated > 0);
+        sim.audit().expect("post-run audit");
+    }
+
+    #[test]
+    fn low_load_runs_skip_most_cycles() {
+        // The engine's raison d'être: at low load, the vast majority of
+        // cycles are idle gaps or streaming spans and must not be
+        // simulated one by one.
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 3);
+        let wl = Workload::new(32, 0.0005, 0.05, sets).unwrap();
+        let mut sim = EventSimulator::new(&topo, &wl, SimConfig::quick(7));
+        let res = sim.run();
+        assert!(!res.saturated);
+        let ratio = res.cycles as f64 / sim.simulated_cycles() as f64;
+        assert!(
+            ratio > 5.0,
+            "expected >5x cycle compression at low load, got {ratio:.1} \
+             ({} simulated of {})",
+            sim.simulated_cycles(),
+            res.cycles
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 5);
+        let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
+        let a = EventSimulator::new(&topo, &wl, SimConfig::quick(99)).run();
+        let b = EventSimulator::new(&topo, &wl, SimConfig::quick(99)).run();
+        assert_eq!(a.flit_moves, b.flit_moves);
+        assert_eq!(a.unicast.mean, b.unicast.mean);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn saturation_detected_like_the_reference() {
+        let topo = Quarc::new(8).unwrap();
+        let sets = DestinationSets::random(&topo, 2, 3);
+        let wl = Workload::new(64, 0.9, 0.5, sets).unwrap();
+        let mut cfg = SimConfig::quick(13);
+        cfg.backlog_limit = 2_000;
+        let res = EventSimulator::new(&topo, &wl, cfg).run();
+        assert!(res.saturated);
+    }
+
+    #[test]
+    fn watchdog_schedule_is_stride_aligned_and_past_the_window() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 1);
+        let wl = Workload::new(16, 0.0, 0.0, sets).unwrap();
+        let sim = EventSimulator::new(&topo, &wl, SimConfig::quick(1));
+        let c = sim.next_watchdog_cycle();
+        assert_eq!(c % WATCHDOG_STRIDE, 0);
+        assert!(c > sim.last_move_cycle + WATCHDOG_WINDOW);
+    }
+}

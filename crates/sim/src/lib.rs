@@ -1,7 +1,21 @@
 //! # noc-sim
 //!
-//! A cycle-accurate, flit-level wormhole NoC simulator — the reproduction's
-//! substitute for the paper's OMNET++ discrete-event simulator (§4).
+//! A flit-level wormhole NoC simulator — the reproduction's substitute for
+//! the paper's OMNET++ discrete-event simulator (§4) — with **two
+//! engines** behind one [`SimEngine`] contract:
+//!
+//! * [`EventSimulator`] (default) — event-driven: skips provably inert
+//!   cycles and jumps between injections, grants and run boundaries.
+//!   5–50× faster at the low-load sweep points the Fig. 6/7 validation
+//!   protocol spends most of its time on.
+//! * [`Simulator`] — cycle-stepped reference oracle: advances every
+//!   cycle. Kept deliberately simple; the differential suite
+//!   (`tests/engine_equivalence.rs`) requires the event engine to
+//!   reproduce its runs bit-for-bit under a shared seed.
+//!
+//! Select the engine via the [`SimConfig`] `engine` field
+//! ([`EngineKind`]) and construct through [`build_engine`], or
+//! instantiate either engine directly.
 //!
 //! ## Model of a node (paper Fig. 5)
 //!
@@ -51,9 +65,17 @@
 
 pub mod config;
 pub mod engine;
+pub mod engine_api;
+pub mod event_engine;
 pub mod message;
+mod metrics;
+pub mod plan;
 pub mod results;
+pub mod schedule;
 
-pub use config::SimConfig;
+pub use config::{EngineKind, SimConfig};
 pub use engine::Simulator;
+pub use engine_api::{build_engine, build_engine_with_plan, EngineAudit, SimEngine};
+pub use event_engine::EventSimulator;
+pub use plan::SimPlan;
 pub use results::{LatencyStats, SimResults};

@@ -10,10 +10,22 @@
 //! * the tail has left hop `h−1`'s buffer iff `traversed[h] == len`.
 
 use noc_topology::{NodeId, Path};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Dense message identifier (index into the simulator's slab).
 pub type MsgId = u32;
+
+/// Per-(channel, vc) resource state, shared by both engines: a cv is
+/// either free or owned by one message at one hop of its path, with a
+/// FIFO list of waiting headers (the paper's non-preemptive arbitration).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CvState {
+    /// Owning message and the hop index it holds this cv at.
+    pub(crate) owner: Option<(MsgId, u16)>,
+    /// Headers waiting for this cv, FIFO.
+    pub(crate) waiters: VecDeque<(MsgId, u16)>,
+}
 
 /// Dense multicast-operation identifier.
 pub type OpId = u32;

@@ -1,0 +1,136 @@
+//! Shared measurement state of a simulation run.
+//!
+//! Both engines record deliveries through this one accumulator, so the
+//! statistics pipeline (batch means, histograms, per-source populations,
+//! conservation counters) is common code and the differential tests
+//! compare engine *dynamics*, not bookkeeping.
+
+use crate::config::SimConfig;
+use crate::message::MulticastOp;
+use crate::results::{LatencyStats, SimResults};
+use noc_queueing::{BatchMeans, Histogram, Welford};
+
+/// Latency accumulators and conservation counters of one run.
+#[derive(Clone, Debug)]
+pub(crate) struct Metrics {
+    unicast_lat: BatchMeans,
+    multicast_lat: BatchMeans,
+    multicast_hist: Histogram,
+    multicast_by_source: Vec<Welford>,
+    stream_lat: BatchMeans,
+    pub(crate) unicast_injected: u64,
+    pub(crate) unicast_delivered: u64,
+    pub(crate) multicast_injected: u64,
+    pub(crate) multicast_delivered: u64,
+    pub(crate) total_generated: u64,
+    pub(crate) total_absorbed: u64,
+    pub(crate) flit_moves: u64,
+    pub(crate) channel_traversals: Vec<u64>,
+}
+
+impl Metrics {
+    pub(crate) fn new(cfg: &SimConfig, nodes: usize, channels: usize) -> Self {
+        Metrics {
+            unicast_lat: BatchMeans::new(cfg.batch_size),
+            multicast_lat: BatchMeans::new(cfg.batch_size),
+            multicast_hist: Histogram::new(4.0, 4096),
+            multicast_by_source: vec![Welford::new(); nodes],
+            stream_lat: BatchMeans::new(cfg.batch_size),
+            unicast_injected: 0,
+            unicast_delivered: 0,
+            multicast_injected: 0,
+            multicast_delivered: 0,
+            total_generated: 0,
+            total_absorbed: 0,
+            flit_moves: 0,
+            channel_traversals: vec![0; channels],
+        }
+    }
+
+    /// One flit crossed `channel` at a cycle inside (`measuring`) or
+    /// outside the measurement window.
+    #[inline]
+    pub(crate) fn record_flit_move(&mut self, channel: usize, measuring: bool) {
+        self.flit_moves += 1;
+        if measuring {
+            self.channel_traversals[channel] += 1;
+        }
+    }
+
+    /// `k` flits crossed `channel`, one per cycle, all inside or all
+    /// outside the measurement window (the event engine's streaming
+    /// fast-forward).
+    #[inline]
+    pub(crate) fn record_flit_moves_bulk(&mut self, channel: usize, k: u64, measuring: bool) {
+        self.flit_moves += k;
+        if measuring {
+            self.channel_traversals[channel] += k;
+        }
+    }
+
+    /// A tagged unicast was absorbed at `now`.
+    pub(crate) fn record_unicast_delivery(&mut self, now: u64, gen: u64) {
+        self.unicast_lat.push((now - gen) as f64);
+        self.unicast_delivered += 1;
+    }
+
+    /// A tagged multicast operation completed (its last target absorbed
+    /// the tail at `op.last_absorb`).
+    pub(crate) fn record_op_delivery(&mut self, op: &MulticastOp) {
+        let lat = (op.last_absorb - op.gen) as f64;
+        self.multicast_lat.push(lat);
+        self.multicast_hist.push(lat);
+        self.multicast_by_source[op.src.idx()].push(lat);
+        self.multicast_delivered += 1;
+    }
+
+    /// A tagged multicast stream absorbed at its own final target.
+    pub(crate) fn record_stream_delivery(&mut self, now: u64, gen: u64) {
+        self.stream_lat.push((now - gen) as f64);
+    }
+
+    /// Assemble the run results.
+    ///
+    /// `measured_cycles` must be the number of cycles actually spent
+    /// inside the measurement window — a run that breaks out early (on
+    /// saturation or a backlog overflow) measures fewer cycles than
+    /// `cfg.measure_cycles`, and normalising by the configured window
+    /// would understate channel utilisation exactly where it matters.
+    pub(crate) fn finish(
+        &self,
+        saturated: bool,
+        deadlocked: bool,
+        cycles: u64,
+        peak_backlog: usize,
+        measured_cycles: u64,
+    ) -> SimResults {
+        let denom = measured_cycles.max(1) as f64;
+        SimResults {
+            unicast: LatencyStats::from_batch_means(&self.unicast_lat),
+            multicast: LatencyStats::from_batch_means(&self.multicast_lat),
+            multicast_by_source: self
+                .multicast_by_source
+                .iter()
+                .map(LatencyStats::from_welford)
+                .collect(),
+            multicast_hist: self.multicast_hist.clone(),
+            stream: LatencyStats::from_batch_means(&self.stream_lat),
+            unicast_injected: self.unicast_injected,
+            unicast_delivered: self.unicast_delivered,
+            multicast_injected: self.multicast_injected,
+            multicast_delivered: self.multicast_delivered,
+            total_generated: self.total_generated,
+            total_absorbed: self.total_absorbed,
+            saturated,
+            deadlocked,
+            cycles,
+            flit_moves: self.flit_moves,
+            peak_backlog,
+            channel_utilization: self
+                .channel_traversals
+                .iter()
+                .map(|&t| t as f64 / denom)
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Precomputed simulation tables shared by both engines and across runs.
+//!
+//! Building a simulator used to recompute every unicast path and multicast
+//! stream (O(n²) allocations) per run; rate sweeps and benches construct a
+//! simulator per operating point, so that cost dominated short runs. A
+//! [`SimPlan`] captures everything that depends only on `(topology,
+//! destination sets)` — channel/vc layout, unicast path table, multicast
+//! streams with absorb schedules — behind an `Arc` so many runs (and both
+//! engines of a differential pair) share one copy.
+
+use crate::message::{absorb_schedule, AbsorbSchedule};
+use noc_topology::{Hop, NodeId, Path, Topology};
+use noc_workloads::Workload;
+use std::sync::Arc;
+
+/// Precomputed multicast stream for one source node.
+#[derive(Clone, Debug)]
+pub(crate) struct PreStream {
+    pub(crate) path: Arc<Path>,
+    pub(crate) absorbs: AbsorbSchedule,
+}
+
+/// Static simulation tables for one `(topology, destination sets)` pair.
+///
+/// Independent of the generation rate, the seed and the engine, so one
+/// plan serves a whole rate sweep and both engines of a differential run.
+#[derive(Debug)]
+pub struct SimPlan {
+    pub(crate) n: usize,
+    pub(crate) num_channels: usize,
+    pub(crate) num_cvs: usize,
+    /// First cv index of each channel.
+    pub(crate) cv_base: Vec<u32>,
+    /// Virtual-channel count per channel.
+    pub(crate) vcs: Vec<u8>,
+    /// Precomputed unicast paths, `src * n + dst` (None on the diagonal).
+    pub(crate) unicast_paths: Vec<Option<Arc<Path>>>,
+    /// Precomputed multicast streams per source node.
+    pub(crate) streams: Vec<Vec<PreStream>>,
+    /// Total targets per multicast operation per node.
+    pub(crate) op_targets: Vec<u32>,
+}
+
+impl SimPlan {
+    /// Build the plan for `topo` under `wl`'s destination sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than two nodes, if the workload's
+    /// unicast pattern does not fit it, or if `wl` has a positive
+    /// multicast fraction but an empty destination set on some node.
+    pub fn build(topo: &dyn Topology, wl: &Workload) -> Arc<Self> {
+        let net = topo.network();
+        let n = net.num_nodes();
+        assert!(n >= 2, "need at least two nodes");
+        wl.unicast_pattern
+            .validate(n)
+            .expect("unicast pattern must fit the topology");
+        if wl.multicast_fraction > 0.0 {
+            for i in 0..n {
+                assert!(
+                    !wl.multicast_set(NodeId(i as u32)).is_empty(),
+                    "node {i} has an empty multicast set but alpha > 0"
+                );
+            }
+        }
+
+        let mut cv_base = Vec::with_capacity(net.num_channels());
+        let mut vcs = Vec::with_capacity(net.num_channels());
+        let mut acc = 0u32;
+        for ch in net.channels() {
+            cv_base.push(acc);
+            vcs.push(ch.vcs);
+            acc += ch.vcs as u32;
+        }
+        let num_cvs = acc as usize;
+
+        let mut unicast_paths: Vec<Option<Arc<Path>>> = vec![None; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    let p = topo.unicast_path(NodeId(s as u32), NodeId(d as u32));
+                    debug_assert!(net.validate_path(&p).is_ok());
+                    unicast_paths[s * n + d] = Some(Arc::new(p));
+                }
+            }
+        }
+
+        let mut streams: Vec<Vec<PreStream>> = Vec::with_capacity(n);
+        let mut op_targets = Vec::with_capacity(n);
+        for s in 0..n {
+            let src = NodeId(s as u32);
+            let set = wl.multicast_set(src);
+            let mut pre = Vec::new();
+            let mut total = 0u32;
+            if !set.is_empty() {
+                for st in topo.multicast_streams(src, set) {
+                    debug_assert!(net.validate_path(&st.path).is_ok());
+                    total += st.targets.len() as u32;
+                    let absorbs = absorb_schedule(&st.path, &st.targets, |c| net.downstream(c));
+                    pre.push(PreStream {
+                        path: Arc::new(st.path),
+                        absorbs,
+                    });
+                }
+            }
+            streams.push(pre);
+            op_targets.push(total);
+        }
+
+        Arc::new(SimPlan {
+            n,
+            num_channels: net.num_channels(),
+            num_cvs,
+            cv_base,
+            vcs,
+            unicast_paths,
+            streams,
+            op_targets,
+        })
+    }
+
+    /// Number of nodes in the planned network.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The cv (channel × virtual-channel) resource index of a hop.
+    #[inline]
+    pub(crate) fn cv_index(&self, hop: Hop) -> u32 {
+        self.cv_base[hop.channel.idx()] + hop.vc.0 as u32
+    }
+
+    /// Guard against pairing a plan with a foreign topology or workload:
+    /// a mismatched plan would index out of range (or worse, allocate
+    /// multicast ops that can never complete). Cheap — run at engine
+    /// construction.
+    pub(crate) fn assert_matches(&self, topo: &dyn Topology, wl: &Workload) {
+        assert_eq!(
+            self.n,
+            topo.network().num_nodes(),
+            "SimPlan was built for a different topology"
+        );
+        assert_eq!(
+            self.num_channels,
+            topo.network().num_channels(),
+            "SimPlan was built for a different channel graph"
+        );
+        if wl.multicast_fraction > 0.0 {
+            for node in 0..self.n {
+                assert!(
+                    !self.streams[node].is_empty(),
+                    "SimPlan has no multicast streams for node {node} but alpha > 0"
+                );
+            }
+        }
+    }
+
+    /// The unicast path `src → dst` (panics on the diagonal).
+    #[inline]
+    pub(crate) fn unicast_path(&self, src: NodeId, dst: NodeId) -> Arc<Path> {
+        Arc::clone(
+            self.unicast_paths[src.idx() * self.n + dst.idx()]
+                .as_ref()
+                .expect("off-diagonal path exists"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::Quarc;
+    use noc_workloads::DestinationSets;
+
+    #[test]
+    fn plan_tables_cover_the_network() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 1);
+        let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
+        let plan = SimPlan::build(&topo, &wl);
+        assert_eq!(plan.num_nodes(), 16);
+        assert_eq!(plan.cv_base.len(), plan.num_channels);
+        assert_eq!(plan.vcs.len(), plan.num_channels);
+        assert_eq!(plan.unicast_paths.len(), 256);
+        assert_eq!(
+            plan.unicast_paths.iter().filter(|p| p.is_none()).count(),
+            16,
+            "exactly the diagonal is absent"
+        );
+        for node in 0..16 {
+            assert!(!plan.streams[node].is_empty());
+            assert_eq!(plan.op_targets[node], 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty multicast set")]
+    fn plan_rejects_alpha_with_empty_sets() {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::explicit(vec![Vec::new(); 16]);
+        let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
+        let _ = SimPlan::build(&topo, &wl);
+    }
+}

@@ -1,22 +1,21 @@
-//! Cycle-precise micro scenarios with hand-derived expected timings.
+//! Cycle-precise micro scenarios with hand-derived expected timings,
+//! executed against **both** engines through the [`SimEngine`] trait.
 //!
-//! These tests pin the exact semantics of the wormhole engine: injection
+//! These tests pin the exact semantics of the wormhole engines: injection
 //! serialisation, FIFO link arbitration, blocking duration, virtual-channel
 //! bandwidth sharing and multicast/unicast equivalences. Every expected
 //! number below is derived by hand from the timing conventions in the
 //! crate docs (one flit per channel per cycle, one-cycle credit loop,
-//! grants at end of cycle).
+//! grants at end of cycle). Running each scenario on the cycle-stepped
+//! reference and the event-driven engine keeps the zero-load `L + H + 1`
+//! exactness (and every contention timing) a property of the *contract*,
+//! not of one implementation.
 
-use noc_sim::{SimConfig, Simulator};
-use noc_topology::{NodeId, Quarc};
+use noc_sim::{EngineKind, EventSimulator, SimConfig, SimEngine, Simulator};
+use noc_topology::{NodeId, Quarc, Topology};
 use noc_workloads::{DestinationSets, Workload};
 
 const L: u64 = 8; // message length in flits for these scenarios
-
-fn idle_sim(topo: &Quarc, wl: &Workload) -> SimConfig {
-    let _ = (topo, wl);
-    SimConfig::quick(1)
-}
 
 fn fixture(n: usize) -> (Quarc, Workload) {
     let topo = Quarc::new(n).unwrap();
@@ -30,6 +29,20 @@ fn isolated(links: u64) -> u64 {
     L + links + 1
 }
 
+/// Run `scenario` against a fresh engine of each kind, labelling failures
+/// with the engine under test.
+fn on_both_engines(
+    topo: &dyn Topology,
+    wl: &Workload,
+    mut scenario: impl FnMut(&mut dyn SimEngine, &str),
+) {
+    let cfg = SimConfig::quick(1);
+    let mut cycle = Simulator::new(topo, wl, cfg.with_engine(EngineKind::Cycle));
+    scenario(&mut cycle, "cycle engine");
+    let mut event = EventSimulator::new(topo, wl, cfg);
+    scenario(&mut event, "event engine");
+}
+
 #[test]
 fn back_to_back_same_port_serialise_on_the_injection_channel() {
     // Two messages from node 0 to node 2 (clockwise, same port). The
@@ -37,14 +50,15 @@ fn back_to_back_same_port_serialise_on_the_injection_channel() {
     // its buffer (traverses the first link) at g + L + 1, so it finishes
     // exactly L + 1 cycles after the first.
     let (topo, wl) = fixture(16);
-    let mut sim = Simulator::new(&topo, &wl, idle_sim(&topo, &wl));
-    let g = sim.now();
-    let m1 = sim.inject_unicast_now(NodeId(0), NodeId(2));
-    let m2 = sim.inject_unicast_now(NodeId(0), NodeId(2));
-    let t1 = sim.run_until_complete(m1);
-    let t2 = sim.run_until_complete(m2);
-    assert_eq!(t1 - g, isolated(2), "first message is unobstructed");
-    assert_eq!(t2 - t1, L + 1, "second waits for injection release");
+    on_both_engines(&topo, &wl, |sim, eng| {
+        let g = sim.now();
+        let m1 = sim.inject_unicast_now(NodeId(0), NodeId(2));
+        let m2 = sim.inject_unicast_now(NodeId(0), NodeId(2));
+        let t1 = sim.run_until_complete(m1);
+        let t2 = sim.run_until_complete(m2);
+        assert_eq!(t1 - g, isolated(2), "{eng}: first message is unobstructed");
+        assert_eq!(t2 - t1, L + 1, "{eng}: second waits for injection release");
+    });
 }
 
 #[test]
@@ -53,14 +67,15 @@ fn different_ports_of_one_node_do_not_serialise() {
     // simultaneously; the all-port router gives each its own injection
     // channel, so both complete at the isolated latency.
     let (topo, wl) = fixture(16);
-    let mut sim = Simulator::new(&topo, &wl, idle_sim(&topo, &wl));
-    let g = sim.now();
-    let m1 = sim.inject_unicast_now(NodeId(0), NodeId(2));
-    let m2 = sim.inject_unicast_now(NodeId(0), NodeId(14));
-    let t1 = sim.run_until_complete(m1);
-    let t2 = sim.run_until_complete(m2);
-    assert_eq!(t1 - g, isolated(2));
-    assert_eq!(t2 - g, isolated(2));
+    on_both_engines(&topo, &wl, |sim, eng| {
+        let g = sim.now();
+        let m1 = sim.inject_unicast_now(NodeId(0), NodeId(2));
+        let m2 = sim.inject_unicast_now(NodeId(0), NodeId(14));
+        let t1 = sim.run_until_complete(m1);
+        let t2 = sim.run_until_complete(m2);
+        assert_eq!(t1 - g, isolated(2), "{eng}");
+        assert_eq!(t2 - g, isolated(2), "{eng}");
+    });
 }
 
 #[test]
@@ -73,36 +88,38 @@ fn fifo_arbitration_earlier_request_wins_and_blocks_exactly_l_cycles() {
     //   m2 completes at g + L + 3 (isolated),
     //   m1 completes at g + 2L + 3.
     let (topo, wl) = fixture(16);
-    let mut sim = Simulator::new(&topo, &wl, idle_sim(&topo, &wl));
-    let g = sim.now();
-    let m1 = sim.inject_unicast_now(NodeId(0), NodeId(2));
-    let m2 = sim.inject_unicast_now(NodeId(1), NodeId(3));
-    let t2 = sim.run_until_complete(m2);
-    let t1 = sim.run_until_complete(m1);
-    assert_eq!(
-        t2 - g,
-        isolated(2),
-        "m2 wins arbitration and is unobstructed"
-    );
-    assert_eq!(
-        t1 - g,
-        isolated(2) + L,
-        "m1 blocks for exactly one message drain"
-    );
+    on_both_engines(&topo, &wl, |sim, eng| {
+        let g = sim.now();
+        let m1 = sim.inject_unicast_now(NodeId(0), NodeId(2));
+        let m2 = sim.inject_unicast_now(NodeId(1), NodeId(3));
+        let t2 = sim.run_until_complete(m2);
+        let t1 = sim.run_until_complete(m1);
+        assert_eq!(
+            t2 - g,
+            isolated(2),
+            "{eng}: m2 wins arbitration and is unobstructed"
+        );
+        assert_eq!(
+            t1 - g,
+            isolated(2) + L,
+            "{eng}: m1 blocks for exactly one message drain"
+        );
+    });
 }
 
 #[test]
 fn non_overlapping_paths_do_not_interact() {
     // 0 -> 2 (cw links 0,1) and 4 -> 6 (cw links 4,5): disjoint resources.
     let (topo, wl) = fixture(16);
-    let mut sim = Simulator::new(&topo, &wl, idle_sim(&topo, &wl));
-    let g = sim.now();
-    let m1 = sim.inject_unicast_now(NodeId(0), NodeId(2));
-    let m2 = sim.inject_unicast_now(NodeId(4), NodeId(6));
-    let t1 = sim.run_until_complete(m1);
-    let t2 = sim.run_until_complete(m2);
-    assert_eq!(t1 - g, isolated(2));
-    assert_eq!(t2 - g, isolated(2));
+    on_both_engines(&topo, &wl, |sim, eng| {
+        let g = sim.now();
+        let m1 = sim.inject_unicast_now(NodeId(0), NodeId(2));
+        let m2 = sim.inject_unicast_now(NodeId(4), NodeId(6));
+        let t1 = sim.run_until_complete(m1);
+        let t2 = sim.run_until_complete(m2);
+        assert_eq!(t1 - g, isolated(2), "{eng}");
+        assert_eq!(t2 - g, isolated(2), "{eng}");
+    });
 }
 
 #[test]
@@ -119,17 +136,18 @@ fn vc_multiplexing_shares_physical_bandwidth_fairly() {
     // tails absorb at exactly g + 2L + 2 — unlike strict head-of-line
     // serialisation, which would delay one of them by a full drain.
     let (topo, wl) = fixture(8);
-    let mut sim = Simulator::new(&topo, &wl, idle_sim(&topo, &wl));
-    let g = sim.now();
-    let m1 = sim.inject_unicast_now(NodeId(7), NodeId(1));
-    let m2 = sim.inject_unicast_now(NodeId(0), NodeId(2));
-    let t1 = sim.run_until_complete(m1);
-    let t2 = sim.run_until_complete(m2);
-    assert_eq!(t1 - g, 2 * L + 2, "m1 shares the link flit-by-flit");
-    assert_eq!(t2 - g, 2 * L + 2, "m2 shares the link flit-by-flit");
-    // Both beat strict serialisation (isolated + L = 2L + 3) while paying
-    // more than the isolated latency (L + 3).
-    assert!(t1 - g > isolated(2) && t1 - g < isolated(2) + L);
+    on_both_engines(&topo, &wl, |sim, eng| {
+        let g = sim.now();
+        let m1 = sim.inject_unicast_now(NodeId(7), NodeId(1));
+        let m2 = sim.inject_unicast_now(NodeId(0), NodeId(2));
+        let t1 = sim.run_until_complete(m1);
+        let t2 = sim.run_until_complete(m2);
+        assert_eq!(t1 - g, 2 * L + 2, "{eng}: m1 shares the link flit-by-flit");
+        assert_eq!(t2 - g, 2 * L + 2, "{eng}: m2 shares the link flit-by-flit");
+        // Both beat strict serialisation (isolated + L = 2L + 3) while
+        // paying more than the isolated latency (L + 3).
+        assert!(t1 - g > isolated(2) && t1 - g < isolated(2) + L, "{eng}");
+    });
 }
 
 #[test]
@@ -144,27 +162,29 @@ fn one_port_spidergon_serialises_at_the_ejection_channel() {
     let spid = Spidergon::new(8).unwrap();
     let sets = DestinationSets::random(&spid, 2, 1);
     let wl = Workload::new(L as u32, 0.0, 0.0, sets).unwrap();
-    let mut sim = Simulator::new(&spid, &wl, SimConfig::quick(1));
-    let g = sim.now();
-    let m1 = sim.inject_unicast_now(NodeId(1), NodeId(0));
-    let m2 = sim.inject_unicast_now(NodeId(7), NodeId(0));
-    let t1 = sim.run_until_complete(m1);
-    let t2 = sim.run_until_complete(m2);
-    let (w, l) = (t1.min(t2), t1.max(t2));
-    assert_eq!(w - g, L + 2, "winner is unobstructed");
-    assert_eq!(l - g, 2 * L + 2, "loser waits one full drain at ejection");
+    on_both_engines(&spid, &wl, |sim, eng| {
+        let g = sim.now();
+        let m1 = sim.inject_unicast_now(NodeId(1), NodeId(0));
+        let m2 = sim.inject_unicast_now(NodeId(7), NodeId(0));
+        let t1 = sim.run_until_complete(m1);
+        let t2 = sim.run_until_complete(m2);
+        let (w, l) = (t1.min(t2), t1.max(t2));
+        assert_eq!(w - g, L + 2, "{eng}: winner is unobstructed");
+        assert_eq!(l - g, 2 * L + 2, "{eng}: loser waits one full drain");
+    });
 
     // Same scenario on the Quarc: distinct ejection channels per input
     // direction, no contention.
     let (quarc, qwl) = fixture(8);
-    let mut qsim = Simulator::new(&quarc, &qwl, SimConfig::quick(1));
-    let g = qsim.now();
-    let q1 = qsim.inject_unicast_now(NodeId(1), NodeId(0));
-    let q2 = qsim.inject_unicast_now(NodeId(7), NodeId(0));
-    let t1 = qsim.run_until_complete(q1);
-    let t2 = qsim.run_until_complete(q2);
-    assert_eq!(t1 - g, L + 2);
-    assert_eq!(t2 - g, L + 2);
+    on_both_engines(&quarc, &qwl, |sim, eng| {
+        let g = sim.now();
+        let q1 = sim.inject_unicast_now(NodeId(1), NodeId(0));
+        let q2 = sim.inject_unicast_now(NodeId(7), NodeId(0));
+        let t1 = sim.run_until_complete(q1);
+        let t2 = sim.run_until_complete(q2);
+        assert_eq!(t1 - g, L + 2, "{eng}");
+        assert_eq!(t2 - g, L + 2, "{eng}");
+    });
 }
 
 #[test]
@@ -177,11 +197,20 @@ fn single_target_multicast_times_equal_unicast() {
             v
         });
         let wl_mc = Workload::new(L as u32, 0.0, 0.0, sets).unwrap();
-        let mut sim_mc = Simulator::new(&topo, &wl_mc, SimConfig::quick(1));
-        let mc = sim_mc.measure_isolated_multicast(NodeId(0));
-        let mut sim_uc = Simulator::new(&topo, &wl, SimConfig::quick(1));
-        let uc = sim_uc.measure_isolated_unicast(NodeId(0), NodeId(dst));
-        assert_eq!(mc, uc, "single-target multicast to {dst} equals unicast");
+        let mut results = Vec::new();
+        on_both_engines(&topo, &wl_mc, |sim, eng| {
+            let mc = sim.measure_isolated_multicast(NodeId(0));
+            results.push((eng.to_string(), mc));
+        });
+        on_both_engines(&topo, &wl, |sim, eng| {
+            let uc = sim.measure_isolated_unicast(NodeId(0), NodeId(dst));
+            for (mc_eng, mc) in &results {
+                assert_eq!(
+                    *mc, uc,
+                    "single-target multicast to {dst} ({mc_eng}) equals unicast ({eng})"
+                );
+            }
+        });
     }
 }
 
@@ -196,9 +225,10 @@ fn multicast_completion_is_the_slowest_stream() {
         v
     });
     let wl = Workload::new(L as u32, 0.0, 0.0, sets).unwrap();
-    let mut sim = Simulator::new(&topo, &wl, SimConfig::quick(1));
-    let lat = sim.measure_isolated_multicast(NodeId(0));
-    assert_eq!(lat, L + 4 + 1);
+    on_both_engines(&topo, &wl, |sim, eng| {
+        let lat = sim.measure_isolated_multicast(NodeId(0));
+        assert_eq!(lat, L + 4 + 1, "{eng}");
+    });
 }
 
 #[test]
@@ -214,11 +244,19 @@ fn absorb_and_forward_does_not_stall_the_stream() {
         v
     });
     let wl_mc = Workload::new(L as u32, 0.0, 0.0, sets).unwrap();
-    let mut sim_mc = Simulator::new(&topo, &wl_mc, SimConfig::quick(1));
-    let mc = sim_mc.measure_isolated_multicast(NodeId(0));
-    let mut sim_uc = Simulator::new(&topo, &wl, SimConfig::quick(1));
-    let uc = sim_uc.measure_isolated_unicast(NodeId(0), NodeId(5));
-    assert_eq!(mc, uc, "absorb-and-forward must be free");
+    let mut mc_results = Vec::new();
+    on_both_engines(&topo, &wl_mc, |sim, eng| {
+        mc_results.push((eng.to_string(), sim.measure_isolated_multicast(NodeId(0))));
+    });
+    on_both_engines(&topo, &wl, |sim, eng| {
+        let uc = sim.measure_isolated_unicast(NodeId(0), NodeId(5));
+        for (mc_eng, mc) in &mc_results {
+            assert_eq!(
+                *mc, uc,
+                "absorb-and-forward must be free ({mc_eng} vs {eng})"
+            );
+        }
+    });
 }
 
 #[test]
@@ -231,16 +269,67 @@ fn broadcast_behind_a_unicast_waits_one_drain_on_the_contended_port() {
     let (topo, _) = fixture(16);
     let sets = DestinationSets::broadcast(&topo);
     let wl = Workload::new(L as u32, 0.0, 0.0, sets).unwrap();
-    let mut sim = Simulator::new(&topo, &wl, SimConfig::quick(1));
-    let g = sim.now();
-    let uni = sim.inject_unicast_now(NodeId(0), NodeId(2));
-    let streams = sim.inject_multicast_now(NodeId(0));
-    for id in streams {
-        sim.run_until_complete(id);
+    on_both_engines(&topo, &wl, |sim, eng| {
+        let g = sim.now();
+        let uni = sim.inject_unicast_now(NodeId(0), NodeId(2));
+        let streams = sim.inject_multicast_now(NodeId(0));
+        for id in streams {
+            sim.run_until_complete(id);
+        }
+        let op_done = sim.now();
+        sim.run_until_complete(uni);
+        // Free streams take L + 5; the cw stream is delayed by the
+        // unicast's injection occupancy (L + 1 cycles), finishing at
+        // 2L + 6.
+        assert_eq!(op_done - g, (L + 1) + L + 5, "{eng}");
+    });
+}
+
+#[test]
+fn zero_load_l_h_1_exactness_holds_for_both_engines() {
+    // The documented identity on every engine, over a spread of pairs and
+    // message lengths (the integration sweep covers all pairs on the
+    // reference; this pins the contract for both implementations).
+    let topo = Quarc::new(16).unwrap();
+    for msg_len in [2u32, L as u32, 32] {
+        let sets = DestinationSets::random(&topo, 2, 1);
+        let wl = Workload::new(msg_len, 0.0, 0.0, sets).unwrap();
+        on_both_engines(&topo, &wl, |sim, eng| {
+            for (s, d) in [(0u32, 1u32), (0, 8), (5, 1), (3, 15)] {
+                let lat = sim.measure_isolated_unicast(NodeId(s), NodeId(d));
+                let hops = topo.unicast_path(NodeId(s), NodeId(d)).hop_count() as u64;
+                assert_eq!(
+                    lat,
+                    msg_len as u64 + hops,
+                    "{eng}: L + H + 1 identity for {s}->{d} at len {msg_len}"
+                );
+            }
+        });
     }
-    let op_done = sim.now();
-    sim.run_until_complete(uni);
-    // Free streams take L + 5; the cw stream is delayed by the unicast's
-    // injection occupancy (L + 1 cycles), finishing at 2L + 6.
-    assert_eq!(op_done - g, (L + 1) + L + 5);
+}
+
+#[test]
+fn scripted_injections_compose_with_poisson_background_on_both_engines() {
+    // The scripted hooks must behave identically under background traffic
+    // too: same seed, same background, same completion cycles.
+    let topo = Quarc::new(16).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 9);
+    let wl = Workload::new(L as u32, 0.01, 0.1, sets).unwrap();
+    let cfg = SimConfig::quick(17);
+    let mut cycle = Simulator::new(&topo, &wl, cfg.with_engine(EngineKind::Cycle));
+    let mut event = EventSimulator::new(&topo, &wl, cfg);
+    let completions: Vec<u64> = {
+        let run = |sim: &mut dyn SimEngine| {
+            for _ in 0..100 {
+                sim.step_one();
+            }
+            let id = sim.inject_unicast_now(NodeId(0), NodeId(5));
+            sim.run_until_complete(id)
+        };
+        vec![run(&mut cycle), run(&mut event)]
+    };
+    assert_eq!(
+        completions[0], completions[1],
+        "scripted injection under background traffic must agree"
+    );
 }

@@ -6,7 +6,9 @@
 //!   deterministic routing ([`noc_topology`]).
 //! * [`queueing`] — M/G/1 waiting times, exponential order statistics,
 //!   fixed-point solvers, simulation statistics ([`noc_queueing`]).
-//! * [`sim`] — the flit-level wormhole simulator ([`noc_sim`]).
+//! * [`sim`] — the flit-level wormhole simulator: an event-driven engine
+//!   (default) plus the cycle-stepped reference oracle, bit-identical
+//!   under a shared seed ([`noc_sim`]).
 //! * [`model`] — the paper's analytical unicast + multicast latency model
 //!   ([`quarc_core`]).
 //! * [`workloads`] — destination sets, scenarios and sweep execution
@@ -45,7 +47,10 @@ pub use quarc_core as model;
 pub mod prelude {
     pub use noc_queueing::expmax::expected_max_exponentials;
     pub use noc_queueing::mg1::MG1;
-    pub use noc_sim::{SimConfig, SimResults, Simulator};
+    pub use noc_sim::{
+        build_engine, EngineKind, EventSimulator, SimConfig, SimEngine, SimPlan, SimResults,
+        Simulator,
+    };
     pub use noc_topology::{
         Hypercube, Mesh, MeshKind, NodeId, PortId, Quarc, Ring, Spidergon, Topology,
     };

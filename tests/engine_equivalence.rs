@@ -1,0 +1,230 @@
+//! Differential suite: the event-driven engine must reproduce the
+//! cycle-stepped reference engine **bit-for-bit** under a shared seed —
+//! same delivered counts, same latency samples in the same order (hence
+//! bit-identical means and confidence intervals), same cycle counts, same
+//! per-channel utilisation — on every topology, at low and mid load, and
+//! across early-termination paths (saturation, backlog overflow).
+
+use quarc_noc::prelude::*;
+use quarc_noc::sim::{EngineKind, EventSimulator, SimConfig, SimResults, Simulator};
+
+/// Run both engines on the same (topology, workload, seed) and return
+/// their results as (cycle, event).
+fn both(topo: &dyn Topology, wl: &Workload, cfg: SimConfig) -> (SimResults, SimResults) {
+    let cycle = Simulator::new(topo, wl, cfg.with_engine(EngineKind::Cycle)).run();
+    let event = EventSimulator::new(topo, wl, cfg.with_engine(EngineKind::EventDriven)).run();
+    (cycle, event)
+}
+
+/// Bitwise equality for f64 statistics (NaN-safe: both engines must
+/// produce the same bits, including for empty-population NaNs).
+fn assert_f64_bits(a: f64, b: f64, what: &str, ctx: &str) {
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "{ctx}: {what} differs: cycle {a} vs event {b}"
+    );
+}
+
+fn assert_stats_equal(
+    a: &quarc_noc::sim::LatencyStats,
+    b: &quarc_noc::sim::LatencyStats,
+    ctx: &str,
+) {
+    assert_eq!(a.count, b.count, "{ctx}: sample count");
+    assert_f64_bits(a.mean, b.mean, "mean", ctx);
+    assert_f64_bits(a.ci95, b.ci95, "ci95", ctx);
+    assert_f64_bits(a.min, b.min, "min", ctx);
+    assert_f64_bits(a.max, b.max, "max", ctx);
+}
+
+fn assert_runs_identical(cycle: &SimResults, event: &SimResults, ctx: &str) {
+    // Termination trajectory.
+    assert_eq!(cycle.cycles, event.cycles, "{ctx}: cycle count");
+    assert_eq!(cycle.saturated, event.saturated, "{ctx}: saturation flag");
+    assert_eq!(cycle.deadlocked, event.deadlocked, "{ctx}: deadlock flag");
+
+    // Conservation counters.
+    assert_eq!(
+        cycle.total_generated, event.total_generated,
+        "{ctx}: generated"
+    );
+    assert_eq!(
+        cycle.total_absorbed, event.total_absorbed,
+        "{ctx}: absorbed"
+    );
+    assert_eq!(cycle.flit_moves, event.flit_moves, "{ctx}: flit moves");
+    assert_eq!(
+        cycle.peak_backlog, event.peak_backlog,
+        "{ctx}: peak backlog"
+    );
+
+    // Delivered-message counts.
+    assert_eq!(
+        cycle.unicast_injected, event.unicast_injected,
+        "{ctx}: uni inj"
+    );
+    assert_eq!(
+        cycle.unicast_delivered, event.unicast_delivered,
+        "{ctx}: uni del"
+    );
+    assert_eq!(
+        cycle.multicast_injected, event.multicast_injected,
+        "{ctx}: mc inj"
+    );
+    assert_eq!(
+        cycle.multicast_delivered, event.multicast_delivered,
+        "{ctx}: mc del"
+    );
+
+    // Latency populations, bit-identical (same samples in the same order).
+    assert_stats_equal(&cycle.unicast, &event.unicast, ctx);
+    assert_stats_equal(&cycle.multicast, &event.multicast, ctx);
+    assert_stats_equal(&cycle.stream, &event.stream, ctx);
+    assert_eq!(
+        cycle.multicast_by_source.len(),
+        event.multicast_by_source.len(),
+        "{ctx}: per-source stats arity"
+    );
+    for (i, (c, e)) in cycle
+        .multicast_by_source
+        .iter()
+        .zip(&event.multicast_by_source)
+        .enumerate()
+    {
+        assert_stats_equal(c, e, &format!("{ctx} (source {i})"));
+    }
+
+    // Histogram and per-channel utilisation, exact.
+    assert_eq!(
+        cycle.multicast_hist.bins(),
+        event.multicast_hist.bins(),
+        "{ctx}: histogram bins"
+    );
+    assert_eq!(
+        cycle.multicast_hist.overflow(),
+        event.multicast_hist.overflow(),
+        "{ctx}: histogram overflow"
+    );
+    assert_eq!(
+        cycle.channel_utilization.len(),
+        event.channel_utilization.len(),
+        "{ctx}: utilisation arity"
+    );
+    for (ch, (c, e)) in cycle
+        .channel_utilization
+        .iter()
+        .zip(&event.channel_utilization)
+        .enumerate()
+    {
+        assert_f64_bits(*c, *e, &format!("utilisation of channel {ch}"), ctx);
+    }
+}
+
+/// Seeded low/mid-load differential run on one topology.
+fn check_topology(topo: &dyn Topology, rates: &[f64], alpha: f64, group: usize, seed: u64) {
+    let sets = DestinationSets::random(topo, group, seed);
+    for &rate in rates {
+        let wl = Workload::new(16, rate, alpha, sets.clone()).unwrap();
+        let (cycle, event) = both(topo, &wl, SimConfig::quick(seed));
+        let ctx = format!("{} rate {rate}", topo.name());
+        assert!(
+            cycle.total_generated > 0,
+            "{ctx}: the run must generate traffic"
+        );
+        assert_runs_identical(&cycle, &event, &ctx);
+    }
+}
+
+#[test]
+fn quarc_low_and_mid_load_identical() {
+    let topo = Quarc::new(16).unwrap();
+    check_topology(&topo, &[0.002, 0.012], 0.05, 4, 11);
+}
+
+#[test]
+fn ring_low_and_mid_load_identical() {
+    let topo = Ring::new(9).unwrap();
+    check_topology(&topo, &[0.002, 0.010], 0.08, 3, 13);
+}
+
+#[test]
+fn mesh_low_and_mid_load_identical() {
+    let topo = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+    check_topology(&topo, &[0.002, 0.008], 0.08, 4, 17);
+}
+
+#[test]
+fn torus_low_and_mid_load_identical() {
+    let topo = Mesh::new(4, 4, MeshKind::Torus).unwrap();
+    check_topology(&topo, &[0.002, 0.008], 0.08, 4, 19);
+}
+
+#[test]
+fn spidergon_low_and_mid_load_identical() {
+    let topo = Spidergon::new(12).unwrap();
+    check_topology(&topo, &[0.001, 0.006], 0.05, 4, 23);
+}
+
+#[test]
+fn hypercube_low_and_mid_load_identical() {
+    let topo = Hypercube::new(4).unwrap();
+    check_topology(&topo, &[0.002, 0.010], 0.05, 4, 29);
+}
+
+#[test]
+fn saturating_runs_break_identically() {
+    // Early termination paths (backlog overflow / drain deadline) must
+    // happen on the same cycle with the same flags.
+    let topo = Quarc::new(8).unwrap();
+    let sets = DestinationSets::random(&topo, 2, 3);
+    let wl = Workload::new(64, 0.9, 0.5, sets).unwrap();
+    let mut cfg = SimConfig::quick(13);
+    cfg.backlog_limit = 2_000;
+    let (cycle, event) = both(&topo, &wl, cfg);
+    assert!(cycle.saturated);
+    assert_runs_identical(&cycle, &event, "quarc saturating");
+}
+
+#[test]
+fn near_knee_load_identical() {
+    // Heavy-but-draining load: the event engine spends most cycles in
+    // active stepping rather than skipping; equality must still be exact.
+    let topo = Quarc::new(16).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 7);
+    let wl = Workload::new(32, 0.02, 0.10, sets).unwrap();
+    let (cycle, event) = both(&topo, &wl, SimConfig::quick(31));
+    assert_runs_identical(&cycle, &event, "quarc near knee");
+}
+
+#[test]
+fn zero_rate_runs_terminate_identically() {
+    // With no traffic at all the run must end at the measurement boundary
+    // on both engines (the event engine jumps there in one hop).
+    let topo = Quarc::new(16).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 1);
+    let wl = Workload::new(16, 0.0, 0.0, sets).unwrap();
+    let (cycle, event) = both(&topo, &wl, SimConfig::quick(1));
+    assert_runs_identical(&cycle, &event, "quarc zero rate");
+    assert_eq!(cycle.cycles, SimConfig::quick(1).measure_end());
+}
+
+#[test]
+fn shared_plan_differential_pair_is_identical_too() {
+    // The intended production setup: one SimPlan serving both engines.
+    use quarc_noc::sim::{build_engine_with_plan, SimPlan};
+    let topo = Quarc::new(16).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 5);
+    let wl = Workload::new(16, 0.006, 0.1, sets).unwrap();
+    let plan = SimPlan::build(&topo, &wl);
+    let cfg = SimConfig::quick(43);
+    let cycle = build_engine_with_plan(
+        &topo,
+        &wl,
+        cfg.with_engine(EngineKind::Cycle),
+        std::sync::Arc::clone(&plan),
+    )
+    .run();
+    let event = build_engine_with_plan(&topo, &wl, cfg, plan).run();
+    assert_runs_identical(&cycle, &event, "quarc shared plan");
+}

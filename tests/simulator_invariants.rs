@@ -1,7 +1,9 @@
 //! Integration: structural invariants of the flit-level simulator under
 //! load — conservation, determinism, deadlock freedom, latency lower
-//! bounds and saturation behaviour.
+//! bounds and saturation behaviour — plus proptest conservation
+//! invariants for the event-driven engine over randomly drawn workloads.
 
+use proptest::prelude::*;
 use quarc_noc::prelude::*;
 use quarc_noc::sim::{SimConfig, Simulator};
 
@@ -195,4 +197,104 @@ fn buffer_depth_one_still_works_but_slower_under_load() {
         s.unicast.mean,
         d.unicast.mean
     );
+}
+
+// ---------------------------------------------------------------------------
+// Proptest conservation invariants for the event-driven engine.
+//
+// `SimEngine::audit` walks the engine's resource state and rejects any
+// structural violation (a cv owned by a dead message, a (message, hop)
+// holding two cvs, a live multicast op with zero targets remaining, broken
+// op accounting). On top of the audit these properties pin the
+// conservation laws over randomly drawn workloads:
+//
+//   * flits injected == flits absorbed + flits in flight (message
+//     granularity: every generated message is absorbed or still live);
+//   * no channel is owned by two messages (audit's per-cv walk);
+//   * every multicast op's `remaining` hits zero exactly once
+//     (ops_allocated == ops_completed + live_ops, and completed ops are
+//     recycled, never re-zeroed).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn event_engine_conserves_messages_and_ops(
+        seed in 0u64..10_000,
+        rate_milli in 1u32..=8,
+        alpha_pct in 0u32..=25,
+        msg_len in 4u32..=24,
+        group in 2usize..=6,
+    ) {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, group, seed);
+        let wl = Workload::new(
+            msg_len,
+            rate_milli as f64 * 0.001,
+            alpha_pct as f64 / 100.0,
+            sets,
+        )
+        .unwrap();
+        let mut sim = EventSimulator::new(&topo, &wl, SimConfig::quick(seed));
+        let res = sim.run();
+        let audit = sim.audit().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(
+            audit.total_generated,
+            audit.total_absorbed + audit.live_messages,
+            "message conservation"
+        );
+        prop_assert_eq!(
+            audit.ops_allocated,
+            audit.ops_completed + audit.live_ops,
+            "every multicast op completes exactly once"
+        );
+        prop_assert_eq!(audit.tagged_outstanding == 0, res.complete());
+        prop_assert!(audit.queued_messages <= audit.live_messages);
+        if !res.saturated {
+            prop_assert_eq!(res.unicast_delivered, res.unicast_injected);
+            prop_assert_eq!(res.multicast_delivered, res.multicast_injected);
+            prop_assert_eq!(audit.tagged_outstanding, 0);
+        }
+    }
+
+    #[test]
+    fn event_engine_mid_run_state_is_structurally_sound(
+        seed in 0u64..10_000,
+        steps in 50u64..400,
+        rate_milli in 2u32..=20,
+    ) {
+        // Freeze the engine mid-flight (messages queued, streaming and
+        // draining) and audit the resource graph; then drain to the end
+        // and require the conservation counters to close.
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, seed);
+        let wl = Workload::new(16, rate_milli as f64 * 0.001, 0.2, sets).unwrap();
+        let mut sim = EventSimulator::new(&topo, &wl, SimConfig::quick(seed));
+        for _ in 0..steps {
+            sim.step_one();
+        }
+        let mid = sim.audit().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(
+            mid.total_generated,
+            mid.total_absorbed + mid.live_messages,
+            "mid-run message conservation"
+        );
+        prop_assert_eq!(
+            mid.ops_allocated,
+            mid.ops_completed + mid.live_ops,
+            "mid-run op accounting"
+        );
+        // The cycle engine under the same seed must agree mid-run too.
+        let mut reference = Simulator::new(
+            &topo,
+            &wl,
+            SimConfig::quick(seed).with_engine(EngineKind::Cycle),
+        );
+        for _ in 0..steps {
+            reference.step_one();
+        }
+        let ref_mid = reference.audit().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(mid, ref_mid, "mid-run audits of the two engines");
+    }
 }
