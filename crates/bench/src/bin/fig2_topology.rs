@@ -3,36 +3,35 @@
 //! census. The doubled cross link of the Quarc is visible as two dashed
 //! `n0 -> n4` edges where the Spidergon has one.
 //!
+//! Both networks are constructed through the [`TopologySpec`] registry —
+//! the same spec strings a scenario file would use.
+//!
 //! ```text
 //! cargo run --release -p noc-bench --bin fig2-topology
 //! ```
 
 use noc_bench::cli::Options;
+use noc_bench::Result;
 use noc_topology::render::{channel_census, ring_ascii, to_dot};
-use noc_topology::{Quarc, Spidergon};
+use noc_topology::TopologySpec;
 
-fn main() {
+fn main() -> Result<()> {
     let opts = Options::from_env();
-    let quarc = Quarc::new(8).expect("8-node Quarc");
-    let spidergon = Spidergon::new(8).expect("8-node Spidergon");
+    let quarc = TopologySpec::parse("quarc-8")?.build()?;
+    let spidergon = TopologySpec::parse("spidergon-8")?.build()?;
 
     println!("== Figure 2(a): Quarc, N = 8 ==\n");
-    println!("{}", ring_ascii(&quarc));
-    let (inj, link, ej) = channel_census(&quarc);
+    println!("{}", ring_ascii(quarc.as_ref()));
+    let (inj, link, ej) = channel_census(quarc.as_ref());
     println!("channels: {inj} injection + {link} link + {ej} ejection\n");
 
     println!("== Figure 2(b): Spidergon, N = 8 ==\n");
-    println!("{}", ring_ascii(&spidergon));
-    let (inj, link, ej) = channel_census(&spidergon);
+    println!("{}", ring_ascii(spidergon.as_ref()));
+    let (inj, link, ej) = channel_census(spidergon.as_ref());
     println!("channels: {inj} injection + {link} link + {ej} ejection\n");
 
-    let dot_q = to_dot(&quarc);
-    let dot_s = to_dot(&spidergon);
-    match (
-        opts.write_csv("fig2-quarc.dot", &dot_q),
-        opts.write_csv("fig2-spidergon.dot", &dot_s),
-    ) {
-        (Ok(a), Ok(b)) => println!("wrote {} and {}", a.display(), b.display()),
-        _ => eprintln!("dot write failed"),
-    }
+    let a = opts.write_csv("fig2-quarc.dot", &to_dot(quarc.as_ref()))?;
+    let b = opts.write_csv("fig2-spidergon.dot", &to_dot(spidergon.as_ref()))?;
+    println!("wrote {} and {}", a.display(), b.display());
+    Ok(())
 }

@@ -3,26 +3,33 @@
 //! Node 0 initiates a broadcast; the four port streams carry destination
 //! addresses 4, 12, 5 and 11 (the last node visited on each rim), and the
 //! absorb-and-forward visit orders cover all 15 other nodes disjointly.
+//! The network comes from the [`TopologySpec`] registry.
 //!
 //! ```text
 //! cargo run --release -p noc-bench --bin fig3-broadcast
 //! ```
 
+use noc_bench::Result;
 use noc_topology::render::broadcast_trace;
-use noc_topology::{NodeId, Quarc, Topology};
+use noc_topology::{NodeId, TopologySpec};
 
-fn main() {
-    let quarc = Quarc::new(16).expect("16-node Quarc");
+fn main() -> Result<()> {
+    let quarc = (TopologySpec::Quarc { n: 16 }).build()?;
     println!("== Figure 3: broadcast in the Quarc NoC (N = 16) ==\n");
-    println!("{}", broadcast_trace(&quarc, NodeId(0)));
+    println!("{}", broadcast_trace(quarc.as_ref(), NodeId(0)));
 
     // Show the zero-load broadcast depth advantage over the Spidergon
     // unicast train the paper quotes (N/4 hops vs N-1 transmissions).
     let streams = quarc.broadcast_streams(NodeId(0));
-    let max_links = streams.iter().map(|s| s.path.link_count()).max().unwrap();
+    let max_links = streams
+        .iter()
+        .map(|s| s.path.link_count())
+        .max()
+        .expect("a 16-node broadcast has streams");
     println!(
         "deepest stream: {} links = N/4 (Spidergon needs N-1 = {} consecutive unicasts)",
         max_links,
         quarc.num_nodes() - 1
     );
+    Ok(())
 }

@@ -1,42 +1,22 @@
 //! Regenerates **Figure 6** of the paper: analytical model vs flit-level
 //! simulation for Quarc NoCs with **random** multicast destination sets.
 //!
-//! One panel per `(N, M, α)` configuration; each panel sweeps the per-node
-//! message generation rate from low load to just past the model's
-//! saturation horizon and reports unicast and multicast latency from both
-//! the model and the simulator, plus the relative error.
+//! One panel per `(N, M, α)` configuration, each compiled to a
+//! [`Scenario`](noc_bench::Scenario) and executed by the shared
+//! [`Runner`](noc_bench::Runner): the per-node generation rate sweeps
+//! from low load to just past the model's saturation horizon and the
+//! curve reports unicast and multicast latency from both the model and
+//! the simulator, plus the relative error.
 //!
 //! ```text
-//! cargo run --release -p noc-bench --bin fig6 -- [--quick] [--full] [--points N]
+//! cargo run --release -p noc-bench --bin fig6 -- [--quick] [--full] [--points N] [--json]
 //! ```
 
 use noc_bench::cli::Options;
-use noc_bench::harness::{default_panels, full_panels, panel_table, run_panel, sweep_for, Pattern};
+use noc_bench::harness::run_figure;
+use noc_bench::{Pattern, Result};
 
-fn main() {
+fn main() -> Result<()> {
     let opts = Options::from_env();
-    println!("== Figure 6: model vs simulation, random multicast destinations ==\n");
-    let panels = if opts.full {
-        full_panels(Pattern::Random, opts.seed)
-    } else {
-        default_panels(Pattern::Random, opts.seed)
-    };
-    for cfg in panels {
-        let sweep = sweep_for(&cfg, opts.points);
-        let points = run_panel(&cfg, &sweep, opts.sim_config(), opts.threads);
-        let table = panel_table(&points);
-        println!(
-            "panel {} (N={}, M={} flits, alpha={:.0}%, |group|={}):",
-            cfg.label(),
-            cfg.n,
-            cfg.msg_len,
-            cfg.alpha * 100.0,
-            cfg.group_size
-        );
-        println!("{}", table.to_aligned());
-        match opts.write_csv(&format!("fig6-{}.csv", cfg.label()), &table.to_csv()) {
-            Ok(path) => println!("wrote {}\n", path.display()),
-            Err(e) => eprintln!("csv write failed: {e}\n"),
-        }
-    }
+    run_figure("6", Pattern::Random, "random multicast destinations", &opts)
 }

@@ -2,37 +2,23 @@
 //! simulation for Quarc NoCs with **localized** multicast destination sets
 //! (all destinations of a node on the same rim quadrant).
 //!
+//! Panels are compiled to [`Scenario`](noc_bench::Scenario)s and executed
+//! by the shared [`Runner`](noc_bench::Runner), exactly like `fig6`.
+//!
 //! ```text
-//! cargo run --release -p noc-bench --bin fig7 -- [--quick] [--full] [--points N]
+//! cargo run --release -p noc-bench --bin fig7 -- [--quick] [--full] [--points N] [--json]
 //! ```
 
 use noc_bench::cli::Options;
-use noc_bench::harness::{default_panels, full_panels, panel_table, run_panel, sweep_for, Pattern};
+use noc_bench::harness::run_figure;
+use noc_bench::{Pattern, Result};
 
-fn main() {
+fn main() -> Result<()> {
     let opts = Options::from_env();
-    println!("== Figure 7: model vs simulation, localized multicast destinations ==\n");
-    let panels = if opts.full {
-        full_panels(Pattern::Localized, opts.seed)
-    } else {
-        default_panels(Pattern::Localized, opts.seed)
-    };
-    for cfg in panels {
-        let sweep = sweep_for(&cfg, opts.points);
-        let points = run_panel(&cfg, &sweep, opts.sim_config(), opts.threads);
-        let table = panel_table(&points);
-        println!(
-            "panel {} (N={}, M={} flits, alpha={:.0}%, |group|={}, same-rim):",
-            cfg.label(),
-            cfg.n,
-            cfg.msg_len,
-            cfg.alpha * 100.0,
-            cfg.group_size
-        );
-        println!("{}", table.to_aligned());
-        match opts.write_csv(&format!("fig7-{}.csv", cfg.label()), &table.to_csv()) {
-            Ok(path) => println!("wrote {}\n", path.display()),
-            Err(e) => eprintln!("csv write failed: {e}\n"),
-        }
-    }
+    run_figure(
+        "7",
+        Pattern::Localized,
+        "localized multicast destinations",
+        &opts,
+    )
 }

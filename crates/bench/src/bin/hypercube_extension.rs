@@ -3,20 +3,19 @@
 //! ref.\[18\]), which modelled broadcast with one-port routers and
 //! non-wormhole collectives. Here the hypercube gets one port per
 //! dimension, e-cube wormhole unicast and Gray-code dual-path multicast,
-//! and the same model-vs-simulation validation protocol as Fig. 6.
+//! and the same model-vs-simulation validation protocol as Fig. 6 — one
+//! [`Scenario`] per dimension, all through the shared [`Runner`].
 //!
 //! ```text
-//! cargo run --release -p noc-bench --bin hypercube-extension -- [--quick]
+//! cargo run --release -p noc-bench --bin hypercube-extension -- [--quick] [--json]
 //! ```
 
 use noc_bench::cli::Options;
-use noc_sim::build_engine;
-use noc_topology::{Hypercube, Topology};
+use noc_bench::{MulticastPattern, Result, Runner, Scenario, SweepSpec, WorkloadSpec};
+use noc_topology::TopologySpec;
 use noc_workloads::table::{fmt_latency, Table};
-use noc_workloads::{DestinationSets, Workload};
-use quarc_core::{max_sustainable_rate, AnalyticModel, ModelOptions};
 
-fn main() {
+fn main() -> Result<()> {
     let opts = Options::from_env();
     println!("== Extension: multi-port hypercube (cf. paper ref. 18) ==\n");
     println!("unicast: e-cube; multicast: Gray-code dual-path (m = 2)\n");
@@ -30,42 +29,42 @@ fn main() {
         "sim_mc",
         "err_mc%",
     ]);
+    let runner = Runner::new().threads(opts.threads);
     for dim in [3usize, 4, 5] {
-        let topo = Hypercube::new(dim).unwrap();
-        let n = topo.num_nodes();
-        let sets = DestinationSets::random(&topo, n / 4, opts.seed);
-        let proto = Workload::new(32, 1e-5, 0.05, sets).unwrap();
-        let mo = ModelOptions::default();
-        let sat = max_sustainable_rate(&topo, &proto, mo, 0.01);
-        for frac in [0.35, 0.7] {
-            let wl = proto.at_rate(sat * frac).unwrap();
-            let (mu, mm) = match AnalyticModel::new(&topo, &wl, mo).evaluate() {
-                Ok(p) => (p.unicast_latency, p.multicast_latency),
-                Err(_) => (f64::NAN, f64::NAN),
-            };
-            let sim = build_engine(&topo, &wl, opts.sim_config()).run();
-            let err = if mm.is_finite() && sim.multicast.mean > 0.0 {
-                format!(
-                    "{:.1}",
-                    (mm - sim.multicast.mean).abs() / sim.multicast.mean * 100.0
-                )
-            } else {
-                "-".into()
-            };
+        let topology = TopologySpec::Hypercube { dim };
+        let n = topology.num_nodes();
+        let sc = Scenario::new(
+            format!("hypercube-extension-{topology}"),
+            topology,
+            WorkloadSpec::new(32, 0.05, MulticastPattern::Random { group: n / 4 }),
+            SweepSpec::SaturationFractions {
+                fractions: vec![0.35, 0.7],
+            },
+        )
+        .with_sim(opts.sim_config())
+        .with_seed(opts.seed);
+        let result = runner.run(&sc)?;
+        for p in &result.points {
             table.push_row(vec![
                 dim.to_string(),
                 n.to_string(),
-                format!("{:.5}", sat * frac),
-                fmt_latency(mu),
-                fmt_latency(sim.unicast.mean),
-                fmt_latency(mm),
-                fmt_latency(sim.multicast.mean),
-                err,
+                format!("{:.5}", p.rate),
+                fmt_latency(p.model_unicast),
+                fmt_latency(p.sim_unicast),
+                fmt_latency(p.model_multicast),
+                fmt_latency(p.sim_multicast),
+                p.multicast_error()
+                    .map(|e| format!("{:.1}", e * 100.0))
+                    .unwrap_or_else(|| "-".into()),
             ]);
+        }
+        if opts.json {
+            result.write_json(&opts.out)?;
         }
     }
     println!("{}", table.to_aligned());
     if let Ok(p) = opts.write_csv("hypercube-extension.csv", &table.to_csv()) {
         println!("wrote {}", p.display());
     }
+    Ok(())
 }

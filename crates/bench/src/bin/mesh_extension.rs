@@ -2,56 +2,40 @@
 //! model to mesh and torus topologies.
 //!
 //! Unicast uses XY / dimension-ordered routing; multicast uses the
-//! dual-path Hamiltonian scheme (two asynchronous streams, `m = 2`). The
-//! table compares the analytical model against the flit-level simulator on
-//! both topologies across a small rate sweep — the same validation protocol
-//! as Fig. 6, transplanted to the new networks.
+//! dual-path Hamiltonian scheme (two asynchronous streams, `m = 2`). Both
+//! networks share one declarative [`Scenario`] shape — only the
+//! [`TopologySpec`] differs — executed by the common [`Runner`]: the same
+//! validation protocol as Fig. 6, transplanted to the new networks.
 //!
 //! ```text
-//! cargo run --release -p noc-bench --bin mesh-extension -- [--quick]
+//! cargo run --release -p noc-bench --bin mesh-extension -- [--quick] [--json]
 //! ```
 
 use noc_bench::cli::Options;
-use noc_sim::build_engine;
-use noc_topology::{Mesh, MeshKind, Topology};
+use noc_bench::{MulticastPattern, Result, Runner, Scenario, SweepSpec, WorkloadSpec};
+use noc_topology::TopologySpec;
 use noc_workloads::table::{fmt_latency, Table};
-use noc_workloads::{DestinationSets, Workload};
-use quarc_core::{max_sustainable_rate, AnalyticModel, ModelOptions};
 
-fn run(topo: &dyn Topology, opts: &Options, table: &mut Table) {
-    let sets = DestinationSets::random(topo, topo.num_nodes() / 4, opts.seed);
-    let proto = Workload::new(32, 1e-5, 0.05, sets).unwrap();
-    let mo = ModelOptions::default();
-    let sat = max_sustainable_rate(topo, &proto, mo, 0.01);
-    for frac in [0.3, 0.6, 0.9] {
-        let rate = sat * frac;
-        let wl = proto.at_rate(rate).unwrap();
-        let (mu, mm) = match AnalyticModel::new(topo, &wl, mo).evaluate() {
-            Ok(p) => (p.unicast_latency, p.multicast_latency),
-            Err(_) => (f64::NAN, f64::NAN),
-        };
-        let sim = build_engine(topo, &wl, opts.sim_config()).run();
-        let err = if mm.is_finite() && sim.multicast.mean > 0.0 {
-            format!(
-                "{:.1}",
-                (mm - sim.multicast.mean).abs() / sim.multicast.mean * 100.0
-            )
-        } else {
-            "-".into()
-        };
-        table.push_row(vec![
-            topo.name().to_string(),
-            format!("{:.5}", rate),
-            fmt_latency(mu),
-            fmt_latency(sim.unicast.mean),
-            fmt_latency(mm),
-            fmt_latency(sim.multicast.mean),
-            err,
-        ]);
-    }
+fn scenario(topology: TopologySpec, opts: &Options) -> Scenario {
+    Scenario::new(
+        format!("mesh-extension-{topology}"),
+        topology,
+        WorkloadSpec::new(
+            32,
+            0.05,
+            MulticastPattern::Random {
+                group: topology.num_nodes() / 4,
+            },
+        ),
+        SweepSpec::SaturationFractions {
+            fractions: vec![0.3, 0.6, 0.9],
+        },
+    )
+    .with_sim(opts.sim_config())
+    .with_seed(opts.seed)
 }
 
-fn main() {
+fn main() -> Result<()> {
     let opts = Options::from_env();
     println!("== Extension: multi-port mesh and torus (paper §5 future work) ==\n");
     println!("unicast: XY routing; multicast: dual-path Hamiltonian (m = 2)\n");
@@ -64,12 +48,39 @@ fn main() {
         "sim_mc",
         "err_mc%",
     ]);
-    let mesh = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
-    run(&mesh, &opts, &mut table);
-    let torus = Mesh::new(4, 4, MeshKind::Torus).unwrap();
-    run(&torus, &opts, &mut table);
+    let runner = Runner::new().threads(opts.threads);
+    for topology in [
+        TopologySpec::Mesh {
+            width: 4,
+            height: 4,
+        },
+        TopologySpec::Torus {
+            width: 4,
+            height: 4,
+        },
+    ] {
+        let sc = scenario(topology, &opts);
+        let result = runner.run(&sc)?;
+        for p in &result.points {
+            table.push_row(vec![
+                topology.kind_name().to_string(),
+                format!("{:.5}", p.rate),
+                fmt_latency(p.model_unicast),
+                fmt_latency(p.sim_unicast),
+                fmt_latency(p.model_multicast),
+                fmt_latency(p.sim_multicast),
+                p.multicast_error()
+                    .map(|e| format!("{:.1}", e * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        if opts.json {
+            result.write_json(&opts.out)?;
+        }
+    }
     println!("{}", table.to_aligned());
     if let Ok(p) = opts.write_csv("mesh-extension.csv", &table.to_csv()) {
         println!("wrote {}", p.display());
     }
+    Ok(())
 }

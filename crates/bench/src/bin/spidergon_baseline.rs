@@ -1,7 +1,8 @@
 //! Baseline comparison motivating the Quarc (paper §3.1–3.2): collective
 //! latency of the Quarc's true multicast vs the Spidergon's
 //! broadcast-by-consecutive-unicast, measured in simulation on otherwise
-//! idle networks and under background unicast load.
+//! idle networks. Each `(topology, N)` cell is a broadcast [`Scenario`]
+//! measured through [`Runner::isolated_multicast`].
 //!
 //! The paper's qualitative claims reproduced here:
 //!
@@ -15,21 +16,25 @@
 //! ```
 
 use noc_bench::cli::Options;
-use noc_sim::{build_engine, SimConfig};
-use noc_topology::{NodeId, Quarc, Spidergon, Topology};
+use noc_bench::{MulticastPattern, Result, Runner, Scenario, SweepSpec, WorkloadSpec};
+use noc_sim::SimConfig;
+use noc_topology::{NodeId, TopologySpec};
 use noc_workloads::table::Table;
-use noc_workloads::{DestinationSets, Workload};
 
-/// Zero-load broadcast latency measured by injecting one broadcast on an
-/// idle network.
-fn idle_broadcast_latency(topo: &dyn Topology, msg_len: u32) -> u64 {
-    let sets = DestinationSets::broadcast(topo);
-    let wl = Workload::new(msg_len, 0.0, 0.0, sets).unwrap();
-    let mut sim = build_engine(topo, &wl, SimConfig::quick(1));
-    sim.measure_isolated_multicast(NodeId(0))
+/// Zero-load broadcast latency: one broadcast injected on an idle network.
+fn idle_broadcast_latency(topology: TopologySpec, msg_len: u32) -> Result<u64> {
+    let sc = Scenario::new(
+        format!("idle-broadcast-{topology}"),
+        topology,
+        WorkloadSpec::new(msg_len, 0.0, MulticastPattern::Broadcast),
+        SweepSpec::Explicit { rates: vec![] },
+    )
+    .with_sim(SimConfig::quick(1))
+    .with_seed(1);
+    Runner::new().isolated_multicast(&sc, NodeId(0))
 }
 
-fn main() {
+fn main() -> Result<()> {
     let opts = Options::from_env();
     println!("== Baseline: Quarc true multicast vs Spidergon unicast train ==\n");
     let msg = 32u32;
@@ -42,10 +47,8 @@ fn main() {
         "spidergon_msgs",
     ]);
     for n in [8usize, 16, 32, 64] {
-        let quarc = Quarc::new(n).unwrap();
-        let spid = Spidergon::new(n).unwrap();
-        let ql = idle_broadcast_latency(&quarc, msg);
-        let sl = idle_broadcast_latency(&spid, msg);
+        let ql = idle_broadcast_latency(TopologySpec::Quarc { n }, msg)?;
+        let sl = idle_broadcast_latency(TopologySpec::Spidergon { n }, msg)?;
         table.push_row(vec![
             n.to_string(),
             ql.to_string(),
@@ -60,4 +63,5 @@ fn main() {
     if let Ok(p) = opts.write_csv("spidergon-baseline.csv", &table.to_csv()) {
         println!("wrote {}", p.display());
     }
+    Ok(())
 }

@@ -8,6 +8,8 @@
 //! * `--seed <n>` — master seed;
 //! * `--engine <event|cycle>` — simulation engine (default `event`;
 //!   `cycle` selects the cycle-stepped reference oracle);
+//! * `--json` — also write the full structured JSON sink (scenario spec +
+//!   curve + per-replicate simulator detail) next to each CSV;
 //! * `--out <dir>` — directory for CSV output (default `results/`).
 
 use noc_sim::{EngineKind, SimConfig};
@@ -29,6 +31,8 @@ pub struct Options {
     pub seed: u64,
     /// Simulation engine.
     pub engine: EngineKind,
+    /// Also write the structured JSON sink next to each CSV.
+    pub json: bool,
     /// CSV output directory.
     pub out: PathBuf,
 }
@@ -42,6 +46,7 @@ impl Default for Options {
             threads: 0,
             seed: 42,
             engine: EngineKind::default(),
+            json: false,
             out: PathBuf::from("results"),
         }
     }
@@ -59,6 +64,7 @@ impl Options {
             match arg.as_str() {
                 "--quick" => o.quick = true,
                 "--full" => o.full = true,
+                "--json" => o.json = true,
                 "--points" => o.points = next_num(&mut it, "--points")? as usize,
                 "--threads" => o.threads = next_num(&mut it, "--threads")? as usize,
                 "--seed" => o.seed = next_num(&mut it, "--seed")?,
@@ -80,7 +86,7 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     return Err("usage: [--quick] [--full] [--points N] [--threads N] \
-                         [--seed N] [--engine event|cycle] [--out DIR]"
+                         [--seed N] [--engine event|cycle] [--json] [--out DIR]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag: {other}")),
@@ -183,6 +189,12 @@ mod tests {
         );
         assert!(parse(&["--engine", "warp"]).is_err());
         assert!(parse(&["--engine"]).is_err());
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        assert!(!parse(&[]).unwrap().json);
+        assert!(parse(&["--json"]).unwrap().json);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! The workspace-level experiment error type.
+//!
+//! Every layer of the stack reports failures through its own typed error
+//! (topology constructors, workload validation, sweep grids, the
+//! analytical model); [`Error`] folds them into one type so scenario
+//! construction and execution compose with `?` end-to-end — the
+//! `unwrap()`/`assert!` seams the pre-`Scenario` harness relied on are
+//! gone from the public surface.
+
+use noc_topology::TopologyError;
+use noc_workloads::{SweepError, WorkloadError};
+use quarc_core::ModelError;
+use std::fmt;
+
+/// Any failure an experiment can produce, from spec parsing to sinks.
+#[derive(Debug)]
+pub enum Error {
+    /// Topology construction or registry lookup failed.
+    Topology(TopologyError),
+    /// Workload parameters were invalid.
+    Workload(WorkloadError),
+    /// Rate-sweep construction failed.
+    Sweep(SweepError),
+    /// The analytical model could not be evaluated where a finite result
+    /// was required (the in-sweep overlay maps saturation to `NaN`
+    /// instead of erroring).
+    Model(ModelError),
+    /// Scenario-level validation failed (inconsistent fields, bad
+    /// simulator configuration, out-of-range resolved rates).
+    InvalidScenario(String),
+    /// Serialization or deserialization of a spec/result failed.
+    Serde(serde::Error),
+    /// A result sink could not be written.
+    Io(std::io::Error),
+}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Topology(e) => write!(f, "topology: {e}"),
+            Error::Workload(e) => write!(f, "workload: {e}"),
+            Error::Sweep(e) => write!(f, "sweep: {e}"),
+            Error::Model(e) => write!(f, "model: {e}"),
+            Error::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            Error::Serde(e) => write!(f, "serialization: {e}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Topology(e) => Some(e),
+            Error::Workload(e) => Some(e),
+            Error::Sweep(e) => Some(e),
+            Error::Model(e) => Some(e),
+            Error::Serde(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::InvalidScenario(_) => None,
+        }
+    }
+}
+
+impl From<TopologyError> for Error {
+    fn from(e: TopologyError) -> Self {
+        Error::Topology(e)
+    }
+}
+
+impl From<WorkloadError> for Error {
+    fn from(e: WorkloadError) -> Self {
+        Error::Workload(e)
+    }
+}
+
+impl From<SweepError> for Error {
+    fn from(e: SweepError) -> Self {
+        Error::Sweep(e)
+    }
+}
+
+impl From<ModelError> for Error {
+    fn from(e: ModelError) -> Self {
+        Error::Model(e)
+    }
+}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::Serde(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_folds_in() {
+        let errs: Vec<Error> = vec![
+            TopologyError::UnknownTopology {
+                name: "warp".into(),
+            }
+            .into(),
+            WorkloadError::ZeroLengthMessage.into(),
+            SweepError::TooFewPoints(1).into(),
+            ModelError::NonConcurrentMulticast.into(),
+            serde::Error::custom("bad json").into(),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
+            Error::InvalidScenario("replicates must be >= 1".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: Error = WorkloadError::InvalidRate(2.0).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::InvalidScenario("x".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,11 +1,19 @@
-//! The model-vs-simulation experiment harness behind Fig. 6 and Fig. 7.
+//! Figure-panel definitions: the `(N, M, α, pattern)` grids of the
+//! paper's Fig. 6/7 evaluation, expressed as [`Scenario`]s.
+//!
+//! Before the Scenario API this module was the experiment engine itself,
+//! hard-wired to the Quarc; it is now a thin catalogue layer. A
+//! [`FigureConfig`] names one panel; [`FigureConfig::scenario`] compiles
+//! it into the declarative spec the [`crate::runner::Runner`] executes.
+//! The panel → scenario mapping is regression-locked byte-for-byte
+//! against the pre-Scenario harness by `tests/migration_golden.rs`.
 
-use noc_sim::{build_engine_with_plan, SimConfig, SimPlan};
-use noc_topology::Quarc;
-use noc_workloads::table::{fmt_latency, Table};
-use noc_workloads::{parallel_map, DestinationSets, RateSweep, Workload};
-use quarc_core::{max_sustainable_rate, AnalyticModel, ModelOptions};
-use std::sync::Arc;
+use crate::cli::Options;
+use crate::error::Result;
+use crate::runner::Runner;
+use crate::scenario::{MulticastPattern, Scenario, SweepSpec, WorkloadSpec};
+use noc_sim::SimConfig;
+use noc_topology::TopologySpec;
 
 /// Destination-set spatial pattern (the difference between Fig. 6 and
 /// Fig. 7).
@@ -38,12 +46,17 @@ pub struct FigureConfig {
 impl FigureConfig {
     /// Panel label used in tables and CSV file names, e.g.
     /// `quarc-n32-m64-a10-random`.
+    ///
+    /// Labels are injective in `α`: whole percentages keep the historic
+    /// two-digit form (`a05`, `a10`), anything else embeds the exact
+    /// fraction (`0.033` → `a0p033`), so two panels differing only in a
+    /// sub-percent `α` can no longer collide onto one file name.
     pub fn label(&self) -> String {
         format!(
-            "quarc-n{}-m{}-a{:02.0}-{}",
+            "quarc-n{}-m{}-a{}-{}",
             self.n,
             self.msg_len,
-            self.alpha * 100.0,
+            alpha_code(self.alpha),
             match self.pattern {
                 Pattern::Random => "random",
                 Pattern::Localized => "localized",
@@ -51,134 +64,47 @@ impl FigureConfig {
         )
     }
 
-    /// Build the topology and workload prototype for this panel.
-    pub fn build(&self) -> (Quarc, Workload) {
-        let topo = Quarc::new(self.n).expect("valid Quarc size");
-        let sets = match self.pattern {
-            Pattern::Random => DestinationSets::random(&topo, self.group_size, self.seed),
-            Pattern::Localized => DestinationSets::localized(&topo, self.group_size, self.seed),
-        };
-        let wl = Workload::new(self.msg_len, 1e-5, self.alpha, sets).expect("valid workload");
-        (topo, wl)
-    }
-}
-
-/// One operating point: model prediction and simulation measurement.
-#[derive(Clone, Debug)]
-pub struct PointResult {
-    /// Generation rate (messages/node/cycle).
-    pub rate: f64,
-    /// Model unicast latency (`NaN` beyond the model's saturation).
-    pub model_unicast: f64,
-    /// Model multicast latency (`NaN` beyond the model's saturation).
-    pub model_multicast: f64,
-    /// Simulated unicast latency.
-    pub sim_unicast: f64,
-    /// Simulated multicast latency.
-    pub sim_multicast: f64,
-    /// 95% CI half-width of the simulated multicast latency.
-    pub sim_multicast_ci: f64,
-    /// Simulator saturation flag.
-    pub sim_saturated: bool,
-}
-
-impl PointResult {
-    /// Relative model error on unicast latency, when both sides are finite.
-    pub fn unicast_error(&self) -> Option<f64> {
-        rel_err(self.model_unicast, self.sim_unicast)
-    }
-
-    /// Relative model error on multicast latency.
-    pub fn multicast_error(&self) -> Option<f64> {
-        rel_err(self.model_multicast, self.sim_multicast)
-    }
-}
-
-fn rel_err(model: f64, sim: f64) -> Option<f64> {
-    (model.is_finite() && sim.is_finite() && sim > 0.0).then(|| (model - sim).abs() / sim)
-}
-
-/// Build the rate sweep for a panel: `points` rates spanning
-/// `[0.15, 1.02] ×` the model's saturation rate, so the curves show both
-/// the flat region and the knee, like the paper's graphs.
-pub fn sweep_for(cfg: &FigureConfig, points: usize) -> RateSweep {
-    let (topo, proto) = cfg.build();
-    let sat = max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
-    let sat = sat.max(1e-5);
-    RateSweep::linear(0.15 * sat, 1.02 * sat, points.max(2))
-}
-
-/// Evaluate one panel: model + simulation at every sweep rate
-/// (simulations run in parallel across `threads` workers).
-///
-/// The engine is selected by `sim_cfg.engine` — event-driven by default,
-/// which is what makes dense sweeps over the low-load region affordable.
-/// One [`SimPlan`] is built per panel and shared across every sweep point
-/// and worker.
-pub fn run_panel(
-    cfg: &FigureConfig,
-    sweep: &RateSweep,
-    sim_cfg: SimConfig,
-    threads: usize,
-) -> Vec<PointResult> {
-    let (topo, proto) = cfg.build();
-    let plan = SimPlan::build(&topo, &proto);
-    let rates: Vec<f64> = sweep.rates().to_vec();
-    parallel_map(&rates, threads, |&rate| {
-        let wl = proto.at_rate(rate).expect("swept rate is valid");
-        let (model_unicast, model_multicast) =
-            match AnalyticModel::new(&topo, &wl, ModelOptions::default()).evaluate() {
-                Ok(p) => (p.unicast_latency, p.multicast_latency),
-                Err(_) => (f64::NAN, f64::NAN),
-            };
-        let res = build_engine_with_plan(&topo, &wl, sim_cfg, Arc::clone(&plan)).run();
-        PointResult {
-            rate,
-            model_unicast,
-            model_multicast,
-            sim_unicast: res.unicast.mean,
-            sim_multicast: res.multicast.mean,
-            sim_multicast_ci: res.multicast.ci95,
-            sim_saturated: res.saturated,
-        }
-    })
-}
-
-/// Render a panel as a table (one row per rate).
-pub fn panel_table(points: &[PointResult]) -> Table {
-    let mut t = Table::new(vec![
-        "rate",
-        "model_uni",
-        "sim_uni",
-        "err_uni%",
-        "model_mc",
-        "sim_mc",
-        "mc_ci95",
-        "err_mc%",
-        "sim_sat",
-    ]);
-    for p in points {
-        t.push_row(vec![
-            format!("{:.5}", p.rate),
-            fmt_latency(p.model_unicast),
-            fmt_latency(p.sim_unicast),
-            p.unicast_error()
-                .map(|e| format!("{:.1}", e * 100.0))
-                .unwrap_or_else(|| "-".into()),
-            fmt_latency(p.model_multicast),
-            fmt_latency(p.sim_multicast),
-            if p.sim_multicast_ci.is_finite() {
-                format!("{:.2}", p.sim_multicast_ci)
-            } else {
-                "-".into()
+    /// Compile the panel into a [`Scenario`]: Quarc topology, the panel's
+    /// destination pattern, the figures' `[0.15, 1.02] × saturation`
+    /// sweep with `points` rates, a default analytical overlay and one
+    /// replicate.
+    pub fn scenario(&self, points: usize, sim: SimConfig) -> Scenario {
+        let multicast = match self.pattern {
+            Pattern::Random => MulticastPattern::Random {
+                group: self.group_size,
             },
-            p.multicast_error()
-                .map(|e| format!("{:.1}", e * 100.0))
-                .unwrap_or_else(|| "-".into()),
-            if p.sim_saturated { "yes" } else { "no" }.into(),
-        ]);
+            Pattern::Localized => MulticastPattern::Localized {
+                group: self.group_size,
+            },
+        };
+        Scenario::new(
+            self.label(),
+            TopologySpec::Quarc { n: self.n },
+            WorkloadSpec::new(self.msg_len, self.alpha, multicast),
+            SweepSpec::figure_default(points),
+        )
+        .with_sim(sim)
+        .with_seed(self.seed)
     }
-    t
+}
+
+/// Label code of a multicast fraction: `{:02.0}` of the percentage when
+/// `alpha` is exactly a whole percent, otherwise the exact fraction with
+/// `.`/`-` made file-name safe.
+///
+/// The whole-percent test is "does rounding the percentage and dividing
+/// back reproduce `alpha` bit-exactly" — *not* `fract() == 0.0` on
+/// `alpha * 100.0`, which float noise breaks (`0.07 * 100.0` is
+/// `7.000000000000001`). The reproduction test also makes the code
+/// injective: two distinct alphas can only share a rounded form if both
+/// equal `round(pct)/100`, i.e. are the same number.
+fn alpha_code(alpha: f64) -> String {
+    let pct = (alpha * 100.0).round();
+    if (0.0..100.0).contains(&pct) && pct / 100.0 == alpha {
+        format!("{pct:02.0}")
+    } else {
+        format!("{alpha}").replace('.', "p").replace('-', "m")
+    }
 }
 
 /// The default panel set of Fig. 6/7: network sizes 16–128, message
@@ -247,9 +173,60 @@ pub fn full_panels(pattern: Pattern, seed: u64) -> Vec<FigureConfig> {
     out
 }
 
+/// The complete Fig. 6/Fig. 7 driver shared by the two binaries (the
+/// figures differ only in the destination pattern): compile every panel
+/// to a [`Scenario`], execute it through one [`Runner`], print the
+/// aligned table and write the CSV (and, with `--json`, the structured
+/// JSON) sinks.
+pub fn run_figure(figure: &str, pattern: Pattern, blurb: &str, opts: &Options) -> Result<()> {
+    println!("== Figure {figure}: model vs simulation, {blurb} ==\n");
+    let panels = if opts.full {
+        full_panels(pattern, opts.seed)
+    } else {
+        default_panels(pattern, opts.seed)
+    };
+    let runner = Runner::new().threads(opts.threads).on_progress(|p| {
+        eprint!("\r{}: {}/{} points", p.scenario, p.completed, p.total);
+        if p.completed == p.total {
+            eprintln!();
+        }
+    });
+    for cfg in panels {
+        let scenario = cfg.scenario(opts.points, opts.sim_config());
+        let result = runner.run(&scenario)?;
+        println!(
+            "panel {} (N={}, M={} flits, alpha={:.0}%, |group|={}{}):",
+            cfg.label(),
+            cfg.n,
+            cfg.msg_len,
+            cfg.alpha * 100.0,
+            cfg.group_size,
+            if pattern == Pattern::Localized {
+                ", same-rim"
+            } else {
+                ""
+            }
+        );
+        println!("{}", result.table().to_aligned());
+        match opts.write_csv(
+            &format!("fig{figure}-{}.csv", cfg.label()),
+            &result.to_csv(),
+        ) {
+            Ok(path) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("csv write failed: {e}\n"),
+        }
+        if opts.json {
+            let path = result.write_json(&opts.out)?;
+            println!("wrote {}\n", path.display());
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::Runner;
 
     #[test]
     fn labels_are_stable() {
@@ -265,7 +242,39 @@ mod tests {
     }
 
     #[test]
-    fn sweep_brackets_the_saturation_knee() {
+    fn distinct_alphas_never_share_a_label() {
+        // The old `{:02.0}` percent rounding mapped 3%, 3.3% and 3.49% to
+        // the same `a03`.
+        let mut cfg = FigureConfig {
+            n: 32,
+            msg_len: 64,
+            alpha: 0.03,
+            group_size: 8,
+            pattern: Pattern::Random,
+            seed: 1,
+        };
+        let labels: Vec<String> = [0.03, 0.033, 0.0349, 0.05, 0.07, 0.1]
+            .iter()
+            .map(|&a| {
+                cfg.alpha = a;
+                cfg.label()
+            })
+            .collect();
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len(), "labels collided: {labels:?}");
+        // Whole percentages keep their historic file names — including
+        // ones like 7% where `alpha * 100.0` carries float noise.
+        assert!(labels.contains(&"quarc-n32-m64-a03-random".to_string()));
+        assert!(labels.contains(&"quarc-n32-m64-a07-random".to_string()));
+        assert!(labels.contains(&"quarc-n32-m64-a10-random".to_string()));
+        // Sub-percent alphas embed the exact fraction.
+        assert!(labels.contains(&"quarc-n32-m64-a0p033-random".to_string()));
+    }
+
+    #[test]
+    fn panel_scenarios_sweep_through_the_knee() {
         let cfg = FigureConfig {
             n: 16,
             msg_len: 32,
@@ -274,13 +283,18 @@ mod tests {
             pattern: Pattern::Random,
             seed: 1,
         };
-        let sweep = sweep_for(&cfg, 6);
+        let sc = cfg.scenario(6, SimConfig::quick(1));
+        assert_eq!(sc.seed, 1);
+        let topo = sc.topology.build().unwrap();
+        let proto = sc.workload.prototype(topo.as_ref(), sc.seed).unwrap();
+        let sweep = sc
+            .sweep
+            .resolve(topo.as_ref(), &proto, Default::default())
+            .unwrap();
         assert_eq!(sweep.len(), 6);
-        let (topo, proto) = cfg.build();
-        let sat = max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
-        let rates = sweep.rates();
-        assert!(rates[0] < 0.2 * sat);
-        assert!(*rates.last().unwrap() > sat * 0.99);
+        // Linear over [0.15, 1.02] × saturation.
+        let r = sweep.rates();
+        assert!((r[5] / r[0] - 1.02 / 0.15).abs() < 1e-9);
     }
 
     #[test]
@@ -293,10 +307,13 @@ mod tests {
             pattern: Pattern::Random,
             seed: 3,
         };
-        let sweep = RateSweep::explicit(vec![0.002, 0.004]);
-        let points = run_panel(&cfg, &sweep, SimConfig::quick(3), 2);
-        assert_eq!(points.len(), 2);
-        for p in &points {
+        let mut sc = cfg.scenario(2, SimConfig::quick(3));
+        sc.sweep = crate::scenario::SweepSpec::Explicit {
+            rates: vec![0.002, 0.004],
+        };
+        let res = Runner::new().threads(2).run(&sc).expect("panel runs");
+        assert_eq!(res.points.len(), 2);
+        for p in &res.points {
             assert!(!p.sim_saturated);
             let e = p.multicast_error().expect("both sides finite");
             assert!(
@@ -336,21 +353,5 @@ mod tests {
         assert_eq!(panels.iter().filter(|p| p.n == 128).count(), 9);
         // N=16 keeps every message length.
         assert_eq!(panels.iter().filter(|p| p.n == 16).count(), 12);
-    }
-
-    #[test]
-    fn panel_table_has_one_row_per_point() {
-        let points = vec![PointResult {
-            rate: 0.001,
-            model_unicast: 20.0,
-            model_multicast: 25.0,
-            sim_unicast: 21.0,
-            sim_multicast: 24.0,
-            sim_multicast_ci: 0.5,
-            sim_saturated: false,
-        }];
-        let t = panel_table(&points);
-        assert_eq!(t.len(), 1);
-        assert!(t.to_csv().contains("0.00100"));
     }
 }

@@ -1,7 +1,21 @@
 //! # noc-bench
 //!
-//! Experiment harness and figure-regeneration binaries for the IPDPS 2009
-//! reproduction.
+//! The experiment layer of the IPDPS 2009 reproduction: the declarative
+//! [`Scenario`] specification, the [`Runner`] that executes any scenario
+//! end-to-end, the workspace-level [`Error`] type, and the
+//! figure-regeneration binaries.
+//!
+//! ## The Scenario API
+//!
+//! Every experiment in the workspace is one shape: `(topology, workload,
+//! sweep, engine, model options) → latency curves`. [`Scenario`] captures
+//! that shape as serializable data (any registry topology, any traffic
+//! pattern, absolute or saturation-relative sweeps, replicates);
+//! [`Runner`] executes it with one shared [`noc_sim::SimPlan`] across all
+//! sweep points and replicates, parallel workers, an optional
+//! analytical-model overlay and structured sinks (aligned table, CSV,
+//! JSON, progress callbacks). `(scenario) → results` is deterministic:
+//! thread counts and callbacks never change the numbers.
 //!
 //! Each binary regenerates one figure or ablation of the paper (see
 //! DESIGN.md's experiment index):
@@ -16,14 +30,17 @@
 //! | `ablation-ports`     | E\[max\] combination vs largest-subset heuristic |
 //! | `spidergon-baseline` | Quarc true multicast vs Spidergon unicast train |
 //! | `mesh-extension`     | the paper's future work: multi-port mesh/torus |
-//!
-//! The harness evaluates the analytical model and the flit-level simulator
-//! on identical workloads and emits CSV plus aligned terminal tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod error;
 pub mod harness;
+pub mod runner;
+pub mod scenario;
 
-pub use harness::{run_panel, sweep_for, FigureConfig, Pattern, PointResult};
+pub use error::{Error, Result};
+pub use harness::{default_panels, full_panels, FigureConfig, Pattern};
+pub use runner::{PointResult, Progress, Runner, ScenarioResult};
+pub use scenario::{MulticastPattern, Scenario, SweepSpec, WorkloadSpec};

@@ -1,0 +1,436 @@
+//! Scenario execution: one engine for every experiment in the workspace.
+//!
+//! [`Runner`] turns a declarative [`Scenario`] into a [`ScenarioResult`]:
+//!
+//! * builds the topology through the registry and the workload prototype
+//!   from the scenario's master seed;
+//! * resolves the sweep (evaluating the analytical saturation point for
+//!   saturation-relative sweeps);
+//! * builds **one** [`SimPlan`] per scenario and shares it across every
+//!   sweep point, replicate and worker thread;
+//! * executes all `(rate, replicate)` jobs on a bounded worker pool with
+//!   dynamic load balancing, reporting completion through an optional
+//!   progress callback;
+//! * overlays the analytical model's prediction at every rate when the
+//!   scenario requests it;
+//! * exposes structured sinks: an aligned terminal table, CSV, and a JSON
+//!   document embedding the scenario spec next to its results.
+//!
+//! Execution is deterministic in the scenario: thread count and progress
+//! callbacks never change results.
+
+use crate::error::{Error, Result};
+use crate::scenario::Scenario;
+use noc_sim::{build_engine_with_plan, SimPlan, SimResults};
+use noc_topology::NodeId;
+use noc_workloads::parallel::{effective_threads, parallel_map};
+use noc_workloads::table::{fmt_latency, Table};
+use quarc_core::AnalyticModel;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One completed `(rate, replicate)` job, reported to progress callbacks.
+#[derive(Clone, Debug)]
+pub struct Progress {
+    /// The scenario's name.
+    pub scenario: String,
+    /// Jobs completed so far (including this one).
+    pub completed: usize,
+    /// Total jobs (`sweep points × replicates`).
+    pub total: usize,
+    /// The generation rate of the finished job.
+    pub rate: f64,
+    /// The replicate index of the finished job.
+    pub replicate: u32,
+}
+
+/// One operating point of a scenario: analytical prediction (when the
+/// overlay is enabled) and across-replicate simulation measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PointResult {
+    /// Generation rate (messages/node/cycle).
+    pub rate: f64,
+    /// Model unicast latency (`NaN` beyond the model's saturation or
+    /// without an overlay).
+    pub model_unicast: f64,
+    /// Model multicast latency (`NaN` beyond the model's saturation or
+    /// without an overlay).
+    pub model_multicast: f64,
+    /// Simulated unicast latency (mean over replicates).
+    pub sim_unicast: f64,
+    /// Simulated multicast latency (mean over replicates).
+    pub sim_multicast: f64,
+    /// 95% CI half-width of the simulated multicast latency: batch-means
+    /// within the single run for `replicates == 1`, across replicate
+    /// means otherwise.
+    pub sim_multicast_ci: f64,
+    /// Simulator saturation flag (any replicate).
+    pub sim_saturated: bool,
+}
+
+impl PointResult {
+    /// Relative model error on unicast latency, when both sides are finite.
+    pub fn unicast_error(&self) -> Option<f64> {
+        rel_err(self.model_unicast, self.sim_unicast)
+    }
+
+    /// Relative model error on multicast latency.
+    pub fn multicast_error(&self) -> Option<f64> {
+        rel_err(self.model_multicast, self.sim_multicast)
+    }
+}
+
+fn rel_err(model: f64, sim: f64) -> Option<f64> {
+    (model.is_finite() && sim.is_finite() && sim > 0.0).then(|| (model - sim).abs() / sim)
+}
+
+/// Complete results of one scenario run: the spec that produced them, the
+/// aggregated latency curve and the full per-replicate simulator output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The scenario exactly as executed.
+    pub scenario: Scenario,
+    /// Aggregated model/simulation curve, one entry per sweep rate.
+    pub points: Vec<PointResult>,
+    /// Full simulator output, `sims[point][replicate]` — histograms,
+    /// per-source latencies, conservation counters, utilisation.
+    pub sims: Vec<Vec<SimResults>>,
+}
+
+impl ScenarioResult {
+    /// Render the latency curve as a table (one row per rate), in the
+    /// format of the paper's figure panels.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "rate",
+            "model_uni",
+            "sim_uni",
+            "err_uni%",
+            "model_mc",
+            "sim_mc",
+            "mc_ci95",
+            "err_mc%",
+            "sim_sat",
+        ]);
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{:.5}", p.rate),
+                fmt_latency(p.model_unicast),
+                fmt_latency(p.sim_unicast),
+                p.unicast_error()
+                    .map(|e| format!("{:.1}", e * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+                fmt_latency(p.model_multicast),
+                fmt_latency(p.sim_multicast),
+                if p.sim_multicast_ci.is_finite() {
+                    format!("{:.2}", p.sim_multicast_ci)
+                } else {
+                    "-".into()
+                },
+                p.multicast_error()
+                    .map(|e| format!("{:.1}", e * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+                if p.sim_saturated { "yes" } else { "no" }.into(),
+            ]);
+        }
+        t
+    }
+
+    /// The latency curve as CSV.
+    pub fn to_csv(&self) -> String {
+        self.table().to_csv()
+    }
+
+    /// The full result (scenario spec + curve + simulator detail) as
+    /// pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Write the CSV sink as `<dir>/<name>.csv`, creating `dir` if needed.
+    pub fn write_csv(&self, dir: impl AsRef<Path>) -> Result<PathBuf> {
+        self.write_sink(dir, "csv", &self.to_csv())
+    }
+
+    /// Write the JSON sink as `<dir>/<name>.json`, creating `dir` if
+    /// needed.
+    pub fn write_json(&self, dir: impl AsRef<Path>) -> Result<PathBuf> {
+        self.write_sink(dir, "json", &self.to_json())
+    }
+
+    fn write_sink(&self, dir: impl AsRef<Path>, ext: &str, contents: &str) -> Result<PathBuf> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        let path = dir.as_ref().join(format!("{}.{ext}", self.scenario.name));
+        std::fs::write(&path, contents)?;
+        Ok(path)
+    }
+}
+
+type ProgressFn = dyn Fn(&Progress) + Send + Sync;
+
+/// Executes [`Scenario`]s. Construction is cheap; a runner holds no
+/// scenario state and can be reused across scenarios.
+#[derive(Default)]
+pub struct Runner {
+    threads: usize,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl Runner {
+    /// A runner using every available core and no progress reporting.
+    pub fn new() -> Self {
+        Runner::default()
+    }
+
+    /// Use up to `threads` workers (0 = all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Install a progress callback, invoked from worker threads once per
+    /// completed `(rate, replicate)` job.
+    pub fn on_progress(mut self, f: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// Execute a scenario end-to-end.
+    pub fn run(&self, sc: &Scenario) -> Result<ScenarioResult> {
+        sc.validate()?;
+        let (topo, proto) = sc.materialize()?;
+        let model_opts = sc.model.unwrap_or_default();
+        let sweep = sc.sweep.resolve(topo.as_ref(), &proto, model_opts)?;
+        for &rate in sweep.rates() {
+            if rate >= 1.0 {
+                return Err(Error::InvalidScenario(format!(
+                    "resolved sweep rate {rate} is not below 1 message/node/cycle"
+                )));
+            }
+        }
+
+        // One plan for the whole sweep: unicast paths, multicast streams
+        // and absorb schedules depend only on (topology, destination sets).
+        let plan = SimPlan::build(topo.as_ref(), &proto);
+
+        let jobs: Vec<(f64, u32)> = sweep
+            .rates()
+            .iter()
+            .flat_map(|&rate| (0..sc.replicates).map(move |rep| (rate, rep)))
+            .collect();
+        let total = jobs.len();
+        let completed = AtomicUsize::new(0);
+
+        let samples = parallel_map(&jobs, effective_threads(self.threads), |&(rate, rep)| {
+            let wl = proto.at_rate(rate)?;
+            // The overlay is rate- but not replicate-dependent: evaluate
+            // it once, on the first replicate.
+            let (model_unicast, model_multicast) = match sc.model {
+                Some(mo) if rep == 0 => match AnalyticModel::new(topo.as_ref(), &wl, mo).evaluate()
+                {
+                    Ok(p) => (p.unicast_latency, p.multicast_latency),
+                    Err(_) => (f64::NAN, f64::NAN),
+                },
+                _ => (f64::NAN, f64::NAN),
+            };
+            let mut cfg = sc.sim;
+            cfg.seed = sc.seed.wrapping_add(rep as u64);
+            let res = build_engine_with_plan(topo.as_ref(), &wl, cfg, Arc::clone(&plan)).run();
+            if let Some(cb) = &self.progress {
+                cb(&Progress {
+                    scenario: sc.name.clone(),
+                    completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                    total,
+                    rate,
+                    replicate: rep,
+                });
+            }
+            Ok::<_, Error>((model_unicast, model_multicast, res))
+        });
+
+        let mut flat = Vec::with_capacity(samples.len());
+        for s in samples {
+            flat.push(s?);
+        }
+
+        let reps = sc.replicates as usize;
+        let mut points = Vec::with_capacity(sweep.len());
+        let mut sims: Vec<Vec<SimResults>> = Vec::with_capacity(sweep.len());
+        for (i, &rate) in sweep.rates().iter().enumerate() {
+            let group = &flat[i * reps..(i + 1) * reps];
+            points.push(aggregate(rate, group));
+            sims.push(group.iter().map(|(_, _, res)| res.clone()).collect());
+        }
+
+        Ok(ScenarioResult {
+            scenario: sc.clone(),
+            points,
+            sims,
+        })
+    }
+
+    /// Measure the latency of one isolated multicast operation from
+    /// `source` on an otherwise idle network described by `sc` (the
+    /// sweep is ignored; the scenario's multicast pattern defines the
+    /// operation).
+    pub fn isolated_multicast(&self, sc: &Scenario, source: NodeId) -> Result<u64> {
+        sc.validate()?;
+        let (topo, proto) = sc.materialize()?;
+        let idle = proto.at_rate(0.0)?;
+        let plan = SimPlan::build(topo.as_ref(), &idle);
+        let mut cfg = sc.sim;
+        cfg.seed = sc.seed;
+        let mut engine = build_engine_with_plan(topo.as_ref(), &idle, cfg, plan);
+        Ok(engine.measure_isolated_multicast(source))
+    }
+}
+
+/// Collapse one sweep rate's replicates into a [`PointResult`]. A single
+/// replicate passes through exactly (no re-aggregation); multiple
+/// replicates report the across-replicate mean with a normal-theory CI
+/// over the replicate means.
+fn aggregate(rate: f64, group: &[(f64, f64, SimResults)]) -> PointResult {
+    let (model_unicast, model_multicast, first) = &group[0];
+    if group.len() == 1 {
+        return PointResult {
+            rate,
+            model_unicast: *model_unicast,
+            model_multicast: *model_multicast,
+            sim_unicast: first.unicast.mean,
+            sim_multicast: first.multicast.mean,
+            sim_multicast_ci: first.multicast.ci95,
+            sim_saturated: first.saturated,
+        };
+    }
+    let n = group.len() as f64;
+    let mean = |f: &dyn Fn(&SimResults) -> f64| group.iter().map(|(_, _, r)| f(r)).sum::<f64>() / n;
+    let sim_unicast = mean(&|r| r.unicast.mean);
+    let sim_multicast = mean(&|r| r.multicast.mean);
+    let var = group
+        .iter()
+        .map(|(_, _, r)| (r.multicast.mean - sim_multicast).powi(2))
+        .sum::<f64>()
+        / (n - 1.0);
+    PointResult {
+        rate,
+        model_unicast: *model_unicast,
+        model_multicast: *model_multicast,
+        sim_unicast,
+        sim_multicast,
+        sim_multicast_ci: 1.96 * (var / n).sqrt(),
+        sim_saturated: group.iter().any(|(_, _, r)| r.saturated),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{MulticastPattern, SweepSpec, WorkloadSpec};
+    use noc_sim::SimConfig;
+    use noc_topology::TopologySpec;
+    use std::sync::atomic::AtomicU32;
+
+    fn quick_scenario() -> Scenario {
+        Scenario::new(
+            "runner-test",
+            TopologySpec::Quarc { n: 16 },
+            WorkloadSpec::new(16, 0.05, MulticastPattern::Random { group: 4 }),
+            SweepSpec::Explicit {
+                rates: vec![0.002, 0.004],
+            },
+        )
+        .with_sim(SimConfig::quick(3))
+        .with_seed(3)
+    }
+
+    #[test]
+    fn runs_a_scenario_end_to_end() {
+        let sc = quick_scenario();
+        let res = Runner::new().threads(2).run(&sc).expect("scenario runs");
+        assert_eq!(res.points.len(), 2);
+        assert_eq!(res.sims.len(), 2);
+        for p in &res.points {
+            assert!(!p.sim_saturated);
+            let e = p.multicast_error().expect("both sides finite");
+            assert!(e < 0.15, "model within 15% at low load, got {e}");
+        }
+        let csv = res.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let sc = quick_scenario();
+        let a = Runner::new().threads(1).run(&sc).unwrap();
+        let b = Runner::new().threads(4).run(&sc).unwrap();
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn progress_callback_sees_every_job() {
+        let sc = quick_scenario().with_replicates(2);
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        let res = Runner::new()
+            .threads(2)
+            .on_progress(move |p| {
+                h.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(p.total, 4);
+                assert_eq!(p.scenario, "runner-test");
+            })
+            .run(&sc)
+            .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+        assert_eq!(res.sims[0].len(), 2, "both replicates retained");
+    }
+
+    #[test]
+    fn replicates_tighten_the_estimate_and_flag_any_saturation() {
+        let sc = quick_scenario().with_replicates(3);
+        let res = Runner::new().threads(3).run(&sc).unwrap();
+        for (p, sims) in res.points.iter().zip(&res.sims) {
+            assert_eq!(sims.len(), 3);
+            let manual: f64 = sims.iter().map(|s| s.multicast.mean).sum::<f64>() / 3.0;
+            assert!((p.sim_multicast - manual).abs() < 1e-12);
+            assert!(p.sim_multicast_ci.is_finite());
+        }
+        // Distinct replicate seeds must yield distinct runs.
+        assert_ne!(
+            res.sims[0][0].multicast.mean, res.sims[0][1].multicast.mean,
+            "replicates must not repeat the same stream"
+        );
+    }
+
+    #[test]
+    fn invalid_scenarios_error_not_panic() {
+        let mut sc = quick_scenario();
+        sc.sweep = SweepSpec::Explicit { rates: vec![1.5] };
+        assert!(matches!(
+            Runner::new().run(&sc),
+            Err(Error::InvalidScenario(_))
+        ));
+
+        let mut sc = quick_scenario();
+        sc.topology = TopologySpec::Quarc { n: 7 };
+        assert!(matches!(Runner::new().run(&sc), Err(Error::Topology(_))));
+    }
+
+    #[test]
+    fn isolated_multicast_measures_zero_load_broadcast() {
+        let sc = Scenario::new(
+            "bcast",
+            TopologySpec::Quarc { n: 16 },
+            WorkloadSpec::new(32, 0.0, MulticastPattern::Broadcast),
+            SweepSpec::Explicit { rates: vec![] },
+        )
+        .with_sim(SimConfig::quick(1))
+        .with_seed(1);
+        let lat = Runner::new()
+            .isolated_multicast(&sc, NodeId(0))
+            .expect("idle broadcast");
+        // Zero-load: msg + deepest-stream links + 1.
+        assert_eq!(lat, 32 + 16 / 4 + 1);
+    }
+}

@@ -1,0 +1,447 @@
+//! The declarative experiment specification.
+//!
+//! A [`Scenario`] is the serializable description of one experiment of the
+//! paper's shape — `(topology, workload, sweep, engine, model options) →
+//! latency curves` — generalized over every topology in the registry. A
+//! scenario is *data*: it can be written to JSON, stored next to its
+//! results, sent to another machine and re-run bit-identically. The
+//! [`crate::runner::Runner`] turns a scenario into results; nothing in the
+//! spec layer touches a simulator.
+//!
+//! Design rules:
+//!
+//! * Everything is constructed by value and validated by
+//!   [`Scenario::validate`] — malformed specs are typed
+//!   [`Error`]s, not panics.
+//! * All randomness derives from the single master [`Scenario::seed`]
+//!   (destination sets and simulation streams), so `(scenario) → results`
+//!   is a pure function.
+//! * Sweeps may be stated relative to the analytical model's saturation
+//!   point ([`SweepSpec::SaturationSpan`]), reproducing the figures'
+//!   "flat region through the knee" framing on any topology.
+
+use crate::error::{Error, Result};
+use noc_sim::SimConfig;
+use noc_topology::{NodeId, Topology, TopologySpec};
+use noc_workloads::{DestinationSets, RateSweep, UnicastPattern, Workload};
+use quarc_core::{max_sustainable_rate, ModelOptions};
+use serde::{Deserialize, Serialize};
+
+/// Placeholder generation rate of workload *prototypes*: low enough that
+/// saturation searches start from a stable point, replaced by the swept
+/// rate before every run.
+pub const PROTOTYPE_RATE: f64 = 1e-5;
+
+/// How each node's fixed multicast destination set is generated.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MulticastPattern {
+    /// `group` destinations drawn uniformly at random per node (Fig. 6).
+    Random {
+        /// Destination-set size per node.
+        group: usize,
+    },
+    /// `group` destinations localized in one injection-port quadrant of
+    /// the source ("same rim", Fig. 7).
+    Localized {
+        /// Destination-set size per node.
+        group: usize,
+    },
+    /// Every node targets all other nodes.
+    Broadcast,
+    /// Explicit destination sets, one per node in node order (raw node
+    /// indices so the spec stays topology-independent in serialized form).
+    Explicit {
+        /// `sets[src]` lists the destination node indices of `src`.
+        sets: Vec<Vec<u32>>,
+    },
+}
+
+impl MulticastPattern {
+    /// Materialize the destination sets on a topology. Deterministic in
+    /// `(topology, self, seed)`.
+    pub fn build(&self, topo: &dyn Topology, seed: u64) -> DestinationSets {
+        match self {
+            MulticastPattern::Random { group } => DestinationSets::random(topo, *group, seed),
+            MulticastPattern::Localized { group } => DestinationSets::localized(topo, *group, seed),
+            MulticastPattern::Broadcast => DestinationSets::broadcast(topo),
+            MulticastPattern::Explicit { sets } => DestinationSets::explicit(
+                sets.iter()
+                    .map(|s| s.iter().copied().map(NodeId).collect())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Short code used in derived labels.
+    pub fn code(&self) -> &'static str {
+        match self {
+            MulticastPattern::Random { .. } => "random",
+            MulticastPattern::Localized { .. } => "localized",
+            MulticastPattern::Broadcast => "broadcast",
+            MulticastPattern::Explicit { .. } => "explicit",
+        }
+    }
+}
+
+/// The serializable traffic specification of a scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Message length in flits (`M`).
+    pub msg_len: u32,
+    /// Multicast fraction (`α`).
+    pub alpha: f64,
+    /// Multicast destination-set generation.
+    pub multicast: MulticastPattern,
+    /// Spatial pattern of unicast destinations.
+    pub unicast: UnicastPattern,
+}
+
+impl WorkloadSpec {
+    /// Uniform-unicast spec (the paper's default).
+    pub fn new(msg_len: u32, alpha: f64, multicast: MulticastPattern) -> Self {
+        WorkloadSpec {
+            msg_len,
+            alpha,
+            multicast,
+            unicast: UnicastPattern::Uniform,
+        }
+    }
+
+    /// Materialize the workload prototype (at [`PROTOTYPE_RATE`]) on a
+    /// topology, deterministically in `seed`.
+    pub fn prototype(&self, topo: &dyn Topology, seed: u64) -> Result<Workload> {
+        let sets = self.multicast.build(topo, seed);
+        let wl = Workload::new(self.msg_len, PROTOTYPE_RATE, self.alpha, sets)?
+            .with_unicast_pattern(self.unicast);
+        wl.unicast_pattern
+            .validate(topo.num_nodes())
+            .map_err(Error::InvalidScenario)?;
+        Ok(wl)
+    }
+}
+
+/// The serializable sweep specification: either absolute rates or rates
+/// relative to the analytical model's saturation point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SweepSpec {
+    /// Explicit ascending rates (messages/node/cycle).
+    Explicit {
+        /// The rates.
+        rates: Vec<f64>,
+    },
+    /// `points` rates linear over `[lo, hi]`.
+    Linear {
+        /// Lowest rate.
+        lo: f64,
+        /// Highest rate.
+        hi: f64,
+        /// Number of points.
+        points: usize,
+    },
+    /// `points` rates geometric over `[lo, hi]`.
+    Geometric {
+        /// Lowest rate.
+        lo: f64,
+        /// Highest rate.
+        hi: f64,
+        /// Number of points.
+        points: usize,
+    },
+    /// `points` rates linear over `[lo, hi] ×` the model's saturation
+    /// rate — the figures' framing (`lo = 0.15`, `hi = 1.02` shows the
+    /// flat region and the knee). At least 2 points.
+    SaturationSpan {
+        /// Lower bound as a fraction of the saturation rate.
+        lo: f64,
+        /// Upper bound as a fraction of the saturation rate.
+        hi: f64,
+        /// Number of points.
+        points: usize,
+    },
+    /// Explicit ascending fractions of the model's saturation rate (the
+    /// ablation binaries' "30% / 60% / 85% of saturation" framing).
+    SaturationFractions {
+        /// Ascending load fractions.
+        fractions: Vec<f64>,
+    },
+}
+
+/// Relative tolerance of the saturation-rate bisection used by the
+/// saturation-relative sweep variants (matches the figure harness).
+const SATURATION_TOL: f64 = 0.01;
+
+impl SweepSpec {
+    /// The figures' default sweep: `points` rates over `[0.15, 1.02] ×`
+    /// saturation.
+    pub fn figure_default(points: usize) -> Self {
+        SweepSpec::SaturationSpan {
+            lo: 0.15,
+            hi: 1.02,
+            points,
+        }
+    }
+
+    /// Resolve to concrete rates on a topology/workload, evaluating the
+    /// saturation point with `model` where the spec is saturation-relative.
+    pub fn resolve(
+        &self,
+        topo: &dyn Topology,
+        proto: &Workload,
+        model: ModelOptions,
+    ) -> Result<RateSweep> {
+        let sat = || max_sustainable_rate(topo, proto, model, SATURATION_TOL).max(1e-5);
+        let sweep = match self {
+            SweepSpec::Explicit { rates } => RateSweep::explicit(rates.clone())?,
+            SweepSpec::Linear { lo, hi, points } => RateSweep::linear(*lo, *hi, *points)?,
+            SweepSpec::Geometric { lo, hi, points } => RateSweep::geometric(*lo, *hi, *points)?,
+            SweepSpec::SaturationSpan { lo, hi, points } => {
+                let s = sat();
+                RateSweep::linear(lo * s, hi * s, (*points).max(2))?
+            }
+            SweepSpec::SaturationFractions { fractions } => {
+                let s = sat();
+                RateSweep::explicit(fractions.iter().map(|f| f * s).collect())?
+            }
+        };
+        Ok(sweep)
+    }
+}
+
+/// A complete, serializable experiment specification.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Label used in tables, sink file names and progress reports.
+    pub name: String,
+    /// Which network to build (constructed through the registry).
+    pub topology: TopologySpec,
+    /// Traffic specification.
+    pub workload: WorkloadSpec,
+    /// Operating points.
+    pub sweep: SweepSpec,
+    /// Simulator run-length/fidelity parameters. The `seed` field is
+    /// ignored: the runner derives every replicate's seed from
+    /// [`Scenario::seed`].
+    pub sim: SimConfig,
+    /// Analytical-model overlay: `Some` evaluates the model at every
+    /// sweep point (saturated points become `NaN`), `None` runs
+    /// simulation only. Saturation-relative sweeps use these options (or
+    /// the defaults when `None`) to locate the knee.
+    pub model: Option<ModelOptions>,
+    /// Independent simulation replicates per sweep point (seeds
+    /// `seed .. seed + replicates`); results report the across-replicate
+    /// mean. 1 reproduces a single tagged run exactly.
+    pub replicates: u32,
+    /// Master seed: destination sets and all simulation streams derive
+    /// from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the standard simulator configuration, a default
+    /// analytical overlay and one replicate.
+    pub fn new(
+        name: impl Into<String>,
+        topology: TopologySpec,
+        workload: WorkloadSpec,
+        sweep: SweepSpec,
+    ) -> Self {
+        let seed = 42;
+        Scenario {
+            name: name.into(),
+            topology,
+            workload,
+            sweep,
+            sim: SimConfig::standard(seed),
+            model: Some(ModelOptions::default()),
+            replicates: 1,
+            seed,
+        }
+    }
+
+    /// Builder-style: replace the simulator configuration.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Builder-style: replace the analytical-model overlay.
+    pub fn with_model(mut self, model: Option<ModelOptions>) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Builder-style: replace the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the replicate count.
+    pub fn with_replicates(mut self, replicates: u32) -> Self {
+        self.replicates = replicates;
+        self
+    }
+
+    /// Build the topology and the workload prototype this scenario
+    /// describes. This is the **single** construction path — the runner
+    /// uses it, and any post-processing that needs the same materialized
+    /// pair (e.g. overlaying extra model variants on a finished run)
+    /// must call it too, so the two can never drift apart on seeding.
+    pub fn materialize(&self) -> Result<(Box<dyn Topology>, Workload)> {
+        let topo = self.topology.build()?;
+        let proto = self.workload.prototype(topo.as_ref(), self.seed)?;
+        Ok((topo, proto))
+    }
+
+    /// Check spec-level invariants (everything that can be checked
+    /// without building the topology).
+    pub fn validate(&self) -> Result<()> {
+        if self.replicates == 0 {
+            return Err(Error::InvalidScenario(
+                "replicates must be >= 1".to_string(),
+            ));
+        }
+        if !self.alpha_valid() {
+            return Err(Error::InvalidScenario(format!(
+                "multicast fraction {} must lie in [0, 1]",
+                self.workload.alpha
+            )));
+        }
+        self.sim.validate().map_err(Error::InvalidScenario)?;
+        if let MulticastPattern::Explicit { sets } = &self.workload.multicast {
+            let n = self.topology.num_nodes();
+            if sets.len() != n {
+                return Err(Error::InvalidScenario(format!(
+                    "explicit destination sets cover {} nodes but {} has {n}",
+                    sets.len(),
+                    self.topology
+                )));
+            }
+            if let Some(bad) = sets.iter().flatten().find(|&&d| d as usize >= n) {
+                return Err(Error::InvalidScenario(format!(
+                    "destination {bad} outside 0..{n}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn alpha_valid(&self) -> bool {
+        self.workload.alpha.is_finite() && (0.0..=1.0).contains(&self.workload.alpha)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self> {
+        Ok(serde::json::from_str(s)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scenario {
+        Scenario::new(
+            "test",
+            TopologySpec::Quarc { n: 16 },
+            WorkloadSpec::new(32, 0.05, MulticastPattern::Random { group: 4 }),
+            SweepSpec::Explicit {
+                rates: vec![0.002, 0.004],
+            },
+        )
+        .with_sim(SimConfig::quick(1))
+        .with_seed(7)
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let sc = small();
+        let json = sc.to_json();
+        let back = Scenario::from_json(&json).expect("round trip parses");
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut sc = small();
+        sc.replicates = 0;
+        assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+
+        let mut sc = small();
+        sc.workload.alpha = 1.5;
+        assert!(sc.validate().is_err());
+
+        let mut sc = small();
+        sc.sim.buffer_depth = 0;
+        assert!(sc.validate().is_err());
+
+        let mut sc = small();
+        sc.workload.multicast = MulticastPattern::Explicit {
+            sets: vec![vec![1], vec![0]],
+        };
+        assert!(sc.validate().is_err(), "sets must cover all 16 nodes");
+
+        assert!(small().validate().is_ok());
+    }
+
+    #[test]
+    fn sweeps_resolve_on_a_topology() {
+        let sc = small();
+        let topo = sc.topology.build().unwrap();
+        let proto = sc.workload.prototype(topo.as_ref(), sc.seed).unwrap();
+        let explicit = sc
+            .sweep
+            .resolve(topo.as_ref(), &proto, ModelOptions::default())
+            .unwrap();
+        assert_eq!(explicit.rates(), &[0.002, 0.004]);
+
+        let span = SweepSpec::figure_default(5)
+            .resolve(topo.as_ref(), &proto, ModelOptions::default())
+            .unwrap();
+        assert_eq!(span.len(), 5);
+        assert!(span.rates()[0] > 0.0);
+        assert!((span.rates()[4] / span.rates()[0] - 1.02 / 0.15).abs() < 1e-9);
+
+        let fracs = SweepSpec::SaturationFractions {
+            fractions: vec![0.3, 0.6],
+        }
+        .resolve(topo.as_ref(), &proto, ModelOptions::default())
+        .unwrap();
+        assert_eq!(fracs.len(), 2);
+        assert!((fracs.rates()[1] / fracs.rates()[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_sweep_spec_surfaces_as_typed_error() {
+        let sc = small();
+        let topo = sc.topology.build().unwrap();
+        let proto = sc.workload.prototype(topo.as_ref(), sc.seed).unwrap();
+        let err = (SweepSpec::Linear {
+            lo: 0.5,
+            hi: 0.1,
+            points: 4,
+        })
+        .resolve(topo.as_ref(), &proto, ModelOptions::default())
+        .unwrap_err();
+        assert!(matches!(err, Error::Sweep(_)));
+    }
+
+    #[test]
+    fn patterns_materialize() {
+        let topo = TopologySpec::Ring { n: 8 }.build().unwrap();
+        let bc = MulticastPattern::Broadcast.build(topo.as_ref(), 1);
+        assert_eq!(bc.set(NodeId(0)).len(), 7);
+        let ex = MulticastPattern::Explicit {
+            sets: vec![vec![1]; 8],
+        }
+        .build(topo.as_ref(), 1);
+        assert_eq!(ex.set(NodeId(2)), &[NodeId(1)]);
+        let r = MulticastPattern::Random { group: 3 }.build(topo.as_ref(), 9);
+        assert_eq!(r.set(NodeId(5)).len(), 3);
+    }
+}

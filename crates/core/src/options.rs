@@ -40,7 +40,7 @@ impl ServiceCorrection {
 }
 
 /// All model fidelity knobs.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ModelOptions {
     /// Which algebraic form of the M/G/1 waiting time to use (Eq. 3).
     pub formula: WaitingFormula,

@@ -10,6 +10,8 @@
 //! vector-valued contraction. Divergence (a component exceeding `bound`, or
 //! NaN) is reported as saturation by the caller.
 
+use serde::{Deserialize, Serialize};
+
 /// Why the iteration stopped.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FixedPointOutcome {
@@ -55,7 +57,7 @@ impl std::fmt::Display for FixedPointError {
 impl std::error::Error for FixedPointError {}
 
 /// Configuration of the fixed-point driver.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FixedPoint {
     /// Convergence tolerance on the max absolute component update.
     pub tolerance: f64,

@@ -42,7 +42,7 @@
 //! stably blocked, nothing was granted, no tail/header/absorb threshold,
 //! arrival, run boundary or watchdog tick is due — and if so it applies
 //! `K` repetitions in one bulk update of the flit counters
-//! ([`EventSimulator::apply_streaming_span`]). Grant-to-grant, the
+//! (`EventSimulator::apply_streaming_span`). Grant-to-grant, the
 //! per-cycle machinery only runs on cycles where arbitration can change.
 //!
 //! Together the two mechanisms collapse the cost from O(cycles) to

@@ -24,6 +24,9 @@
 //!   [`ring::Ring`] — the minimal two-port multicast topology;
 //!   [`mesh::Mesh`] — mesh/torus with XY routing and dual-path
 //!   Hamiltonian multicast (the paper's stated future work).
+//! * [`spec`] — declarative, serializable [`TopologySpec`]s and the
+//!   construct-by-name registry (`TopologySpec::parse("mesh-4x4")`), so
+//!   experiment scenarios can request any topology as data.
 //! * [`render`] — DOT/ASCII renderings regenerating Fig. 2 (topology) and
 //!   Fig. 3 (broadcast streams).
 //!
@@ -49,6 +52,7 @@ pub mod path;
 pub mod quarc;
 pub mod render;
 pub mod ring;
+pub mod spec;
 pub mod spidergon;
 
 pub use channel::{Channel, ChannelKind};
@@ -59,4 +63,5 @@ pub use network::{Network, Topology, TopologyError};
 pub use path::{Hop, MulticastStream, Path};
 pub use quarc::Quarc;
 pub use ring::Ring;
+pub use spec::{TopologySpec, KNOWN_TOPOLOGIES};
 pub use spidergon::Spidergon;

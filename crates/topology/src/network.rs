@@ -5,7 +5,7 @@ use crate::ids::{ChannelId, NodeId, PortId};
 use crate::path::{MulticastStream, Path};
 use std::fmt;
 
-/// Errors raised by topology constructors.
+/// Errors raised by topology constructors and the spec registry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TopologyError {
     /// The requested node count is not supported by the topology
@@ -16,6 +16,18 @@ pub enum TopologyError {
         /// Human-readable constraint description.
         requirement: &'static str,
     },
+    /// A spec named a topology the registry does not know.
+    UnknownTopology {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A spec string or size argument was malformed.
+    InvalidSpec {
+        /// The offending spec string.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -23,6 +35,16 @@ impl fmt::Display for TopologyError {
         match self {
             TopologyError::UnsupportedSize { n, requirement } => {
                 write!(f, "unsupported network size {n}: {requirement}")
+            }
+            TopologyError::UnknownTopology { name } => {
+                write!(
+                    f,
+                    "unknown topology `{name}` (known: {})",
+                    crate::spec::KNOWN_TOPOLOGIES.join(", ")
+                )
+            }
+            TopologyError::InvalidSpec { spec, reason } => {
+                write!(f, "invalid topology spec `{spec}`: {reason}")
             }
         }
     }

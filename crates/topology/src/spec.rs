@@ -1,0 +1,313 @@
+//! Declarative, serializable topology specifications and the
+//! construct-by-name registry.
+//!
+//! A [`TopologySpec`] is *data*: it can be stored in a scenario file,
+//! round-tripped through JSON and only turned into a live channel graph
+//! when an experiment runs ([`TopologySpec::build`]). The registry maps
+//! short names (`"quarc"`, `"mesh"`, ...) to constructors so scenario
+//! files and CLIs can request any supported topology without compiling a
+//! new binary; unknown names and invalid sizes surface as
+//! [`TopologyError`] values with actionable messages.
+
+use crate::hypercube::Hypercube;
+use crate::mesh::{Mesh, MeshKind};
+use crate::network::{Topology, TopologyError};
+use crate::quarc::Quarc;
+use crate::ring::Ring;
+use crate::spidergon::Spidergon;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A serializable description of a topology, sufficient to construct it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// The paper's evaluation platform: `n`-node Quarc (all-port routers,
+    /// doubled cross links), `n % 4 == 0`, `n >= 8`.
+    Quarc {
+        /// Node count.
+        n: usize,
+    },
+    /// Bidirectional ring, the minimal two-port multicast topology.
+    Ring {
+        /// Node count.
+        n: usize,
+    },
+    /// One-port Spidergon baseline.
+    Spidergon {
+        /// Node count.
+        n: usize,
+    },
+    /// Open mesh with XY routing and dual-path Hamiltonian multicast.
+    Mesh {
+        /// Columns.
+        width: usize,
+        /// Rows.
+        height: usize,
+    },
+    /// Torus (wrap-around mesh).
+    Torus {
+        /// Columns.
+        width: usize,
+        /// Rows.
+        height: usize,
+    },
+    /// Binary hypercube with e-cube unicast and Gray-code dual-path
+    /// multicast.
+    Hypercube {
+        /// Dimension (`2^dim` nodes).
+        dim: usize,
+    },
+}
+
+/// The registry's topology names, in registry order.
+pub const KNOWN_TOPOLOGIES: &[&str] = &["quarc", "ring", "spidergon", "mesh", "torus", "hypercube"];
+
+impl TopologySpec {
+    /// Construct the described topology.
+    pub fn build(&self) -> Result<Box<dyn Topology>, TopologyError> {
+        Ok(match *self {
+            TopologySpec::Quarc { n } => Box::new(Quarc::new(n)?),
+            TopologySpec::Ring { n } => Box::new(Ring::new(n)?),
+            TopologySpec::Spidergon { n } => Box::new(Spidergon::new(n)?),
+            TopologySpec::Mesh { width, height } => {
+                Box::new(Mesh::new(width, height, MeshKind::Mesh)?)
+            }
+            TopologySpec::Torus { width, height } => {
+                Box::new(Mesh::new(width, height, MeshKind::Torus)?)
+            }
+            TopologySpec::Hypercube { dim } => Box::new(Hypercube::new(dim)?),
+        })
+    }
+
+    /// The registry name of this spec's topology family.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TopologySpec::Quarc { .. } => "quarc",
+            TopologySpec::Ring { .. } => "ring",
+            TopologySpec::Spidergon { .. } => "spidergon",
+            TopologySpec::Mesh { .. } => "mesh",
+            TopologySpec::Torus { .. } => "torus",
+            TopologySpec::Hypercube { .. } => "hypercube",
+        }
+    }
+
+    /// Node count the spec describes (without building the topology).
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            TopologySpec::Quarc { n }
+            | TopologySpec::Ring { n }
+            | TopologySpec::Spidergon { n } => n,
+            TopologySpec::Mesh { width, height } | TopologySpec::Torus { width, height } => {
+                width * height
+            }
+            // Saturate on absurd dimensions instead of overflowing the
+            // shift: specs are data and may describe sizes `build()`
+            // would reject, but this accessor must never panic or wrap.
+            TopologySpec::Hypercube { dim } => 1usize
+                .checked_shl(dim.min(u32::MAX as usize) as u32)
+                .unwrap_or(usize::MAX),
+        }
+    }
+
+    /// Construct a spec from a registry name and a *size* argument: the
+    /// node count for ring topologies, `width == height` for mesh/torus
+    /// (the size must be a perfect square), the dimension for hypercubes.
+    pub fn from_name(name: &str, size: usize) -> Result<TopologySpec, TopologyError> {
+        match name {
+            "quarc" => Ok(TopologySpec::Quarc { n: size }),
+            "ring" => Ok(TopologySpec::Ring { n: size }),
+            "spidergon" => Ok(TopologySpec::Spidergon { n: size }),
+            "hypercube" => Ok(TopologySpec::Hypercube { dim: size }),
+            "mesh" | "torus" => {
+                let side = (size as f64).sqrt().round() as usize;
+                if side * side != size {
+                    return Err(TopologyError::InvalidSpec {
+                        spec: format!("{name}-{size}"),
+                        reason: "mesh/torus size must be a perfect square \
+                                 (or use the `WxH` form, e.g. `mesh-4x4`)"
+                            .into(),
+                    });
+                }
+                Ok(if name == "mesh" {
+                    TopologySpec::Mesh {
+                        width: side,
+                        height: side,
+                    }
+                } else {
+                    TopologySpec::Torus {
+                        width: side,
+                        height: side,
+                    }
+                })
+            }
+            other => Err(TopologyError::UnknownTopology {
+                name: other.to_string(),
+            }),
+        }
+    }
+
+    /// Parse a compact spec string: `<name>-<size>` (e.g. `quarc-16`,
+    /// `hypercube-4`) or `<name>-<W>x<H>` for mesh/torus (e.g.
+    /// `mesh-4x4`). This is the format [`TopologySpec`] displays as, so
+    /// `parse(spec.to_string())` round-trips.
+    pub fn parse(s: &str) -> Result<TopologySpec, TopologyError> {
+        let bad = |reason: &str| TopologyError::InvalidSpec {
+            spec: s.to_string(),
+            reason: reason.to_string(),
+        };
+        let (name, arg) = s.split_once('-').ok_or_else(|| {
+            bad("expected `<name>-<size>` or `<name>-<W>x<H>` (e.g. `quarc-16`, `mesh-4x4`)")
+        })?;
+        if !KNOWN_TOPOLOGIES.contains(&name) {
+            return Err(TopologyError::UnknownTopology {
+                name: name.to_string(),
+            });
+        }
+        if let Some((w, h)) = arg.split_once('x') {
+            if name != "mesh" && name != "torus" {
+                return Err(bad("only mesh/torus accept the `WxH` size form"));
+            }
+            let width: usize = w.parse().map_err(|_| bad("width is not a number"))?;
+            let height: usize = h.parse().map_err(|_| bad("height is not a number"))?;
+            return Ok(if name == "mesh" {
+                TopologySpec::Mesh { width, height }
+            } else {
+                TopologySpec::Torus { width, height }
+            });
+        }
+        let size: usize = arg.parse().map_err(|_| bad("size is not a number"))?;
+        TopologySpec::from_name(name, size)
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologySpec::Mesh { width, height } | TopologySpec::Torus { width, height } => {
+                write!(f, "{}-{}x{}", self.kind_name(), width, height)
+            }
+            TopologySpec::Hypercube { dim } => write!(f, "hypercube-{dim}"),
+            _ => write!(f, "{}-{}", self.kind_name(), self.num_nodes()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_every_family() {
+        for (spec, nodes) in [
+            (TopologySpec::Quarc { n: 16 }, 16),
+            (TopologySpec::Ring { n: 6 }, 6),
+            (TopologySpec::Spidergon { n: 8 }, 8),
+            (
+                TopologySpec::Mesh {
+                    width: 3,
+                    height: 3,
+                },
+                9,
+            ),
+            (
+                TopologySpec::Torus {
+                    width: 4,
+                    height: 4,
+                },
+                16,
+            ),
+            (TopologySpec::Hypercube { dim: 3 }, 8),
+        ] {
+            assert_eq!(spec.num_nodes(), nodes);
+            let topo = spec.build().expect("valid spec");
+            assert_eq!(topo.num_nodes(), nodes);
+            assert_eq!(topo.name(), spec.kind_name());
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        for spec in [
+            TopologySpec::Quarc { n: 32 },
+            TopologySpec::Ring { n: 10 },
+            TopologySpec::Spidergon { n: 16 },
+            TopologySpec::Mesh {
+                width: 4,
+                height: 2,
+            },
+            TopologySpec::Torus {
+                width: 3,
+                height: 3,
+            },
+            TopologySpec::Hypercube { dim: 5 },
+        ] {
+            assert_eq!(TopologySpec::parse(&spec.to_string()), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_the_name() {
+        let err = TopologySpec::parse("warpgrid-16").unwrap_err();
+        assert!(err.to_string().contains("warpgrid"), "{err}");
+        assert!(
+            err.to_string().contains("quarc"),
+            "should list known: {err}"
+        );
+        assert!(matches!(
+            TopologySpec::from_name("warpgrid", 16),
+            Err(TopologyError::UnknownTopology { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(TopologySpec::parse("quarc").is_err());
+        assert!(TopologySpec::parse("quarc-abc").is_err());
+        assert!(TopologySpec::parse("ring-4x4").is_err());
+        assert!(TopologySpec::parse("mesh-4xzz").is_err());
+        assert!(matches!(
+            TopologySpec::from_name("mesh", 12),
+            Err(TopologyError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_sizes_fail_at_build_with_the_constraint() {
+        let err = match (TopologySpec::Quarc { n: 7 }).build() {
+            Err(e) => e,
+            Ok(_) => panic!("a 7-node Quarc must be rejected"),
+        };
+        assert!(matches!(err, TopologyError::UnsupportedSize { n: 7, .. }));
+        assert!(TopologySpec::Hypercube { dim: 0 }.build().is_err());
+        assert!(TopologySpec::Mesh {
+            width: 1,
+            height: 1
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn huge_hypercube_dims_saturate_instead_of_overflowing() {
+        // Parse does not bound the dimension (build() does, to 2..=10);
+        // the size accessor must stay total on such specs.
+        let spec = TopologySpec::parse("hypercube-64").unwrap();
+        assert_eq!(spec.num_nodes(), usize::MAX);
+        assert_eq!(
+            (TopologySpec::Hypercube { dim: 1000 }).num_nodes(),
+            usize::MAX
+        );
+        assert!(spec.build().is_err(), "build still rejects it");
+    }
+
+    #[test]
+    fn mesh_from_square_size() {
+        assert_eq!(
+            TopologySpec::from_name("torus", 16),
+            Ok(TopologySpec::Torus {
+                width: 4,
+                height: 4
+            })
+        );
+    }
+}

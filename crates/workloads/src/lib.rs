@@ -30,5 +30,5 @@ pub mod workload;
 pub use destinations::DestinationSets;
 pub use parallel::parallel_map;
 pub use pattern::UnicastPattern;
-pub use sweep::RateSweep;
+pub use sweep::{RateSweep, SweepError};
 pub use workload::{Workload, WorkloadError};

@@ -2,9 +2,59 @@
 //!
 //! The figures of the paper plot latency against the per-node message
 //! generation rate, swept from near zero to the onset of saturation.
-//! [`RateSweep`] builds such grids.
+//! [`RateSweep`] builds such grids. Constructors validate their input and
+//! return [`SweepError`] — a malformed experiment specification must
+//! surface as a typed error the scenario runner can report, not a panic.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when constructing a [`RateSweep`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepError {
+    /// A rate was non-finite, zero or negative.
+    InvalidRate(f64),
+    /// Explicit rates must be strictly ascending.
+    NotAscending {
+        /// The first out-of-order pair.
+        prev: f64,
+        /// The rate that failed to exceed `prev`.
+        next: f64,
+    },
+    /// Linear/geometric grids need at least two points.
+    TooFewPoints(usize),
+    /// Grid bounds must satisfy `0 < lo < hi`.
+    InvalidBounds {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::InvalidRate(r) => {
+                write!(f, "sweep rate {r} must be finite and positive")
+            }
+            SweepError::NotAscending { prev, next } => {
+                write!(
+                    f,
+                    "sweep rates must strictly ascend ({next} follows {prev})"
+                )
+            }
+            SweepError::TooFewPoints(n) => {
+                write!(f, "sweep needs at least 2 points, got {n}")
+            }
+            SweepError::InvalidBounds { lo, hi } => {
+                write!(f, "sweep bounds must satisfy 0 < lo < hi, got [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
 
 /// A set of generation rates to evaluate.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -14,30 +64,39 @@ pub struct RateSweep {
 
 impl RateSweep {
     /// Explicit list of rates (must be positive and ascending).
-    pub fn explicit(rates: Vec<f64>) -> Self {
-        assert!(rates.iter().all(|r| r.is_finite() && *r > 0.0));
-        assert!(rates.windows(2).all(|w| w[0] < w[1]), "rates must ascend");
-        RateSweep { rates }
+    pub fn explicit(rates: Vec<f64>) -> Result<Self, SweepError> {
+        for &r in &rates {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(SweepError::InvalidRate(r));
+            }
+        }
+        if let Some(w) = rates.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(SweepError::NotAscending {
+                prev: w[0],
+                next: w[1],
+            });
+        }
+        Ok(RateSweep { rates })
     }
 
     /// `points` rates spaced linearly over `[lo, hi]` inclusive.
-    pub fn linear(lo: f64, hi: f64, points: usize) -> Self {
-        assert!(points >= 2 && lo > 0.0 && hi > lo);
+    pub fn linear(lo: f64, hi: f64, points: usize) -> Result<Self, SweepError> {
+        check_grid(lo, hi, points)?;
         let step = (hi - lo) / (points - 1) as f64;
-        RateSweep {
+        Ok(RateSweep {
             rates: (0..points).map(|i| lo + step * i as f64).collect(),
-        }
+        })
     }
 
     /// `points` rates spaced geometrically over `[lo, hi]` inclusive —
     /// denser near zero where latency changes slowly, mirroring how the
     /// paper's curves sample the low-load region.
-    pub fn geometric(lo: f64, hi: f64, points: usize) -> Self {
-        assert!(points >= 2 && lo > 0.0 && hi > lo);
+    pub fn geometric(lo: f64, hi: f64, points: usize) -> Result<Self, SweepError> {
+        check_grid(lo, hi, points)?;
         let ratio = (hi / lo).powf(1.0 / (points - 1) as f64);
-        RateSweep {
+        Ok(RateSweep {
             rates: (0..points).map(|i| lo * ratio.powi(i as i32)).collect(),
-        }
+        })
     }
 
     /// Rates as a slice.
@@ -67,6 +126,16 @@ impl RateSweep {
     }
 }
 
+fn check_grid(lo: f64, hi: f64, points: usize) -> Result<(), SweepError> {
+    if points < 2 {
+        return Err(SweepError::TooFewPoints(points));
+    }
+    if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || hi <= lo {
+        return Err(SweepError::InvalidBounds { lo, hi });
+    }
+    Ok(())
+}
+
 impl IntoIterator for RateSweep {
     type Item = f64;
     type IntoIter = std::vec::IntoIter<f64>;
@@ -82,7 +151,7 @@ mod tests {
 
     #[test]
     fn linear_covers_endpoints() {
-        let s = RateSweep::linear(0.001, 0.009, 5);
+        let s = RateSweep::linear(0.001, 0.009, 5).unwrap();
         assert_eq!(s.len(), 5);
         assert!((s.rates()[0] - 0.001).abs() < 1e-15);
         assert!((s.rates()[4] - 0.009).abs() < 1e-15);
@@ -91,7 +160,7 @@ mod tests {
 
     #[test]
     fn geometric_is_multiplicative() {
-        let s = RateSweep::geometric(0.001, 0.016, 5);
+        let s = RateSweep::geometric(0.001, 0.016, 5).unwrap();
         let r = s.rates();
         for w in r.windows(2) {
             assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
@@ -100,20 +169,65 @@ mod tests {
 
     #[test]
     fn below_filters() {
-        let s = RateSweep::linear(0.001, 0.01, 10).below(0.0055);
+        let s = RateSweep::linear(0.001, 0.01, 10).unwrap().below(0.0055);
         assert!(s.rates().iter().all(|&r| r < 0.0055));
         assert_eq!(s.len(), 5);
     }
 
     #[test]
-    #[should_panic(expected = "ascend")]
     fn explicit_rejects_unsorted() {
-        RateSweep::explicit(vec![0.01, 0.005]);
+        assert_eq!(
+            RateSweep::explicit(vec![0.01, 0.005]),
+            Err(SweepError::NotAscending {
+                prev: 0.01,
+                next: 0.005
+            })
+        );
+    }
+
+    #[test]
+    fn explicit_rejects_bad_rates() {
+        assert_eq!(
+            RateSweep::explicit(vec![0.0, 0.1]),
+            Err(SweepError::InvalidRate(0.0))
+        );
+        assert!(matches!(
+            RateSweep::explicit(vec![-0.2]),
+            Err(SweepError::InvalidRate(_))
+        ));
+        assert!(matches!(
+            RateSweep::explicit(vec![f64::NAN]),
+            Err(SweepError::InvalidRate(_))
+        ));
+        assert!(RateSweep::explicit(vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn grids_reject_bad_parameters() {
+        assert_eq!(
+            RateSweep::linear(0.001, 0.01, 1),
+            Err(SweepError::TooFewPoints(1))
+        );
+        assert_eq!(
+            RateSweep::linear(0.0, 0.01, 4),
+            Err(SweepError::InvalidBounds { lo: 0.0, hi: 0.01 })
+        );
+        assert!(RateSweep::linear(0.01, 0.01, 4).is_err());
+        assert!(RateSweep::geometric(0.01, 0.002, 4).is_err());
+        assert!(RateSweep::geometric(f64::NAN, 0.002, 4).is_err());
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = RateSweep::linear(0.5, 0.1, 3).unwrap_err();
+        assert!(e.to_string().contains("0 < lo < hi"));
+        let e = RateSweep::explicit(vec![0.2, 0.1]).unwrap_err();
+        assert!(e.to_string().contains("ascend"));
     }
 
     #[test]
     fn into_iter_yields_all() {
-        let s = RateSweep::linear(0.001, 0.002, 2);
+        let s = RateSweep::linear(0.001, 0.002, 2).unwrap();
         let v: Vec<f64> = s.into_iter().collect();
         assert_eq!(v.len(), 2);
     }

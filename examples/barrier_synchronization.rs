@@ -5,7 +5,8 @@
 //! milliseconds, without running a simulation per design point — how the
 //! barrier group size and the share of barrier traffic move the multicast
 //! latency and the saturation point of a 32-node Quarc, then spot-checks
-//! two design points in simulation.
+//! two design points in simulation through a [`Scenario`] with
+//! saturation-relative operating points.
 //!
 //! This is the workflow the paper argues analytical models enable: rapid
 //! design-space exploration with simulation reserved for verification.
@@ -17,8 +18,9 @@
 use quarc_noc::model::max_sustainable_rate;
 use quarc_noc::prelude::*;
 
-fn main() {
-    let topo = Quarc::new(32).unwrap();
+fn main() -> Result<(), Error> {
+    let topology = TopologySpec::Quarc { n: 32 };
+    let topo = topology.build()?;
     let msg = 16u32;
 
     println!("== barrier multicast on a 32-node Quarc (model-driven sweep) ==\n");
@@ -28,11 +30,11 @@ fn main() {
     );
     for group in [4usize, 8, 16, 31] {
         for alpha in [0.05, 0.20] {
-            let sets = DestinationSets::random(&topo, group, 11);
-            let proto = Workload::new(msg, 1e-5, alpha, sets).unwrap();
-            let sat = max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
-            let wl = proto.at_rate(sat * 0.6).unwrap();
-            let mc = AnalyticModel::new(&topo, &wl, ModelOptions::default())
+            let proto = WorkloadSpec::new(msg, alpha, MulticastPattern::Random { group })
+                .prototype(topo.as_ref(), 11)?;
+            let sat = max_sustainable_rate(topo.as_ref(), &proto, ModelOptions::default(), 0.01);
+            let wl = proto.at_rate(sat * 0.6)?;
+            let mc = AnalyticModel::new(topo.as_ref(), &wl, ModelOptions::default())
                 .evaluate()
                 .map(|p| p.multicast_latency)
                 .unwrap_or(f64::NAN);
@@ -41,21 +43,24 @@ fn main() {
     }
 
     println!("\nspot-check in simulation (group=8, alpha=0.20):");
-    let sets = DestinationSets::random(&topo, 8, 11);
-    let proto = Workload::new(msg, 1e-5, 0.20, sets).unwrap();
-    let sat = max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
-    for frac in [0.4, 0.8] {
-        let wl = proto.at_rate(sat * frac).unwrap();
-        let pred = AnalyticModel::new(&topo, &wl, ModelOptions::default())
-            .evaluate()
-            .unwrap();
-        let res = Simulator::new(&topo, &wl, SimConfig::quick(5)).run();
+    let scenario = Scenario::new(
+        "barrier-spot-check",
+        topology,
+        WorkloadSpec::new(msg, 0.20, MulticastPattern::Random { group: 8 }),
+        SweepSpec::SaturationFractions {
+            fractions: vec![0.4, 0.8],
+        },
+    )
+    .with_sim(SimConfig::quick(5))
+    .with_seed(11);
+    let result = Runner::new().run(&scenario)?;
+    for (p, frac) in result.points.iter().zip([0.4, 0.8]) {
         println!(
             "  {:>4.0}% of saturation: model {:>7.1}cy  sim {:>7.1}cy  (err {:+.1}%)",
             frac * 100.0,
-            pred.multicast_latency,
-            res.multicast.mean,
-            (pred.multicast_latency - res.multicast.mean) / res.multicast.mean * 100.0
+            p.model_multicast,
+            p.sim_multicast,
+            (p.model_multicast - p.sim_multicast) / p.sim_multicast * 100.0
         );
     }
 
@@ -63,4 +68,5 @@ fn main() {
     println!("headroom (more port streams, more rim occupancy), while latency");
     println!("at fixed relative load grows slowly — the asynchronous port");
     println!("streams hide most of the extra fan-out.");
+    Ok(())
 }

@@ -6,7 +6,8 @@
 //! grows from 8 to 64 cores, first on an idle interconnect and then with
 //! background read/write (unicast) traffic — the situation the paper's
 //! introduction motivates: collective operations forming part of overall
-//! traffic.
+//! traffic. Every measurement is a broadcast [`Scenario`] executed by the
+//! shared [`Runner`].
 //!
 //! ```text
 //! cargo run --release --example cache_coherence_broadcast
@@ -14,51 +15,65 @@
 
 use quarc_noc::prelude::*;
 
-/// Invalidation payload: an 16-flit message (address + bitmask + control).
+/// Invalidation payload: a 16-flit message (address + bitmask + control).
 const INVALIDATION_FLITS: u32 = 16;
 
-fn idle_broadcast(topo: &dyn Topology, seed: u64) -> u64 {
-    let sets = DestinationSets::broadcast(topo);
-    let wl = Workload::new(INVALIDATION_FLITS, 0.0, 0.0, sets).unwrap();
-    let mut sim = Simulator::new(topo, &wl, SimConfig::quick(seed));
-    sim.measure_isolated_multicast(NodeId(0))
+/// The broadcast scenario of one `(topology, background unicast rate)`
+/// cell: 2% of messages are invalidation broadcasts riding on top of
+/// regular read/write unicast traffic.
+fn broadcast_scenario(topology: TopologySpec, unicast_rate: f64, seed: u64) -> Scenario {
+    Scenario::new(
+        format!("invalidation-{topology}"),
+        topology,
+        WorkloadSpec::new(
+            INVALIDATION_FLITS,
+            if unicast_rate > 0.0 { 0.02 } else { 0.0 },
+            MulticastPattern::Broadcast,
+        ),
+        SweepSpec::Explicit {
+            rates: if unicast_rate > 0.0 {
+                vec![unicast_rate]
+            } else {
+                vec![]
+            },
+        },
+    )
+    .with_sim(SimConfig::quick(seed))
+    .with_model(None)
+    .with_seed(seed)
 }
 
-fn loaded_broadcast_latency(topo: &dyn Topology, unicast_rate: f64, seed: u64) -> (f64, bool) {
-    // 2% of messages are invalidation broadcasts riding on top of regular
-    // read/write unicast traffic.
-    let sets = DestinationSets::broadcast(topo);
-    let wl = Workload::new(INVALIDATION_FLITS, unicast_rate, 0.02, sets).unwrap();
-    let mut sim = Simulator::new(topo, &wl, SimConfig::quick(seed));
-    let res = sim.run();
-    (res.multicast.mean, res.saturated)
+fn idle_broadcast(topology: TopologySpec, seed: u64) -> Result<u64, Error> {
+    Runner::new().isolated_multicast(&broadcast_scenario(topology, 0.0, seed), NodeId(0))
 }
 
-fn main() {
+fn main() -> Result<(), Error> {
     println!("== cache-line invalidation broadcast: Quarc vs Spidergon ==\n");
     println!(
         "{:>6} {:>14} {:>18} {:>9}",
         "cores", "quarc (idle)", "spidergon (idle)", "speedup"
     );
     for n in [8usize, 16, 32, 64] {
-        let quarc = Quarc::new(n).unwrap();
-        let spidergon = Spidergon::new(n).unwrap();
-        let q = idle_broadcast(&quarc, 1);
-        let s = idle_broadcast(&spidergon, 1);
+        let q = idle_broadcast(TopologySpec::Quarc { n }, 1)?;
+        let s = idle_broadcast(TopologySpec::Spidergon { n }, 1)?;
         println!("{n:>6} {q:>12}cy {s:>16}cy {:>8.1}x", s as f64 / q as f64);
     }
 
     println!("\nwith background unicast load (16-core chip):");
     println!("{:>12} {:>16} {:>10}", "load", "bcast latency", "saturated");
-    let quarc = Quarc::new(16).unwrap();
+    let runner = Runner::new();
     for rate in [0.001, 0.004, 0.007] {
-        let (lat, sat) = loaded_broadcast_latency(&quarc, rate, 2);
+        let sc = broadcast_scenario(TopologySpec::Quarc { n: 16 }, rate, 2);
+        let result = runner.run(&sc)?;
+        let p = &result.points[0];
         println!(
-            "{rate:>12.3} {lat:>14.1}cy {:>10}",
-            if sat { "yes" } else { "no" }
+            "{rate:>12.3} {:>14.1}cy {:>10}",
+            p.sim_multicast,
+            if p.sim_saturated { "yes" } else { "no" }
         );
     }
     println!("\nthe Quarc absorbs invalidations in N/4 hops; the Spidergon's");
     println!("unicast train scales linearly with core count and congests its");
     println!("single injection port.");
+    Ok(())
 }

@@ -4,6 +4,8 @@
 //! Applies the same model + simulator pair to a 4×4 mesh and torus with XY
 //! unicast routing and dual-path Hamiltonian multicast (two asynchronous
 //! streams, the `m = 2` case of the max-of-exponentials combination).
+//! The two networks share one [`Scenario`] shape — only the
+//! [`TopologySpec`] differs.
 //!
 //! ```text
 //! cargo run --release --example mesh_dualpath
@@ -11,34 +13,44 @@
 
 use quarc_noc::prelude::*;
 
-fn run(topo: &Mesh) {
-    let sets = DestinationSets::random(topo, 4, 3);
-    println!("-- {} {}x{} --", topo.name(), topo.width(), topo.height());
-    for rate in [0.002, 0.006] {
-        let wl = Workload::new(32, rate, 0.1, sets.clone()).unwrap();
-        let model = AnalyticModel::new(topo, &wl, ModelOptions::default());
-        let (mu, mm) = match model.evaluate() {
-            Ok(p) => (p.unicast_latency, p.multicast_latency),
-            Err(e) => {
-                println!("  rate {rate:.3}: model saturated ({e})");
-                continue;
-            }
-        };
-        let res = Simulator::new(topo, &wl, SimConfig::quick(9)).run();
-        println!(
-            "  rate {rate:.3}: model uni {mu:>6.1} / mc {mm:>6.1}   sim uni {:>6.1} / mc {:>6.1}",
-            res.unicast.mean, res.multicast.mean
-        );
+fn run(topology: TopologySpec) -> Result<(), Error> {
+    let scenario = Scenario::new(
+        format!("dualpath-{topology}"),
+        topology,
+        WorkloadSpec::new(32, 0.1, MulticastPattern::Random { group: 4 }),
+        SweepSpec::Explicit {
+            rates: vec![0.002, 0.006],
+        },
+    )
+    .with_sim(SimConfig::quick(9))
+    .with_seed(3);
+    println!("-- {topology} --");
+    let result = Runner::new().run(&scenario)?;
+    for p in &result.points {
+        if p.model_multicast.is_finite() {
+            println!(
+                "  rate {:.3}: model uni {:>6.1} / mc {:>6.1}   sim uni {:>6.1} / mc {:>6.1}",
+                p.rate, p.model_unicast, p.model_multicast, p.sim_unicast, p.sim_multicast
+            );
+        } else {
+            println!("  rate {:.3}: model saturated", p.rate);
+        }
     }
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), Error> {
     println!("== dual-path Hamiltonian multicast on mesh and torus ==\n");
-    let mesh = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
-    run(&mesh);
-    let torus = Mesh::new(4, 4, MeshKind::Torus).unwrap();
-    run(&torus);
+    run(TopologySpec::Mesh {
+        width: 4,
+        height: 4,
+    })?;
+    run(TopologySpec::Torus {
+        width: 4,
+        height: 4,
+    })?;
     println!("\nthe model transfers: the same Eq. 6 fixed point and Eq. 13");
     println!("max-of-exponentials combination predict mesh/torus multicast,");
     println!("validating the paper's proposed extension.");
+    Ok(())
 }

@@ -1,8 +1,10 @@
 //! Quickstart: predict and measure multicast latency on a Quarc NoC.
 //!
-//! Builds a 16-node Quarc with 32-flit messages and 5% multicast traffic,
-//! evaluates the paper's analytical model at three operating points and
-//! validates each prediction against the flit-level simulator.
+//! Describes a 16-node Quarc with 32-flit messages and 5% multicast
+//! traffic as a declarative [`Scenario`], round-trips the spec through
+//! JSON, and executes it with the shared [`Runner`]: the paper's
+//! analytical model is evaluated at three operating points and each
+//! prediction is validated against the flit-level simulator.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -10,44 +12,40 @@
 
 use quarc_noc::prelude::*;
 
-fn main() {
-    // 1. Topology: a 16-node Quarc (4 ports per router, doubled cross
-    //    links, absorb-and-forward multicast).
-    let topo = Quarc::new(16).expect("N must be a multiple of 4");
-    println!(
-        "topology: {} nodes, {} ports/router, diameter {} links",
-        topo.num_nodes(),
-        topo.num_ports(),
-        topo.diameter()
-    );
+fn main() -> Result<(), Error> {
+    // 1. The whole experiment as data: topology (by registry spec),
+    //    workload, operating points, simulator fidelity, master seed.
+    let scenario = Scenario::new(
+        "quickstart",
+        TopologySpec::Quarc { n: 16 },
+        WorkloadSpec::new(32, 0.05, MulticastPattern::Random { group: 4 }),
+        SweepSpec::Explicit {
+            rates: vec![0.002, 0.005, 0.008],
+        },
+    )
+    .with_sim(SimConfig::quick(1))
+    .with_seed(7);
 
-    // 2. Workload: every node multicasts to a fixed random group of 4
-    //    destinations; 5% of generated messages are multicast.
-    let sets = DestinationSets::random(&topo, 4, 7);
-    println!("mean multicast group size: {}", sets.mean_group_size());
+    // 2. Scenarios serialize: store them next to results, share them,
+    //    re-run them bit-identically.
+    let json = scenario.to_json();
+    let scenario = Scenario::from_json(&json)?;
+    println!("scenario `{}` on {}:\n", scenario.name, scenario.topology);
+
+    // 3. One runner executes any scenario: analytical prediction
+    //    (Eq. 3-16 of the paper) plus simulation ground truth per point.
+    let result = Runner::new().run(&scenario)?;
 
     println!(
-        "\n{:>9}  {:>10} {:>10}  {:>10} {:>10}",
+        "{:>9}  {:>10} {:>10}  {:>10} {:>10}",
         "rate", "model_uni", "sim_uni", "model_mc", "sim_mc"
     );
-    for rate in [0.002, 0.005, 0.008] {
-        let workload = Workload::new(32, rate, 0.05, sets.clone()).expect("valid workload");
-
-        // 3. Analytical prediction (Eq. 3-16 of the paper).
-        let model = AnalyticModel::new(&topo, &workload, ModelOptions::default());
-        let pred: Prediction = model.evaluate().expect("below saturation");
-
-        // 4. Simulation ground truth (cycle-accurate wormhole).
-        let mut sim = Simulator::new(&topo, &workload, SimConfig::quick(1));
-        let measured = sim.run();
-
+    for p in &result.points {
         println!(
-            "{rate:>9.4}  {:>10.2} {:>10.2}  {:>10.2} {:>10.2}",
-            pred.unicast_latency,
-            measured.unicast.mean,
-            pred.multicast_latency,
-            measured.multicast.mean,
+            "{:>9.4}  {:>10.2} {:>10.2}  {:>10.2} {:>10.2}",
+            p.rate, p.model_unicast, p.sim_unicast, p.model_multicast, p.sim_multicast,
         );
     }
     println!("\nmodel and simulation agree to within a few percent below saturation.");
+    Ok(())
 }

@@ -4,32 +4,48 @@
 //! Because the per-port waits are modelled as independent exponentials,
 //! the full distribution of the last completion is available in closed
 //! form — so the model can predict p95/p99 latencies, which is what an
-//! SoC integrator actually budgets for. This example compares the model's
-//! latency quantiles against the simulated latency histogram.
+//! SoC integrator actually budgets for. This example runs one [`Scenario`]
+//! over three saturation-relative operating points and compares the
+//! model's latency quantiles against the simulated latency histograms the
+//! [`Runner`] retains in its structured results.
 //!
 //! ```text
 //! cargo run --release --example tail_latency
 //! ```
 
-use quarc_noc::model::max_sustainable_rate;
 use quarc_noc::prelude::*;
 
-fn main() {
-    let topo = Quarc::new(16).unwrap();
-    let sets = DestinationSets::random(&topo, 4, 7);
-    let proto = Workload::new(32, 1e-5, 0.10, sets).unwrap();
-    let sat = max_sustainable_rate(&topo, &proto, ModelOptions::default(), 0.01);
+fn main() -> Result<(), Error> {
+    let topology = TopologySpec::Quarc { n: 16 };
+    let workload = WorkloadSpec::new(32, 0.10, MulticastPattern::Random { group: 4 });
+
+    // Tails need samples: double the standard measurement window.
+    let mut sim = SimConfig::standard(3);
+    sim.measure_cycles *= 2;
+    let scenario = Scenario::new(
+        "tail-latency",
+        topology,
+        workload,
+        SweepSpec::SaturationFractions {
+            fractions: vec![0.3, 0.5, 0.7],
+        },
+    )
+    .with_sim(sim)
+    .with_seed(3);
+    let result = Runner::new().run(&scenario)?;
+
+    // The per-node distribution math needs the full prediction, not just
+    // the overlay means: rebuild it per point.
+    let (topo, proto) = scenario.materialize()?;
 
     println!("== multicast tail latency: model distribution vs simulation ==\n");
     println!(
         "{:>12} {:>11} {:>9} {:>11} {:>9} {:>11} {:>9}",
         "load", "mean(mod)", "mean(sim)", "p95(mod)", "p95(sim)", "p99(mod)", "p99(sim)"
     );
-    for frac in [0.3, 0.5, 0.7] {
-        let wl = proto.at_rate(sat * frac).unwrap();
-        let pred = AnalyticModel::new(&topo, &wl, ModelOptions::default())
-            .evaluate()
-            .unwrap();
+    for ((p, sims), frac) in result.points.iter().zip(&result.sims).zip([0.3, 0.5, 0.7]) {
+        let wl = proto.at_rate(p.rate)?;
+        let pred = AnalyticModel::new(topo.as_ref(), &wl, ModelOptions::default()).evaluate()?;
         // The simulator's histogram pools operations over ALL source
         // nodes, so the comparable model quantity is the quantile of the
         // *mixture* distribution: F(t) = (1/N) Σ_j F_j(t − msg − D_j).
@@ -53,18 +69,16 @@ fn main() {
             }
             0.5 * (lo + hi)
         };
-        let mut cfg = SimConfig::standard(3);
-        cfg.measure_cycles *= 2; // tails need samples
-        let res = Simulator::new(&topo, &wl, cfg).run();
+        let hist = &sims[0].multicast_hist;
         println!(
             "{:>11.0}% {:>11.1} {:>9.1} {:>11.1} {:>9.1} {:>11.1} {:>9.1}",
             frac * 100.0,
-            pred.multicast_latency,
-            res.multicast.mean,
+            p.model_multicast,
+            p.sim_multicast,
             q(0.95),
-            res.multicast_hist.quantile(0.95),
+            hist.quantile(0.95),
             q(0.99),
-            res.multicast_hist.quantile(0.99),
+            hist.quantile(0.99),
         );
     }
     println!("\nfinding: the means agree within a few percent, but the");
@@ -72,4 +86,5 @@ fn main() {
     println!("~30-40% — real wormhole blocking chains are heavier-tailed");
     println!("than exponential. The Eq. 8 assumption is calibrated for the");
     println!("expectation (where it is excellent), not for tail budgeting.");
+    Ok(())
 }

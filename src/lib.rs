@@ -2,8 +2,9 @@
 //!
 //! One-stop re-export of the IPDPS 2009 reproduction workspace:
 //!
-//! * [`topology`] — Quarc, Spidergon, ring, mesh/torus channel graphs and
-//!   deterministic routing ([`noc_topology`]).
+//! * [`topology`] — Quarc, Spidergon, ring, mesh/torus channel graphs,
+//!   deterministic routing and the [`TopologySpec`](prelude::TopologySpec)
+//!   construct-by-name registry ([`noc_topology`]).
 //! * [`queueing`] — M/G/1 waiting times, exponential order statistics,
 //!   fixed-point solvers, simulation statistics ([`noc_queueing`]).
 //! * [`sim`] — the flit-level wormhole simulator: an event-driven engine
@@ -11,32 +12,50 @@
 //!   under a shared seed ([`noc_sim`]).
 //! * [`model`] — the paper's analytical unicast + multicast latency model
 //!   ([`quarc_core`]).
-//! * [`workloads`] — destination sets, scenarios and sweep execution
+//! * [`workloads`] — destination sets, traffic patterns and rate sweeps
 //!   ([`noc_workloads`]).
+//! * [`bench`](mod@bench) — the declarative experiment layer: serializable
+//!   [`Scenario`](prelude::Scenario) specs, the [`Runner`](prelude::Runner)
+//!   that executes them, and the workspace [`Error`](prelude::Error) type
+//!   ([`noc_bench`]).
 //!
 //! ## Quickstart
+//!
+//! An experiment is *data*: describe it as a [`Scenario`](prelude::Scenario)
+//! (any registry topology, any traffic pattern, absolute or
+//! saturation-relative sweeps), then hand it to a
+//! [`Runner`](prelude::Runner). Errors compose with `?` end-to-end.
 //!
 //! ```
 //! use quarc_noc::prelude::*;
 //!
-//! // A 16-node Quarc, 32-flit messages, 5% multicast traffic.
-//! let topo = Quarc::new(16).unwrap();
-//! let sets = DestinationSets::random(&topo, 4, 7);
-//! let workload = Workload::new(32, 0.002, 0.05, sets).unwrap();
+//! fn main() -> Result<(), Error> {
+//!     // A 16-node Quarc, 32-flit messages, 5% multicast traffic to a
+//!     // fixed random group of 4 destinations per node.
+//!     let scenario = Scenario::new(
+//!         "quickstart",
+//!         TopologySpec::Quarc { n: 16 },
+//!         WorkloadSpec::new(32, 0.05, MulticastPattern::Random { group: 4 }),
+//!         SweepSpec::Explicit { rates: vec![0.002] },
+//!     )
+//!     .with_sim(SimConfig::quick(1))
+//!     .with_seed(7);
 //!
-//! // Analytical prediction (the paper's model)...
-//! let model = AnalyticModel::new(&topo, &workload, ModelOptions::default());
-//! let pred = model.evaluate().unwrap();
+//!     // The spec is serializable: it can be stored next to its results
+//!     // and re-run bit-identically.
+//!     let reloaded = Scenario::from_json(&scenario.to_json())?;
 //!
-//! // ...and simulation ground truth.
-//! let mut sim = Simulator::new(&topo, &workload, SimConfig::quick(1));
-//! let measured = sim.run();
-//!
-//! let rel = (pred.multicast_latency - measured.multicast.mean).abs()
-//!     / measured.multicast.mean;
-//! assert!(rel < 0.25, "model within 25% of simulation at low load");
+//!     // One runner executes any scenario: analytical model overlay plus
+//!     // flit-level simulation at every sweep point.
+//!     let result = Runner::new().run(&reloaded)?;
+//!     let point = &result.points[0];
+//!     let rel = (point.model_multicast - point.sim_multicast).abs() / point.sim_multicast;
+//!     assert!(rel < 0.25, "model within 25% of simulation at low load");
+//!     Ok(())
+//! }
 //! ```
 
+pub use noc_bench as bench;
 pub use noc_queueing as queueing;
 pub use noc_sim as sim;
 pub use noc_topology as topology;
@@ -45,6 +64,10 @@ pub use quarc_core as model;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
+    pub use noc_bench::{
+        Error, MulticastPattern, PointResult, Progress, Runner, Scenario, ScenarioResult,
+        SweepSpec, WorkloadSpec,
+    };
     pub use noc_queueing::expmax::expected_max_exponentials;
     pub use noc_queueing::mg1::MG1;
     pub use noc_sim::{
@@ -52,8 +75,8 @@ pub mod prelude {
         Simulator,
     };
     pub use noc_topology::{
-        Hypercube, Mesh, MeshKind, NodeId, PortId, Quarc, Ring, Spidergon, Topology,
+        Hypercube, Mesh, MeshKind, NodeId, PortId, Quarc, Ring, Spidergon, Topology, TopologySpec,
     };
-    pub use noc_workloads::{DestinationSets, Workload};
+    pub use noc_workloads::{DestinationSets, RateSweep, SweepError, UnicastPattern, Workload};
     pub use quarc_core::{AnalyticModel, ModelOptions, Prediction};
 }

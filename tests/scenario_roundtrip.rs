@@ -1,0 +1,135 @@
+//! Scenario serialization round-trips.
+//!
+//! The Scenario API's contract is that a spec is *data*: writing it to
+//! JSON, reading it back and running it must yield bit-identical results
+//! to running the original, for every topology in the registry. The
+//! comparison goes through the structured JSON sink, which serializes
+//! every float at full round-trip precision — byte-equal JSON means
+//! bit-equal points, per-replicate simulator output included.
+
+use quarc_noc::prelude::*;
+
+/// A short simulation: round-trip testing needs determinism, not
+/// statistical quality.
+fn tiny_sim(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::quick(seed);
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 2_000;
+    cfg.drain_cycles = 8_000;
+    cfg.backlog_limit = 4_000;
+    cfg
+}
+
+fn scenario_for(topology: TopologySpec) -> Scenario {
+    Scenario::new(
+        format!("roundtrip-{topology}"),
+        topology,
+        WorkloadSpec::new(8, 0.05, MulticastPattern::Random { group: 2 }),
+        SweepSpec::Explicit {
+            rates: vec![0.001, 0.003],
+        },
+    )
+    .with_sim(tiny_sim(9))
+    .with_seed(9)
+}
+
+#[test]
+fn serialize_deserialize_run_is_bit_identical_on_all_six_topologies() {
+    for topology in [
+        TopologySpec::Quarc { n: 16 },
+        TopologySpec::Ring { n: 8 },
+        TopologySpec::Spidergon { n: 8 },
+        TopologySpec::Mesh {
+            width: 3,
+            height: 3,
+        },
+        TopologySpec::Torus {
+            width: 3,
+            height: 3,
+        },
+        TopologySpec::Hypercube { dim: 3 },
+    ] {
+        let original = scenario_for(topology);
+        let json = original.to_json();
+        let reloaded = Scenario::from_json(&json).expect("serialized scenario parses");
+        assert_eq!(original, reloaded, "spec round-trip must be identity");
+
+        let runner = Runner::new().threads(2);
+        let a = runner.run(&original).expect("original runs");
+        let b = runner.run(&reloaded).expect("reloaded runs");
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "{topology}: results diverged after a JSON round-trip"
+        );
+        // Sanity: the runs actually simulated something.
+        assert!(a.sims[0][0].total_absorbed > 0, "{topology}: empty run");
+    }
+}
+
+#[test]
+fn scenario_json_embeds_human_readable_structure() {
+    let sc = scenario_for(TopologySpec::Quarc { n: 16 });
+    let json = sc.to_json();
+    for needle in ["Quarc", "Random", "msg_len", "replicates", "Explicit"] {
+        assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
+    }
+}
+
+#[test]
+fn registry_rejects_unknown_names_with_useful_errors() {
+    let err = TopologySpec::parse("warpgrid-16").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("warpgrid"), "{msg}");
+    assert!(
+        msg.contains("quarc") && msg.contains("hypercube"),
+        "should list the known topologies: {msg}"
+    );
+    assert!(TopologySpec::parse("quarc").is_err(), "missing size");
+    assert!(TopologySpec::parse("mesh-3xq").is_err(), "bad height");
+}
+
+#[test]
+fn registry_rejects_invalid_sizes_at_build_time() {
+    // Sizes that parse but violate the topology's constraints fail at
+    // build() with the constraint in the message.
+    let spec = TopologySpec::parse("quarc-7").expect("parses");
+    let msg = match spec.build() {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("a 7-node Quarc must be rejected"),
+    };
+    assert!(msg.contains('7'), "{msg}");
+
+    // And the runner folds the failure into the workspace error.
+    let sc = scenario_for(TopologySpec::Quarc { n: 7 });
+    match Runner::new().run(&sc) {
+        Err(Error::Topology(_)) => {}
+        other => panic!("expected Error::Topology, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_scenarios_surface_typed_errors_not_panics() {
+    // Malformed sweep (descending rates).
+    let mut sc = scenario_for(TopologySpec::Ring { n: 8 });
+    sc.sweep = SweepSpec::Explicit {
+        rates: vec![0.01, 0.002],
+    };
+    assert!(matches!(Runner::new().run(&sc), Err(Error::Sweep(_))));
+
+    // Malformed workload (alpha out of range).
+    let mut sc = scenario_for(TopologySpec::Ring { n: 8 });
+    sc.workload.alpha = 2.0;
+    assert!(matches!(
+        Runner::new().run(&sc),
+        Err(Error::InvalidScenario(_))
+    ));
+
+    // Malformed JSON.
+    assert!(matches!(
+        Scenario::from_json("{not json"),
+        Err(Error::Serde(_))
+    ));
+    // Structurally valid JSON that is not a scenario.
+    assert!(Scenario::from_json("{\"name\": \"x\"}").is_err());
+}

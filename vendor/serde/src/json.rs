@@ -1,0 +1,430 @@
+//! Compact JSON reader/writer over [`Value`], mirroring the `serde_json`
+//! entry points the workspace needs.
+//!
+//! * Floats print via Rust's shortest round-trip formatting (`{:?}`), so
+//!   `serialize → parse` reproduces the identical bits; non-finite floats
+//!   become `null`.
+//! * Integers that fit `u64`/`i64` stay integers; `Value::F64` always
+//!   prints with a decimal point or exponent so it re-parses as a float.
+//! * The parser accepts the full JSON grammar (UTF-8 strings with escapes,
+//!   nested containers, scientific notation) and rejects trailing garbage.
+
+use crate::{Deserialize, Error, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serialize a value as a compact JSON string.
+pub fn to_string<T: Serialize>(x: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &x.to_value(), None, 0);
+    out
+}
+
+/// Serialize a value as an indented (2-space) JSON string.
+pub fn to_string_pretty<T: Serialize>(x: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &x.to_value(), Some(2), 0);
+    out
+}
+
+/// Parse a JSON string into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse(s)?)
+}
+
+/// Parse a JSON string into a [`Value`] tree.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {pos} of JSON input"
+        )));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` is shortest round-trip and always keeps a `.0`
+                // or exponent, so the token re-parses as a float.
+                let _ = write!(out, "{x:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_container(out, indent, depth, '[', ']', items.len(), |o, i| {
+            write_value(o, &items[i], indent, depth + 1)
+        }),
+        Value::Map(entries) => {
+            write_container(out, indent, depth, '{', '}', entries.len(), |o, i| {
+                write_string(o, &entries[i].0);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, &entries[i].1, indent, depth + 1)
+            })
+        }
+    }
+}
+
+fn write_container(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::custom(format!(
+            "expected `{lit}` at byte {pos} of JSON input"
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::custom("unexpected end of JSON input")),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error::custom(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_value(b, pos)?;
+                entries.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error::custom(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::custom(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::custom("unterminated JSON string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let code = parse_hex4(b, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: JSON encodes non-BMP
+                            // characters as a `\uD8xx\uDCxx` pair.
+                            if b.get(*pos..*pos + 2) != Some(br"\u") {
+                                return Err(Error::custom("unpaired high surrogate in \\u escape"));
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(b, pos)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(Error::custom("invalid low surrogate in \\u escape"));
+                            }
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined)
+                                .ok_or_else(|| Error::custom("invalid surrogate pair"))?
+                        } else {
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::custom("invalid \\u code point"))?
+                        };
+                        out.push(c);
+                        // The shared `*pos += 1` below skips the final
+                        // hex digit.
+                        *pos -= 1;
+                    }
+                    _ => return Err(Error::custom("invalid escape in JSON string")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so the
+                // bytes are valid UTF-8 by construction).
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::custom("invalid UTF-8 in JSON string"))?;
+                let c = rest.chars().next().expect("non-empty by match");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Read 4 hex digits at `pos`, advancing past them.
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    let hex = b
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+    let hex = std::str::from_utf8(hex).map_err(|_| Error::custom("invalid \\u escape"))?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ASCII number token");
+    if text.is_empty() || text == "-" {
+        return Err(Error::custom(format!("expected number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::U64(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::I64(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|e| Error::custom(format!("invalid number `{text}`: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (v, s) in [
+            (Value::Null, "null"),
+            (Value::Bool(true), "true"),
+            (Value::U64(42), "42"),
+            (Value::I64(-7), "-7"),
+            (Value::Str("a\"b\\c\n".into()), r#""a\"b\\c\n""#),
+        ] {
+            let mut out = String::new();
+            write_value(&mut out, &v, None, 0);
+            assert_eq!(out, s);
+            assert_eq!(parse(s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn floats_keep_their_bits() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 2.5e17, 5.0, -0.0, f64::MIN_POSITIVE] {
+            let s = to_string(&x);
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&f64::INFINITY), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        // 5.0 must not degrade into the integer 5 on the wire.
+        let s = to_string(&5.0f64);
+        assert_eq!(s, "5.0");
+        assert_eq!(parse(&s).unwrap(), Value::F64(5.0));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Value::Map(vec![
+            (
+                "xs".into(),
+                Value::Seq(vec![Value::U64(1), Value::F64(2.5)]),
+            ),
+            ("nested".into(), Value::Map(vec![("k".into(), Value::Null)])),
+            ("empty".into(), Value::Seq(vec![])),
+        ]);
+        let mut out = String::new();
+        write_value(&mut out, &v, None, 0);
+        assert_eq!(out, r#"{"xs":[1,2.5],"nested":{"k":null},"empty":[]}"#);
+        assert_eq!(parse(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = Value::Map(vec![("a".into(), Value::Seq(vec![Value::U64(1)]))]);
+        let pretty = {
+            let mut out = String::new();
+            write_value(&mut out, &v, Some(2), 0);
+            out
+        };
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Value::Str("A".into()));
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+        // Non-BMP characters arrive as UTF-16 surrogate pairs (e.g. from
+        // Python's json.dumps with ensure_ascii=True).
+        assert_eq!(
+            parse("\"\\ud83d\\ude00!\"").unwrap(),
+            Value::Str("\u{1F600}!".into())
+        );
+    }
+
+    #[test]
+    fn broken_surrogates_are_rejected() {
+        for bad in [
+            "\"\\ud83d\"",        // unpaired high surrogate
+            "\"\\ud83d\\u0041\"", // high surrogate followed by non-low
+            "\"\\ude00\"",        // lone low surrogate
+            "\"\\ud83dx\"",       // high surrogate then raw char
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in ["{", "[1,", "tru", "\"abc", "1 2", "{\"a\" 1}", "", "nul"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -1,20 +1,376 @@
-//! Offline, API-compatible subset of `serde`.
+//! Offline, API-subset `serde`: a *functional* self-describing data model.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on its data types so
-//! downstream users can persist results, but nothing in-tree serialises
-//! through serde yet (the table writers are dependency-free by design).
-//! This shim therefore provides the two traits as markers plus no-op
-//! derive macros, keeping every `#[derive(Serialize, Deserialize)]` in the
-//! source tree compiling unchanged. Swapping in real serde later is a
-//! manifest-only change.
+//! The real serde crate is not available in this offline workspace, so this
+//! shim provides the subset the workspace actually uses, structured so a
+//! later swap to real serde + serde_json is localized to derive output and
+//! the `json` module:
+//!
+//! * [`Value`] — an owned, self-describing data tree (the analogue of
+//!   `serde_json::Value`), preserving map insertion order so round-trips
+//!   are deterministic.
+//! * [`Serialize`]/[`Deserialize`] — traits converting to/from [`Value`].
+//!   Unlike real serde's visitor architecture, the data model is the value
+//!   tree itself; the derive macros in `serde_derive` generate real
+//!   implementations (field-by-field maps for structs, externally tagged
+//!   variants for enums — the same wire shape as serde's defaults).
+//! * [`json`] — a compact JSON writer/parser over [`Value`], with
+//!   [`json::to_string`]/[`json::from_str`] mirroring `serde_json`.
+//!
+//! Floating-point values round-trip losslessly: the writer emits the
+//! shortest representation that re-parses to the identical bits, and
+//! non-finite values serialize as `null` (deserializing `null` into an
+//! `f64` yields `NaN`), matching `serde_json`'s behaviour.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Marker for types that can be serialised (no-op subset).
-pub trait Serialize {}
+use std::fmt;
+use std::sync::Arc;
 
-/// Marker for types that can be deserialised (no-op subset).
-pub trait Deserialize {}
+/// An owned, self-describing data tree.
+///
+/// Maps are ordered association lists: insertion order is preserved, so
+/// serialization output is deterministic and struct round-trips are stable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of non-finite floats and `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a [`Value::Map`]; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a message plus optional context
+/// pushed by the derive-generated code (type and field names).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Create an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the self-describing data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self`, reporting a descriptive [`Error`] on shape or
+    /// range mismatches.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(u) => <$t>::try_from(*u).map_err(|_| {
+                        Error::custom(format!("integer {u} out of range for {}", stringify!($t)))
+                    }),
+                    other => Err(Error::custom(format!(
+                        "expected unsigned integer, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 {
+                    Value::U64(x as u64)
+                } else {
+                    Value::I64(x)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::U64(u) => i64::try_from(*u).map_err(|_| {
+                        Error::custom(format!("integer {u} out of range for {}", stringify!($t)))
+                    })?,
+                    Value::I64(i) => *i,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!("integer {wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            // Non-finite floats serialize as null (serde_json convention).
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Runtime support for the code emitted by `serde_derive`. Not intended for
+/// direct use; the functions carry type/field names for error messages.
+pub mod de {
+    use super::{Error, Value};
+
+    /// Fetch a struct field from a map value.
+    pub fn field<'a>(v: &'a Value, ty: &str, field: &str) -> Result<&'a Value, Error> {
+        match v {
+            Value::Map(_) => v
+                .get(field)
+                .ok_or_else(|| Error::custom(format!("{ty}: missing field `{field}`"))),
+            other => Err(Error::custom(format!(
+                "{ty}: expected map, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interpret a value as a tuple of exactly `n` elements.
+    pub fn seq_n<'a>(v: &'a Value, ty: &str, n: usize) -> Result<&'a [Value], Error> {
+        match v {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => Err(Error::custom(format!(
+                "{ty}: expected {n} elements, got {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "{ty}: expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Split an externally tagged enum value into `(variant, payload)`.
+    /// Unit variants are plain strings; data variants are one-entry maps.
+    pub fn enum_tag<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, Option<&'a Value>), Error> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(Error::custom(format!(
+                "{ty}: expected variant string or single-entry map, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Error for an unrecognized enum variant name.
+    pub fn unknown_variant(ty: &str, variant: &str, known: &[&str]) -> Error {
+        Error::custom(format!(
+            "{ty}: unknown variant `{variant}` (expected one of: {})",
+            known.join(", ")
+        ))
+    }
+}
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};

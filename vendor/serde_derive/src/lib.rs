@@ -1,83 +1,426 @@
-//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
-//! shim. Implemented directly on `proc_macro` (no syn/quote, which are not
-//! available offline): the macro scans the item for its name and generic
-//! parameters and emits an empty marker-trait impl.
+//! Real `Serialize`/`Deserialize` derive macros for the offline serde
+//! shim, implemented directly on `proc_macro` (syn/quote are not available
+//! offline).
+//!
+//! The generated code targets the shim's value-tree data model
+//! (`serde::Value`): structs become ordered maps keyed by field name,
+//! tuple structs become sequences (single-field tuple structs are
+//! transparent newtypes), and enums use serde's default externally tagged
+//! representation — unit variants are strings, data variants one-entry
+//! maps. This matches the wire shape real serde + serde_json would
+//! produce for the same types, so a later swap stays format-compatible.
 
 #![warn(missing_docs)]
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Derive the no-op `serde::Serialize` marker impl.
+/// Derive `serde::Serialize` (value-tree subset).
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    empty_impl(input, "Serialize")
+    let item = Item::parse(input);
+    item.serialize_impl()
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
-/// Derive the no-op `serde::Deserialize` marker impl.
+/// Derive `serde::Deserialize` (value-tree subset).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    empty_impl(input, "Deserialize")
+    let item = Item::parse(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
-/// Parsed `<...>` generics of the item, split into the declaration list
-/// (with bounds, for `impl<...>`) and the usage list (names only, for the
-/// self type).
-struct Generics {
-    decl: String,
-    usage: String,
+/// The shapes of a struct or enum-variant body.
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count only).
+    Tuple(usize),
 }
 
-fn empty_impl(input: TokenStream, trait_name: &str) -> TokenStream {
-    let mut tokens = input.into_iter().peekable();
+struct Variant {
+    name: String,
+    fields: Fields,
+}
 
-    // Skip attributes, visibility and modifiers until `struct`/`enum`/`union`.
-    let mut name = None;
-    while let Some(tt) = tokens.next() {
-        match tt {
-            TokenTree::Ident(id) => {
-                let s = id.to_string();
-                if s == "struct" || s == "enum" || s == "union" {
-                    if let Some(TokenTree::Ident(n)) = tokens.next() {
-                        name = Some(n.to_string());
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// `<...>` generic parameter list with bounds, for the `impl` header.
+    generics_decl: String,
+    /// `<...>` generic arguments (names only), for the self type.
+    generics_usage: String,
+    body: Body,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let mut tokens = input.into_iter().peekable();
+
+        // Skip outer attributes, visibility and modifiers until the
+        // `struct`/`enum` keyword.
+        let mut kind = None;
+        let mut name = None;
+        while let Some(tt) = tokens.next() {
+            match tt {
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s == "struct" || s == "enum" {
+                        kind = Some(s);
+                        if let Some(TokenTree::Ident(n)) = tokens.next() {
+                            name = Some(n.to_string());
+                        }
+                        break;
                     }
+                    assert!(s != "union", "serde_derive: unions are not supported");
+                }
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        tokens.next();
+                    }
+                }
+                _ => {}
+            }
+        }
+        let kind = kind.expect("serde_derive: expected struct or enum");
+        let name = name.expect("serde_derive: could not find type name");
+        let (generics_decl, generics_usage) = parse_generics(&mut tokens);
+
+        // A `where` clause would need to be replicated on the impl; the
+        // workspace does not use them on serde types.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+            panic!("serde_derive: `where` clauses are not supported");
+        }
+
+        let body = if kind == "struct" {
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+                }
+                // `struct Foo;`
+                _ => Body::Struct(Fields::Unit),
+            }
+        } else {
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Enum(parse_variants(g.stream()))
+                }
+                _ => panic!("serde_derive: enum body not found"),
+            }
+        };
+
+        Item {
+            name,
+            generics_decl,
+            generics_usage,
+            body,
+        }
+    }
+
+    fn serialize_impl(&self) -> String {
+        let body = match &self.body {
+            Body::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+            Body::Struct(Fields::Named(fields)) => ser_named_map(
+                fields
+                    .iter()
+                    .map(|f| (f.clone(), format!("&self.{f}")))
+                    .collect(),
+            ),
+            Body::Struct(Fields::Tuple(n)) => {
+                ser_tuple((0..*n).map(|i| format!("&self.{i}")).collect())
+            }
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let ty = &self.name;
+                    let tag = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            arms.push_str(&format!(
+                                "{ty}::{tag} => serde::Value::Str(\"{tag}\".to_string()),\n"
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let payload = ser_named_map(
+                                fields.iter().map(|f| (f.clone(), f.clone())).collect(),
+                            );
+                            arms.push_str(&format!(
+                                "{ty}::{tag} {{ {binders} }} => serde::Value::Map(vec![(\"{tag}\".to_string(), {payload})]),\n"
+                            ));
+                        }
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = ser_tuple(binders.clone());
+                            arms.push_str(&format!(
+                                "{ty}::{tag}({}) => serde::Value::Map(vec![(\"{tag}\".to_string(), {payload})]),\n",
+                                binders.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        };
+        format!(
+            "impl{decl} serde::Serialize for {name}{usage} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+             }}",
+            decl = self.generics_decl,
+            name = self.name,
+            usage = self.generics_usage,
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let ty = &self.name;
+        let body = match &self.body {
+            Body::Struct(Fields::Unit) => format!("let _ = __v; Ok({ty})"),
+            Body::Struct(Fields::Named(fields)) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(serde::de::field(__v, \"{ty}\", \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!("Ok({ty} {{ {} }})", inits.join(", "))
+            }
+            Body::Struct(Fields::Tuple(1)) => {
+                format!("Ok({ty}(serde::Deserialize::from_value(__v)?))")
+            }
+            Body::Struct(Fields::Tuple(n)) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = serde::de::seq_n(__v, \"{ty}\", {n})?;\nOk({ty}({}))",
+                    inits.join(", ")
+                )
+            }
+            Body::Enum(variants) => {
+                let known: Vec<String> =
+                    variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+                let mut arms = String::new();
+                for v in variants {
+                    let tag = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            arms.push_str(&format!("(\"{tag}\", None) => Ok({ty}::{tag}),\n"));
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::de::field(__payload, \"{ty}::{tag}\", \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "(\"{tag}\", Some(__payload)) => Ok({ty}::{tag} {{ {} }}),\n",
+                                inits.join(", ")
+                            ));
+                        }
+                        Fields::Tuple(1) => {
+                            arms.push_str(&format!(
+                                "(\"{tag}\", Some(__payload)) => Ok({ty}::{tag}(serde::Deserialize::from_value(__payload)?)),\n"
+                            ));
+                        }
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "(\"{tag}\", Some(__payload)) => {{ let __items = serde::de::seq_n(__payload, \"{ty}::{tag}\", {n})?; Ok({ty}::{tag}({})) }},\n",
+                                inits.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "let (__tag, __payload) = serde::de::enum_tag(__v, \"{ty}\")?;\n\
+                     match (__tag, __payload) {{\n{arms}\
+                     (__other, _) => Err(serde::de::unknown_variant(\"{ty}\", __other, &[{known}])),\n\
+                     }}",
+                    known = known.join(", ")
+                )
+            }
+        };
+        format!(
+            "impl{decl} serde::Deserialize for {name}{usage} {{\n\
+                 fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+             }}",
+            decl = self.generics_decl,
+            name = self.name,
+            usage = self.generics_usage,
+        )
+    }
+}
+
+fn ser_named_map(fields: Vec<(String, String)>) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|(name, expr)| format!("(\"{name}\".to_string(), serde::Serialize::to_value({expr}))"))
+        .collect();
+    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn ser_tuple(exprs: Vec<String>) -> String {
+    if exprs.len() == 1 {
+        // Transparent newtype, matching serde's default.
+        format!("serde::Serialize::to_value({})", exprs[0])
+    } else {
+        let items: Vec<String> = exprs
+            .iter()
+            .map(|e| format!("serde::Serialize::to_value({e})"))
+            .collect();
+        format!("serde::Value::Seq(vec![{}])", items.join(", "))
+    }
+}
+
+/// Parse the names of `{ ... }` named fields, skipping attributes,
+/// visibility and the field types.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included) before the field.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        tokens.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            tokens.next();
+            if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                tokens.next();
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            Some(other) => panic!("serde_derive: expected field name, found `{other}`"),
+        }
+        // Consume `: Type` up to the next top-level comma. Angle brackets
+        // nest via puncts; (), [] and {} arrive as opaque groups.
+        let mut angle_depth = 0usize;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a `( ... )` tuple body: top-level commas + 1.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0usize;
+    let mut any = false;
+    for tt in body {
+        any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Parse enum variants: `Name`, `Name { fields }`, `Name(types)`, comma
+/// separated, attributes allowed.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        tokens.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(stream))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(stream))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume to the separating comma (skips `= discriminant`).
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
                     break;
                 }
             }
-            TokenTree::Punct(p) if p.as_char() == '#' => {
-                // Consume the attribute group that follows `#`.
-                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
-                {
-                    tokens.next();
-                }
-            }
-            _ => {}
         }
+        variants.push(Variant { name, fields });
     }
-    let name = name.expect("serde_derive: could not find type name in derive input");
-    let generics = parse_generics(&mut tokens);
-
-    let code = format!(
-        "impl{decl} serde::{tr} for {name}{usage} {{}}",
-        decl = generics.decl,
-        tr = trait_name,
-        name = name,
-        usage = generics.usage,
-    );
-    code.parse()
-        .expect("serde_derive: generated impl failed to parse")
+    variants
 }
 
 /// Consume a `<...>` generic-parameter list if one immediately follows the
-/// type name; otherwise return empty lists.
-fn parse_generics(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Generics {
+/// type name; returns `(decl_with_bounds, usage_names_only)`.
+fn parse_generics(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> (String, String) {
     match tokens.peek() {
         Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
-        _ => {
-            return Generics {
-                decl: String::new(),
-                usage: String::new(),
-            }
-        }
+        _ => return (String::new(), String::new()),
     }
     tokens.next(); // consume `<`
 
@@ -115,12 +458,8 @@ fn parse_generics(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTre
         if piece != "'" {
             decl.push(' ');
         }
-        if !in_bounds {
-            // `const N : usize` usage list needs just `N`; lifetimes and
-            // type params contribute their own token.
-            if piece != "const" {
-                current.push_str(&piece);
-            }
+        if !in_bounds && piece != "const" {
+            current.push_str(&piece);
         }
     }
     if !current.is_empty() {
@@ -128,12 +467,10 @@ fn parse_generics(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTre
     }
     decl.push('>');
 
-    Generics {
-        usage: if params.is_empty() {
-            String::new()
-        } else {
-            format!("<{}>", params.join(","))
-        },
-        decl,
-    }
+    let usage = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(","))
+    };
+    (decl, usage)
 }
