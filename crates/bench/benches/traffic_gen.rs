@@ -1,0 +1,131 @@
+//! Microbenchmark: arrival-sampling throughput per traffic-process kind.
+//!
+//! The traffic subsystem's contract is that generation costs O(arrivals),
+//! never O(cycles), for every process kind. This bench measures the
+//! per-arrival sampling cost of each [`TrafficSpec`] implementation —
+//! geometric (the paper's Poisson source), on/off (bursty) and trace
+//! replay — by drawing a fixed number of arrivals through the same
+//! [`ArrivalStream`] front door the engines use (stream construction
+//! included, so the trace kind pays its per-node split).
+//!
+//! Besides the criterion report, the harness writes `BENCH_traffic.json`
+//! with the median per-arrival cost of every kind, mirroring
+//! `BENCH_sim.json` so CI records the trajectory over time.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use noc_sim::{record_trace, Arrival, ArrivalStream};
+use noc_topology::{NodeId, Quarc};
+use noc_workloads::{DestinationSets, TrafficSpec, Workload};
+use std::time::Instant;
+
+const N: usize = 16;
+const RATE: f64 = 0.02;
+const ARRIVALS_PER_RUN: u64 = 20_000;
+
+fn workload(traffic: TrafficSpec) -> Workload {
+    let topo = Quarc::new(N).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 1);
+    Workload::new(32, RATE, 0.05, sets)
+        .unwrap()
+        .with_traffic(traffic)
+}
+
+fn kinds() -> Vec<(&'static str, Workload)> {
+    let onoff = TrafficSpec::OnOff {
+        burst_len: 16.0,
+        peak_rate: 0.5,
+    };
+    // A trace long enough that replay never runs dry inside a run.
+    let geo = workload(TrafficSpec::Geometric);
+    let horizon = 2 * (ARRIVALS_PER_RUN / N as u64) * (1.0 / RATE) as u64;
+    let entries = record_trace(&geo, N, 7, horizon);
+    vec![
+        ("geometric", geo),
+        ("onoff", workload(onoff)),
+        ("trace", workload(TrafficSpec::trace(entries))),
+    ]
+}
+
+/// Build fresh streams and pop `ARRIVALS_PER_RUN` arrivals round-robin,
+/// returning a checksum so the work cannot be optimized away.
+fn sample_arrivals(wl: &Workload) -> u64 {
+    let mut streams = ArrivalStream::build_all(wl, N, 7);
+    let mut checksum = 0u64;
+    let mut node = 0usize;
+    for _ in 0..ARRIVALS_PER_RUN {
+        // Cheap round-robin over the nodes; trace streams may run dry.
+        let mut hops = 0;
+        while streams[node].next_arrival() == u64::MAX && hops <= N {
+            node = (node + 1) % N;
+            hops += 1;
+        }
+        if hops > N {
+            break;
+        }
+        checksum = checksum.wrapping_add(streams[node].next_arrival());
+        match streams[node].pop(wl, N, NodeId(node as u32)) {
+            Arrival::Unicast(d) => checksum = checksum.wrapping_add(d.0 as u64),
+            Arrival::Multicast => checksum = checksum.wrapping_add(1),
+        }
+        node = (node + 1) % N;
+    }
+    checksum
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic_gen");
+    g.sample_size(10);
+    for (label, wl) in &kinds() {
+        let id = BenchmarkId::new("sample", label.to_string());
+        g.bench_with_input(id, label, |b, _| b.iter(|| sample_arrivals(wl)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+
+/// Median wall time of `samples` runs (after one warmup run).
+fn time_runs(wl: &Workload, samples: usize) -> u128 {
+    let _ = sample_arrivals(wl);
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = sample_arrivals(wl);
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Measure every kind once more (few samples — this is the recorded
+/// trajectory, not the statistically careful report) and write
+/// `BENCH_traffic.json`.
+fn emit_json() {
+    let mut rows = Vec::new();
+    for (label, wl) in &kinds() {
+        let median_ns = time_runs(wl, 5);
+        let per_arrival = median_ns as f64 / ARRIVALS_PER_RUN as f64;
+        eprintln!("{label}: {per_arrival:.1} ns/arrival");
+        rows.push((label.to_string(), median_ns, per_arrival));
+    }
+    let mut json = String::from("{\n  \"bench\": \"traffic-gen\",\n  \"points\": [\n");
+    for (i, (label, median_ns, per_arrival)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"process\": \"{label}\", \"arrivals\": {ARRIVALS_PER_RUN}, \
+             \"median_ns\": {median_ns}, \"ns_per_arrival\": {per_arrival:.2}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_traffic.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote BENCH_traffic.json ({} kinds)", rows.len()),
+        Err(e) => eprintln!("could not write BENCH_traffic.json: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    emit_json();
+}

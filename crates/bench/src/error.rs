@@ -8,7 +8,7 @@
 //! gone from the public surface.
 
 use noc_topology::TopologyError;
-use noc_workloads::{SweepError, WorkloadError};
+use noc_workloads::{PatternError, SweepError, WorkloadError};
 use quarc_core::ModelError;
 use std::fmt;
 
@@ -19,6 +19,9 @@ pub enum Error {
     Topology(TopologyError),
     /// Workload parameters were invalid.
     Workload(WorkloadError),
+    /// A unicast traffic pattern does not fit the topology (e.g. bit
+    /// reversal on a node count that is not a power of two).
+    Pattern(PatternError),
     /// Rate-sweep construction failed.
     Sweep(SweepError),
     /// The analytical model could not be evaluated where a finite result
@@ -42,6 +45,7 @@ impl fmt::Display for Error {
         match self {
             Error::Topology(e) => write!(f, "topology: {e}"),
             Error::Workload(e) => write!(f, "workload: {e}"),
+            Error::Pattern(e) => write!(f, "traffic pattern: {e}"),
             Error::Sweep(e) => write!(f, "sweep: {e}"),
             Error::Model(e) => write!(f, "model: {e}"),
             Error::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
@@ -56,6 +60,7 @@ impl std::error::Error for Error {
         match self {
             Error::Topology(e) => Some(e),
             Error::Workload(e) => Some(e),
+            Error::Pattern(e) => Some(e),
             Error::Sweep(e) => Some(e),
             Error::Model(e) => Some(e),
             Error::Serde(e) => Some(e),
@@ -74,6 +79,18 @@ impl From<TopologyError> for Error {
 impl From<WorkloadError> for Error {
     fn from(e: WorkloadError) -> Self {
         Error::Workload(e)
+    }
+}
+
+impl From<PatternError> for Error {
+    fn from(e: PatternError) -> Self {
+        Error::Pattern(e)
+    }
+}
+
+impl From<noc_workloads::TrafficError> for Error {
+    fn from(e: noc_workloads::TrafficError) -> Self {
+        Error::Workload(WorkloadError::Traffic(e))
     }
 }
 
@@ -113,6 +130,12 @@ mod tests {
             }
             .into(),
             WorkloadError::ZeroLengthMessage.into(),
+            noc_workloads::PatternError::RequiresPowerOfTwo {
+                pattern: "shuffle",
+                n: 12,
+            }
+            .into(),
+            noc_workloads::TrafficError::InvalidPeakRate(1.5).into(),
             SweepError::TooFewPoints(1).into(),
             ModelError::NonConcurrentMulticast.into(),
             serde::Error::custom("bad json").into(),

@@ -48,7 +48,7 @@ pub struct Progress {
 
 /// One operating point of a scenario: analytical prediction (when the
 /// overlay is enabled) and across-replicate simulation measurement.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct PointResult {
     /// Generation rate (messages/node/cycle).
     pub rate: f64,
@@ -58,6 +58,12 @@ pub struct PointResult {
     /// Model multicast latency (`NaN` beyond the model's saturation or
     /// without an overlay).
     pub model_multicast: f64,
+    /// Is the analytical overlay inside its applicability domain? `false`
+    /// when the scenario's traffic spec is not the memoryless (Poisson)
+    /// process the model assumes — the overlay is still evaluated (the
+    /// divergence *is* the measurement, see `fig-burstiness`), but its
+    /// numbers must not be read as predictions.
+    pub model_applicable: bool,
     /// Simulated unicast latency (mean over replicates).
     pub sim_unicast: f64,
     /// Simulated multicast latency (mean over replicates).
@@ -68,6 +74,28 @@ pub struct PointResult {
     pub sim_multicast_ci: f64,
     /// Simulator saturation flag (any replicate).
     pub sim_saturated: bool,
+}
+
+// Hand-written so results persisted before the traffic subsystem (no
+// `model_applicable` key) stay readable: every pre-subsystem scenario ran
+// Poisson traffic, where the overlay always applies.
+impl serde::Deserialize for PointResult {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let f = |name| serde::de::field(v, "PointResult", name);
+        Ok(PointResult {
+            rate: serde::Deserialize::from_value(f("rate")?)?,
+            model_unicast: serde::Deserialize::from_value(f("model_unicast")?)?,
+            model_multicast: serde::Deserialize::from_value(f("model_multicast")?)?,
+            model_applicable: match v.get("model_applicable") {
+                Some(b) => serde::Deserialize::from_value(b)?,
+                None => true,
+            },
+            sim_unicast: serde::Deserialize::from_value(f("sim_unicast")?)?,
+            sim_multicast: serde::Deserialize::from_value(f("sim_multicast")?)?,
+            sim_multicast_ci: serde::Deserialize::from_value(f("sim_multicast_ci")?)?,
+            sim_saturated: serde::Deserialize::from_value(f("sim_saturated")?)?,
+        })
+    }
 }
 
 impl PointResult {
@@ -256,11 +284,14 @@ impl Runner {
         }
 
         let reps = sc.replicates as usize;
+        // The model assumes Poisson arrivals; overlays computed under any
+        // other traffic spec are annotated as out-of-domain.
+        let model_applicable = sc.workload.traffic.is_poisson();
         let mut points = Vec::with_capacity(sweep.len());
         let mut sims: Vec<Vec<SimResults>> = Vec::with_capacity(sweep.len());
         for (i, &rate) in sweep.rates().iter().enumerate() {
             let group = &flat[i * reps..(i + 1) * reps];
-            points.push(aggregate(rate, group));
+            points.push(aggregate(rate, group, model_applicable));
             sims.push(group.iter().map(|(_, _, res)| res.clone()).collect());
         }
 
@@ -291,13 +322,14 @@ impl Runner {
 /// replicate passes through exactly (no re-aggregation); multiple
 /// replicates report the across-replicate mean with a normal-theory CI
 /// over the replicate means.
-fn aggregate(rate: f64, group: &[(f64, f64, SimResults)]) -> PointResult {
+fn aggregate(rate: f64, group: &[(f64, f64, SimResults)], model_applicable: bool) -> PointResult {
     let (model_unicast, model_multicast, first) = &group[0];
     if group.len() == 1 {
         return PointResult {
             rate,
             model_unicast: *model_unicast,
             model_multicast: *model_multicast,
+            model_applicable,
             sim_unicast: first.unicast.mean,
             sim_multicast: first.multicast.mean,
             sim_multicast_ci: first.multicast.ci95,
@@ -317,6 +349,7 @@ fn aggregate(rate: f64, group: &[(f64, f64, SimResults)]) -> PointResult {
         rate,
         model_unicast: *model_unicast,
         model_multicast: *model_multicast,
+        model_applicable,
         sim_unicast,
         sim_multicast,
         sim_multicast_ci: 1.96 * (var / n).sqrt(),
@@ -401,6 +434,41 @@ mod tests {
             res.sims[0][0].multicast.mean, res.sims[0][1].multicast.mean,
             "replicates must not repeat the same stream"
         );
+    }
+
+    #[test]
+    fn model_overlay_is_flagged_under_non_poisson_traffic() {
+        use noc_workloads::TrafficSpec;
+        let sc = quick_scenario();
+        let res = Runner::new().run(&sc).unwrap();
+        assert!(res.points.iter().all(|p| p.model_applicable));
+
+        let mut sc = quick_scenario();
+        sc.workload.traffic = TrafficSpec::OnOff {
+            burst_len: 8.0,
+            peak_rate: 0.2,
+        };
+        let res = Runner::new().run(&sc).unwrap();
+        for p in &res.points {
+            assert!(!p.model_applicable, "bursty traffic is outside the model");
+            // The overlay is still evaluated — divergence is the point.
+            assert!(p.model_multicast.is_finite());
+        }
+    }
+
+    #[test]
+    fn unrealizable_sweep_rates_surface_as_typed_errors() {
+        use noc_workloads::TrafficSpec;
+        // A swept rate at/above the on/off peak rate cannot be realized.
+        let mut sc = quick_scenario();
+        sc.workload.traffic = TrafficSpec::OnOff {
+            burst_len: 4.0,
+            peak_rate: 0.003,
+        };
+        assert!(matches!(
+            Runner::new().run(&sc),
+            Err(Error::Workload(noc_workloads::WorkloadError::Traffic(_)))
+        ));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use crate::error::{Error, Result};
 use noc_sim::SimConfig;
 use noc_topology::{NodeId, Topology, TopologySpec};
-use noc_workloads::{DestinationSets, RateSweep, UnicastPattern, Workload};
+use noc_workloads::{DestinationSets, RateSweep, TrafficSpec, UnicastPattern, Workload};
 use quarc_core::{max_sustainable_rate, ModelOptions};
 use serde::{Deserialize, Serialize};
 
@@ -84,7 +84,7 @@ impl MulticastPattern {
 }
 
 /// The serializable traffic specification of a scenario.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct WorkloadSpec {
     /// Message length in flits (`M`).
     pub msg_len: u32,
@@ -94,28 +94,67 @@ pub struct WorkloadSpec {
     pub multicast: MulticastPattern,
     /// Spatial pattern of unicast destinations.
     pub unicast: UnicastPattern,
+    /// Temporal arrival process of every node's source.
+    pub traffic: TrafficSpec,
+}
+
+// Hand-written so scenarios persisted before the traffic subsystem (no
+// `traffic` key) stay readable: a missing field means the only process
+// that existed then, the paper's geometric source.
+impl serde::Deserialize for WorkloadSpec {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Ok(WorkloadSpec {
+            msg_len: Deserialize::from_value(serde::de::field(v, "WorkloadSpec", "msg_len")?)?,
+            alpha: Deserialize::from_value(serde::de::field(v, "WorkloadSpec", "alpha")?)?,
+            multicast: Deserialize::from_value(serde::de::field(v, "WorkloadSpec", "multicast")?)?,
+            unicast: Deserialize::from_value(serde::de::field(v, "WorkloadSpec", "unicast")?)?,
+            traffic: match v.get("traffic") {
+                Some(t) => Deserialize::from_value(t)?,
+                None => TrafficSpec::Geometric,
+            },
+        })
+    }
 }
 
 impl WorkloadSpec {
-    /// Uniform-unicast spec (the paper's default).
+    /// Uniform-unicast, memoryless-arrivals spec (the paper's default).
     pub fn new(msg_len: u32, alpha: f64, multicast: MulticastPattern) -> Self {
         WorkloadSpec {
             msg_len,
             alpha,
             multicast,
             unicast: UnicastPattern::Uniform,
+            traffic: TrafficSpec::Geometric,
         }
+    }
+
+    /// Builder-style: replace the arrival process.
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Builder-style: replace the unicast destination pattern.
+    pub fn with_unicast(mut self, unicast: UnicastPattern) -> Self {
+        self.unicast = unicast;
+        self
     }
 
     /// Materialize the workload prototype (at [`PROTOTYPE_RATE`]) on a
     /// topology, deterministically in `seed`.
     pub fn prototype(&self, topo: &dyn Topology, seed: u64) -> Result<Workload> {
+        let n = topo.num_nodes();
+        self.unicast.validate(n)?;
+        // Shape-only traffic validation (rate 0.0): PROTOTYPE_RATE is an
+        // internal placeholder, so judging e.g. an on/off peak rate
+        // against it would reject scenarios over a rate the user never
+        // set. Per-rate consistency is checked by `Workload::at_rate`
+        // where the swept rates are known.
+        self.traffic.validate(n, 0.0)?;
         let sets = self.multicast.build(topo, seed);
         let wl = Workload::new(self.msg_len, PROTOTYPE_RATE, self.alpha, sets)?
-            .with_unicast_pattern(self.unicast);
-        wl.unicast_pattern
-            .validate(topo.num_nodes())
-            .map_err(Error::InvalidScenario)?;
+            .with_unicast_pattern(self.unicast)
+            .with_traffic(self.traffic.clone());
         Ok(wl)
     }
 }
@@ -171,6 +210,17 @@ pub enum SweepSpec {
 const SATURATION_TOL: f64 = 0.01;
 
 impl SweepSpec {
+    /// Number of operating points the spec resolves to (without building
+    /// a topology; `SaturationSpan` is clamped to its 2-point minimum).
+    pub fn num_points(&self) -> usize {
+        match self {
+            SweepSpec::Explicit { rates } => rates.len(),
+            SweepSpec::Linear { points, .. } | SweepSpec::Geometric { points, .. } => *points,
+            SweepSpec::SaturationSpan { points, .. } => (*points).max(2),
+            SweepSpec::SaturationFractions { fractions } => fractions.len(),
+        }
+    }
+
     /// The figures' default sweep: `points` rates over `[0.15, 1.02] ×`
     /// saturation.
     pub fn figure_default(points: usize) -> Self {
@@ -308,6 +358,51 @@ impl Scenario {
             )));
         }
         self.sim.validate().map_err(Error::InvalidScenario)?;
+        // Traffic-spec shape (parameter ranges, trace well-formedness).
+        // Peak-rate-vs-swept-rate consistency is rechecked per resolved
+        // rate by the runner, where the rates are known.
+        self.workload
+            .traffic
+            .validate(self.topology.num_nodes(), 0.0)?;
+        // A trace fixes the arrival schedule, so the swept rate cannot
+        // change the simulation: a multi-point sweep would produce one
+        // identical run per rate label — reject it instead of charting a
+        // fake curve.
+        if !self.workload.traffic.is_rate_driven() {
+            if self.sweep.num_points() > 1 {
+                return Err(Error::InvalidScenario(format!(
+                    "trace traffic replays a fixed arrival schedule; a {}-point rate sweep \
+                     would repeat the identical run under different rate labels",
+                    self.sweep.num_points()
+                )));
+            }
+            // Replicates only vary the simulation seed, which a trace
+            // replay never draws from: N identical runs would aggregate
+            // into a fabricated zero-width confidence interval.
+            if self.replicates > 1 {
+                return Err(Error::InvalidScenario(format!(
+                    "trace traffic is deterministic; {} replicates would repeat the \
+                     identical run and fake a zero-width confidence interval",
+                    self.replicates
+                )));
+            }
+        }
+        // Generated destination sets of size zero cannot serve multicast
+        // traffic (mirrors the explicit-set check below).
+        if self.workload.alpha > 0.0 {
+            let group = match self.workload.multicast {
+                MulticastPattern::Random { group } | MulticastPattern::Localized { group } => {
+                    Some(group)
+                }
+                MulticastPattern::Broadcast | MulticastPattern::Explicit { .. } => None,
+            };
+            if group == Some(0) {
+                return Err(Error::InvalidScenario(format!(
+                    "multicast group size 0 cannot carry alpha = {} > 0",
+                    self.workload.alpha
+                )));
+            }
+        }
         if let MulticastPattern::Explicit { sets } = &self.workload.multicast {
             let n = self.topology.num_nodes();
             if sets.len() != n {
@@ -321,6 +416,19 @@ impl Scenario {
                 return Err(Error::InvalidScenario(format!(
                     "destination {bad} outside 0..{n}"
                 )));
+            }
+            for (src, set) in sets.iter().enumerate() {
+                if set.contains(&(src as u32)) {
+                    return Err(Error::InvalidScenario(format!(
+                        "node {src} lists itself in its own destination set"
+                    )));
+                }
+                if self.workload.alpha > 0.0 && set.is_empty() {
+                    return Err(Error::InvalidScenario(format!(
+                        "node {src} has an empty destination set but alpha = {} > 0",
+                        self.workload.alpha
+                    )));
+                }
             }
         }
         Ok(())
@@ -387,6 +495,157 @@ mod tests {
         assert!(sc.validate().is_err(), "sets must cover all 16 nodes");
 
         assert!(small().validate().is_ok());
+    }
+
+    #[test]
+    fn explicit_set_edge_cases_are_typed_errors() {
+        let full = |sets: Vec<Vec<u32>>| {
+            let mut sc = small();
+            sc.workload.multicast = MulticastPattern::Explicit { sets };
+            sc
+        };
+        let mut ok_sets: Vec<Vec<u32>> = (0..16u32).map(|s| vec![(s + 1) % 16]).collect();
+        assert!(full(ok_sets.clone()).validate().is_ok());
+
+        // A node listing itself among its own destinations.
+        ok_sets[3].push(3);
+        assert!(matches!(
+            full(ok_sets.clone()).validate(),
+            Err(Error::InvalidScenario(_))
+        ));
+        ok_sets[3] = vec![4];
+
+        // An out-of-range destination index.
+        ok_sets[5] = vec![16];
+        assert!(matches!(
+            full(ok_sets.clone()).validate(),
+            Err(Error::InvalidScenario(_))
+        ));
+        ok_sets[5] = vec![6];
+
+        // An empty destination set is an error while alpha > 0 ...
+        ok_sets[7] = Vec::new();
+        let sc = full(ok_sets.clone());
+        assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+        // ... and fine once the workload carries no multicast traffic.
+        let mut sc = full(ok_sets);
+        sc.workload.alpha = 0.0;
+        assert!(sc.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_group_with_alpha_is_rejected_before_the_simulator_panics() {
+        // Random/Localized sets of size 0 cannot serve alpha > 0; the
+        // spec layer must reject them instead of letting SimPlan::build
+        // assert deep inside a sweep.
+        for multicast in [
+            MulticastPattern::Random { group: 0 },
+            MulticastPattern::Localized { group: 0 },
+        ] {
+            let mut sc = small();
+            sc.workload.multicast = multicast;
+            assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+            // Harmless once no multicast traffic is generated.
+            sc.workload.alpha = 0.0;
+            assert!(sc.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn trace_traffic_rejects_multi_point_sweeps() {
+        let entries = vec![noc_workloads::TraceEntry {
+            cycle: 1,
+            node: 0,
+            kind: noc_workloads::TraceKind::Multicast,
+        }];
+        let mut sc = small();
+        sc.workload.traffic = TrafficSpec::trace(entries);
+        // Two sweep points over a fixed schedule: rejected.
+        assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+        // A single point is fine.
+        sc.sweep = SweepSpec::Explicit { rates: vec![0.002] };
+        assert!(sc.validate().is_ok());
+        // Replicates never change a deterministic replay: N identical
+        // runs would fake a zero-width confidence interval.
+        sc.replicates = 3;
+        assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+    }
+
+    #[test]
+    fn prototype_judges_onoff_peaks_against_swept_rates_not_the_placeholder() {
+        // A peak rate below PROTOTYPE_RATE is realizable as long as every
+        // *swept* rate stays below it; the internal placeholder must not
+        // leak into validation.
+        let mut sc = small();
+        sc.workload.traffic = TrafficSpec::OnOff {
+            burst_len: 2.0,
+            peak_rate: 5e-6,
+        };
+        sc.sweep = SweepSpec::Explicit { rates: vec![1e-6] };
+        assert!(sc.validate().is_ok());
+        let topo = sc.topology.build().unwrap();
+        let proto = sc
+            .workload
+            .prototype(topo.as_ref(), sc.seed)
+            .expect("prototype must not judge the placeholder rate");
+        assert!(proto.at_rate(1e-6).is_ok(), "swept rate below peak is fine");
+        assert!(
+            proto.at_rate(1e-5).is_err(),
+            "a swept rate above the peak is the real error"
+        );
+    }
+
+    #[test]
+    fn traffic_specs_validate_and_round_trip() {
+        let mut sc = small();
+        sc.workload.traffic = TrafficSpec::OnOff {
+            burst_len: 8.0,
+            peak_rate: 0.25,
+        };
+        assert!(sc.validate().is_ok());
+        let back = Scenario::from_json(&sc.to_json()).expect("round trip parses");
+        assert_eq!(sc, back);
+
+        sc.workload.traffic = TrafficSpec::OnOff {
+            burst_len: 0.0,
+            peak_rate: 0.25,
+        };
+        assert!(matches!(sc.validate(), Err(Error::Workload(_))));
+    }
+
+    #[test]
+    fn pre_traffic_workload_specs_stay_readable() {
+        // A WorkloadSpec persisted before the traffic subsystem has no
+        // `traffic` key; it must parse as the geometric default.
+        let json = r#"{
+            "msg_len": 16,
+            "alpha": 0.05,
+            "multicast": {"Random": {"group": 4}},
+            "unicast": "Uniform"
+        }"#;
+        let spec: WorkloadSpec = serde::json::from_str(json).expect("legacy spec parses");
+        assert_eq!(spec.traffic, TrafficSpec::Geometric);
+        assert_eq!(
+            spec,
+            WorkloadSpec::new(16, 0.05, MulticastPattern::Random { group: 4 })
+        );
+    }
+
+    #[test]
+    fn pattern_mismatch_is_a_typed_error() {
+        // Bit reversal on a 12-node ring: neither square nor 2^d.
+        let sc = Scenario::new(
+            "bitrev-ring",
+            TopologySpec::Ring { n: 12 },
+            WorkloadSpec::new(8, 0.0, MulticastPattern::Broadcast)
+                .with_unicast(UnicastPattern::BitReversal),
+            SweepSpec::Explicit { rates: vec![0.001] },
+        );
+        let topo = sc.topology.build().unwrap();
+        match sc.workload.prototype(topo.as_ref(), 1) {
+            Err(Error::Pattern(noc_workloads::PatternError::RequiresPowerOfTwo { .. })) => {}
+            other => panic!("expected Error::Pattern, got {other:?}"),
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!
 //! Every cycle:
 //!
-//! 1. **Generation** — each node's Poisson source ([`ArrivalStream`]) may
+//! 1. **Generation** — each node's arrival stream ([`ArrivalStream`],
+//!    built from the workload's traffic spec — Poisson by default) may
 //!    emit a unicast (path from the precomputed table) or a multicast
 //!    operation (one stream per active injection port); new messages join
 //!    the injection channel's waiter queue (the "passive queue" in
@@ -62,7 +63,7 @@ pub struct Simulator<'a> {
     free_ops: Vec<OpId>,
     ops_allocated: u64,
     ops_completed: u64,
-    /// Per-node Poisson sources.
+    /// Per-node arrival streams (traffic-spec driven; Poisson default).
     arrivals: Vec<ArrivalStream>,
     /// Messages waiting at injection channels (backlog).
     inj_backlog: usize,
@@ -102,9 +103,7 @@ impl<'a> Simulator<'a> {
     ) -> Self {
         cfg.validate().expect("invalid simulator configuration");
         plan.assert_matches(topo, wl);
-        let arrivals = (0..plan.n)
-            .map(|i| ArrivalStream::new(cfg.seed, i, wl.gen_rate))
-            .collect();
+        let arrivals = ArrivalStream::build_all(wl, plan.n, cfg.seed);
         let channels = plan.num_channels;
         let metrics = Metrics::new(&cfg, plan.n, channels);
         Simulator {
@@ -218,7 +217,7 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Phase 1: Poisson generation at every node (in node order — the
+    /// Phase 1: message generation at every node (in node order — the
     /// deterministic spawn order both engines share).
     fn generate(&mut self, tagging: bool) {
         for node in 0..self.plan.n {

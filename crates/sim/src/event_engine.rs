@@ -92,7 +92,7 @@ pub struct EventSimulator<'a> {
     last_move_cycle: u64,
 
     // --- event scheduling ---
-    /// Per-node Poisson sources (shared sampling code with the reference).
+    /// Per-node arrival streams (shared sampling code with the reference).
     arrivals: Vec<ArrivalStream>,
     /// Min-heap of `(next arrival cycle, node)`; same-cycle entries pop in
     /// node order, matching the reference engine's generation loop.
@@ -146,9 +146,7 @@ impl<'a> EventSimulator<'a> {
     ) -> Self {
         cfg.validate().expect("invalid simulator configuration");
         plan.assert_matches(topo, wl);
-        let arrivals: Vec<ArrivalStream> = (0..plan.n)
-            .map(|i| ArrivalStream::new(cfg.seed, i, wl.gen_rate))
-            .collect();
+        let arrivals = ArrivalStream::build_all(wl, plan.n, cfg.seed);
         let mut queue = EventQueue::with_capacity(plan.n);
         for (node, stream) in arrivals.iter().enumerate() {
             if stream.next_arrival() != u64::MAX {

@@ -51,6 +51,20 @@
 //! ejection) is exactly `L + H + 1` cycles, matching the analytical model's
 //! `msg + D` with `D = path.hop_count()`.
 //!
+//! ## Traffic generation
+//!
+//! Each node's source is an [`ArrivalStream`]: a private RNG plus an
+//! [`ArrivalProcess`] built from the workload's
+//! [`noc_workloads::TrafficSpec`] — memoryless geometric gaps (the
+//! paper's Poisson assumption, the default), bursty on/off sources with
+//! the long-run mean matched to the nominal rate, or deterministic
+//! replay of a recorded trace ([`record_trace`]). Generation is
+//! open-loop and O(arrivals): processes never observe network state and
+//! draw randomness per arrival, never per cycle. Under the geometric
+//! spec the streams are draw-for-draw identical to the pre-subsystem
+//! hard-coded source, so existing seeds and golden results keep their
+//! meaning.
+//!
 //! ## Measurement protocol
 //!
 //! Messages generated inside the measurement window are tagged; the run
@@ -79,3 +93,4 @@ pub use engine_api::{build_engine, build_engine_with_plan, EngineAudit, SimEngin
 pub use event_engine::EventSimulator;
 pub use plan::SimPlan;
 pub use results::{LatencyStats, SimResults};
+pub use schedule::{record_trace, Arrival, ArrivalProcess, ArrivalStream};

@@ -47,8 +47,10 @@ impl SimPlan {
     /// # Panics
     ///
     /// Panics if the topology has fewer than two nodes, if the workload's
-    /// unicast pattern does not fit it, or if `wl` has a positive
-    /// multicast fraction but an empty destination set on some node.
+    /// unicast pattern or traffic spec does not fit it, or if `wl` has a
+    /// positive multicast fraction but an empty destination set on some
+    /// node. (The experiment layer surfaces the same conditions as typed
+    /// errors before any plan is built.)
     pub fn build(topo: &dyn Topology, wl: &Workload) -> Arc<Self> {
         let net = topo.network();
         let n = net.num_nodes();
@@ -56,6 +58,13 @@ impl SimPlan {
         wl.unicast_pattern
             .validate(n)
             .expect("unicast pattern must fit the topology");
+        // Shape-only (rate 0.0): the plan is generation-rate independent
+        // by contract — it is built once from a placeholder-rate
+        // prototype and shared across every swept rate. The engines'
+        // stream construction re-validates against the actual rate.
+        wl.traffic
+            .validate(n, 0.0)
+            .expect("traffic spec must fit the topology");
         if wl.multicast_fraction > 0.0 {
             for i in 0..n {
                 assert!(

@@ -1,23 +1,35 @@
-//! Event scheduling primitives shared by the simulation engines.
+//! Event scheduling and traffic generation shared by the simulation
+//! engines.
 //!
-//! Two pieces live here:
+//! Three pieces live here:
 //!
 //! * [`EventQueue`] — a binary min-heap of `(time, id)` events ordered
 //!   lexicographically, so same-cycle events pop in ascending id order.
 //!   The event engine keys it by node to find the next injection without
 //!   scanning the network; ties popping in node order is what keeps its
 //!   spawn order identical to the cycle engine's `for node in 0..n` loop.
-//! * [`ArrivalStream`] — one node's Poisson message source, sampling
-//!   *geometric inter-arrival gaps* (one RNG draw per arrival) instead of
-//!   one Bernoulli draw per cycle. The gap distribution
-//!   `P(gap = k) = (1 − λ)^{k−1} λ` is exactly the waiting time of the
-//!   per-cycle Bernoulli source, so the generated process is the same; the
-//!   cost drops from O(cycles) to O(arrivals). Both engines consume the
-//!   same streams, which is what makes their runs bit-identical under a
-//!   shared seed.
+//! * [`ArrivalProcess`] — the per-node arrival-process contract behind a
+//!   [`noc_workloads::TrafficSpec`]: a process knows the cycle of its next
+//!   arrival and, when popped, classifies the arrival and schedules the
+//!   following one. Draws are made *per arrival*, never per cycle, so the
+//!   cost of generation is O(arrivals) regardless of how sparse the
+//!   traffic is. Implementations: [`GeometricProcess`] (the paper's
+//!   memoryless source — `P(gap = k) = (1 − λ)^{k−1} λ`, exactly the
+//!   waiting time of a per-cycle Bernoulli source), [`OnOffProcess`]
+//!   (bursty two-state source with the long-run mean matched to the
+//!   nominal rate) and [`TraceProcess`] (deterministic replay of a
+//!   recorded trace; see [`record_trace`]).
+//! * [`ArrivalStream`] — one node's source: the node's private RNG
+//!   (seeded from the master seed and the node index) plus its boxed
+//!   process. Both engines consume the same streams and the per-arrival
+//!   draw order (class, destination, next gap) is part of their
+//!   deterministic contract, which is what makes their runs bit-identical
+//!   under a shared seed. Under [`TrafficSpec::Geometric`] the streams
+//!   are draw-for-draw identical to the pre-subsystem hard-coded source,
+//!   so existing seeds keep their meaning.
 
 use noc_topology::NodeId;
-use noc_workloads::Workload;
+use noc_workloads::{TraceEntry, TraceKind, TrafficSpec, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -123,82 +135,377 @@ pub enum Arrival {
     Multicast,
 }
 
-/// One node's Poisson message source.
+/// One node's arrival process: when messages appear and what class they
+/// are.
 ///
-/// Holds the node's private RNG (seeded from the master seed and the node
-/// index, as the original per-node Bernoulli sources were) and the cycle
-/// of the next arrival. [`ArrivalStream::pop`] classifies the due arrival
-/// and schedules the following one.
+/// The contract both engines rely on:
+///
+/// * [`ArrivalProcess::next_arrival`] is the exact cycle of the next
+///   arrival (`u64::MAX` = the process never fires again);
+/// * [`ArrivalProcess::pop`] must only be called when `next_arrival()`
+///   equals the current cycle; it classifies the due arrival, schedules
+///   the next one, and draws randomness *only* from the passed RNG, in a
+///   deterministic order — the draws happen per arrival, never per cycle.
+pub trait ArrivalProcess: std::fmt::Debug + Send {
+    /// Cycle of the next arrival (`u64::MAX` when the process is done).
+    fn next_arrival(&self) -> u64;
+
+    /// Consume the arrival due now: classify it and schedule the next.
+    fn pop(&mut self, rng: &mut SmallRng, wl: &Workload, n: usize, src: NodeId) -> Arrival;
+}
+
+/// Classify a freshly generated message: multicast with probability α,
+/// otherwise a unicast to a pattern-sampled destination. Shared by every
+/// stochastic process so the draw order (class, then destination) is
+/// identical across processes — and identical to the pre-subsystem
+/// source.
+fn classify(rng: &mut SmallRng, wl: &Workload, n: usize, src: NodeId) -> Arrival {
+    let alpha = wl.multicast_fraction;
+    if alpha > 0.0 && rng.gen::<f64>() < alpha {
+        Arrival::Multicast
+    } else {
+        Arrival::Unicast(wl.unicast_pattern.sample(n, src, rng))
+    }
+}
+
+/// Sample a geometric gap on `{1, 2, …}` by inverse transform:
+/// `gap = ⌈ln(1 − u) / ln_q⌉` where `ln_q = ln(1 − p)`, clamped to 1.
+/// One RNG draw. `ln_q` must be negative (p > 0).
+fn geometric_gap(rng: &mut SmallRng, ln_q: f64) -> u64 {
+    let u: f64 = rng.gen();
+    // u ∈ [0, 1) so 1 − u ∈ (0, 1] and the ratio is finite and ≥ 0.
+    let k = ((1.0 - u).ln() / ln_q).ceil();
+    if k < 1.0 {
+        1
+    } else {
+        k as u64 // saturates at u64::MAX for astronomical gaps
+    }
+}
+
+/// `ln(1 − p)` of a per-cycle firing probability, or `0.0` when the
+/// probability is zero (or below f64 resolution) — the "disabled" marker
+/// the geometric samplers test for.
+fn ln_q(p: f64) -> f64 {
+    if p > 0.0 {
+        (1.0 - p).ln()
+    } else {
+        0.0
+    }
+}
+
+/// The paper's memoryless source: geometric inter-arrival gaps at the
+/// workload's generation rate — one RNG draw per arrival instead of one
+/// Bernoulli draw per cycle, generating the identical process.
 #[derive(Clone, Debug)]
-pub struct ArrivalStream {
-    rng: SmallRng,
-    /// `ln(1 − λ)`; `0.0` disables the stream (λ = 0, or λ below f64
+pub struct GeometricProcess {
+    /// `ln(1 − λ)`; `0.0` disables the process (λ = 0, or λ below f64
     /// resolution).
     ln_one_minus_rate: f64,
     next: u64,
+}
+
+impl GeometricProcess {
+    /// A process firing at `rate` messages/cycle, with the first gap
+    /// measured from cycle 0. A `rate` of zero (or small enough that
+    /// `1 − rate == 1` in f64) never fires and draws nothing.
+    pub fn new(rate: f64, rng: &mut SmallRng) -> Self {
+        let ln_one_minus_rate = ln_q(rate);
+        let next = if ln_one_minus_rate < 0.0 {
+            geometric_gap(rng, ln_one_minus_rate)
+        } else {
+            u64::MAX
+        };
+        GeometricProcess {
+            ln_one_minus_rate,
+            next,
+        }
+    }
+}
+
+impl ArrivalProcess for GeometricProcess {
+    fn next_arrival(&self) -> u64 {
+        self.next
+    }
+
+    fn pop(&mut self, rng: &mut SmallRng, wl: &Workload, n: usize, src: NodeId) -> Arrival {
+        let arrival = classify(rng, wl, n, src);
+        let gap = geometric_gap(rng, self.ln_one_minus_rate);
+        self.next = self.next.saturating_add(gap);
+        arrival
+    }
+}
+
+/// A two-state bursty source: bursts of geometrically many messages
+/// (mean `burst_len`) spaced at geometric gaps of the peak rate, separated
+/// by geometric off-gaps sized so the long-run mean rate equals the
+/// workload's nominal rate (Wald's identity makes the match exact in
+/// expectation, so rate sweeps stay comparable with Poisson runs).
+///
+/// Draw cost: one draw per in-burst arrival, three per burst boundary —
+/// O(arrivals) like every process here.
+#[derive(Clone, Debug)]
+pub struct OnOffProcess {
+    /// `ln(1 − peak_rate)` — in-burst gap sampler.
+    ln_q_on: f64,
+    /// `ln(1 − 1/burst_len)` — burst-size sampler (`0.0` ⇒ size 1, no
+    /// draw).
+    ln_q_burst: f64,
+    /// `ln(1 − 1/off_gap_mean)` — off-gap sampler.
+    ln_q_off: f64,
+    /// Arrivals left in the current burst after the one scheduled.
+    remaining: u64,
+    next: u64,
+}
+
+impl OnOffProcess {
+    /// A bursty process with mean `burst_len` messages per burst at
+    /// `peak_rate` inside bursts, matching a long-run mean of `rate`.
+    /// `rate = 0` never fires and draws nothing; otherwise the parameters
+    /// must satisfy `rate < peak_rate < 1` and `burst_len >= 1`
+    /// (validated by [`TrafficSpec::validate`]).
+    pub fn new(burst_len: f64, peak_rate: f64, rate: f64, rng: &mut SmallRng) -> Self {
+        if rate <= 0.0 {
+            return OnOffProcess {
+                ln_q_on: 0.0,
+                ln_q_burst: 0.0,
+                ln_q_off: 0.0,
+                remaining: 0,
+                next: u64::MAX,
+            };
+        }
+        let off_mean = TrafficSpec::off_gap_mean(burst_len, peak_rate, rate);
+        let ln_q_off = ln_q(1.0 / off_mean);
+        if ln_q_off == 0.0 {
+            // The off-gap probability underflowed f64 (a mean rate below
+            // resolution): a source that never fires, mirroring the
+            // geometric process's treatment of such rates.
+            return OnOffProcess {
+                ln_q_on: 0.0,
+                ln_q_burst: 0.0,
+                ln_q_off: 0.0,
+                remaining: 0,
+                next: u64::MAX,
+            };
+        }
+        let mut p = OnOffProcess {
+            ln_q_on: ln_q(peak_rate),
+            // `burst_len = 1` means every burst has exactly one message:
+            // keep the 0.0 "no draw" sentinel (ln_q(1.0) would be −∞ and
+            // waste a draw on a deterministic outcome). With one message
+            // per burst every gap is an off-gap of mean 1/rate, so the
+            // stream degenerates to draw-for-draw the geometric source.
+            ln_q_burst: if burst_len > 1.0 {
+                ln_q(1.0 / burst_len)
+            } else {
+                0.0
+            },
+            ln_q_off,
+            remaining: 0,
+            next: 0,
+        };
+        // Start at a burst boundary: the first arrival opens the first
+        // burst after an off-gap measured from cycle 0.
+        let gap = p.boundary_gap(rng);
+        p.next = gap;
+        p
+    }
+
+    /// Sample a burst boundary: the size of the next burst (stashed in
+    /// `remaining`) and the off-gap preceding its first arrival.
+    fn boundary_gap(&mut self, rng: &mut SmallRng) -> u64 {
+        let burst = if self.ln_q_burst < 0.0 {
+            geometric_gap(rng, self.ln_q_burst)
+        } else {
+            1
+        };
+        self.remaining = burst - 1;
+        geometric_gap(rng, self.ln_q_off)
+    }
+}
+
+impl ArrivalProcess for OnOffProcess {
+    fn next_arrival(&self) -> u64 {
+        self.next
+    }
+
+    fn pop(&mut self, rng: &mut SmallRng, wl: &Workload, n: usize, src: NodeId) -> Arrival {
+        let arrival = classify(rng, wl, n, src);
+        let gap = if self.remaining > 0 {
+            self.remaining -= 1;
+            geometric_gap(rng, self.ln_q_on)
+        } else {
+            self.boundary_gap(rng)
+        };
+        self.next = self.next.saturating_add(gap);
+        arrival
+    }
+}
+
+/// Deterministic replay of one node's slice of a recorded arrival trace.
+/// Draws nothing from the RNG; classes and destinations come from the
+/// trace.
+#[derive(Clone, Debug)]
+pub struct TraceProcess {
+    /// This node's arrivals in cycle order.
+    entries: Vec<(u64, Arrival)>,
+    next_idx: usize,
+}
+
+impl TraceProcess {
+    /// A process replaying `entries` (already filtered to one node,
+    /// strictly increasing cycles — [`TrafficSpec::validate`] enforces
+    /// the shape).
+    pub fn new(entries: Vec<(u64, Arrival)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        TraceProcess {
+            entries,
+            next_idx: 0,
+        }
+    }
+}
+
+impl ArrivalProcess for TraceProcess {
+    fn next_arrival(&self) -> u64 {
+        self.entries
+            .get(self.next_idx)
+            .map_or(u64::MAX, |&(c, _)| c)
+    }
+
+    fn pop(&mut self, _rng: &mut SmallRng, _wl: &Workload, _n: usize, _src: NodeId) -> Arrival {
+        let (_, arrival) = self.entries[self.next_idx];
+        self.next_idx += 1;
+        arrival
+    }
+}
+
+/// One node's message source: the node's private RNG plus its arrival
+/// process.
+#[derive(Debug)]
+pub struct ArrivalStream {
+    rng: SmallRng,
+    process: Box<dyn ArrivalProcess>,
 }
 
 /// Per-node seed mixing constant (kept from the original engine so seeds
 /// keep their meaning across the refactor).
 const NODE_SEED_MIX: u64 = 0xA076_1D64_78BD_642F;
 
+/// The node's private RNG, seeded exactly as the pre-subsystem source
+/// seeded it.
+fn node_rng(master_seed: u64, node: usize) -> SmallRng {
+    SmallRng::seed_from_u64(master_seed ^ (NODE_SEED_MIX.wrapping_mul(node as u64 + 1)))
+}
+
 impl ArrivalStream {
-    /// Build node `node`'s stream under `master_seed` at `rate`
-    /// messages/cycle. A `rate` of zero (or small enough that
-    /// `1 − rate == 1` in f64) yields a stream that never fires.
+    /// Build node `node`'s memoryless stream under `master_seed` at `rate`
+    /// messages/cycle — the [`TrafficSpec::Geometric`] process, kept as a
+    /// named constructor for tests and micro-benchmarks.
     pub fn new(master_seed: u64, node: usize, rate: f64) -> Self {
-        let rng =
-            SmallRng::seed_from_u64(master_seed ^ (NODE_SEED_MIX.wrapping_mul(node as u64 + 1)));
-        let ln_one_minus_rate = if rate > 0.0 { (1.0 - rate).ln() } else { 0.0 };
-        let mut s = ArrivalStream {
-            rng,
-            ln_one_minus_rate,
-            next: u64::MAX,
-        };
-        if s.ln_one_minus_rate < 0.0 {
-            let gap = s.gap();
-            s.next = gap; // first arrival measured from cycle 0
-        }
-        s
+        let mut rng = node_rng(master_seed, node);
+        let process = Box::new(GeometricProcess::new(rate, &mut rng));
+        ArrivalStream { rng, process }
     }
 
-    /// Sample a geometric inter-arrival gap (support `{1, 2, …}`) by
-    /// inverse transform: `gap = ⌈ln(1 − u) / ln(1 − λ)⌉`, clamped to 1.
-    fn gap(&mut self) -> u64 {
-        let u: f64 = self.rng.gen();
-        // u ∈ [0, 1) so 1 − u ∈ (0, 1] and the ratio is finite and ≥ 0.
-        let k = ((1.0 - u).ln() / self.ln_one_minus_rate).ceil();
-        if k < 1.0 {
-            1
-        } else {
-            k as u64 // saturates at u64::MAX for astronomical gaps
+    /// Build every node's stream for `wl` under `master_seed`, dispatching
+    /// on the workload's [`TrafficSpec`]. This is the single construction
+    /// path both engines use; under [`TrafficSpec::Geometric`] the streams
+    /// are draw-for-draw identical to the pre-subsystem hard-coded source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not fit the workload — the engines'
+    /// documented construction contract; the experiment layer reports the
+    /// same condition as a typed error before any engine is built.
+    pub fn build_all(wl: &Workload, n: usize, master_seed: u64) -> Vec<ArrivalStream> {
+        wl.traffic
+            .validate(n, wl.gen_rate)
+            .expect("traffic spec must fit the workload");
+        match &wl.traffic {
+            TrafficSpec::Geometric => (0..n)
+                .map(|i| ArrivalStream::new(master_seed, i, wl.gen_rate))
+                .collect(),
+            TrafficSpec::OnOff {
+                burst_len,
+                peak_rate,
+            } => (0..n)
+                .map(|i| {
+                    let mut rng = node_rng(master_seed, i);
+                    let process = Box::new(OnOffProcess::new(
+                        *burst_len,
+                        *peak_rate,
+                        wl.gen_rate,
+                        &mut rng,
+                    ));
+                    ArrivalStream { rng, process }
+                })
+                .collect(),
+            TrafficSpec::Trace { entries } => {
+                let mut per_node: Vec<Vec<(u64, Arrival)>> = vec![Vec::new(); n];
+                for e in entries.iter() {
+                    let arrival = match e.kind {
+                        TraceKind::Unicast { dst } => Arrival::Unicast(NodeId(dst)),
+                        TraceKind::Multicast => Arrival::Multicast,
+                    };
+                    per_node[e.node as usize].push((e.cycle, arrival));
+                }
+                per_node
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, entries)| ArrivalStream {
+                        rng: node_rng(master_seed, i),
+                        process: Box::new(TraceProcess::new(entries)),
+                    })
+                    .collect()
+            }
         }
     }
 
-    /// Cycle of the next arrival (`u64::MAX` when the stream is disabled).
+    /// Cycle of the next arrival (`u64::MAX` when the stream is disabled
+    /// or exhausted).
     #[inline]
     pub fn next_arrival(&self) -> u64 {
-        self.next
+        self.process.next_arrival()
     }
 
-    /// Consume the arrival due now: classify it (multicast with
-    /// probability α, otherwise a unicast to a pattern-sampled
-    /// destination) and schedule the next one.
+    /// Consume the arrival due now: classify it and schedule the next one.
     ///
     /// Callers must only invoke this when `next_arrival()` equals the
     /// current cycle; the draw order (class, destination, next gap) is
     /// part of the deterministic contract between the engines.
     pub fn pop(&mut self, wl: &Workload, n: usize, src: NodeId) -> Arrival {
-        let alpha = wl.multicast_fraction;
-        let arrival = if alpha > 0.0 && self.rng.gen::<f64>() < alpha {
-            Arrival::Multicast
-        } else {
-            Arrival::Unicast(wl.unicast_pattern.sample(n, src, &mut self.rng))
-        };
-        let gap = self.gap();
-        self.next = self.next.saturating_add(gap);
-        arrival
+        self.process.pop(&mut self.rng, wl, n, src)
     }
+}
+
+/// Record the complete arrival trace `wl` generates under `master_seed`
+/// up to and including `horizon`, as [`TrafficSpec::Trace`] entries
+/// sorted by `(cycle, node)`.
+///
+/// Generation is open-loop — arrival processes never observe network
+/// state — so this standalone recording is exactly the sequence any
+/// engine run with the same `(workload, seed)` generates: replaying the
+/// trace of a finished run (with `horizon` = the run's final cycle)
+/// reproduces that run bit-for-bit, which `tests/traffic_processes.rs`
+/// enforces.
+pub fn record_trace(wl: &Workload, n: usize, master_seed: u64, horizon: u64) -> Vec<TraceEntry> {
+    let mut streams = ArrivalStream::build_all(wl, n, master_seed);
+    let mut entries = Vec::new();
+    for (node, stream) in streams.iter_mut().enumerate() {
+        while stream.next_arrival() <= horizon {
+            let cycle = stream.next_arrival();
+            let kind = match stream.pop(wl, n, NodeId(node as u32)) {
+                Arrival::Unicast(dst) => TraceKind::Unicast { dst: dst.0 },
+                Arrival::Multicast => TraceKind::Multicast,
+            };
+            entries.push(TraceEntry {
+                cycle,
+                node: node as u32,
+                kind,
+            });
+        }
+    }
+    entries.sort_by_key(|e| (e.cycle, e.node));
+    entries
 }
 
 #[cfg(test)]
@@ -302,5 +609,178 @@ mod tests {
         assert!(
             c.next_arrival() != fresh.next_arrival() || d.next_arrival() != fresh.next_arrival()
         );
+    }
+
+    #[test]
+    fn build_all_geometric_matches_the_named_constructor() {
+        // The dispatch path must be draw-for-draw the pre-subsystem
+        // source: same seeds, same gaps, same classifications.
+        let wl = test_workload(0.03, 0.1);
+        let mut built = ArrivalStream::build_all(&wl, 16, 99);
+        let mut named: Vec<ArrivalStream> =
+            (0..16).map(|i| ArrivalStream::new(99, i, 0.03)).collect();
+        for node in 0..16usize {
+            for _ in 0..50 {
+                assert_eq!(
+                    built[node].next_arrival(),
+                    named[node].next_arrival(),
+                    "node {node}"
+                );
+                assert_eq!(
+                    built[node].pop(&wl, 16, NodeId(node as u32)),
+                    named[node].pop(&wl, 16, NodeId(node as u32))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn onoff_gaps_cluster_into_bursts() {
+        let rate = 0.01;
+        let wl = test_workload(rate, 0.0).with_traffic(TrafficSpec::OnOff {
+            burst_len: 8.0,
+            peak_rate: 0.5,
+        });
+        let mut streams = ArrivalStream::build_all(&wl, 16, 5);
+        let s = &mut streams[0];
+        let mut gaps = Vec::new();
+        let mut last = 0u64;
+        for _ in 0..20_000 {
+            let next = s.next_arrival();
+            assert!(next > last);
+            gaps.push(next - last);
+            last = next;
+            s.pop(&wl, 16, NodeId(0));
+        }
+        // Bursty traffic: most gaps are short (in-burst, mean 2 cycles at
+        // peak 0.5), a minority are long off-gaps. A memoryless source at
+        // rate 0.01 would put ~60% of gaps above 50 cycles.
+        let short = gaps.iter().filter(|&&g| g <= 10).count() as f64 / gaps.len() as f64;
+        assert!(
+            short > 0.75,
+            "expected >75% in-burst gaps, got {short} short"
+        );
+        // Mean rate still matches the nominal rate.
+        let mean_gap = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        assert!(
+            (mean_gap - 1.0 / rate).abs() < 0.05 / rate,
+            "mean gap {mean_gap} should be ~{}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn onoff_burst_one_degenerates_to_the_geometric_source() {
+        // One message per burst: every gap is an off-gap of mean 1/rate,
+        // sampled through the same inverse transform as the geometric
+        // source — the streams must be draw-for-draw identical.
+        let rate = 0.02;
+        let wl = test_workload(rate, 0.1).with_traffic(TrafficSpec::OnOff {
+            burst_len: 1.0,
+            peak_rate: 0.5,
+        });
+        let mut onoff = ArrivalStream::build_all(&wl, 16, 77);
+        let mut geo: Vec<ArrivalStream> =
+            (0..16).map(|i| ArrivalStream::new(77, i, rate)).collect();
+        for node in 0..16usize {
+            let src = NodeId(node as u32);
+            for _ in 0..200 {
+                assert_eq!(onoff[node].next_arrival(), geo[node].next_arrival());
+                assert_eq!(onoff[node].pop(&wl, 16, src), geo[node].pop(&wl, 16, src));
+            }
+        }
+    }
+
+    #[test]
+    fn onoff_zero_rate_never_fires_and_draws_nothing() {
+        let wl = test_workload(0.0, 0.0).with_traffic(TrafficSpec::OnOff {
+            burst_len: 4.0,
+            peak_rate: 0.5,
+        });
+        let streams = ArrivalStream::build_all(&wl, 16, 1);
+        assert!(streams.iter().all(|s| s.next_arrival() == u64::MAX));
+    }
+
+    #[test]
+    fn onoff_sub_resolution_rate_disables_the_stream() {
+        // A mean rate below f64 resolution underflows the off-gap
+        // probability; the stream must go quiet (like the geometric
+        // source), not invert into an every-cycle injector.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = OnOffProcess::new(4.0, 0.5, 1e-300, &mut rng);
+        assert_eq!(p.next_arrival(), u64::MAX);
+    }
+
+    #[test]
+    fn trace_streams_replay_exactly() {
+        let entries = vec![
+            TraceEntry {
+                cycle: 3,
+                node: 0,
+                kind: TraceKind::Unicast { dst: 5 },
+            },
+            TraceEntry {
+                cycle: 3,
+                node: 2,
+                kind: TraceKind::Multicast,
+            },
+            TraceEntry {
+                cycle: 9,
+                node: 0,
+                kind: TraceKind::Unicast { dst: 1 },
+            },
+        ];
+        let wl = test_workload(0.01, 0.1).with_traffic(TrafficSpec::trace(entries));
+        let mut streams = ArrivalStream::build_all(&wl, 16, 7);
+        assert_eq!(streams[0].next_arrival(), 3);
+        assert_eq!(streams[1].next_arrival(), u64::MAX);
+        assert_eq!(streams[2].next_arrival(), 3);
+        assert_eq!(
+            streams[0].pop(&wl, 16, NodeId(0)),
+            Arrival::Unicast(NodeId(5))
+        );
+        assert_eq!(streams[0].next_arrival(), 9);
+        assert_eq!(streams[2].pop(&wl, 16, NodeId(2)), Arrival::Multicast);
+        assert_eq!(streams[2].next_arrival(), u64::MAX);
+        assert_eq!(
+            streams[0].pop(&wl, 16, NodeId(0)),
+            Arrival::Unicast(NodeId(1))
+        );
+        assert_eq!(streams[0].next_arrival(), u64::MAX);
+    }
+
+    #[test]
+    fn recorded_trace_matches_the_live_streams() {
+        let wl = test_workload(0.02, 0.2);
+        let horizon = 5_000;
+        let trace = record_trace(&wl, 16, 31, horizon);
+        assert!(!trace.is_empty());
+        assert!(trace
+            .windows(2)
+            .all(|w| { (w[0].cycle, w[0].node) < (w[1].cycle, w[1].node) }));
+        assert!(trace.iter().all(|e| (1..=horizon).contains(&e.cycle)));
+        // Replaying the recorded trace yields the same arrivals as the
+        // live geometric streams, node by node.
+        let replay_wl = wl.clone().with_traffic(TrafficSpec::trace(trace.clone()));
+        let mut live = ArrivalStream::build_all(&wl, 16, 31);
+        let mut replay = ArrivalStream::build_all(&replay_wl, 16, 31);
+        for node in 0..16usize {
+            let src = NodeId(node as u32);
+            while replay[node].next_arrival() != u64::MAX {
+                assert_eq!(live[node].next_arrival(), replay[node].next_arrival());
+                assert_eq!(live[node].pop(&wl, 16, src), replay[node].pop(&wl, 16, src));
+            }
+            assert!(live[node].next_arrival() > horizon);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "traffic spec must fit")]
+    fn build_all_rejects_unrealizable_specs() {
+        let wl = test_workload(0.4, 0.0).with_traffic(TrafficSpec::OnOff {
+            burst_len: 4.0,
+            peak_rate: 0.2,
+        });
+        let _ = ArrivalStream::build_all(&wl, 16, 1);
     }
 }

@@ -1,0 +1,186 @@
+//! Coordinate and bit addressing of node index spaces.
+//!
+//! The adversarial permutation patterns of the NoC literature (transpose,
+//! bit reversal, perfect shuffle, tornado) are defined on *structured*
+//! node index spaces: a square grid for the coordinate permutations, a
+//! power-of-two index space for the bit permutations. This module provides
+//! those views as total functions over the node count: each helper returns
+//! `Some(partner)` when the index space supports the permutation and
+//! `None` when it does not, so callers (the workload layer's
+//! `UnicastPattern`) can degrade gracefully with a typed error instead of
+//! panicking on, say, a 9-node ring asked to run bit reversal.
+//!
+//! Conventions:
+//!
+//! * **Grid addressing** interprets node `s` of a square `k × k` network
+//!   as row-major coordinates `(x, y) = (s mod k, s div k)` — the layout
+//!   of [`crate::Mesh`]; on any other topology it is an *index-space*
+//!   interpretation, which is exactly how the permutation literature
+//!   applies these patterns to non-mesh networks.
+//! * **Bit addressing** interprets node `s` of a `2^d`-node network as a
+//!   `d`-bit string — the natural address of [`crate::Hypercube`].
+//!
+//! A permutation may map a node to itself (the transpose diagonal, a
+//! palindromic bit pattern); callers fall back to uniform destinations for
+//! such nodes, mirroring the established `Complement` behaviour.
+
+use crate::ids::NodeId;
+
+/// Side length of the square grid covering `n` nodes, if `n` is a perfect
+/// square of at least 2×2.
+pub fn grid_side(n: usize) -> Option<usize> {
+    let side = (n as f64).sqrt().round() as usize;
+    (side >= 2 && side * side == n).then_some(side)
+}
+
+/// `log2(n)` when `n` is a power of two with at least two nodes.
+pub fn log2_exact(n: usize) -> Option<u32> {
+    (n >= 2 && n.is_power_of_two()).then(|| n.trailing_zeros())
+}
+
+/// Matrix-transpose partner on a square grid: `(x, y) → (y, x)`.
+/// `None` when `n` is not a perfect square. Diagonal nodes map to
+/// themselves.
+pub fn transpose(n: usize, node: NodeId) -> Option<NodeId> {
+    let side = grid_side(n)?;
+    let (x, y) = (node.idx() % side, node.idx() / side);
+    Some(NodeId((x * side + y) as u32))
+}
+
+/// Bit-reversal partner: the `d`-bit address read backwards. `None` when
+/// `n` is not a power of two. Palindromic addresses map to themselves.
+pub fn bit_reverse(n: usize, node: NodeId) -> Option<NodeId> {
+    let d = log2_exact(n)?;
+    let s = node.idx() as u32;
+    Some(NodeId(s.reverse_bits() >> (32 - d)))
+}
+
+/// Perfect-shuffle partner: the `d`-bit address rotated left by one.
+/// `None` when `n` is not a power of two. The all-zeros and all-ones
+/// addresses map to themselves.
+pub fn shuffle(n: usize, node: NodeId) -> Option<NodeId> {
+    let d = log2_exact(n)?;
+    let s = node.idx() as u32;
+    let mask = (n - 1) as u32;
+    Some(NodeId(((s << 1) | (s >> (d - 1))) & mask))
+}
+
+/// Tornado partner on a square grid: rotate almost half-way along the
+/// node's row, `(x, y) → ((x + ⌈k/2⌉ − 1) mod k, y)` — the classic
+/// worst case for minimal adaptive routing on rings and tori. `None`
+/// when `n` is not a perfect square. On a 2-wide grid the offset is zero
+/// and every node maps to itself.
+pub fn tornado(n: usize, node: NodeId) -> Option<NodeId> {
+    let side = grid_side(n)?;
+    let offset = side.div_ceil(2) - 1;
+    let (x, y) = (node.idx() % side, node.idx() / side);
+    Some(NodeId((y * side + (x + offset) % side) as u32))
+}
+
+/// Nearest-neighbour partner in index order, `s → (s + 1) mod n` — the
+/// lightest-load permutation (one link on ring-ordered topologies). Total
+/// over every `n ≥ 2` and never a self-map.
+pub fn neighbor(n: usize, node: NodeId) -> NodeId {
+    NodeId(((node.idx() + 1) % n) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_side_accepts_exactly_squares() {
+        assert_eq!(grid_side(16), Some(4));
+        assert_eq!(grid_side(9), Some(3));
+        assert_eq!(grid_side(8), None);
+        assert_eq!(grid_side(12), None);
+        assert_eq!(grid_side(1), None, "1x1 grids are below the minimum");
+        assert_eq!(grid_side(0), None);
+    }
+
+    #[test]
+    fn log2_exact_accepts_exactly_powers_of_two() {
+        assert_eq!(log2_exact(16), Some(4));
+        assert_eq!(log2_exact(2), Some(1));
+        assert_eq!(log2_exact(12), None);
+        assert_eq!(log2_exact(1), None, "a 1-node space has no partner");
+        assert_eq!(log2_exact(0), None);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        // 4x4 grid: node 1 = (1,0) -> (0,1) = node 4.
+        assert_eq!(transpose(16, NodeId(1)), Some(NodeId(4)));
+        assert_eq!(transpose(16, NodeId(7)), Some(NodeId(13)));
+        // Diagonal maps to itself.
+        assert_eq!(transpose(16, NodeId(5)), Some(NodeId(5)));
+        assert_eq!(transpose(12, NodeId(0)), None);
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        for s in 0..16u32 {
+            let t = transpose(16, NodeId(s)).unwrap();
+            assert_eq!(transpose(16, t), Some(NodeId(s)));
+        }
+    }
+
+    #[test]
+    fn bit_reverse_reverses_addresses() {
+        // 16 nodes, 4 bits: 0001 -> 1000.
+        assert_eq!(bit_reverse(16, NodeId(0b0001)), Some(NodeId(0b1000)));
+        assert_eq!(bit_reverse(16, NodeId(0b0110)), Some(NodeId(0b0110)));
+        assert_eq!(bit_reverse(16, NodeId(0b1011)), Some(NodeId(0b1101)));
+        assert_eq!(bit_reverse(9, NodeId(0)), None);
+        for s in 0..16u32 {
+            let t = bit_reverse(16, NodeId(s)).unwrap();
+            assert_eq!(bit_reverse(16, t), Some(NodeId(s)), "involution at {s}");
+        }
+    }
+
+    #[test]
+    fn shuffle_rotates_left() {
+        // 8 nodes, 3 bits: 011 -> 110, 100 -> 001.
+        assert_eq!(shuffle(8, NodeId(0b011)), Some(NodeId(0b110)));
+        assert_eq!(shuffle(8, NodeId(0b100)), Some(NodeId(0b001)));
+        assert_eq!(shuffle(8, NodeId(0)), Some(NodeId(0)));
+        assert_eq!(shuffle(8, NodeId(7)), Some(NodeId(7)));
+        assert_eq!(shuffle(10, NodeId(0)), None);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut seen = [false; 16];
+        for s in 0..16u32 {
+            let t = shuffle(16, NodeId(s)).unwrap();
+            assert!(!seen[t.idx()], "shuffle collides at {s}");
+            seen[t.idx()] = true;
+        }
+    }
+
+    #[test]
+    fn tornado_rotates_within_the_row() {
+        // 4x4: offset = ceil(4/2) - 1 = 1; node 3 = (3,0) -> (0,0) = 0.
+        assert_eq!(tornado(16, NodeId(3)), Some(NodeId(0)));
+        assert_eq!(tornado(16, NodeId(4)), Some(NodeId(5)));
+        // 3x3: offset = 1.
+        assert_eq!(tornado(9, NodeId(2)), Some(NodeId(0)));
+        assert_eq!(tornado(8, NodeId(0)), None);
+        // Rows are preserved.
+        for s in 0..16u32 {
+            let t = tornado(16, NodeId(s)).unwrap();
+            assert_eq!(t.idx() / 4, s as usize / 4, "tornado left row at {s}");
+        }
+    }
+
+    #[test]
+    fn neighbor_wraps_and_never_self_maps() {
+        assert_eq!(neighbor(8, NodeId(0)), NodeId(1));
+        assert_eq!(neighbor(8, NodeId(7)), NodeId(0));
+        for n in [2usize, 5, 9, 16] {
+            for s in 0..n as u32 {
+                assert_ne!(neighbor(n, NodeId(s)), NodeId(s));
+            }
+        }
+    }
+}

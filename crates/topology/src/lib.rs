@@ -27,6 +27,11 @@
 //! * [`spec`] — declarative, serializable [`TopologySpec`]s and the
 //!   construct-by-name registry (`TopologySpec::parse("mesh-4x4")`), so
 //!   experiment scenarios can request any topology as data.
+//! * [`addressing`] — coordinate/bit views of the node index space
+//!   (square-grid and power-of-two addressing) backing the adversarial
+//!   permutation traffic patterns (transpose, bit reversal, shuffle,
+//!   tornado, neighbour); total functions that return `None` where the
+//!   index space lacks the required structure.
 //! * [`render`] — DOT/ASCII renderings regenerating Fig. 2 (topology) and
 //!   Fig. 3 (broadcast streams).
 //!
@@ -43,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod addressing;
 pub mod channel;
 pub mod hypercube;
 pub mod ids;

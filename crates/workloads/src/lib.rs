@@ -11,6 +11,10 @@
 //! * [`destinations`] — destination-set generators: uniformly random sets
 //!   (Fig. 6), localized same-rim sets (Fig. 7), broadcast and explicit
 //!   sets.
+//! * [`traffic`] — temporal arrival-process specifications
+//!   ([`TrafficSpec`]): the paper's memoryless geometric source, bursty
+//!   on/off sources with mean-rate matching, and deterministic trace
+//!   replay.
 //! * [`sweep`] — message-rate sweeps for the latency-vs-rate figures.
 //! * [`table`] — minimal CSV/aligned-table writers (no external deps).
 //! * [`parallel`] — an order-preserving parallel map built on crossbeam
@@ -25,10 +29,12 @@ pub mod parallel;
 pub mod pattern;
 pub mod sweep;
 pub mod table;
+pub mod traffic;
 pub mod workload;
 
 pub use destinations::DestinationSets;
 pub use parallel::parallel_map;
-pub use pattern::UnicastPattern;
+pub use pattern::{PatternError, UnicastPattern};
 pub use sweep::{RateSweep, SweepError};
+pub use traffic::{TraceEntry, TraceKind, TrafficError, TrafficSpec};
 pub use workload::{Workload, WorkloadError};

@@ -1,16 +1,86 @@
 //! Spatial unicast traffic patterns.
 //!
 //! The paper evaluates uniformly random unicast destinations; the wider
-//! wormhole-model literature (Draper–Ghosh, Ould-Khaoua) additionally
-//! stresses models with **hot-spot** and **permutation** traffic. This
-//! module provides those patterns for both the analytical model (as
-//! per-pair destination weights) and the simulator (as destination
-//! samplers), keeping the two sides consistent by construction.
+//! wormhole-model literature (Draper–Ghosh, Ould-Khaoua, Dally–Towles)
+//! additionally stresses models with **hot-spot** and **permutation**
+//! traffic. This module provides those patterns for both the analytical
+//! model (as per-pair destination weights) and the simulator (as
+//! destination samplers), keeping the two sides consistent by
+//! construction.
+//!
+//! The permutation patterns are defined through the coordinate/bit
+//! addressing helpers of [`noc_topology::addressing`]: the coordinate
+//! permutations (transpose, tornado) need a square node grid, the bit
+//! permutations (bit reversal, perfect shuffle) a power-of-two node count.
+//! [`UnicastPattern::validate`] reports the mismatch as a typed
+//! [`PatternError`] — a 9-node ring asked to run bit reversal degrades to
+//! an error, not a panic. A permutation may map a node to itself (the
+//! transpose diagonal, a palindromic address); such nodes fall back to
+//! uniform destinations, exactly like the established `Complement`
+//! self-map behaviour.
 
 use crate::destinations::DestinationSets;
-use noc_topology::NodeId;
+use noc_topology::{addressing, NodeId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when a [`UnicastPattern`] does not fit a network.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PatternError {
+    /// The hot-spot node index lies outside the network.
+    HotSpotOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The network's node count.
+        n: usize,
+    },
+    /// The hot-spot fraction is outside `[0, 1]` or non-finite.
+    InvalidFraction(f64),
+    /// A coordinate permutation (transpose, tornado) needs a square node
+    /// grid.
+    RequiresSquare {
+        /// The pattern's name.
+        pattern: &'static str,
+        /// The non-square node count.
+        n: usize,
+    },
+    /// A bit permutation (bit reversal, shuffle) needs a power-of-two
+    /// node count.
+    RequiresPowerOfTwo {
+        /// The pattern's name.
+        pattern: &'static str,
+        /// The offending node count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::HotSpotOutOfRange { node, n } => {
+                write!(f, "hot-spot node {node:?} outside 0..{n}")
+            }
+            PatternError::InvalidFraction(frac) => {
+                write!(f, "hot-spot fraction {frac} outside [0, 1]")
+            }
+            PatternError::RequiresSquare { pattern, n } => {
+                write!(
+                    f,
+                    "{pattern} traffic needs a square node grid; {n} nodes are not k x k"
+                )
+            }
+            PatternError::RequiresPowerOfTwo { pattern, n } => {
+                write!(
+                    f,
+                    "{pattern} traffic needs a power-of-two node count, got {n}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
 
 /// How unicast destinations are selected.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -32,28 +102,112 @@ pub enum UnicastPattern {
     /// uniform). A standard adversarial permutation: every message
     /// crosses the network.
     Complement,
+    /// Matrix-transpose permutation on a square grid: `(x, y) → (y, x)`.
+    /// Requires a square node count; diagonal nodes fall back to uniform.
+    ///
+    /// The grid is the row-major *index space* `√N × √N` — the physical
+    /// layout of a square mesh/torus, and the literature's index-space
+    /// interpretation everywhere else (including non-square-shaped
+    /// networks whose node count happens to be square, e.g. an 8×2 mesh).
+    Transpose,
+    /// Bit-reversal permutation: the `log2 N`-bit address read backwards
+    /// (the FFT communication pattern). Requires a power-of-two node
+    /// count; palindromic addresses fall back to uniform.
+    BitReversal,
+    /// Perfect-shuffle permutation: the address rotated left by one bit.
+    /// Requires a power-of-two node count; the all-zeros/all-ones
+    /// addresses fall back to uniform.
+    Shuffle,
+    /// Tornado permutation: rotate almost half-way along the node's grid
+    /// row — the classic adversary of minimal routing on rings and tori.
+    /// Requires a square node count (same row-major index-space
+    /// convention as [`UnicastPattern::Transpose`]).
+    Tornado,
+    /// Nearest-neighbour permutation in index order: `s → (s + 1) mod N`.
+    /// Valid on every topology.
+    Neighbor,
 }
 
 impl UnicastPattern {
     /// Validate against a network of `n` nodes.
-    pub fn validate(&self, n: usize) -> Result<(), String> {
+    pub fn validate(&self, n: usize) -> Result<(), PatternError> {
         match *self {
-            UnicastPattern::Uniform | UnicastPattern::Complement => Ok(()),
+            UnicastPattern::Uniform | UnicastPattern::Complement | UnicastPattern::Neighbor => {
+                Ok(())
+            }
             UnicastPattern::HotSpot { node, fraction } => {
                 if node.idx() >= n {
-                    return Err(format!("hot-spot node {node:?} outside 0..{n}"));
+                    return Err(PatternError::HotSpotOutOfRange { node, n });
                 }
                 if !(0.0..=1.0).contains(&fraction) || !fraction.is_finite() {
-                    return Err(format!("hot-spot fraction {fraction} outside [0, 1]"));
+                    return Err(PatternError::InvalidFraction(fraction));
                 }
                 Ok(())
             }
+            UnicastPattern::Transpose => match addressing::grid_side(n) {
+                Some(_) => Ok(()),
+                None => Err(PatternError::RequiresSquare {
+                    pattern: "transpose",
+                    n,
+                }),
+            },
+            UnicastPattern::Tornado => match addressing::grid_side(n) {
+                Some(_) => Ok(()),
+                None => Err(PatternError::RequiresSquare {
+                    pattern: "tornado",
+                    n,
+                }),
+            },
+            UnicastPattern::BitReversal => match addressing::log2_exact(n) {
+                Some(_) => Ok(()),
+                None => Err(PatternError::RequiresPowerOfTwo {
+                    pattern: "bit-reversal",
+                    n,
+                }),
+            },
+            UnicastPattern::Shuffle => match addressing::log2_exact(n) {
+                Some(_) => Ok(()),
+                None => Err(PatternError::RequiresPowerOfTwo {
+                    pattern: "shuffle",
+                    n,
+                }),
+            },
+        }
+    }
+
+    /// The fixed partner of `src` when this pattern is a permutation
+    /// (`None` for the stochastic patterns). A returned partner may equal
+    /// `src` (e.g. the transpose diagonal): such sources fall back to
+    /// uniform destinations in [`UnicastPattern::weight`] and
+    /// [`UnicastPattern::sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern does not fit a network of `n` nodes — run
+    /// [`UnicastPattern::validate`] first.
+    pub fn permutation_partner(&self, n: usize, src: NodeId) -> Option<NodeId> {
+        let require = |p: Option<NodeId>| {
+            Some(p.expect("pattern does not fit this node count; validate() first"))
+        };
+        match *self {
+            UnicastPattern::Uniform | UnicastPattern::HotSpot { .. } => None,
+            UnicastPattern::Complement => Some(NodeId((n - 1 - src.idx()) as u32)),
+            UnicastPattern::Transpose => require(addressing::transpose(n, src)),
+            UnicastPattern::BitReversal => require(addressing::bit_reverse(n, src)),
+            UnicastPattern::Shuffle => require(addressing::shuffle(n, src)),
+            UnicastPattern::Tornado => require(addressing::tornado(n, src)),
+            UnicastPattern::Neighbor => Some(addressing::neighbor(n, src)),
         }
     }
 
     /// Probability that a unicast generated at `src` targets `dst`
     /// (`src != dst`), over a network of `n` nodes. Rows sum to 1 over all
     /// `dst != src`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the pattern does not fit `n` nodes — run
+    /// [`UnicastPattern::validate`] first.
     pub fn weight(&self, n: usize, src: NodeId, dst: NodeId) -> f64 {
         debug_assert!(src != dst && src.idx() < n && dst.idx() < n);
         let uniform = 1.0 / (n - 1) as f64;
@@ -68,11 +222,13 @@ impl UnicastPattern {
                     (1.0 - fraction) * uniform
                 }
             }
-            UnicastPattern::Complement => {
-                let comp = NodeId((n - 1 - src.idx()) as u32);
-                if comp == src {
+            _ => {
+                let partner = self
+                    .permutation_partner(n, src)
+                    .expect("non-stochastic patterns have a partner");
+                if partner == src {
                     uniform
-                } else if dst == comp {
+                } else if dst == partner {
                     1.0
                 } else {
                     0.0
@@ -83,6 +239,11 @@ impl UnicastPattern {
 
     /// Sample a destination for a unicast generated at `src`, consistent
     /// with [`UnicastPattern::weight`].
+    ///
+    /// # Panics
+    ///
+    /// May panic if the pattern does not fit `n` nodes — run
+    /// [`UnicastPattern::validate`] first.
     pub fn sample(&self, n: usize, src: NodeId, rng: &mut impl Rng) -> NodeId {
         match *self {
             UnicastPattern::Uniform => DestinationSets::random_unicast_dest(n, src, rng),
@@ -93,12 +254,14 @@ impl UnicastPattern {
                     DestinationSets::random_unicast_dest(n, src, rng)
                 }
             }
-            UnicastPattern::Complement => {
-                let comp = NodeId((n - 1 - src.idx()) as u32);
-                if comp == src {
+            _ => {
+                let partner = self
+                    .permutation_partner(n, src)
+                    .expect("non-stochastic patterns have a partner");
+                if partner == src {
                     DestinationSets::random_unicast_dest(n, src, rng)
                 } else {
-                    comp
+                    partner
                 }
             }
         }
@@ -111,17 +274,29 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    #[test]
-    fn weights_are_distributions() {
-        let n = 12;
-        for pattern in [
+    /// Every pattern that fits a 16-node network (square and a power of
+    /// two, so all of them).
+    fn all_patterns() -> Vec<UnicastPattern> {
+        vec![
             UnicastPattern::Uniform,
             UnicastPattern::HotSpot {
                 node: NodeId(3),
                 fraction: 0.4,
             },
             UnicastPattern::Complement,
-        ] {
+            UnicastPattern::Transpose,
+            UnicastPattern::BitReversal,
+            UnicastPattern::Shuffle,
+            UnicastPattern::Tornado,
+            UnicastPattern::Neighbor,
+        ]
+    }
+
+    #[test]
+    fn weights_are_distributions() {
+        let n = 16;
+        for pattern in all_patterns() {
+            pattern.validate(n).unwrap();
             for s in 0..n as u32 {
                 let src = NodeId(s);
                 let total: f64 = (0..n as u32)
@@ -178,6 +353,42 @@ mod tests {
     }
 
     #[test]
+    fn permutation_samples_hit_the_partner() {
+        let n = 16;
+        let mut rng = SmallRng::seed_from_u64(5);
+        for pattern in [
+            UnicastPattern::Transpose,
+            UnicastPattern::BitReversal,
+            UnicastPattern::Shuffle,
+            UnicastPattern::Tornado,
+            UnicastPattern::Neighbor,
+        ] {
+            for s in 0..n as u32 {
+                let src = NodeId(s);
+                let partner = pattern.permutation_partner(n, src).unwrap();
+                let got = pattern.sample(n, src, &mut rng);
+                if partner == src {
+                    assert_ne!(got, src, "{pattern:?}: self-map must fall back");
+                } else {
+                    assert_eq!(got, partner, "{pattern:?} at {src:?}");
+                    assert_eq!(pattern.weight(n, src, partner), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_diagonal_falls_back_to_uniform() {
+        let p = UnicastPattern::Transpose;
+        let diag = NodeId(5); // (1,1) on the 4x4 grid
+        assert_eq!(p.permutation_partner(16, diag), Some(diag));
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..100 {
+            assert_ne!(p.sample(16, diag, &mut rng), diag);
+        }
+    }
+
+    #[test]
     fn sampling_matches_weights_empirically() {
         let p = UnicastPattern::HotSpot {
             node: NodeId(2),
@@ -209,23 +420,55 @@ mod tests {
     #[test]
     fn validation() {
         assert!(UnicastPattern::Uniform.validate(4).is_ok());
-        assert!(UnicastPattern::HotSpot {
-            node: NodeId(9),
-            fraction: 0.1
-        }
-        .validate(8)
-        .is_err());
-        assert!(UnicastPattern::HotSpot {
-            node: NodeId(1),
-            fraction: 1.5
-        }
-        .validate(8)
-        .is_err());
+        assert!(matches!(
+            UnicastPattern::HotSpot {
+                node: NodeId(9),
+                fraction: 0.1
+            }
+            .validate(8),
+            Err(PatternError::HotSpotOutOfRange { .. })
+        ));
+        assert!(matches!(
+            UnicastPattern::HotSpot {
+                node: NodeId(1),
+                fraction: 1.5
+            }
+            .validate(8),
+            Err(PatternError::InvalidFraction(_))
+        ));
         assert!(UnicastPattern::HotSpot {
             node: NodeId(1),
             fraction: 0.5
         }
         .validate(8)
         .is_ok());
+    }
+
+    #[test]
+    fn structured_patterns_reject_unstructured_node_counts() {
+        // 12 nodes: neither square nor a power of two.
+        for (pattern, square) in [
+            (UnicastPattern::Transpose, true),
+            (UnicastPattern::Tornado, true),
+            (UnicastPattern::BitReversal, false),
+            (UnicastPattern::Shuffle, false),
+        ] {
+            let err = pattern.validate(12).unwrap_err();
+            if square {
+                assert!(matches!(err, PatternError::RequiresSquare { n: 12, .. }));
+            } else {
+                assert!(matches!(
+                    err,
+                    PatternError::RequiresPowerOfTwo { n: 12, .. }
+                ));
+            }
+            assert!(!err.to_string().is_empty());
+            assert!(pattern.validate(16).is_ok(), "{pattern:?} fits 16");
+        }
+        // 9 nodes: square but not a power of two.
+        assert!(UnicastPattern::Transpose.validate(9).is_ok());
+        assert!(UnicastPattern::BitReversal.validate(9).is_err());
+        // Neighbor fits anything with two nodes.
+        assert!(UnicastPattern::Neighbor.validate(5).is_ok());
     }
 }

@@ -1,0 +1,390 @@
+//! Temporal traffic specification: *when* messages are generated.
+//!
+//! The paper's validation protocol (§4) assumes per-node Poisson
+//! injection — in a cycle-accurate simulator, a Bernoulli trial per cycle,
+//! equivalently geometric inter-arrival gaps. Real workloads are rarely
+//! that polite: NoC traffic is bursty, and bursty traffic is exactly
+//! where an M/G/1-based latency model's Poisson assumption breaks. A
+//! [`TrafficSpec`] describes the arrival process of every node as
+//! serializable data, so scenarios can sweep the *shape* of traffic as
+//! well as its rate:
+//!
+//! * [`TrafficSpec::Geometric`] — the paper's memoryless source (the
+//!   default; simulations under it are bit-identical to the pre-subsystem
+//!   engines).
+//! * [`TrafficSpec::OnOff`] — a two-state bursty source: bursts of
+//!   geometrically many messages at a peak rate, separated by silences
+//!   sized so the long-run mean rate equals the nominal sweep rate
+//!   (sweeps stay comparable point-for-point with Poisson runs).
+//! * [`TrafficSpec::Trace`] — deterministic replay of a recorded
+//!   `(cycle, node, kind)` arrival trace (see `noc_sim`'s trace recorder).
+//!
+//! The simulator turns a spec into per-node arrival processes; the
+//! analytical model remains a Poisson model — [`TrafficSpec::is_poisson`]
+//! is the applicability flag the experiment layer attaches to model
+//! overlays evaluated under non-Poisson traffic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised when validating a [`TrafficSpec`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficError {
+    /// The mean burst length must be finite and in `[1, 1e9]` messages.
+    InvalidBurstLength(f64),
+    /// The on-state peak rate must lie in `(0, 1)` messages/cycle.
+    InvalidPeakRate(f64),
+    /// The peak rate must exceed the nominal mean rate, or the on-state
+    /// duty cycle would exceed 1.
+    PeakBelowMeanRate {
+        /// The on-state peak rate.
+        peak: f64,
+        /// The nominal mean rate it fails to exceed.
+        rate: f64,
+    },
+    /// A trace entry is malformed (out-of-range node or destination,
+    /// non-increasing per-node cycles, a cycle-0 arrival, or a
+    /// self-addressed unicast).
+    InvalidTrace {
+        /// Index of the offending entry.
+        index: usize,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::InvalidBurstLength(b) => {
+                write!(
+                    f,
+                    "burst length {b} must be finite and in [1, 1e9] messages"
+                )
+            }
+            TrafficError::InvalidPeakRate(p) => {
+                write!(f, "peak rate {p} must lie in (0, 1) messages/cycle")
+            }
+            TrafficError::PeakBelowMeanRate { peak, rate } => {
+                write!(
+                    f,
+                    "peak rate {peak} must exceed the mean rate {rate} \
+                     (the on-state duty cycle would exceed 1)"
+                )
+            }
+            TrafficError::InvalidTrace { index, reason } => {
+                write!(f, "trace entry {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// The class of one recorded arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A unicast to a fixed destination (recorded, not re-sampled).
+    Unicast {
+        /// Destination node index.
+        dst: u32,
+    },
+    /// A multicast operation over the node's configured destination set.
+    Multicast,
+}
+
+/// One recorded arrival: node `node` generates a message of `kind` at
+/// `cycle`. Raw node indices keep serialized traces topology-independent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Generation cycle (`>= 1`; generation happens at the start of a
+    /// simulated cycle, and cycle 0 is never simulated).
+    pub cycle: u64,
+    /// Generating node index.
+    pub node: u32,
+    /// Message class (and destination, for unicasts).
+    pub kind: TraceKind,
+}
+
+/// The serializable arrival-process specification of a workload.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum TrafficSpec {
+    /// Memoryless per-node source with geometric inter-arrival gaps — the
+    /// discrete-time Poisson process of the paper (§4) and the default.
+    #[default]
+    Geometric,
+    /// Two-state Markov-modulated bursty source. A burst holds a
+    /// geometrically distributed number of messages (mean `burst_len`)
+    /// spaced at geometric gaps of rate `peak_rate`; bursts are separated
+    /// by geometric off-gaps whose mean is chosen so the long-run mean
+    /// rate equals the workload's nominal `gen_rate`. `burst_len = 1`
+    /// degenerates to a memoryless source at the nominal rate.
+    OnOff {
+        /// Mean messages per burst (`1 ..= 1e9`).
+        burst_len: f64,
+        /// Arrival rate inside a burst, messages/cycle (`rate < peak < 1`).
+        peak_rate: f64,
+    },
+    /// Deterministic replay of a recorded arrival trace. Entries must be
+    /// sorted by `(cycle, node)` with strictly increasing cycles per node;
+    /// the workload's `gen_rate` is ignored. Arrivals beyond the last
+    /// entry never happen, so traces must cover the intended run length.
+    Trace {
+        /// The recorded arrivals, behind an `Arc` so sweeps and
+        /// replicates share one copy instead of deep-cloning a
+        /// potentially large trace per `(rate, replicate)` job
+        /// (serializes transparently as the plain list).
+        entries: Arc<Vec<TraceEntry>>,
+    },
+}
+
+impl TrafficSpec {
+    /// Does this spec describe the memoryless (Poisson) arrivals the
+    /// analytical model assumes? The experiment layer uses this to flag
+    /// model overlays evaluated outside their applicability domain.
+    pub fn is_poisson(&self) -> bool {
+        matches!(self, TrafficSpec::Geometric)
+    }
+
+    /// Does the workload's generation rate drive this process? `false`
+    /// for trace replay, whose arrival schedule is fixed — sweeping the
+    /// rate over a trace repeats the identical run, which the scenario
+    /// layer rejects for multi-point sweeps.
+    pub fn is_rate_driven(&self) -> bool {
+        !matches!(self, TrafficSpec::Trace { .. })
+    }
+
+    /// Trace-replay spec over `entries` (wraps them in the shared `Arc`).
+    pub fn trace(entries: Vec<TraceEntry>) -> Self {
+        TrafficSpec::Trace {
+            entries: Arc::new(entries),
+        }
+    }
+
+    /// Short code used in derived labels.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TrafficSpec::Geometric => "geometric",
+            TrafficSpec::OnOff { .. } => "onoff",
+            TrafficSpec::Trace { .. } => "trace",
+        }
+    }
+
+    /// Validate against a network of `n` nodes and a nominal mean rate
+    /// of `gen_rate` messages/node/cycle.
+    pub fn validate(&self, n: usize, gen_rate: f64) -> Result<(), TrafficError> {
+        match self {
+            TrafficSpec::Geometric => Ok(()),
+            TrafficSpec::OnOff {
+                burst_len,
+                peak_rate,
+            } => {
+                // The upper bound keeps 1/burst_len well above f64
+                // underflow in the simulator's geometric samplers (and
+                // bursts of more than 1e9 messages have no physical
+                // reading at cycle scale anyway).
+                if !burst_len.is_finite() || !(1.0..=1e9).contains(burst_len) {
+                    return Err(TrafficError::InvalidBurstLength(*burst_len));
+                }
+                if !peak_rate.is_finite() || !(0.0..1.0).contains(peak_rate) || *peak_rate == 0.0 {
+                    return Err(TrafficError::InvalidPeakRate(*peak_rate));
+                }
+                // A zero-rate workload disables the source entirely, so
+                // any positive peak is compatible with it.
+                if gen_rate > 0.0 && *peak_rate <= gen_rate {
+                    return Err(TrafficError::PeakBelowMeanRate {
+                        peak: *peak_rate,
+                        rate: gen_rate,
+                    });
+                }
+                Ok(())
+            }
+            TrafficSpec::Trace { entries } => {
+                let mut last: Vec<Option<u64>> = vec![None; n];
+                for (index, e) in entries.iter().enumerate() {
+                    if e.cycle == 0 {
+                        return Err(TrafficError::InvalidTrace {
+                            index,
+                            reason: "arrivals start at cycle 1",
+                        });
+                    }
+                    let Some(prev) = last.get_mut(e.node as usize) else {
+                        return Err(TrafficError::InvalidTrace {
+                            index,
+                            reason: "node index outside the network",
+                        });
+                    };
+                    if prev.is_some_and(|p| p >= e.cycle) {
+                        return Err(TrafficError::InvalidTrace {
+                            index,
+                            reason: "per-node cycles must strictly increase",
+                        });
+                    }
+                    *prev = Some(e.cycle);
+                    if let TraceKind::Unicast { dst } = e.kind {
+                        if dst as usize >= n {
+                            return Err(TrafficError::InvalidTrace {
+                                index,
+                                reason: "unicast destination outside the network",
+                            });
+                        }
+                        if dst == e.node {
+                            return Err(TrafficError::InvalidTrace {
+                                index,
+                                reason: "unicast destination equals the source",
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Mean off-gap (cycles) between an OnOff spec's bursts at mean rate
+    /// `rate`: with mean burst size `B` and on-gap `1/peak`, the mean
+    /// cycle budget per burst is `B/rate`, of which `(B − 1)/peak` is
+    /// spent inside the burst. Only meaningful after
+    /// [`TrafficSpec::validate`] (`rate < peak`).
+    pub fn off_gap_mean(burst_len: f64, peak_rate: f64, rate: f64) -> f64 {
+        burst_len / rate - (burst_len - 1.0) / peak_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_is_the_default_and_poisson() {
+        assert_eq!(TrafficSpec::default(), TrafficSpec::Geometric);
+        assert!(TrafficSpec::Geometric.is_poisson());
+        assert!(!TrafficSpec::OnOff {
+            burst_len: 8.0,
+            peak_rate: 0.5
+        }
+        .is_poisson());
+        assert!(!TrafficSpec::trace(Vec::new()).is_poisson());
+    }
+
+    #[test]
+    fn onoff_validation_guards_parameters() {
+        let ok = TrafficSpec::OnOff {
+            burst_len: 8.0,
+            peak_rate: 0.2,
+        };
+        assert!(ok.validate(16, 0.01).is_ok());
+        assert!(matches!(
+            TrafficSpec::OnOff {
+                burst_len: 0.5,
+                peak_rate: 0.2
+            }
+            .validate(16, 0.01),
+            Err(TrafficError::InvalidBurstLength(_))
+        ));
+        // Beyond the cap, 1/burst_len would underflow the simulator's
+        // geometric samplers.
+        assert!(matches!(
+            TrafficSpec::OnOff {
+                burst_len: 1e20,
+                peak_rate: 0.2
+            }
+            .validate(16, 0.01),
+            Err(TrafficError::InvalidBurstLength(_))
+        ));
+        assert!(matches!(
+            TrafficSpec::OnOff {
+                burst_len: 4.0,
+                peak_rate: 1.0
+            }
+            .validate(16, 0.01),
+            Err(TrafficError::InvalidPeakRate(_))
+        ));
+        assert!(matches!(
+            TrafficSpec::OnOff {
+                burst_len: 4.0,
+                peak_rate: 0.01
+            }
+            .validate(16, 0.02),
+            Err(TrafficError::PeakBelowMeanRate { .. })
+        ));
+        // Zero-rate workloads disable the source; any peak is fine.
+        assert!(ok.validate(16, 0.0).is_ok());
+    }
+
+    #[test]
+    fn off_gap_mean_matches_the_rate_budget() {
+        // B = 4, peak = 0.5, rate = 0.1: budget 40 cycles/burst, 6 spent
+        // on-burst, 34 off.
+        let off = TrafficSpec::off_gap_mean(4.0, 0.5, 0.1);
+        assert!((off - 34.0).abs() < 1e-12);
+        // B = 1 degenerates to pure geometric at the nominal rate.
+        assert!((TrafficSpec::off_gap_mean(1.0, 0.5, 0.1) - 10.0).abs() < 1e-12);
+        // The off gap always exceeds one cycle when rate < peak < 1.
+        assert!(TrafficSpec::off_gap_mean(2.0, 0.9, 0.5) > 1.0);
+    }
+
+    #[test]
+    fn trace_validation_checks_shape() {
+        let uni = |cycle, node, dst| TraceEntry {
+            cycle,
+            node,
+            kind: TraceKind::Unicast { dst },
+        };
+        let ok = TrafficSpec::trace(vec![
+            uni(1, 0, 3),
+            TraceEntry {
+                cycle: 1,
+                node: 1,
+                kind: TraceKind::Multicast,
+            },
+            uni(5, 0, 2),
+        ]);
+        assert!(ok.validate(4, 0.01).is_ok());
+
+        let cases: Vec<(Vec<TraceEntry>, &str)> = vec![
+            (vec![uni(0, 0, 1)], "cycle 0"),
+            (vec![uni(1, 9, 1)], "node out of range"),
+            (vec![uni(1, 0, 9)], "dst out of range"),
+            (vec![uni(1, 0, 0)], "self send"),
+            (vec![uni(3, 0, 1), uni(3, 0, 2)], "non-increasing"),
+        ];
+        for (entries, what) in cases {
+            assert!(
+                matches!(
+                    TrafficSpec::trace(entries).validate(4, 0.01),
+                    Err(TrafficError::InvalidTrace { .. })
+                ),
+                "{what} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn specs_serialize_round_trip() {
+        for spec in [
+            TrafficSpec::Geometric,
+            TrafficSpec::OnOff {
+                burst_len: 16.0,
+                peak_rate: 0.25,
+            },
+            TrafficSpec::trace(vec![
+                TraceEntry {
+                    cycle: 2,
+                    node: 1,
+                    kind: TraceKind::Unicast { dst: 0 },
+                },
+                TraceEntry {
+                    cycle: 7,
+                    node: 0,
+                    kind: TraceKind::Multicast,
+                },
+            ]),
+        ] {
+            let json = serde::json::to_string_pretty(&spec);
+            let back: TrafficSpec = serde::json::from_str(&json).expect("round trip parses");
+            assert_eq!(spec, back);
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::destinations::DestinationSets;
 use crate::pattern::UnicastPattern;
+use crate::traffic::{TrafficError, TrafficSpec};
 use noc_topology::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -15,6 +16,9 @@ pub enum WorkloadError {
     InvalidRate(f64),
     /// The multicast fraction must lie in `[0, 1]`.
     InvalidFraction(f64),
+    /// The arrival-process specification is inconsistent with the
+    /// workload (e.g. an on/off peak rate at or below the mean rate).
+    Traffic(TrafficError),
 }
 
 impl fmt::Display for WorkloadError {
@@ -30,7 +34,14 @@ impl fmt::Display for WorkloadError {
             WorkloadError::InvalidFraction(a) => {
                 write!(f, "multicast fraction {a} must be in [0, 1]")
             }
+            WorkloadError::Traffic(e) => write!(f, "traffic: {e}"),
         }
+    }
+}
+
+impl From<TrafficError> for WorkloadError {
+    fn from(e: TrafficError) -> Self {
+        WorkloadError::Traffic(e)
     }
 }
 
@@ -56,8 +67,12 @@ pub struct Workload {
     /// Fixed per-node multicast destination sets.
     pub sets: DestinationSets,
     /// Spatial pattern of unicast destinations (uniform in the paper;
-    /// hot-spot and complement provided as extensions).
+    /// hot-spot and the permutation patterns provided as extensions).
     pub unicast_pattern: UnicastPattern,
+    /// Temporal arrival process of every node's source (memoryless
+    /// geometric gaps in the paper; on/off bursts and trace replay
+    /// provided as extensions).
+    pub traffic: TrafficSpec,
 }
 
 impl Workload {
@@ -83,6 +98,7 @@ impl Workload {
             multicast_fraction,
             sets,
             unicast_pattern: UnicastPattern::Uniform,
+            traffic: TrafficSpec::Geometric,
         })
     }
 
@@ -92,6 +108,16 @@ impl Workload {
     /// by the simulator and the model at construction time.
     pub fn with_unicast_pattern(mut self, pattern: UnicastPattern) -> Self {
         self.unicast_pattern = pattern;
+        self
+    }
+
+    /// Replace the arrival process (builder style).
+    ///
+    /// The spec must be consistent with the generation rate and the
+    /// topology's node count — checked by [`Workload::at_rate`], the
+    /// simulator and the experiment layer at construction time.
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
         self
     }
 
@@ -108,15 +134,18 @@ impl Workload {
     }
 
     /// A copy of this workload at a different generation rate (used by the
-    /// rate sweeps of Fig. 6–7).
+    /// rate sweeps of Fig. 6–7). Rejects rates the arrival process cannot
+    /// realize (an on/off source cannot average more than its peak rate).
     pub fn at_rate(&self, gen_rate: f64) -> Result<Self, WorkloadError> {
+        self.traffic.validate(self.sets.num_nodes(), gen_rate)?;
         Ok(Workload::new(
             self.msg_len,
             gen_rate,
             self.multicast_fraction,
             self.sets.clone(),
         )?
-        .with_unicast_pattern(self.unicast_pattern))
+        .with_unicast_pattern(self.unicast_pattern)
+        .with_traffic(self.traffic.clone()))
     }
 
     /// The multicast destination set of `node`.

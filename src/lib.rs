@@ -71,12 +71,15 @@ pub mod prelude {
     pub use noc_queueing::expmax::expected_max_exponentials;
     pub use noc_queueing::mg1::MG1;
     pub use noc_sim::{
-        build_engine, EngineKind, EventSimulator, SimConfig, SimEngine, SimPlan, SimResults,
-        Simulator,
+        build_engine, record_trace, ArrivalProcess, EngineKind, EventSimulator, SimConfig,
+        SimEngine, SimPlan, SimResults, Simulator,
     };
     pub use noc_topology::{
         Hypercube, Mesh, MeshKind, NodeId, PortId, Quarc, Ring, Spidergon, Topology, TopologySpec,
     };
-    pub use noc_workloads::{DestinationSets, RateSweep, SweepError, UnicastPattern, Workload};
+    pub use noc_workloads::{
+        DestinationSets, PatternError, RateSweep, SweepError, TraceEntry, TraceKind, TrafficError,
+        TrafficSpec, UnicastPattern, Workload,
+    };
     pub use quarc_core::{AnalyticModel, ModelOptions, Prediction};
 }
