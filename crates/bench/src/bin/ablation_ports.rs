@@ -57,6 +57,7 @@ fn run_topo(
             .map(|sol| {
                 largest_subset_latency(
                     topo.as_ref(),
+                    wl.routing,
                     wl.msg_len as f64,
                     &|n| wl.multicast_set(n),
                     &loads,

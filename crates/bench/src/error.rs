@@ -7,7 +7,7 @@
 //! `unwrap()`/`assert!` seams the pre-`Scenario` harness relied on are
 //! gone from the public surface.
 
-use noc_topology::TopologyError;
+use noc_topology::{RoutingError, TopologyError};
 use noc_workloads::{PatternError, SweepError, WorkloadError};
 use quarc_core::ModelError;
 use std::fmt;
@@ -22,6 +22,9 @@ pub enum Error {
     /// A unicast traffic pattern does not fit the topology (e.g. bit
     /// reversal on a node count that is not a power of two).
     Pattern(PatternError),
+    /// The multicast routing scheme cannot be realized on the topology
+    /// (e.g. multipath on a one-port node).
+    Routing(RoutingError),
     /// Rate-sweep construction failed.
     Sweep(SweepError),
     /// The analytical model could not be evaluated where a finite result
@@ -46,6 +49,7 @@ impl fmt::Display for Error {
             Error::Topology(e) => write!(f, "topology: {e}"),
             Error::Workload(e) => write!(f, "workload: {e}"),
             Error::Pattern(e) => write!(f, "traffic pattern: {e}"),
+            Error::Routing(e) => write!(f, "multicast routing: {e}"),
             Error::Sweep(e) => write!(f, "sweep: {e}"),
             Error::Model(e) => write!(f, "model: {e}"),
             Error::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
@@ -61,6 +65,7 @@ impl std::error::Error for Error {
             Error::Topology(e) => Some(e),
             Error::Workload(e) => Some(e),
             Error::Pattern(e) => Some(e),
+            Error::Routing(e) => Some(e),
             Error::Sweep(e) => Some(e),
             Error::Model(e) => Some(e),
             Error::Serde(e) => Some(e),
@@ -91,6 +96,12 @@ impl From<PatternError> for Error {
 impl From<noc_workloads::TrafficError> for Error {
     fn from(e: noc_workloads::TrafficError) -> Self {
         Error::Workload(WorkloadError::Traffic(e))
+    }
+}
+
+impl From<RoutingError> for Error {
+    fn from(e: RoutingError) -> Self {
+        Error::Routing(e)
     }
 }
 
@@ -136,6 +147,11 @@ mod tests {
             }
             .into(),
             noc_workloads::TrafficError::InvalidPeakRate(1.5).into(),
+            RoutingError::SingleInjectionPort {
+                scheme: "multipath",
+                ports: 1,
+            }
+            .into(),
             SweepError::TooFewPoints(1).into(),
             ModelError::NonConcurrentMulticast.into(),
             serde::Error::custom("bad json").into(),

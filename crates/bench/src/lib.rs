@@ -30,6 +30,9 @@
 //! | `ablation-ports`     | E\[max\] combination vs largest-subset heuristic |
 //! | `spidergon-baseline` | Quarc true multicast vs Spidergon unicast train |
 //! | `mesh-extension`     | the paper's future work: multi-port mesh/torus |
+//! | `hypercube-extension`| the model on the hypercube family that motivated it |
+//! | `fig-burstiness`     | where the Poisson assumption breaks (burst-length sweep) |
+//! | `fig-routing`        | where the path-based assumption breaks (routing-scheme sweep) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -60,8 +60,11 @@ pub struct PointResult {
     pub model_multicast: f64,
     /// Is the analytical overlay inside its applicability domain? `false`
     /// when the scenario's traffic spec is not the memoryless (Poisson)
-    /// process the model assumes — the overlay is still evaluated (the
-    /// divergence *is* the measurement, see `fig-burstiness`), but its
+    /// process the model assumes, or when its routing scheme's streams
+    /// are not the asynchronous per-port wormholes of Eq. 8–16
+    /// (`Multipath`, `UnicastTree`) — the overlay is still evaluated (the
+    /// divergence
+    /// *is* the measurement, see `fig-burstiness`/`fig-routing`), but its
     /// numbers must not be read as predictions.
     pub model_applicable: bool,
     /// Simulated unicast latency (mean over replicates).
@@ -284,9 +287,11 @@ impl Runner {
         }
 
         let reps = sc.replicates as usize;
-        // The model assumes Poisson arrivals; overlays computed under any
-        // other traffic spec are annotated as out-of-domain.
-        let model_applicable = sc.workload.traffic.is_poisson();
+        // The model assumes Poisson arrivals and asynchronous per-port
+        // streams; overlays computed under any other traffic spec or
+        // routing scheme are annotated as out-of-domain.
+        let model_applicable =
+            sc.workload.traffic.is_poisson() && sc.workload.routing.model_applicable();
         let mut points = Vec::with_capacity(sweep.len());
         let mut sims: Vec<Vec<SimResults>> = Vec::with_capacity(sweep.len());
         for (i, &rate) in sweep.rates().iter().enumerate() {

@@ -23,7 +23,9 @@
 use crate::error::{Error, Result};
 use noc_sim::SimConfig;
 use noc_topology::{NodeId, Topology, TopologySpec};
-use noc_workloads::{DestinationSets, RateSweep, TrafficSpec, UnicastPattern, Workload};
+use noc_workloads::{
+    DestinationSets, RateSweep, RoutingSpec, TrafficSpec, UnicastPattern, Workload,
+};
 use quarc_core::{max_sustainable_rate, ModelOptions};
 use serde::{Deserialize, Serialize};
 
@@ -96,11 +98,14 @@ pub struct WorkloadSpec {
     pub unicast: UnicastPattern,
     /// Temporal arrival process of every node's source.
     pub traffic: TrafficSpec,
+    /// Multicast routing scheme.
+    pub routing: RoutingSpec,
 }
 
 // Hand-written so scenarios persisted before the traffic subsystem (no
-// `traffic` key) stay readable: a missing field means the only process
-// that existed then, the paper's geometric source.
+// `traffic` key) or the routing abstraction (no `routing` key) stay
+// readable: a missing field means the only behaviour that existed then —
+// the paper's geometric source / path-based BRCP routing.
 impl serde::Deserialize for WorkloadSpec {
     fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
         Ok(WorkloadSpec {
@@ -111,6 +116,10 @@ impl serde::Deserialize for WorkloadSpec {
             traffic: match v.get("traffic") {
                 Some(t) => Deserialize::from_value(t)?,
                 None => TrafficSpec::Geometric,
+            },
+            routing: match v.get("routing") {
+                Some(r) => Deserialize::from_value(r)?,
+                None => RoutingSpec::PathBased,
             },
         })
     }
@@ -125,12 +134,19 @@ impl WorkloadSpec {
             multicast,
             unicast: UnicastPattern::Uniform,
             traffic: TrafficSpec::Geometric,
+            routing: RoutingSpec::PathBased,
         }
     }
 
     /// Builder-style: replace the arrival process.
     pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
         self.traffic = traffic;
+        self
+    }
+
+    /// Builder-style: replace the multicast routing scheme.
+    pub fn with_routing(mut self, routing: RoutingSpec) -> Self {
+        self.routing = routing;
         self
     }
 
@@ -154,7 +170,8 @@ impl WorkloadSpec {
         let sets = self.multicast.build(topo, seed);
         let wl = Workload::new(self.msg_len, PROTOTYPE_RATE, self.alpha, sets)?
             .with_unicast_pattern(self.unicast)
-            .with_traffic(self.traffic.clone());
+            .with_traffic(self.traffic.clone())
+            .with_routing(self.routing);
         Ok(wl)
     }
 }
@@ -358,6 +375,12 @@ impl Scenario {
             )));
         }
         self.sim.validate().map_err(Error::InvalidScenario)?;
+        // The routing scheme must be realizable on the topology (e.g.
+        // multipath and dual-path need multi-port routers) — a typed
+        // error here, not a panic inside the simulator's plan builder.
+        self.workload
+            .routing
+            .validate(self.topology.num_nodes(), self.topology.num_ports())?;
         // Traffic-spec shape (parameter ranges, trace well-formedness).
         // Peak-rate-vs-swept-rate consistency is rechecked per resolved
         // rate by the runner, where the rates are known.

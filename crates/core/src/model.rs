@@ -118,6 +118,7 @@ impl<'a> AnalyticModel<'a> {
         let (per_node, multicast_latency) = if self.topo.concurrent_multicast() {
             multicast::evaluate(
                 self.topo,
+                self.wl.routing,
                 msg,
                 &|n| self.wl.multicast_set(n),
                 &loads,

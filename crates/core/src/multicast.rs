@@ -24,7 +24,7 @@ use crate::service::ServiceSolution;
 use crate::unicast::path_waiting_sum;
 use noc_queueing::expmax::expected_max_exponentials;
 use noc_queueing::MaxOfExponentials;
-use noc_topology::{NodeId, Topology};
+use noc_topology::{NodeId, RoutingSpec, Topology};
 
 /// Multicast prediction for one source node.
 #[derive(Clone, Debug)]
@@ -59,9 +59,14 @@ impl NodeMulticast {
 
 /// Evaluate the multicast latency of every node with a non-empty
 /// destination set; returns per-node results (Eq. 14) and their average
-/// (Eq. 16).
+/// (Eq. 16). Streams — and hence the per-port waiting sums `Ω_{j,c}` —
+/// are constructed by `routing`; under schemes whose streams are not
+/// asynchronous per-port wormholes (`RoutingSpec::UnicastTree`) the
+/// numbers are still computed mechanically but lie outside the model's
+/// domain (the experiment layer stamps `model_applicable = false`).
 pub fn evaluate<'s>(
     topo: &dyn Topology,
+    routing: RoutingSpec,
     msg_len: f64,
     sets: &dyn Fn(NodeId) -> &'s [NodeId],
     loads: &ChannelLoads,
@@ -77,7 +82,7 @@ pub fn evaluate<'s>(
         if set.is_empty() {
             continue;
         }
-        let streams = topo.multicast_streams(node, set);
+        let streams = routing.streams(topo, node, set);
         debug_assert!(!streams.is_empty());
         let mut port_waits = Vec::with_capacity(streams.len());
         let mut max_hops = 0usize;
@@ -121,6 +126,7 @@ pub fn expected_last_completion(port_waits: &[f64]) -> f64 {
 /// expected maximum. Used by the ablation bench to show the differences.
 pub fn largest_subset_latency<'s>(
     topo: &dyn Topology,
+    routing: RoutingSpec,
     msg_len: f64,
     sets: &dyn Fn(NodeId) -> &'s [NodeId],
     loads: &ChannelLoads,
@@ -136,7 +142,7 @@ pub fn largest_subset_latency<'s>(
         if set.is_empty() {
             continue;
         }
-        let streams = topo.multicast_streams(node, set);
+        let streams = routing.streams(topo, node, set);
         // "Largest" sub-network: the stream covering the most targets,
         // ties broken by hop count.
         let candidate = streams
@@ -175,7 +181,15 @@ mod tests {
         let opts = ModelOptions::default();
         let loads = ChannelLoads::build(&topo, &wl, &opts);
         let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
-        let (per_node, avg) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
+        let (per_node, avg) = evaluate(
+            &topo,
+            wl.routing,
+            32.0,
+            &|n| wl.multicast_set(n),
+            &loads,
+            &sol,
+            &opts,
+        );
         assert_eq!(per_node.len(), 16);
         // All broadcast streams are k = 4 links → hop_count = 5.
         for nm in &per_node {
@@ -205,7 +219,15 @@ mod tests {
         let opts = ModelOptions::default();
         let loads = ChannelLoads::build(&topo, &wl, &opts);
         let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
-        let (per_node, avg) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
+        let (per_node, avg) = evaluate(
+            &topo,
+            wl.routing,
+            32.0,
+            &|n| wl.multicast_set(n),
+            &loads,
+            &sol,
+            &opts,
+        );
         assert!(avg.is_finite() && avg > 32.0);
         for nm in &per_node {
             if nm.port_waits.len() >= 2 {
@@ -234,9 +256,24 @@ mod tests {
         let opts = ModelOptions::default();
         let loads = ChannelLoads::build(&topo, &wl, &opts);
         let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
-        let (_, full) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
-        let heuristic =
-            largest_subset_latency(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
+        let (_, full) = evaluate(
+            &topo,
+            wl.routing,
+            32.0,
+            &|n| wl.multicast_set(n),
+            &loads,
+            &sol,
+            &opts,
+        );
+        let heuristic = largest_subset_latency(
+            &topo,
+            wl.routing,
+            32.0,
+            &|n| wl.multicast_set(n),
+            &loads,
+            &sol,
+            &opts,
+        );
         assert!(
             full > heuristic - 1e-9,
             "E[max] model ({full}) should exceed the largest-subset heuristic ({heuristic})"
@@ -251,7 +288,15 @@ mod tests {
         let opts = ModelOptions::default();
         let loads = ChannelLoads::build(&topo, &wl, &opts);
         let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
-        let (per_node, _) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
+        let (per_node, _) = evaluate(
+            &topo,
+            wl.routing,
+            32.0,
+            &|n| wl.multicast_set(n),
+            &loads,
+            &sol,
+            &opts,
+        );
         for nm in &per_node {
             let p10 = nm.latency_quantile(0.10);
             let p95 = nm.latency_quantile(0.95);
@@ -274,7 +319,15 @@ mod tests {
         let opts = ModelOptions::default();
         let loads = ChannelLoads::build(&topo, &wl, &opts);
         let sol = service::solve(&topo, &loads, 32.0, &opts).unwrap();
-        let (per_node, avg) = evaluate(&topo, 32.0, &|n| wl.multicast_set(n), &loads, &sol, &opts);
+        let (per_node, avg) = evaluate(
+            &topo,
+            wl.routing,
+            32.0,
+            &|n| wl.multicast_set(n),
+            &loads,
+            &sol,
+            &opts,
+        );
         assert_eq!(per_node.len(), 1);
         assert_eq!(per_node[0].node, NodeId(3));
         assert!(avg.is_finite());

@@ -6,8 +6,11 @@
 //! by walking every deterministic route with its offered rate:
 //!
 //! * each unicast pair `(s, d)` carries `(1 − α)·λ_g / (N − 1)`;
-//! * each multicast stream of node `s` carries `α·λ_g` (the transceiver
-//!   emits one packet per active port per operation).
+//! * each multicast stream of node `s` — constructed by the workload's
+//!   routing scheme (`RoutingSpec`, the paper's path-based BRCP by
+//!   default) — carries `α·λ_g` (the transceiver emits one packet per
+//!   stream per operation; under the unicast baseline that is one packet
+//!   per destination).
 
 use crate::options::ModelOptions;
 use noc_topology::{ChannelId, ChannelKind, NodeId, Path, Topology};
@@ -66,7 +69,7 @@ impl ChannelLoads {
             if set.is_empty() {
                 continue;
             }
-            for stream in topo.multicast_streams(src, set) {
+            for stream in wl.routing.streams(topo, src, set) {
                 if mc_rate > 0.0 {
                     loads.add_path(&stream.path, mc_rate);
                     if opts.clone_ejection_load {

@@ -4,9 +4,11 @@
 //! stream (O(n²) allocations) per run; rate sweeps and benches construct a
 //! simulator per operating point, so that cost dominated short runs. A
 //! [`SimPlan`] captures everything that depends only on `(topology,
-//! destination sets)` — channel/vc layout, unicast path table, multicast
-//! streams with absorb schedules — behind an `Arc` so many runs (and both
-//! engines of a differential pair) share one copy.
+//! destination sets, routing scheme)` — channel/vc layout, unicast path
+//! table, per-scheme multicast streams with absorb schedules — behind an
+//! `Arc` so many runs (and both engines of a differential pair) share one
+//! copy. Both engines replay the plan's stream tables verbatim, which is
+//! what makes engine bit-equivalence hold per routing scheme for free.
 
 use crate::message::{absorb_schedule, AbsorbSchedule};
 use noc_topology::{Hop, NodeId, Path, Topology};
@@ -20,7 +22,8 @@ pub(crate) struct PreStream {
     pub(crate) absorbs: AbsorbSchedule,
 }
 
-/// Static simulation tables for one `(topology, destination sets)` pair.
+/// Static simulation tables for one `(topology, destination sets,
+/// routing scheme)` triple.
 ///
 /// Independent of the generation rate, the seed and the engine, so one
 /// plan serves a whole rate sweep and both engines of a differential run.
@@ -47,10 +50,10 @@ impl SimPlan {
     /// # Panics
     ///
     /// Panics if the topology has fewer than two nodes, if the workload's
-    /// unicast pattern or traffic spec does not fit it, or if `wl` has a
-    /// positive multicast fraction but an empty destination set on some
-    /// node. (The experiment layer surfaces the same conditions as typed
-    /// errors before any plan is built.)
+    /// unicast pattern, traffic spec or routing scheme does not fit it,
+    /// or if `wl` has a positive multicast fraction but an empty
+    /// destination set on some node. (The experiment layer surfaces the
+    /// same conditions as typed errors before any plan is built.)
     pub fn build(topo: &dyn Topology, wl: &Workload) -> Arc<Self> {
         let net = topo.network();
         let n = net.num_nodes();
@@ -58,6 +61,9 @@ impl SimPlan {
         wl.unicast_pattern
             .validate(n)
             .expect("unicast pattern must fit the topology");
+        wl.routing
+            .validate(n, net.ports_per_node())
+            .expect("routing scheme must be realizable on the topology");
         // Shape-only (rate 0.0): the plan is generation-rate independent
         // by contract — it is built once from a placeholder-rate
         // prototype and shared across every swept rate. The engines'
@@ -103,7 +109,7 @@ impl SimPlan {
             let mut pre = Vec::new();
             let mut total = 0u32;
             if !set.is_empty() {
-                for st in topo.multicast_streams(src, set) {
+                for st in wl.routing.streams(topo, src, set) {
                     debug_assert!(net.validate_path(&st.path).is_ok());
                     total += st.targets.len() as u32;
                     let absorbs = absorb_schedule(&st.path, &st.targets, |c| net.downstream(c));
@@ -201,6 +207,35 @@ mod tests {
             assert!(!plan.streams[node].is_empty());
             assert_eq!(plan.op_targets[node], 4);
         }
+    }
+
+    #[test]
+    fn plan_builds_per_scheme_stream_tables() {
+        use noc_workloads::RoutingSpec;
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 1);
+        let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
+        for spec in noc_topology::ALL_ROUTINGS {
+            let plan = SimPlan::build(&topo, &wl.clone().with_routing(spec));
+            for node in 0..16 {
+                assert_eq!(plan.op_targets[node], 4, "{spec}: all targets scheduled");
+                if spec == RoutingSpec::UnicastTree {
+                    assert_eq!(plan.streams[node].len(), 4, "one stream per destination");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "routing scheme must be realizable")]
+    fn plan_rejects_unrealizable_routing() {
+        use noc_topology::Spidergon;
+        let topo = Spidergon::new(8).unwrap();
+        let sets = DestinationSets::random(&topo, 2, 1);
+        let wl = Workload::new(16, 0.01, 0.1, sets)
+            .unwrap()
+            .with_routing(noc_workloads::RoutingSpec::Multipath);
+        let _ = SimPlan::build(&topo, &wl);
     }
 
     #[test]

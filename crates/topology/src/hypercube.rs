@@ -238,6 +238,10 @@ impl Topology for Hypercube {
         self.dim
     }
 
+    fn linear_label(&self, node: NodeId) -> usize {
+        self.gray_label(node)
+    }
+
     fn concurrent_multicast(&self) -> bool {
         true
     }

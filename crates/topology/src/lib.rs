@@ -24,6 +24,10 @@
 //!   [`ring::Ring`] — the minimal two-port multicast topology;
 //!   [`mesh::Mesh`] — mesh/torus with XY routing and dual-path
 //!   Hamiltonian multicast (the paper's stated future work).
+//! * [`routing`] — pluggable multicast routing schemes behind the
+//!   serializable [`RoutingSpec`] selector: the native path-based (BRCP)
+//!   construction, generic Lin–Ni dual-path, DPM-style partitioned
+//!   multipath and the source-replicated unicast baseline.
 //! * [`spec`] — declarative, serializable [`TopologySpec`]s and the
 //!   construct-by-name registry (`TopologySpec::parse("mesh-4x4")`), so
 //!   experiment scenarios can request any topology as data.
@@ -58,6 +62,7 @@ pub mod path;
 pub mod quarc;
 pub mod render;
 pub mod ring;
+pub mod routing;
 pub mod spec;
 pub mod spidergon;
 
@@ -69,5 +74,6 @@ pub use network::{Network, Topology, TopologyError};
 pub use path::{Hop, MulticastStream, Path};
 pub use quarc::Quarc;
 pub use ring::Ring;
+pub use routing::{MulticastRouting, RoutingError, RoutingSpec, ALL_ROUTINGS};
 pub use spec::{TopologySpec, KNOWN_TOPOLOGIES};
 pub use spidergon::Spidergon;

@@ -475,6 +475,10 @@ impl Topology for Mesh {
         }
     }
 
+    fn linear_label(&self, node: NodeId) -> usize {
+        self.hamiltonian_label(node)
+    }
+
     /// Dual-path multicast always uses two streams at most, but they leave
     /// through genuinely independent ports, so it is concurrent.
     fn concurrent_multicast(&self) -> bool {

@@ -270,6 +270,20 @@ pub trait Topology: Send + Sync {
     /// Network diameter in links (longest shortest path).
     fn diameter(&self) -> usize;
 
+    /// Position of `node` on the topology's deterministic Hamiltonian
+    /// ("linear") node order, a bijection `NodeId → 0..N` used by the
+    /// order-based multicast schemes (`RoutingSpec::DualPath` splits the
+    /// destinations at the source's label and walks the order). Nodes
+    /// with consecutive labels must be physically adjacent, and the wrap
+    /// pair `(N-1, 0)` must not be required — the order walk never wraps,
+    /// which is what keeps the top-VC channel dependency graph acyclic.
+    /// The default — the node index — is such an order for ring-like
+    /// topologies; grid/cube topologies override it with their
+    /// boustrophedon/Gray-code orders.
+    fn linear_label(&self, node: NodeId) -> usize {
+        node.idx()
+    }
+
     /// Whether multicast streams of distinct ports are genuinely
     /// concurrent (multi-port, asynchronous) — true for Quarc/ring/mesh,
     /// false for the one-port Spidergon baseline, whose "multicast" is a

@@ -1,0 +1,767 @@
+//! Pluggable multicast routing schemes.
+//!
+//! The paper's model (§2.2, Eq. 8–16) assumes *path-based* multicast: each
+//! injection port of the source carries one wormhole stream that visits
+//! its share of the destinations in hardware (absorb-and-forward). That is
+//! only one point in the design space the NoC-multicast literature
+//! explores — Berejuck's overview (arXiv:1610.00751) taxonomizes
+//! unicast-based, path-based and tree-based schemes, and Tiwari et al.'s
+//! Dynamic Partition Merging (arXiv:2108.00566) partitions destinations
+//! across paths to cut latency. This module makes the scheme a pluggable
+//! axis:
+//!
+//! * [`RoutingSpec::PathBased`] — the topology's native stream
+//!   construction ([`Topology::multicast_streams`]): BRCP rim streams on
+//!   the Quarc/ring, Hamiltonian dual-path on mesh/torus/hypercube.
+//!   Bit-identical to the pre-abstraction behaviour.
+//! * [`RoutingSpec::DualPath`] — the generic Lin–Ni split: destinations
+//!   are divided into the half *above* and the half *below* the source on
+//!   the topology's linear order ([`Topology::linear_label`]) and each
+//!   half is served by one stream walking the order label-by-label,
+//!   absorbing at targets.
+//! * [`RoutingSpec::Multipath`] — DPM-style partitioned multipath
+//!   (arXiv:2108.00566): the two dual-path halves are greedily split into
+//!   up to `m` (ports per node) contiguous segments, each served by its
+//!   own walk — shorter absorb lists per stream at the cost of shared
+//!   prefix links.
+//! * [`RoutingSpec::UnicastTree`] — the no-hardware-support baseline: the
+//!   source replicates the message into one plain unicast per
+//!   destination; streams sharing an injection port serialize there.
+//!
+//! Every scheme produces ordinary [`MulticastStream`]s, so the simulator
+//! engines and the analytical model consume them unchanged.
+//!
+//! ## Deadlock discipline
+//!
+//! Wormhole multicast paths hold channels across many hops, so route
+//! construction carries the deadlock-freedom argument. The order-based
+//! schemes (`DualPath`/`Multipath`) move **strictly monotonically** along
+//! the linear order using only links between order-adjacent nodes, on
+//! each link's *top* virtual channel. Monotonicity makes the channel
+//! dependency graph of the up (and, mirrored, the down) subnetwork
+//! acyclic — the Lin–Ni argument the native mesh/hypercube dual-path
+//! construction also uses. On grid/cube topologies the top VC *is* the
+//! reserved multicast class; on rim topologies (Quarc/ring) it is the
+//! dateline class, which stays acyclic because the walk never crosses the
+//! wrap link. (An earlier construction chained shortest unicast legs
+//! instead; its mid-path turns deadlocked under load — see
+//! `tests/routing_schemes.rs` for the regression.) `UnicastTree` streams
+//! are plain unicast routes and inherit the base routing's discipline.
+//!
+//! The analytical model's asynchronous-port assumption holds for the
+//! path-based and dual-path schemes, whose streams use disjoint channels;
+//! [`RoutingSpec::model_applicable`] flags `Multipath` (one operation's
+//! segments co-arrive on shared prefix links) and `UnicastTree` (streams
+//! serialize at shared injection ports) as outside the model's domain —
+//! contention between a single operation's streams is exactly what the
+//! independent-exponentials combination of Eq. 12–13 does not see.
+
+use crate::ids::NodeId;
+use crate::network::Topology;
+use crate::path::{Hop, MulticastStream, Path};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when a routing scheme cannot be realized on a topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The scheme needs at least two injection ports per node to produce
+    /// concurrent streams (e.g. `Multipath`/`DualPath` on the one-port
+    /// Spidergon degenerate to a serialized path — reject instead of
+    /// silently modelling concurrency that cannot exist).
+    SingleInjectionPort {
+        /// The scheme's registry code.
+        scheme: &'static str,
+        /// Injection ports per node of the offending topology.
+        ports: usize,
+    },
+    /// The scheme needs more nodes than the topology has (a multicast
+    /// needs at least one possible destination besides the source).
+    TooFewNodes {
+        /// The scheme's registry code.
+        scheme: &'static str,
+        /// Node count of the offending topology.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::SingleInjectionPort { scheme, ports } => write!(
+                f,
+                "routing scheme `{scheme}` requires >= 2 injection ports per node \
+                 for concurrent streams, topology has {ports}"
+            ),
+            RoutingError::TooFewNodes { scheme, nodes } => write!(
+                f,
+                "routing scheme `{scheme}` requires >= 2 nodes, topology has {nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// A multicast routing scheme: turns `(topology, source, destination set)`
+/// into per-port wormhole streams.
+///
+/// Implementations must uphold the *partition invariants* the simulator
+/// and the model rely on: the streams' target lists cover every requested
+/// destination (minus the source, minus duplicates) **exactly once**, and
+/// every stream path is valid on the topology's channel graph.
+pub trait MulticastRouting: Send + Sync {
+    /// Short registry code (`"path"`, `"dual-path"`, ...).
+    fn code(&self) -> &'static str;
+
+    /// Check the scheme is realizable on a topology of `num_nodes` nodes
+    /// with `num_ports` injection ports per node.
+    fn validate(&self, num_nodes: usize, num_ports: usize) -> Result<(), RoutingError>;
+
+    /// Decompose a multicast from `src` to `targets` into streams.
+    /// `src` entries and duplicates in `targets` are ignored.
+    fn streams(&self, topo: &dyn Topology, src: NodeId, targets: &[NodeId])
+        -> Vec<MulticastStream>;
+
+    /// Does the paper's asynchronous-port waiting model (Eq. 8–16) apply
+    /// to this scheme's streams?
+    fn model_applicable(&self) -> bool {
+        true
+    }
+}
+
+/// Drop `src` and duplicates from a target list, preserving first-seen
+/// order (the shared sanitation step of all generic schemes, mirroring
+/// what the native topology constructions do).
+fn sanitize(src: NodeId, targets: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(targets.len());
+    for &t in targets {
+        if t != src && !out.contains(&t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Shared per-call context of the order-based schemes: for each
+/// order-adjacent node pair, the connecting link. Built once per
+/// `streams()` call.
+struct OrderWalk {
+    /// `step_up[h]` — the link from label `h` to label `h + 1`
+    /// (`step_up[n-1]` is unused and left as `None`).
+    step_up: Vec<Option<Hop>>,
+    /// `step_down[h]` — the link from label `h` to label `h - 1`.
+    step_down: Vec<Option<Hop>>,
+}
+
+impl OrderWalk {
+    fn build(topo: &dyn Topology) -> Self {
+        let net = topo.network();
+        let n = net.num_nodes();
+        let mut step_up: Vec<Option<Hop>> = vec![None; n];
+        let mut step_down: Vec<Option<Hop>> = vec![None; n];
+        for ch in net.links() {
+            let hf = topo.linear_label(ch.from);
+            let ht = topo.linear_label(ch.to);
+            // Order-based streams ride each link's top virtual channel:
+            // the reserved multicast class on grid/cube topologies, the
+            // (never-wrapped-into) dateline class on rim topologies.
+            let hop = Hop::new(ch.id, ch.vcs - 1);
+            if ht == hf + 1 {
+                step_up[hf] = Some(hop);
+            } else if hf == ht + 1 {
+                step_down[hf] = Some(hop);
+            }
+        }
+        OrderWalk { step_up, step_down }
+    }
+
+    /// Build one stream from `src` that walks the linear order up (or
+    /// down) to the last of `visits`, absorbing at each visit.
+    /// `visits` must be sorted by label, ascending when `up`, strictly on
+    /// the `up` side of `src`'s label.
+    fn stream(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        visits: &[NodeId],
+        up: bool,
+    ) -> MulticastStream {
+        debug_assert!(!visits.is_empty());
+        let net = topo.network();
+        let last = topo.linear_label(*visits.last().unwrap());
+        let mut h = topo.linear_label(src);
+        let mut links: Vec<Hop> = Vec::new();
+        while h != last {
+            let step = if up {
+                self.step_up[h]
+            } else {
+                self.step_down[h]
+            };
+            links.push(step.unwrap_or_else(|| {
+                panic!(
+                    "order-based routing requires a link between \
+                     order-adjacent nodes (none at label {h})"
+                )
+            }));
+            h = if up { h + 1 } else { h - 1 };
+        }
+        let first_link = net.channel(links[0].channel);
+        let last_link = net.channel(links[links.len() - 1].channel);
+        let port = first_link.port;
+        let dst = last_link.to;
+        let mut hops = Vec::with_capacity(links.len() + 2);
+        hops.push(Hop::new(net.injection_channel(src, port), 0));
+        hops.extend_from_slice(&links);
+        hops.push(Hop::new(net.ejection_channel(dst, last_link.port), 0));
+        MulticastStream {
+            port,
+            path: Path {
+                src,
+                dst,
+                port,
+                hops,
+            },
+            targets: visits.to_vec(),
+        }
+    }
+}
+
+/// Split the sanitized targets into the label-sorted halves above
+/// (ascending) and below (descending) `src`.
+fn order_halves(
+    topo: &dyn Topology,
+    src: NodeId,
+    targets: &[NodeId],
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let h0 = topo.linear_label(src);
+    let mut high: Vec<(usize, NodeId)> = Vec::new();
+    let mut low: Vec<(usize, NodeId)> = Vec::new();
+    for t in sanitize(src, targets) {
+        let h = topo.linear_label(t);
+        if h > h0 {
+            high.push((h, t));
+        } else {
+            low.push((h, t));
+        }
+    }
+    high.sort_unstable();
+    low.sort_unstable();
+    low.reverse();
+    (
+        high.into_iter().map(|(_, t)| t).collect(),
+        low.into_iter().map(|(_, t)| t).collect(),
+    )
+}
+
+/// The topology's native path-based construction
+/// ([`Topology::multicast_streams`]) — the paper's BRCP scheme on the
+/// Quarc and ring, Hamiltonian dual-path on mesh/torus/hypercube.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PathBased;
+
+impl MulticastRouting for PathBased {
+    fn code(&self) -> &'static str {
+        "path"
+    }
+
+    fn validate(&self, num_nodes: usize, _num_ports: usize) -> Result<(), RoutingError> {
+        if num_nodes < 2 {
+            return Err(RoutingError::TooFewNodes {
+                scheme: self.code(),
+                nodes: num_nodes,
+            });
+        }
+        Ok(())
+    }
+
+    fn streams(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        targets: &[NodeId],
+    ) -> Vec<MulticastStream> {
+        topo.multicast_streams(src, targets)
+    }
+}
+
+/// Generic Lin–Ni dual-path: split the destinations into the halves above
+/// and below the source on [`Topology::linear_label`] and serve each half
+/// with one stream walking the order label-by-label (absorbing at
+/// targets) on the links' top virtual channel.
+///
+/// On mesh/torus/hypercube this reproduces the native Hamiltonian
+/// dual-path construction exactly; on the Quarc it is the two-rim-stream
+/// alternative to the native four-port BRCP decomposition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DualPath;
+
+impl MulticastRouting for DualPath {
+    fn code(&self) -> &'static str {
+        "dual-path"
+    }
+
+    fn validate(&self, num_nodes: usize, num_ports: usize) -> Result<(), RoutingError> {
+        if num_nodes < 2 {
+            return Err(RoutingError::TooFewNodes {
+                scheme: self.code(),
+                nodes: num_nodes,
+            });
+        }
+        if num_ports < 2 {
+            return Err(RoutingError::SingleInjectionPort {
+                scheme: self.code(),
+                ports: num_ports,
+            });
+        }
+        Ok(())
+    }
+
+    fn streams(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        targets: &[NodeId],
+    ) -> Vec<MulticastStream> {
+        let (high, low) = order_halves(topo, src, targets);
+        let walk = OrderWalk::build(topo);
+        let mut streams = Vec::new();
+        for (half, up) in [(high, true), (low, false)] {
+            if !half.is_empty() {
+                streams.push(walk.stream(topo, src, &half, up));
+            }
+        }
+        streams
+    }
+}
+
+/// DPM-style partitioned multipath (arXiv:2108.00566): the dual-path
+/// halves are greedily split into up to `m` (injection ports per node)
+/// contiguous label segments — always splitting the segment with the most
+/// targets — and each segment gets its own order walk. More streams mean
+/// shorter absorb lists (lower per-stream service time) at the cost of
+/// shared prefix links near the source.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Multipath;
+
+impl MulticastRouting for Multipath {
+    fn code(&self) -> &'static str {
+        "multipath"
+    }
+
+    fn validate(&self, num_nodes: usize, num_ports: usize) -> Result<(), RoutingError> {
+        if num_nodes < 2 {
+            return Err(RoutingError::TooFewNodes {
+                scheme: self.code(),
+                nodes: num_nodes,
+            });
+        }
+        if num_ports < 2 {
+            return Err(RoutingError::SingleInjectionPort {
+                scheme: self.code(),
+                ports: num_ports,
+            });
+        }
+        Ok(())
+    }
+
+    fn streams(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        targets: &[NodeId],
+    ) -> Vec<MulticastStream> {
+        let (high, low) = order_halves(topo, src, targets);
+        let budget = topo.num_ports();
+        // Greedy partitioning: start from the dual-path halves and keep
+        // splitting the largest segment in half until the port budget is
+        // spent or every segment is a single target.
+        let mut segments: Vec<(Vec<NodeId>, bool)> = [(high, true), (low, false)]
+            .into_iter()
+            .filter(|(half, _)| !half.is_empty())
+            .collect();
+        while segments.len() < budget {
+            let (i, _) = match segments
+                .iter()
+                .enumerate()
+                .filter(|(_, (seg, _))| seg.len() > 1)
+                .max_by_key(|(_, (seg, _))| seg.len())
+            {
+                Some((i, seg)) => (i, seg),
+                None => break, // all segments are singletons
+            };
+            let (seg, up) = segments.remove(i);
+            let (near, far) = seg.split_at(seg.len() / 2);
+            segments.insert(i, (near.to_vec(), up));
+            segments.insert(i + 1, (far.to_vec(), up));
+        }
+        let walk = OrderWalk::build(topo);
+        segments
+            .into_iter()
+            .map(|(seg, up)| walk.stream(topo, src, &seg, up))
+            .collect()
+    }
+
+    /// Segments of the same half share their prefix links, so one
+    /// operation's streams co-arrive on common channels — a synchronized
+    /// contention the model's independent-exponentials combination
+    /// (Eq. 12–13) does not see (empirically a ~50% underprediction even
+    /// at 30% load). Out of the model's domain, like [`UnicastTree`].
+    fn model_applicable(&self) -> bool {
+        false
+    }
+}
+
+/// Source-replicated unicast: one plain unicast stream per destination,
+/// the baseline for routers with no multicast hardware support. Streams
+/// that share an injection port serialize there — the asynchronous-port
+/// model does not apply ([`MulticastRouting::model_applicable`] is
+/// `false`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnicastTree;
+
+impl MulticastRouting for UnicastTree {
+    fn code(&self) -> &'static str {
+        "unicast"
+    }
+
+    fn validate(&self, num_nodes: usize, _num_ports: usize) -> Result<(), RoutingError> {
+        if num_nodes < 2 {
+            return Err(RoutingError::TooFewNodes {
+                scheme: self.code(),
+                nodes: num_nodes,
+            });
+        }
+        Ok(())
+    }
+
+    fn streams(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        targets: &[NodeId],
+    ) -> Vec<MulticastStream> {
+        sanitize(src, targets)
+            .into_iter()
+            .map(|t| {
+                let path = topo.unicast_path(src, t);
+                MulticastStream {
+                    port: path.port,
+                    targets: vec![t],
+                    path,
+                }
+            })
+            .collect()
+    }
+
+    fn model_applicable(&self) -> bool {
+        false
+    }
+}
+
+/// The serializable multicast-routing selector of a workload.
+///
+/// Missing keys in persisted scenarios deserialize to the paper's
+/// [`RoutingSpec::PathBased`] (the only scheme that existed before the
+/// abstraction), so old spec files stay readable.
+///
+/// # Example
+///
+/// ```
+/// use noc_topology::{NodeId, Quarc, RoutingSpec, Topology};
+///
+/// let quarc = Quarc::new(16).unwrap();
+/// let targets = [NodeId(3), NodeId(8), NodeId(12)];
+/// // The native path-based scheme decomposes over the injection ports...
+/// let path = RoutingSpec::PathBased.streams(&quarc, NodeId(0), &targets);
+/// assert!(path.len() <= quarc.num_ports());
+/// // ...while the unicast baseline replicates one stream per destination
+/// // (and the model's asynchronous-port assumption no longer applies).
+/// let uni = RoutingSpec::UnicastTree.streams(&quarc, NodeId(0), &targets);
+/// assert_eq!(uni.len(), targets.len());
+/// assert!(!RoutingSpec::UnicastTree.model_applicable());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingSpec {
+    /// The topology's native path-based (BRCP) construction — the paper's
+    /// scheme and the default.
+    #[default]
+    PathBased,
+    /// Generic Lin–Ni dual-path over the topology's linear order.
+    DualPath,
+    /// DPM-style one-partition-per-port multipath.
+    Multipath,
+    /// Source-replicated unicast (no multicast hardware support).
+    UnicastTree,
+}
+
+/// Every scheme in registry order (sweep binaries iterate this).
+pub const ALL_ROUTINGS: [RoutingSpec; 4] = [
+    RoutingSpec::PathBased,
+    RoutingSpec::DualPath,
+    RoutingSpec::Multipath,
+    RoutingSpec::UnicastTree,
+];
+
+impl RoutingSpec {
+    /// The scheme implementation this spec selects.
+    pub fn scheme(&self) -> &'static dyn MulticastRouting {
+        match self {
+            RoutingSpec::PathBased => &PathBased,
+            RoutingSpec::DualPath => &DualPath,
+            RoutingSpec::Multipath => &Multipath,
+            RoutingSpec::UnicastTree => &UnicastTree,
+        }
+    }
+
+    /// Short code used in derived labels (`"path"`, `"dual-path"`,
+    /// `"multipath"`, `"unicast"`).
+    pub fn code(&self) -> &'static str {
+        self.scheme().code()
+    }
+
+    /// Check the scheme is realizable on a topology of `num_nodes` nodes
+    /// with `num_ports` injection ports per node.
+    pub fn validate(&self, num_nodes: usize, num_ports: usize) -> Result<(), RoutingError> {
+        self.scheme().validate(num_nodes, num_ports)
+    }
+
+    /// Decompose a multicast from `src` to `targets` into streams under
+    /// this scheme (see [`MulticastRouting::streams`]).
+    pub fn streams(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        targets: &[NodeId],
+    ) -> Vec<MulticastStream> {
+        self.scheme().streams(topo, src, targets)
+    }
+
+    /// Does the paper's asynchronous-port waiting model apply? `false`
+    /// for [`RoutingSpec::Multipath`] (segments of one operation share
+    /// their prefix links) and [`RoutingSpec::UnicastTree`] (streams
+    /// serialize at shared injection ports).
+    pub fn model_applicable(&self) -> bool {
+        self.scheme().model_applicable()
+    }
+}
+
+impl fmt::Display for RoutingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{Mesh, MeshKind};
+    use crate::quarc::Quarc;
+    use crate::ring::Ring;
+    use std::collections::BTreeSet;
+
+    fn check_partition(topo: &dyn Topology, spec: RoutingSpec, src: NodeId, targets: &[NodeId]) {
+        let streams = spec.streams(topo, src, targets);
+        let mut covered = BTreeSet::new();
+        for st in &streams {
+            topo.network().validate_path(&st.path).unwrap();
+            assert_eq!(st.path.dst, *st.targets.last().unwrap());
+            assert_eq!(st.port, st.path.port);
+            for &t in &st.targets {
+                assert_ne!(t, src, "{spec}: no self-delivery");
+                assert!(covered.insert(t), "{spec}: target {t:?} covered twice");
+            }
+        }
+        let expected: BTreeSet<_> = targets.iter().copied().filter(|&t| t != src).collect();
+        assert_eq!(covered, expected, "{spec}: all targets covered");
+    }
+
+    #[test]
+    fn path_based_is_the_native_construction() {
+        let q = Quarc::new(16).unwrap();
+        let targets = [NodeId(3), NodeId(8), NodeId(12), NodeId(5)];
+        assert_eq!(
+            RoutingSpec::PathBased.streams(&q, NodeId(0), &targets),
+            q.multicast_streams(NodeId(0), &targets)
+        );
+    }
+
+    #[test]
+    fn every_scheme_partitions_on_multi_port_topologies() {
+        let quarc = Quarc::new(16).unwrap();
+        let mesh = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+        let ring = Ring::new(9).unwrap();
+        let topos: [&dyn Topology; 3] = [&quarc, &mesh, &ring];
+        for topo in topos {
+            let n = topo.num_nodes() as u32;
+            let targets: Vec<NodeId> = (1..n).step_by(2).map(NodeId).collect();
+            for spec in ALL_ROUTINGS {
+                check_partition(topo, spec, NodeId(0), &targets);
+            }
+        }
+    }
+
+    #[test]
+    fn src_and_duplicates_are_ignored_by_generic_schemes() {
+        let q = Quarc::new(16).unwrap();
+        let src = NodeId(2);
+        let messy = [src, NodeId(5), NodeId(5), NodeId(9), src];
+        for spec in [
+            RoutingSpec::DualPath,
+            RoutingSpec::Multipath,
+            RoutingSpec::UnicastTree,
+        ] {
+            check_partition(&q, spec, src, &messy);
+        }
+    }
+
+    #[test]
+    fn dual_path_yields_at_most_two_streams_in_label_order() {
+        let mesh = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+        let src = NodeId(5);
+        let targets: Vec<NodeId> = (0..16).map(NodeId).filter(|&t| t != src).collect();
+        let streams = RoutingSpec::DualPath.streams(&mesh, src, &targets);
+        assert_eq!(streams.len(), 2);
+        let h0 = mesh.linear_label(src);
+        let labels = |st: &MulticastStream| -> Vec<usize> {
+            st.targets.iter().map(|&t| mesh.linear_label(t)).collect()
+        };
+        let high = labels(&streams[0]);
+        assert!(high.windows(2).all(|w| w[0] < w[1]), "ascending: {high:?}");
+        assert!(high.iter().all(|&h| h > h0));
+        let low = labels(&streams[1]);
+        assert!(low.windows(2).all(|w| w[0] > w[1]), "descending: {low:?}");
+        assert!(low.iter().all(|&h| h < h0));
+    }
+
+    #[test]
+    fn multipath_splits_into_at_most_ports_contiguous_segments() {
+        let q = Quarc::new(16).unwrap();
+        let src = NodeId(0);
+        let targets: Vec<NodeId> = (1..16).map(NodeId).collect();
+        let streams = RoutingSpec::Multipath.streams(&q, src, &targets);
+        assert_eq!(streams.len(), q.num_ports(), "port budget fully used");
+        for st in &streams {
+            q.network().validate_path(&st.path).unwrap();
+            // Each stream's targets are monotone in the linear order
+            // (contiguous label segments of one dual-path half).
+            let labels: Vec<usize> = st.targets.iter().map(|&t| q.linear_label(t)).collect();
+            assert!(
+                labels.windows(2).all(|w| w[0] < w[1]) || labels.windows(2).all(|w| w[0] > w[1]),
+                "segment labels must be monotone: {labels:?}"
+            );
+        }
+        // Few targets: one singleton stream each, never more than targets.
+        let streams = RoutingSpec::Multipath.streams(&q, src, &[NodeId(2), NodeId(9)]);
+        assert_eq!(streams.len(), 2);
+        assert!(streams.iter().all(|st| st.targets.len() == 1));
+    }
+
+    #[test]
+    fn dual_path_reproduces_the_native_construction_on_ordered_topologies() {
+        // On mesh/hypercube the native multicast *is* the Hamiltonian
+        // dual-path; the generic order walk must reproduce it exactly.
+        let mesh = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+        let cube = crate::hypercube::Hypercube::new(4).unwrap();
+        let topos: [&dyn Topology; 2] = [&mesh, &cube];
+        for topo in topos {
+            for src in [NodeId(0), NodeId(5), NodeId(10)] {
+                let targets: Vec<NodeId> = (0..16)
+                    .map(NodeId)
+                    .filter(|&t| t != src)
+                    .step_by(3)
+                    .collect();
+                assert_eq!(
+                    RoutingSpec::DualPath.streams(topo, src, &targets),
+                    topo.multicast_streams(src, &targets),
+                    "{} src {src:?}",
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_walks_ride_the_top_virtual_channel_monotonically() {
+        let q = Quarc::new(16).unwrap();
+        let src = NodeId(4);
+        let targets = [NodeId(7), NodeId(11), NodeId(2)];
+        for spec in [RoutingSpec::DualPath, RoutingSpec::Multipath] {
+            for st in spec.streams(&q, src, &targets) {
+                let mut prev = q.linear_label(src);
+                let up = q.linear_label(st.targets[0]) > prev;
+                for hop in &st.path.hops[1..st.path.hops.len() - 1] {
+                    let ch = q.network().channel(hop.channel);
+                    assert_eq!(hop.vc.0, ch.vcs - 1, "{spec}: top VC");
+                    assert!(!ch.dateline, "{spec}: the walk never wraps");
+                    let next = q.linear_label(ch.to);
+                    assert_eq!(
+                        next,
+                        if up { prev + 1 } else { prev - 1 },
+                        "{spec}: label-adjacent monotone walk"
+                    );
+                    prev = next;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_tree_is_one_plain_unicast_per_destination() {
+        let q = Quarc::new(16).unwrap();
+        let targets = [NodeId(3), NodeId(8), NodeId(12)];
+        let streams = RoutingSpec::UnicastTree.streams(&q, NodeId(0), &targets);
+        assert_eq!(streams.len(), 3);
+        for (st, &t) in streams.iter().zip(&targets) {
+            assert_eq!(st.targets, vec![t]);
+            assert_eq!(st.path, q.unicast_path(NodeId(0), t));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_unrealizable_schemes() {
+        // One-port topologies cannot run concurrent-stream schemes.
+        for spec in [RoutingSpec::DualPath, RoutingSpec::Multipath] {
+            assert_eq!(
+                spec.validate(16, 1),
+                Err(RoutingError::SingleInjectionPort {
+                    scheme: spec.code(),
+                    ports: 1
+                })
+            );
+        }
+        // The always-realizable schemes accept one port.
+        assert_eq!(RoutingSpec::PathBased.validate(16, 1), Ok(()));
+        assert_eq!(RoutingSpec::UnicastTree.validate(16, 1), Ok(()));
+        // Nothing routes on a single node.
+        for spec in ALL_ROUTINGS {
+            assert!(matches!(
+                spec.validate(1, 4),
+                Err(RoutingError::TooFewNodes { .. })
+            ));
+        }
+        // Errors display their scheme code.
+        let err = RoutingSpec::Multipath.validate(16, 1).unwrap_err();
+        assert!(err.to_string().contains("multipath"), "{err}");
+    }
+
+    #[test]
+    fn default_is_path_based_and_codes_are_stable() {
+        assert_eq!(RoutingSpec::default(), RoutingSpec::PathBased);
+        assert!(RoutingSpec::PathBased.model_applicable());
+        assert!(RoutingSpec::DualPath.model_applicable());
+        assert!(!RoutingSpec::Multipath.model_applicable());
+        assert!(!RoutingSpec::UnicastTree.model_applicable());
+        let codes: Vec<_> = ALL_ROUTINGS.iter().map(|s| s.code()).collect();
+        assert_eq!(codes, ["path", "dual-path", "multipath", "unicast"]);
+    }
+
+    #[test]
+    fn specs_serialize_round_trip() {
+        for spec in ALL_ROUTINGS {
+            let json = serde::json::to_string_pretty(&spec);
+            let back: RoutingSpec = serde::json::from_str(&json).expect("round trip parses");
+            assert_eq!(spec, back);
+        }
+    }
+}

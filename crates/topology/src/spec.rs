@@ -109,6 +109,19 @@ impl TopologySpec {
         }
     }
 
+    /// Injection ports per node of the described topology (`m` in the
+    /// paper), without building it. Used by spec-level validation of
+    /// routing schemes that need concurrent ports.
+    pub fn num_ports(&self) -> usize {
+        match *self {
+            TopologySpec::Quarc { .. } => 4,
+            TopologySpec::Ring { .. } => 2,
+            TopologySpec::Spidergon { .. } => 1,
+            TopologySpec::Mesh { .. } | TopologySpec::Torus { .. } => 4,
+            TopologySpec::Hypercube { dim } => dim,
+        }
+    }
+
     /// Construct a spec from a registry name and a *size* argument: the
     /// node count for ring topologies, `width == height` for mesh/torus
     /// (the size must be a perfect square), the dimension for hypercubes.
@@ -222,6 +235,11 @@ mod tests {
             let topo = spec.build().expect("valid spec");
             assert_eq!(topo.num_nodes(), nodes);
             assert_eq!(topo.name(), spec.kind_name());
+            assert_eq!(
+                spec.num_ports(),
+                topo.num_ports(),
+                "spec-level port count must match the built topology"
+            );
         }
     }
 

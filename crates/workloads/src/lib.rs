@@ -38,3 +38,8 @@ pub use pattern::{PatternError, UnicastPattern};
 pub use sweep::{RateSweep, SweepError};
 pub use traffic::{TraceEntry, TraceKind, TrafficError, TrafficSpec};
 pub use workload::{Workload, WorkloadError};
+
+// The routing selector lives next to the stream constructions in
+// `noc_topology::routing`; re-exported here because it is set on
+// [`Workload`] exactly like the traffic/pattern specs above.
+pub use noc_topology::{RoutingError, RoutingSpec};

@@ -3,7 +3,7 @@
 use crate::destinations::DestinationSets;
 use crate::pattern::UnicastPattern;
 use crate::traffic::{TrafficError, TrafficSpec};
-use noc_topology::NodeId;
+use noc_topology::{NodeId, RoutingSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -73,6 +73,10 @@ pub struct Workload {
     /// geometric gaps in the paper; on/off bursts and trace replay
     /// provided as extensions).
     pub traffic: TrafficSpec,
+    /// Multicast routing scheme (the paper's path-based BRCP by default;
+    /// dual-path, partitioned multipath and the unicast baseline provided
+    /// as extensions).
+    pub routing: RoutingSpec,
 }
 
 impl Workload {
@@ -99,6 +103,7 @@ impl Workload {
             sets,
             unicast_pattern: UnicastPattern::Uniform,
             traffic: TrafficSpec::Geometric,
+            routing: RoutingSpec::PathBased,
         })
     }
 
@@ -118,6 +123,16 @@ impl Workload {
     /// simulator and the experiment layer at construction time.
     pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
         self.traffic = traffic;
+        self
+    }
+
+    /// Replace the multicast routing scheme (builder style).
+    ///
+    /// The scheme must be realizable on the topology (e.g. dual-path and
+    /// multipath need multi-port routers) — checked by the simulator's
+    /// plan construction and, as a typed error, by the experiment layer.
+    pub fn with_routing(mut self, routing: RoutingSpec) -> Self {
+        self.routing = routing;
         self
     }
 
@@ -145,7 +160,8 @@ impl Workload {
             self.sets.clone(),
         )?
         .with_unicast_pattern(self.unicast_pattern)
-        .with_traffic(self.traffic.clone()))
+        .with_traffic(self.traffic.clone())
+        .with_routing(self.routing))
     }
 
     /// The multicast destination set of `node`.
@@ -195,12 +211,21 @@ mod tests {
 
     #[test]
     fn at_rate_changes_only_rate() {
-        let w = Workload::new(32, 0.02, 0.1, sets()).unwrap();
+        let w = Workload::new(32, 0.02, 0.1, sets())
+            .unwrap()
+            .with_routing(RoutingSpec::Multipath);
         let w2 = w.at_rate(0.001).unwrap();
         assert_eq!(w2.msg_len, 32);
         assert_eq!(w2.multicast_fraction, 0.1);
         assert_eq!(w2.gen_rate, 0.001);
         assert_eq!(w2.sets, w.sets);
+        assert_eq!(w2.routing, RoutingSpec::Multipath, "routing is preserved");
+    }
+
+    #[test]
+    fn routing_defaults_to_path_based() {
+        let w = Workload::new(32, 0.02, 0.1, sets()).unwrap();
+        assert_eq!(w.routing, RoutingSpec::PathBased);
     }
 
     #[test]

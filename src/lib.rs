@@ -1,59 +1,8 @@
-//! # quarc-noc — facade crate
-//!
-//! One-stop re-export of the IPDPS 2009 reproduction workspace:
-//!
-//! * [`topology`] — Quarc, Spidergon, ring, mesh/torus channel graphs,
-//!   deterministic routing and the [`TopologySpec`](prelude::TopologySpec)
-//!   construct-by-name registry ([`noc_topology`]).
-//! * [`queueing`] — M/G/1 waiting times, exponential order statistics,
-//!   fixed-point solvers, simulation statistics ([`noc_queueing`]).
-//! * [`sim`] — the flit-level wormhole simulator: an event-driven engine
-//!   (default) plus the cycle-stepped reference oracle, bit-identical
-//!   under a shared seed ([`noc_sim`]).
-//! * [`model`] — the paper's analytical unicast + multicast latency model
-//!   ([`quarc_core`]).
-//! * [`workloads`] — destination sets, traffic patterns and rate sweeps
-//!   ([`noc_workloads`]).
-//! * [`bench`](mod@bench) — the declarative experiment layer: serializable
-//!   [`Scenario`](prelude::Scenario) specs, the [`Runner`](prelude::Runner)
-//!   that executes them, and the workspace [`Error`](prelude::Error) type
-//!   ([`noc_bench`]).
-//!
-//! ## Quickstart
-//!
-//! An experiment is *data*: describe it as a [`Scenario`](prelude::Scenario)
-//! (any registry topology, any traffic pattern, absolute or
-//! saturation-relative sweeps), then hand it to a
-//! [`Runner`](prelude::Runner). Errors compose with `?` end-to-end.
-//!
-//! ```
-//! use quarc_noc::prelude::*;
-//!
-//! fn main() -> Result<(), Error> {
-//!     // A 16-node Quarc, 32-flit messages, 5% multicast traffic to a
-//!     // fixed random group of 4 destinations per node.
-//!     let scenario = Scenario::new(
-//!         "quickstart",
-//!         TopologySpec::Quarc { n: 16 },
-//!         WorkloadSpec::new(32, 0.05, MulticastPattern::Random { group: 4 }),
-//!         SweepSpec::Explicit { rates: vec![0.002] },
-//!     )
-//!     .with_sim(SimConfig::quick(1))
-//!     .with_seed(7);
-//!
-//!     // The spec is serializable: it can be stored next to its results
-//!     // and re-run bit-identically.
-//!     let reloaded = Scenario::from_json(&scenario.to_json())?;
-//!
-//!     // One runner executes any scenario: analytical model overlay plus
-//!     // flit-level simulation at every sweep point.
-//!     let result = Runner::new().run(&reloaded)?;
-//!     let point = &result.points[0];
-//!     let rel = (point.model_multicast - point.sim_multicast).abs() / point.sim_multicast;
-//!     assert!(rel < 0.25, "model within 25% of simulation at low load");
-//!     Ok(())
-//! }
-//! ```
+// The README *is* the crate documentation, so its quickstart compiles
+// and runs as a doctest — the front-page example can never rot.
+#![doc = include_str!("../README.md")]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use noc_bench as bench;
 pub use noc_queueing as queueing;
@@ -75,7 +24,8 @@ pub mod prelude {
         SimEngine, SimPlan, SimResults, Simulator,
     };
     pub use noc_topology::{
-        Hypercube, Mesh, MeshKind, NodeId, PortId, Quarc, Ring, Spidergon, Topology, TopologySpec,
+        Hypercube, Mesh, MeshKind, MulticastRouting, NodeId, PortId, Quarc, Ring, RoutingError,
+        RoutingSpec, Spidergon, Topology, TopologySpec, ALL_ROUTINGS,
     };
     pub use noc_workloads::{
         DestinationSets, PatternError, RateSweep, SweepError, TraceEntry, TraceKind, TrafficError,

@@ -173,6 +173,31 @@ fn hypercube_low_and_mid_load_identical() {
 }
 
 #[test]
+fn every_routing_scheme_is_engine_bit_identical() {
+    // The engines replay the SimPlan's stream tables, so equivalence must
+    // hold per routing scheme, not just for the default path-based one.
+    use quarc_noc::topology::ALL_ROUTINGS;
+    let quarc = Quarc::new(16).unwrap();
+    let mesh = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+    let cube = Hypercube::new(4).unwrap();
+    let topos: [&dyn Topology; 3] = [&quarc, &mesh, &cube];
+    for topo in topos {
+        let sets = DestinationSets::random(topo, 4, 37);
+        for routing in ALL_ROUTINGS {
+            for rate in [0.002, 0.010] {
+                let wl = Workload::new(16, rate, 0.08, sets.clone())
+                    .unwrap()
+                    .with_routing(routing);
+                let (cycle, event) = both(topo, &wl, SimConfig::quick(37));
+                let ctx = format!("{} {routing} rate {rate}", topo.name());
+                assert!(cycle.multicast_injected > 0, "{ctx}: multicast ran");
+                assert_runs_identical(&cycle, &event, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
 fn saturating_runs_break_identically() {
     // Early termination paths (backlog overflow / drain deadline) must
     // happen on the same cycle with the same flags.

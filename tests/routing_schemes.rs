@@ -1,0 +1,258 @@
+//! Multicast routing-scheme suite: partition invariants for every scheme
+//! (proptest), `PathBased` equivalence with the pre-abstraction native
+//! construction, per-scheme end-to-end runs with model-applicability
+//! stamping, typed rejection of unrealizable schemes, and spec
+//! serialization compatibility.
+//!
+//! Engine bit-equivalence per scheme lives in `tests/engine_equivalence.rs`
+//! (`every_routing_scheme_is_engine_bit_identical`); byte-identical
+//! `PathBased` goldens live in `tests/migration_golden.rs`.
+
+use proptest::prelude::*;
+use quarc_noc::bench::Error;
+use quarc_noc::prelude::*;
+use quarc_noc::topology::{RoutingError, RoutingSpec, ALL_ROUTINGS};
+use std::collections::BTreeSet;
+
+fn small_scenario(routing: RoutingSpec) -> Scenario {
+    Scenario::new(
+        format!("routing-{routing}"),
+        TopologySpec::Mesh {
+            width: 4,
+            height: 4,
+        },
+        WorkloadSpec::new(16, 0.08, MulticastPattern::Random { group: 4 }).with_routing(routing),
+        SweepSpec::Explicit { rates: vec![0.004] },
+    )
+    .with_sim(SimConfig::quick(5))
+    .with_seed(5)
+}
+
+#[test]
+fn path_based_matches_the_native_construction_on_every_topology() {
+    // The pre-abstraction behaviour: whatever `Topology::multicast_streams`
+    // produced is exactly what `RoutingSpec::PathBased` must produce.
+    for spec in [
+        TopologySpec::Quarc { n: 16 },
+        TopologySpec::Ring { n: 9 },
+        TopologySpec::Spidergon { n: 12 },
+        TopologySpec::Mesh {
+            width: 4,
+            height: 3,
+        },
+        TopologySpec::Torus {
+            width: 4,
+            height: 4,
+        },
+        TopologySpec::Hypercube { dim: 3 },
+    ] {
+        let topo = spec.build().unwrap();
+        let n = topo.num_nodes() as u32;
+        for src in [0, n / 2, n - 1] {
+            let src = NodeId(src);
+            let targets: Vec<NodeId> = (0..n).map(NodeId).filter(|&t| t != src).collect();
+            assert_eq!(
+                RoutingSpec::PathBased.streams(topo.as_ref(), src, &targets),
+                topo.multicast_streams(src, &targets),
+                "{spec} src {src:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn runner_results_are_unchanged_by_an_explicit_path_based_spec() {
+    // Byte-identical regression at the experiment level: a scenario that
+    // never mentions routing and one that names PathBased explicitly are
+    // the same experiment.
+    let implicit = Scenario::new(
+        "routing-implicit",
+        TopologySpec::Quarc { n: 16 },
+        WorkloadSpec::new(16, 0.05, MulticastPattern::Random { group: 4 }),
+        SweepSpec::Explicit { rates: vec![0.004] },
+    )
+    .with_sim(SimConfig::quick(3))
+    .with_seed(3);
+    let mut explicit = implicit.clone();
+    explicit.workload.routing = RoutingSpec::PathBased;
+    let a = Runner::new().run(&implicit).unwrap();
+    let b = Runner::new().run(&explicit).unwrap();
+    assert_eq!(a.to_csv(), b.to_csv());
+}
+
+#[test]
+fn every_scheme_runs_end_to_end_with_correct_model_stamps() {
+    for routing in ALL_ROUTINGS {
+        let res = Runner::new().run(&small_scenario(routing)).unwrap();
+        let p = &res.points[0];
+        assert!(
+            p.sim_multicast.is_finite() && p.sim_multicast > 16.0,
+            "{routing}: simulated latency {}",
+            p.sim_multicast
+        );
+        assert!(!p.sim_saturated, "{routing}: low load must not saturate");
+        assert_eq!(
+            p.model_applicable,
+            routing.model_applicable(),
+            "{routing}: applicability stamp"
+        );
+        // The overlay is evaluated even out of domain — the divergence is
+        // the measurement.
+        assert!(
+            p.model_multicast.is_finite(),
+            "{routing}: overlay still evaluated"
+        );
+    }
+}
+
+#[test]
+fn unrealizable_schemes_are_typed_spec_errors_not_panics() {
+    // Concurrent-stream schemes on the one-port Spidergon.
+    for routing in [RoutingSpec::DualPath, RoutingSpec::Multipath] {
+        let mut sc = small_scenario(routing);
+        sc.topology = TopologySpec::Spidergon { n: 12 };
+        match sc.validate() {
+            Err(Error::Routing(RoutingError::SingleInjectionPort { scheme, ports: 1 })) => {
+                assert_eq!(scheme, routing.code());
+            }
+            other => panic!("{routing}: expected Error::Routing, got {other:?}"),
+        }
+        // The runner refuses the same way (validation runs first).
+        assert!(matches!(
+            Runner::new().run(&sc),
+            Err(Error::Routing(RoutingError::SingleInjectionPort { .. }))
+        ));
+    }
+    // The port-free schemes remain fine on one-port topologies.
+    for routing in [RoutingSpec::PathBased, RoutingSpec::UnicastTree] {
+        let mut sc = small_scenario(routing);
+        sc.topology = TopologySpec::Spidergon { n: 12 };
+        sc.workload.alpha = 0.0; // the spidergon model rejects multicast
+        assert!(sc.validate().is_ok(), "{routing} is realizable on 1 port");
+    }
+}
+
+#[test]
+fn routing_specs_round_trip_and_missing_keys_default_to_path_based() {
+    for routing in ALL_ROUTINGS {
+        let sc = small_scenario(routing);
+        let back = Scenario::from_json(&sc.to_json()).expect("round trip parses");
+        assert_eq!(sc, back);
+        assert_eq!(back.workload.routing, routing);
+    }
+    // A WorkloadSpec persisted before the routing abstraction has no
+    // `routing` key; it must parse as the only scheme that existed then.
+    let legacy = r#"{
+        "msg_len": 16,
+        "alpha": 0.05,
+        "multicast": {"Random": {"group": 4}},
+        "unicast": "Uniform"
+    }"#;
+    let spec: WorkloadSpec = serde::json::from_str(legacy).expect("legacy spec parses");
+    assert_eq!(spec.routing, RoutingSpec::PathBased);
+}
+
+#[test]
+fn dual_path_beats_the_unicast_baseline_on_broadcast() {
+    // The qualitative ordering the schemes exist to show: hardware
+    // path-based multicast amortizes one injection over many deliveries,
+    // while source-replicated unicast pays per destination.
+    let mk = |routing| {
+        Scenario::new(
+            format!("bcast-{routing}"),
+            TopologySpec::Mesh {
+                width: 4,
+                height: 4,
+            },
+            WorkloadSpec::new(16, 0.05, MulticastPattern::Broadcast).with_routing(routing),
+            SweepSpec::Explicit { rates: vec![0.002] },
+        )
+        .with_sim(SimConfig::quick(11))
+        .with_seed(11)
+    };
+    let dual = Runner::new().run(&mk(RoutingSpec::DualPath)).unwrap();
+    let uni = Runner::new().run(&mk(RoutingSpec::UnicastTree)).unwrap();
+    assert!(
+        dual.points[0].sim_multicast < uni.points[0].sim_multicast,
+        "dual-path broadcast ({}) must beat 15 serialized unicasts ({})",
+        dual.points[0].sim_multicast,
+        uni.points[0].sim_multicast
+    );
+}
+
+/// Shared partition-invariant check: streams cover the requested set
+/// exactly once, never deliver to the source, and every path validates.
+fn check_partition(topo: &dyn Topology, spec: RoutingSpec, src: NodeId, targets: &[NodeId]) {
+    let streams = spec.streams(topo, src, targets);
+    let mut covered = BTreeSet::new();
+    for st in &streams {
+        topo.network().validate_path(&st.path).unwrap();
+        assert_eq!(st.path.dst, *st.targets.last().unwrap());
+        for &t in &st.targets {
+            assert_ne!(t, src, "{spec}: no self-delivery");
+            assert!(covered.insert(t), "{spec}: {t:?} covered twice");
+        }
+    }
+    let expected: BTreeSet<_> = targets.iter().copied().filter(|&t| t != src).collect();
+    assert_eq!(covered, expected, "{spec}: exact cover");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn schemes_partition_random_sets_on_the_quarc(
+        n in (2usize..=12).prop_map(|k| k * 4),
+        seed in 0u64..500,
+        group in 1usize..12,
+        src in 0u32..48,
+    ) {
+        let topo = Quarc::new(n).unwrap();
+        let src = NodeId(src % n as u32);
+        let sets = DestinationSets::random(&topo, group.min(n - 1), seed);
+        for spec in ALL_ROUTINGS {
+            check_partition(&topo, spec, src, sets.set(src));
+        }
+    }
+
+    #[test]
+    fn schemes_partition_random_sets_on_the_mesh(
+        w in 2usize..5,
+        h in 2usize..5,
+        seed in 0u64..500,
+        src in 0u32..25,
+    ) {
+        let topo = Mesh::new(w, h, MeshKind::Mesh).unwrap();
+        let n = w * h;
+        prop_assume!(n > 2);
+        let src = NodeId(src % n as u32);
+        let sets = DestinationSets::random(&topo, (n / 2).max(1), seed);
+        for spec in ALL_ROUTINGS {
+            check_partition(&topo, spec, src, sets.set(src));
+        }
+    }
+
+    #[test]
+    fn schemes_partition_broadcasts_on_the_hypercube(
+        dim in 2usize..6,
+        src in 0u32..64,
+    ) {
+        let topo = Hypercube::new(dim).unwrap();
+        let n = 1usize << dim;
+        let src = NodeId(src % n as u32);
+        let targets: Vec<NodeId> =
+            (0..n as u32).map(NodeId).filter(|&t| t != src).collect();
+        for spec in ALL_ROUTINGS {
+            check_partition(&topo, spec, src, &targets);
+            let streams = spec.streams(&topo, src, &targets);
+            match spec {
+                RoutingSpec::DualPath => prop_assert!(streams.len() <= 2),
+                RoutingSpec::Multipath => {
+                    prop_assert!(streams.len() <= topo.num_ports().max(2));
+                }
+                RoutingSpec::UnicastTree => prop_assert_eq!(streams.len(), n - 1),
+                RoutingSpec::PathBased => {}
+            }
+        }
+    }
+}
