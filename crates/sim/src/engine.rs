@@ -34,11 +34,39 @@ use crate::engine_api::{audit_state, AuditInput, EngineAudit, SimEngine};
 use crate::message::{ActiveMsg, CvState, MsgId, MulticastOp, OpId};
 use crate::metrics::Metrics;
 use crate::plan::SimPlan;
-use crate::results::SimResults;
+use crate::results::{EngineCounters, SimResults};
 use crate::schedule::{Arrival, ArrivalStream};
 use noc_topology::{ChannelKind, NodeId, Topology};
 use noc_workloads::Workload;
+use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Invariant-checked access to a live message slot. Free functions over
+/// the slot table (not `&self` methods) so hot-loop call sites keep
+/// their disjoint field borrows; the panic names the violated engine
+/// invariant instead of the bare `unwrap` it replaces.
+#[inline]
+fn live_msg<'m>(msgs: &'m [Option<ActiveMsg>], id: MsgId, what: &str) -> &'m ActiveMsg {
+    match msgs.get(id as usize) {
+        Some(Some(msg)) => msg,
+        _ => bad_slot(id, what),
+    }
+}
+
+/// Mutable counterpart of [`live_msg`].
+#[inline]
+fn live_msg_mut<'m>(msgs: &'m mut [Option<ActiveMsg>], id: MsgId, what: &str) -> &'m mut ActiveMsg {
+    match msgs.get_mut(id as usize) {
+        Some(Some(msg)) => msg,
+        _ => bad_slot(id, what),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn bad_slot(id: MsgId, what: &str) -> ! {
+    panic!("engine invariant violated: {what} references freed message slot {id}")
+}
 
 /// The cycle-stepped simulator. Borrowing the topology and workload keeps
 /// runs cheap to set up inside parameter sweeps; the precomputed
@@ -168,7 +196,9 @@ impl<'a> Simulator<'a> {
 
     /// Enqueue a freshly generated message at the head channel of its path.
     fn enqueue(&mut self, id: MsgId) {
-        let hop0 = self.msgs[id as usize].as_ref().unwrap().path.hops[0];
+        let hop0 = live_msg(&self.msgs, id, "freshly enqueued message")
+            .path
+            .hops[0];
         let cv = self.cv_index(hop0) as usize;
         self.cvs[cv].waiters.push_back((id, 0));
         self.inj_backlog += 1;
@@ -249,7 +279,7 @@ impl<'a> Simulator<'a> {
                 if chosen.is_some() {
                     continue;
                 }
-                let msg = self.msgs[m as usize].as_ref().unwrap();
+                let msg = live_msg(&self.msgs, m, "cv owner");
                 let h = h as usize;
                 // Supply: the next flit must be available upstream.
                 let supply = if h == 0 {
@@ -268,7 +298,9 @@ impl<'a> Simulator<'a> {
             }
             if let Some(vc) = chosen {
                 let cv = &self.cvs[(base + vc as u32) as usize];
-                let (m, h) = cv.owner.unwrap();
+                let (m, h) = cv
+                    .owner
+                    .expect("selection invariant violated: chosen vc lost its owner mid-cycle");
                 self.moves.push((m, h));
                 self.rr[pc] = (vc + 1) % nv;
             }
@@ -293,7 +325,7 @@ impl<'a> Simulator<'a> {
             let h = h16 as usize;
             // --- advance the flit ---
             let (channel_of_h, header_arrived, tail_passed, prev_hop, next_hop) = {
-                let msg = self.msgs[mid as usize].as_mut().unwrap();
+                let msg = live_msg_mut(&mut self.msgs, mid, "moving flit's message");
                 msg.traversed[h] += 1;
                 let t = msg.traversed[h];
                 (
@@ -335,7 +367,7 @@ impl<'a> Simulator<'a> {
                 let mut stream_tagged = false;
                 let mut stream_gen = 0u64;
                 {
-                    let msg = self.msgs[mid as usize].as_mut().unwrap();
+                    let msg = live_msg_mut(&mut self.msgs, mid, "absorbing stream's message");
                     if let Some(stream) = msg.multicast.as_mut() {
                         while (stream.next_absorb as usize) < stream.absorbs.len()
                             && stream.absorbs[stream.next_absorb as usize].0 == h16
@@ -367,12 +399,12 @@ impl<'a> Simulator<'a> {
 
                 // Message fully absorbed at the ejection hop?
                 let is_last = {
-                    let msg = self.msgs[mid as usize].as_ref().unwrap();
+                    let msg = live_msg(&self.msgs, mid, "tail-moving message");
                     h == msg.last_hop()
                 };
                 if is_last {
                     // Release the ejection channel itself.
-                    let msg = self.msgs[mid as usize].as_ref().unwrap();
+                    let msg = live_msg(&self.msgs, mid, "tail-moving message");
                     let cv = self.cv_index(msg.path.hops[h]) as usize;
                     debug_assert_eq!(self.cvs[cv].owner, Some((mid, h16)));
                     self.cvs[cv].owner = None;
@@ -380,7 +412,7 @@ impl<'a> Simulator<'a> {
                     self.metrics.total_absorbed += 1;
 
                     let (tagged, gen, is_unicast) = {
-                        let msg = self.msgs[mid as usize].as_ref().unwrap();
+                        let msg = live_msg(&self.msgs, mid, "absorbed message");
                         (msg.tagged, msg.gen, msg.multicast.is_none())
                     };
                     if is_unicast {
@@ -410,7 +442,7 @@ impl<'a> Simulator<'a> {
                 if let Some((m, h)) = self.cvs[cv].waiters.pop_front() {
                     self.cvs[cv].owner = Some((m, h));
                     // Find the physical channel of this cv to activate it.
-                    let msg = self.msgs[m as usize].as_ref().unwrap();
+                    let msg = live_msg(&self.msgs, m, "granted waiter");
                     let channel = msg.path.hops[h as usize].channel.idx();
                     self.activate(channel);
                 }
@@ -483,6 +515,10 @@ impl<'a> Simulator<'a> {
             self.cycle,
             self.peak_backlog,
             measured_cycles,
+            EngineCounters {
+                simulated_cycles: self.cycle,
+                ..Default::default()
+            },
         )
     }
 
@@ -579,12 +615,10 @@ impl<'a> Simulator<'a> {
         assert_eq!(self.wl.gen_rate, 0.0, "requires a zero-rate workload");
         let gen = self.cycle;
         let ids = self.inject_multicast_now(src);
-        let op = self.msgs[ids[0] as usize]
-            .as_ref()
-            .unwrap()
+        let op = live_msg(&self.msgs, ids[0], "injected stream message")
             .multicast
             .as_ref()
-            .unwrap()
+            .expect("stream messages carry multicast state")
             .op;
         for id in ids {
             self.run_until_complete(id);
@@ -594,12 +628,21 @@ impl<'a> Simulator<'a> {
 
     /// Structural self-check (see [`SimEngine::audit`]).
     pub fn audit(&self) -> Result<EngineAudit, String> {
+        let lookup = |m: MsgId| self.msgs.get(m as usize).and_then(Option::as_ref);
+        let freed: HashSet<OpId> = self.free_ops.iter().copied().collect();
+        let live_ops = self
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !freed.contains(&(i as OpId)))
+            .map(|(i, op)| (i as OpId, op))
+            .collect();
         audit_state(AuditInput {
             cycle: self.cycle,
             cvs: &self.cvs,
-            msgs: &self.msgs,
-            ops: &self.ops,
-            free_ops: &self.free_ops,
+            msg_lookup: &lookup,
+            live_messages: self.msgs.iter().flatten().count() as u64,
+            live_ops,
             plan: &self.plan,
             inj_backlog: self.inj_backlog,
             tagged_outstanding: self.tagged_outstanding,

@@ -129,12 +129,21 @@ pub fn build_engine_with_plan<'a>(
 }
 
 /// Borrowed view of an engine's dynamic state for [`audit_state`].
+///
+/// Message and op storage is abstracted (a lookup closure plus a
+/// materialised live-op list) because the two engines keep different
+/// layouts — the reference engine a `Vec<Option<_>>` with free lists,
+/// the event engine generation-tagged [`crate::arena::Arena`]s. Audits
+/// are cold paths; the materialisation cost is irrelevant.
 pub(crate) struct AuditInput<'s> {
     pub cycle: u64,
     pub cvs: &'s [CvState],
-    pub msgs: &'s [Option<ActiveMsg>],
-    pub ops: &'s [MulticastOp],
-    pub free_ops: &'s [OpId],
+    /// Live-message lookup: `None` for freed (or stale) ids.
+    pub msg_lookup: &'s dyn Fn(MsgId) -> Option<&'s ActiveMsg>,
+    /// Messages allocated and not yet absorbed.
+    pub live_messages: u64,
+    /// Live multicast operations with their ids.
+    pub live_ops: Vec<(OpId, &'s MulticastOp)>,
     pub plan: &'s SimPlan,
     pub inj_backlog: usize,
     pub tagged_outstanding: u64,
@@ -155,11 +164,8 @@ pub(crate) fn audit_state(inp: AuditInput<'_>) -> Result<EngineAudit, String> {
     for (cv, state) in inp.cvs.iter().enumerate() {
         if let Some((m, h)) = state.owner {
             owned_cvs += 1;
-            let msg = inp
-                .msgs
-                .get(m as usize)
-                .and_then(|s| s.as_ref())
-                .ok_or_else(|| format!("cv {cv} owned by dead message {m}"))?;
+            let msg =
+                (inp.msg_lookup)(m).ok_or_else(|| format!("cv {cv} owned by dead message {m}"))?;
             let hop = *msg
                 .path
                 .hops
@@ -176,16 +182,15 @@ pub(crate) fn audit_state(inp: AuditInput<'_>) -> Result<EngineAudit, String> {
             }
         }
         for &(m, _) in &state.waiters {
-            if inp.msgs.get(m as usize).and_then(|s| s.as_ref()).is_none() {
+            if (inp.msg_lookup)(m).is_none() {
                 return Err(format!("cv {cv} queues dead message {m}"));
             }
         }
     }
 
-    let free: HashSet<OpId> = inp.free_ops.iter().copied().collect();
-    let live_ops = (inp.ops.len() - free.len()) as u64;
-    for (i, op) in inp.ops.iter().enumerate() {
-        if !free.contains(&(i as OpId)) && op.remaining == 0 {
+    let live_ops = inp.live_ops.len() as u64;
+    for &(i, op) in &inp.live_ops {
+        if op.remaining == 0 {
             return Err(format!("live multicast op {i} has zero targets remaining"));
         }
     }
@@ -196,17 +201,16 @@ pub(crate) fn audit_state(inp: AuditInput<'_>) -> Result<EngineAudit, String> {
         ));
     }
 
-    let live_messages = inp.msgs.iter().filter(|m| m.is_some()).count() as u64;
-    if inp.total_generated != inp.total_absorbed + live_messages {
+    if inp.total_generated != inp.total_absorbed + inp.live_messages {
         return Err(format!(
             "flit conservation broken: {} generated != {} absorbed + {} live",
-            inp.total_generated, inp.total_absorbed, live_messages
+            inp.total_generated, inp.total_absorbed, inp.live_messages
         ));
     }
 
     Ok(EngineAudit {
         cycle: inp.cycle,
-        live_messages,
+        live_messages: inp.live_messages,
         queued_messages: inp.inj_backlog as u64,
         owned_cvs,
         live_ops,

@@ -50,12 +50,13 @@
 //! releases. That is the 10–50× lever the Fig. 6/7 sweeps need at low
 //! load, with the cycle engine retained as the oracle.
 
+use crate::arena::Arena;
 use crate::config::SimConfig;
 use crate::engine_api::{audit_state, AuditInput, EngineAudit, SimEngine};
 use crate::message::{ActiveMsg, CvState, MsgId, MulticastOp, OpId};
 use crate::metrics::Metrics;
 use crate::plan::SimPlan;
-use crate::results::SimResults;
+use crate::results::{EngineCounters, SimResults};
 use crate::schedule::{Arrival, ArrivalStream, EventQueue};
 use noc_topology::{NodeId, Topology};
 use noc_workloads::Workload;
@@ -66,6 +67,25 @@ use std::sync::Arc;
 /// `WATCHDOG_WINDOW` move-free cycles with channels still held.
 const WATCHDOG_STRIDE: u64 = 1024;
 const WATCHDOG_WINDOW: u64 = 10_000;
+
+/// Cap of the streaming-scan backoff exponent: after repeated
+/// unprofitable eligibility scans the engine re-attempts at most every
+/// `2^SPAN_BACKOFF_CAP` eligible cycles. At high load the scan almost
+/// always fails (held channels trip its conservative freeze checks),
+/// and running it after every simulated cycle was the hot-path overhead
+/// that made the event engine lose to the cycle engine there — the
+/// backoff is a deterministic heuristic that only changes *when* spans
+/// are attempted, never their outcome, so results are unaffected.
+const SPAN_BACKOFF_CAP: u32 = 8;
+
+/// A span must advance at least this many cycles to count as profitable
+/// and reset the backoff. A full eligibility scan costs on the order of
+/// a few simulated cycles, so shorter spans — the typical find deep in
+/// saturation, where a handful of cycles stream between structural
+/// events — are applied (the cycles are already bought) but pace the
+/// scan like a failure: without this, each short find re-arms per-cycle
+/// scanning and the scan overhead eats the streamed cycles it saves.
+const SPAN_PROFIT_MIN: u64 = 8;
 
 /// The event-driven simulator — the default engine.
 pub struct EventSimulator<'a> {
@@ -80,10 +100,12 @@ pub struct EventSimulator<'a> {
     rr: Vec<u8>,
     active: Vec<u32>,
     active_flag: Vec<bool>,
-    msgs: Vec<Option<ActiveMsg>>,
-    free_msgs: Vec<MsgId>,
-    ops: Vec<MulticastOp>,
-    free_ops: Vec<OpId>,
+    /// Live messages in a dense generation-tagged slab (ids stay `u32`,
+    /// so cv owners/waiters are untouched; stale ids panic with the
+    /// violated invariant by name).
+    msgs: Arena<ActiveMsg>,
+    /// Live multicast operations, same layout.
+    ops: Arena<MulticastOp>,
     ops_allocated: u64,
     ops_completed: u64,
     inj_backlog: usize,
@@ -100,17 +122,22 @@ pub struct EventSimulator<'a> {
     /// The last simulated cycle moved no flit and granted no owner: the
     /// state is a fixpoint until the next arrival (see module docs).
     stalled: bool,
-    /// Cycles actually simulated (diagnostics: the skip ratio
-    /// `cycle / simulated_cycles` is the engine's whole point).
-    simulated_cycles: u64,
+    /// Consecutive failed streaming-scan attempts (saturating at
+    /// [`SPAN_BACKOFF_CAP`]); sets the cooldown after each failure.
+    span_fail_streak: u32,
+    /// Eligible cycles left before the next streaming-scan attempt.
+    span_cooldown: u32,
+    /// Engine-internal work counters (events popped, spans batched,
+    /// fixpoints, failed scans), surfaced through
+    /// [`SimResults::engine`](crate::results::SimResults::engine).
+    counters: EngineCounters,
 
     // --- scratch ---
     moves: Vec<(MsgId, u16)>,
-    /// cv index of each entry in `moves` (parallel vector).
-    move_cvs: Vec<u32>,
-    /// Did this cv move a flit in the current cycle? (Reset lazily from
-    /// `move_cvs` at the next selection; powers the O(1) move-set lookup
-    /// of the streaming fast-forward.)
+    /// Did this cv move a flit in the current cycle? Populated *lazily*
+    /// by the streaming eligibility scan from the cycle's move list (and
+    /// cleared before the scan returns), so ordinary cycles pay nothing
+    /// for the O(1) move-set lookup the fast-forward needs.
     cv_moved: Vec<bool>,
     /// Owned-cv count per physical channel, maintained incrementally on
     /// grant/release (the fast-forward's single-ownership test).
@@ -164,10 +191,8 @@ impl<'a> EventSimulator<'a> {
             rr: vec![0; channels],
             active: Vec::with_capacity(channels),
             active_flag: vec![false; channels],
-            msgs: Vec::new(),
-            free_msgs: Vec::new(),
-            ops: Vec::new(),
-            free_ops: Vec::new(),
+            msgs: Arena::with_capacity(plan.spawn_wave_hint()),
+            ops: Arena::with_capacity(plan.num_nodes()),
             ops_allocated: 0,
             ops_completed: 0,
             inj_backlog: 0,
@@ -177,9 +202,10 @@ impl<'a> EventSimulator<'a> {
             arrivals,
             queue,
             stalled: false,
-            simulated_cycles: 0,
+            span_fail_streak: 0,
+            span_cooldown: 0,
+            counters: EngineCounters::default(),
             moves: Vec::new(),
-            move_cvs: Vec::new(),
             cv_moved: vec![false; plan.num_cvs],
             owned_count: vec![0; channels],
             channel_moved: vec![false; channels],
@@ -195,24 +221,12 @@ impl<'a> EventSimulator<'a> {
     }
 
     fn alloc_msg(&mut self, msg: ActiveMsg) -> MsgId {
-        if let Some(id) = self.free_msgs.pop() {
-            self.msgs[id as usize] = Some(msg);
-            id
-        } else {
-            self.msgs.push(Some(msg));
-            (self.msgs.len() - 1) as MsgId
-        }
+        self.msgs.insert(msg)
     }
 
     fn alloc_op(&mut self, op: MulticastOp) -> OpId {
         self.ops_allocated += 1;
-        if let Some(id) = self.free_ops.pop() {
-            self.ops[id as usize] = op;
-            id
-        } else {
-            self.ops.push(op);
-            (self.ops.len() - 1) as OpId
-        }
+        self.ops.insert(op)
     }
 
     fn activate(&mut self, channel: usize) {
@@ -223,7 +237,7 @@ impl<'a> EventSimulator<'a> {
     }
 
     fn enqueue(&mut self, id: MsgId) {
-        let hop0 = self.msgs[id as usize].as_ref().unwrap().path.hops[0];
+        let hop0 = self.msgs.get(id, "freshly enqueued message").path.hops[0];
         let cv = self.cv_index(hop0) as usize;
         self.cvs[cv].waiters.push_back((id, 0));
         self.inj_backlog += 1;
@@ -277,6 +291,7 @@ impl<'a> EventSimulator<'a> {
     /// ties) and spawn it; reschedule each source at its next firing.
     fn generate(&mut self, tagging: bool) {
         while let Some(node) = self.queue.pop_due(self.cycle) {
+            self.counters.events_popped += 1;
             let n = node as usize;
             debug_assert_eq!(self.arrivals[n].next_arrival(), self.cycle);
             let arrival = self.arrivals[n].pop(self.wl, self.plan.n, NodeId(node));
@@ -293,11 +308,7 @@ impl<'a> EventSimulator<'a> {
     /// tie-breaks, lazy deactivation order all included, because the
     /// active-list permutation feeds the order statistics are recorded in).
     fn select_moves(&mut self) {
-        for &cv in &self.move_cvs {
-            self.cv_moved[cv as usize] = false;
-        }
         self.moves.clear();
-        self.move_cvs.clear();
         let buffer_depth = self.cfg.buffer_depth;
         let mut i = 0;
         while i < self.active.len() {
@@ -314,7 +325,7 @@ impl<'a> EventSimulator<'a> {
                 if chosen.is_some() {
                     continue;
                 }
-                let msg = self.msgs[m as usize].as_ref().unwrap();
+                let msg = self.msgs.get(m, "cv owner");
                 let h = h as usize;
                 let supply = if h == 0 {
                     msg.traversed[0] < msg.len
@@ -331,10 +342,10 @@ impl<'a> EventSimulator<'a> {
             }
             if let Some(vc) = chosen {
                 let cv_idx = base + vc as u32;
-                let (m, h) = self.cvs[cv_idx as usize].owner.unwrap();
+                let (m, h) = self.cvs[cv_idx as usize]
+                    .owner
+                    .expect("selection invariant violated: chosen vc lost its owner mid-cycle");
                 self.moves.push((m, h));
-                self.move_cvs.push(cv_idx);
-                self.cv_moved[cv_idx as usize] = true;
                 self.rr[pc] = (vc + 1) % nv;
             }
             if any_owned {
@@ -355,7 +366,7 @@ impl<'a> EventSimulator<'a> {
         for &(mid, h16) in &moves {
             let h = h16 as usize;
             let (channel_of_h, header_arrived, tail_passed, prev_hop, next_hop) = {
-                let msg = self.msgs[mid as usize].as_mut().unwrap();
+                let msg = self.msgs.get_mut(mid, "moving flit's message");
                 msg.traversed[h] += 1;
                 let t = msg.traversed[h];
                 (
@@ -392,7 +403,7 @@ impl<'a> EventSimulator<'a> {
                 let mut stream_tagged = false;
                 let mut stream_gen = 0u64;
                 {
-                    let msg = self.msgs[mid as usize].as_mut().unwrap();
+                    let msg = self.msgs.get_mut(mid, "absorbing stream's message");
                     if let Some(stream) = msg.multicast.as_mut() {
                         while (stream.next_absorb as usize) < stream.absorbs.len()
                             && stream.absorbs[stream.next_absorb as usize].0 == h16
@@ -401,7 +412,7 @@ impl<'a> EventSimulator<'a> {
                             absorbed_here += 1;
                         }
                         if absorbed_here > 0 {
-                            let op = &mut self.ops[stream.op as usize];
+                            let op = self.ops.get_mut(stream.op, "stream's multicast op");
                             op.remaining -= absorbed_here;
                             op.last_absorb = now;
                             if op.remaining == 0 {
@@ -414,20 +425,20 @@ impl<'a> EventSimulator<'a> {
                 }
                 if let Some(opid) = op_done {
                     self.ops_completed += 1;
-                    let op = &self.ops[opid as usize];
+                    let op = self.ops.get(opid, "completed multicast op");
                     if op.tagged {
                         self.metrics.record_op_delivery(op);
                         self.tagged_outstanding -= 1;
                     }
-                    self.free_ops.push(opid);
+                    self.ops.free(opid, "completed multicast op");
                 }
 
                 let is_last = {
-                    let msg = self.msgs[mid as usize].as_ref().unwrap();
+                    let msg = self.msgs.get(mid, "tail-moving message");
                     h == msg.last_hop()
                 };
                 if is_last {
-                    let msg = self.msgs[mid as usize].as_ref().unwrap();
+                    let msg = self.msgs.get(mid, "absorbed message");
                     let eject = msg.path.hops[h];
                     let cv = self.cv_index(eject) as usize;
                     debug_assert_eq!(self.cvs[cv].owner, Some((mid, h16)));
@@ -437,7 +448,7 @@ impl<'a> EventSimulator<'a> {
                     self.metrics.total_absorbed += 1;
 
                     let (tagged, gen, is_unicast) = {
-                        let msg = self.msgs[mid as usize].as_ref().unwrap();
+                        let msg = self.msgs.get(mid, "absorbed message");
                         (msg.tagged, msg.gen, msg.multicast.is_none())
                     };
                     if is_unicast {
@@ -448,8 +459,7 @@ impl<'a> EventSimulator<'a> {
                     } else if stream_tagged {
                         self.metrics.record_stream_delivery(now, stream_gen);
                     }
-                    self.msgs[mid as usize] = None;
-                    self.free_msgs.push(mid);
+                    self.msgs.free(mid, "absorbed message");
                 }
             }
         }
@@ -469,7 +479,7 @@ impl<'a> EventSimulator<'a> {
                 if let Some((m, h)) = self.cvs[cv].waiters.pop_front() {
                     self.cvs[cv].owner = Some((m, h));
                     granted += 1;
-                    let msg = self.msgs[m as usize].as_ref().unwrap();
+                    let msg = self.msgs.get(m, "granted waiter");
                     let channel = msg.path.hops[h as usize].channel.idx();
                     self.owned_count[channel] += 1;
                     self.activate(channel);
@@ -491,7 +501,7 @@ impl<'a> EventSimulator<'a> {
     fn simulate_cycle(&mut self, target: u64, tagging: bool, measuring: bool) -> usize {
         debug_assert!(target > self.cycle);
         self.cycle = target;
-        self.simulated_cycles += 1;
+        self.counters.simulated_cycles += 1;
         self.generate(tagging);
         self.select_moves();
         let moved = !self.moves.is_empty();
@@ -501,6 +511,9 @@ impl<'a> EventSimulator<'a> {
         self.apply_moves(measuring);
         let granted = self.grant();
         self.stalled = !moved && granted == 0;
+        if self.stalled {
+            self.counters.stall_fixpoints += 1;
+        }
         granted
     }
 
@@ -542,16 +555,41 @@ impl<'a> EventSimulator<'a> {
             return 0;
         }
 
+        // Cheap pre-checks that need no mark state: a dead mover or a
+        // crossed tail threshold disqualifies the span outright, paying a
+        // few loads per mover and leaving no mark bookkeeping to undo.
+        // The full pass below re-derives these facts; this pass only
+        // filters.
+        for &(m, h16) in &self.moves {
+            let Some(msg) = self.msgs.try_get(m) else {
+                return 0;
+            };
+            if msg.traversed[h16 as usize] >= msg.len {
+                return 0;
+            }
+        }
+
+        // Mark the cycle's move set for `in_move_set` — lazily, here,
+        // so only scan cycles pay for the bookkeeping. A mover absorbed
+        // during apply is left unmarked: its cvs are ownerless, so
+        // `in_move_set` is false for them either way, and the mover loop
+        // below bails on the dead id before any verdict is returned.
+        let moves = std::mem::take(&mut self.moves);
+        for &(m, h16) in &moves {
+            if let Some(msg) = self.msgs.try_get(m) {
+                self.cv_moved[self.plan.cv_index(msg.path.hops[h16 as usize]) as usize] = true;
+            }
+        }
+
         // Movers: numeric caps, single-ownership, and channel marking.
         // On the streaming fast path this loop is the whole scan.
         let buffer_depth = self.cfg.buffer_depth;
         let mut ok = true;
-        let moves = std::mem::take(&mut self.moves);
         for &(m, h16) in &moves {
             // A released/absorbed message or a crossed tail threshold
             // means this cycle had structural aftermath (releases, lazy
             // deactivation): let the per-cycle machinery settle it.
-            let Some(msg) = self.msgs[m as usize].as_ref() else {
+            let Some(msg) = self.msgs.try_get(m) else {
                 ok = false;
                 break;
             };
@@ -561,13 +599,13 @@ impl<'a> EventSimulator<'a> {
                 ok = false;
                 break;
             }
+            // Sibling vcs on the mover's channel do not disqualify the
+            // span by themselves: after the move the round-robin pointer
+            // sits just past the mover's vc, so the mover is examined
+            // *last* on the next pass and re-chosen iff every sibling is
+            // unelectable — which the held-channel loop below verifies
+            // stays true for the whole span.
             let pc = msg.path.hops[h].channel.idx();
-            if self.owned_count[pc] != 1 {
-                // A sibling vc would rotate in via round-robin: not a
-                // replay.
-                ok = false;
-                break;
-            }
             self.channel_moved[pc] = true;
             // Stop before the tail threshold (`t == len` is a structural
             // cycle: releases, absorbs, completions).
@@ -588,13 +626,15 @@ impl<'a> EventSimulator<'a> {
             }
         }
 
-        // Blocked channels (held but not moving): every owned cv must stay
-        // unelectable for the whole span. Empty on the pure-streaming
-        // fast path.
+        // Held channels: every owned cv that is not this cycle's mover
+        // must stay unelectable for the whole span — on a blocked channel
+        // that is every owned cv, on a moving channel the sibling vcs the
+        // round-robin would otherwise rotate in. Only single-vc streaming
+        // channels skip the walk (the pure-streaming fast path).
         if ok {
             'channels: for &pc_u in &self.active {
                 let pc = pc_u as usize;
-                if self.channel_moved[pc] {
+                if self.channel_moved[pc] && self.owned_count[pc] == 1 {
                     continue;
                 }
                 if self.owned_count[pc] == 0 {
@@ -608,10 +648,16 @@ impl<'a> EventSimulator<'a> {
                 let base = self.plan.cv_base[pc];
                 let nv = self.plan.vcs[pc];
                 for vc in 0..nv {
-                    let Some((m, h)) = self.cvs[(base + vc as u32) as usize].owner else {
+                    let cv_idx = (base + vc as u32) as usize;
+                    if self.cv_moved[cv_idx] {
+                        // The channel's mover: streaming eligibility is
+                        // the mover loop's job, not a freeze condition.
+                        continue;
+                    }
+                    let Some((m, h)) = self.cvs[cv_idx].owner else {
                         continue;
                     };
-                    let msg = self.msgs[m as usize].as_ref().unwrap();
+                    let msg = self.msgs.get(m, "cv owner");
                     let h = h as usize;
                     let supply = if h == 0 {
                         msg.traversed[0] < msg.len
@@ -644,11 +690,13 @@ impl<'a> EventSimulator<'a> {
             }
         }
 
-        // Clear the channel marks (messages are untouched by the scan, so
-        // every marked mover is still resolvable).
+        // Clear the cv and channel marks (messages are untouched by the
+        // scan, so every marked mover is still resolvable).
         for &(m, h16) in &moves {
-            if let Some(msg) = self.msgs[m as usize].as_ref() {
-                self.channel_moved[msg.path.hops[h16 as usize].channel.idx()] = false;
+            if let Some(msg) = self.msgs.try_get(m) {
+                let hop = msg.path.hops[h16 as usize];
+                self.cv_moved[self.plan.cv_index(hop) as usize] = false;
+                self.channel_moved[hop.channel.idx()] = false;
             }
         }
         self.moves = moves;
@@ -666,7 +714,7 @@ impl<'a> EventSimulator<'a> {
     fn apply_streaming_span(&mut self, k: u64, measuring: bool) {
         let moves = std::mem::take(&mut self.moves);
         for &(m, h) in &moves {
-            let msg = self.msgs[m as usize].as_mut().unwrap();
+            let msg = self.msgs.get_mut(m, "streaming mover");
             msg.traversed[h as usize] += k as u32;
             let channel = msg.path.hops[h as usize].channel.idx();
             self.metrics.record_flit_moves_bulk(channel, k, measuring);
@@ -674,6 +722,8 @@ impl<'a> EventSimulator<'a> {
         self.moves = moves;
         self.cycle += k;
         self.last_move_cycle = self.cycle;
+        self.counters.spans_batched += 1;
+        self.counters.span_cycles += k;
     }
 
     /// The next cycle on which anything can happen or the run loop could
@@ -747,17 +797,40 @@ impl<'a> EventSimulator<'a> {
             // Streaming fast-forward: while nothing structural can happen,
             // replay this cycle's move set in bulk. Only the two break
             // conditions the span caps can land on need re-evaluation.
+            //
+            // The eligibility scan is the engine's high-load overhead: in
+            // a congested network it fails almost every cycle (blocked
+            // channels hit its conservative bails), so repeated failures
+            // back off exponentially. The cooldown only gates *when* the
+            // scan re-runs — skipped opportunities fall back to normal
+            // per-cycle simulation, so results are bit-identical either
+            // way.
             if granted == 0 && !self.moves.is_empty() {
-                let k = self.streaming_span_len(warmup, measure_end, deadline);
-                if k > 0 {
-                    let measuring = self.cycle >= warmup && self.cycle < measure_end;
-                    self.apply_streaming_span(k, measuring);
-                    if self.cycle >= measure_end && self.tagged_outstanding == 0 {
-                        break;
+                if self.span_cooldown > 0 {
+                    self.span_cooldown -= 1;
+                } else {
+                    let k = self.streaming_span_len(warmup, measure_end, deadline);
+                    if k >= SPAN_PROFIT_MIN {
+                        self.span_fail_streak = 0;
+                    } else {
+                        // A failed scan, or a find too short to pay for
+                        // the scan: back off either way.
+                        if k == 0 {
+                            self.counters.span_scans_failed += 1;
+                        }
+                        self.span_fail_streak = (self.span_fail_streak + 1).min(SPAN_BACKOFF_CAP);
+                        self.span_cooldown = 1 << self.span_fail_streak;
                     }
-                    if self.cycle >= deadline {
-                        saturated = self.tagged_outstanding > 0;
-                        break;
+                    if k > 0 {
+                        let measuring = self.cycle >= warmup && self.cycle < measure_end;
+                        self.apply_streaming_span(k, measuring);
+                        if self.cycle >= measure_end && self.tagged_outstanding == 0 {
+                            break;
+                        }
+                        if self.cycle >= deadline {
+                            saturated = self.tagged_outstanding > 0;
+                            break;
+                        }
                     }
                 }
             }
@@ -770,6 +843,7 @@ impl<'a> EventSimulator<'a> {
             self.cycle,
             self.peak_backlog,
             measured_cycles,
+            self.counters,
         )
     }
 
@@ -833,7 +907,7 @@ impl<'a> EventSimulator<'a> {
 
     /// Is the message still in the network (queued or in flight)?
     pub fn message_in_flight(&self, id: MsgId) -> bool {
-        self.msgs[id as usize].is_some()
+        self.msgs.contains(id)
     }
 
     /// Step until `id` completes, returning the completion cycle (the
@@ -860,17 +934,15 @@ impl<'a> EventSimulator<'a> {
         assert_eq!(self.wl.gen_rate, 0.0, "requires a zero-rate workload");
         let gen = self.cycle;
         let ids = self.inject_multicast_now(src);
-        let op = self.msgs[ids[0] as usize]
-            .as_ref()
-            .unwrap()
-            .multicast
-            .as_ref()
-            .unwrap()
-            .op;
+        // The op's arena slot is freed the moment it completes, so the
+        // latency is read off the run instead: each stream's final target
+        // absorbs at its ejection hop, so the op's last absorb is exactly
+        // the completion cycle of the slowest stream.
+        let mut done = gen;
         for id in ids {
-            self.run_until_complete(id);
+            done = done.max(self.run_until_complete(id));
         }
-        self.ops[op as usize].last_absorb - gen
+        done - gen
     }
 
     /// Structural self-check (see [`SimEngine::audit`]): the shared state
@@ -888,12 +960,13 @@ impl<'a> EventSimulator<'a> {
                 ));
             }
         }
+        let lookup = |m| self.msgs.try_get(m);
         audit_state(AuditInput {
             cycle: self.cycle,
             cvs: &self.cvs,
-            msgs: &self.msgs,
-            ops: &self.ops,
-            free_ops: &self.free_ops,
+            msg_lookup: &lookup,
+            live_messages: self.msgs.len() as u64,
+            live_ops: self.ops.iter().collect(),
             plan: &self.plan,
             inj_backlog: self.inj_backlog,
             tagged_outstanding: self.tagged_outstanding,
@@ -913,7 +986,7 @@ impl<'a> EventSimulator<'a> {
     /// fast-forwarded). Diagnostics: `now() / simulated_cycles()` is the
     /// engine's effective compression ratio.
     pub fn simulated_cycles(&self) -> u64 {
-        self.simulated_cycles
+        self.counters.simulated_cycles
     }
 
     /// The topology under simulation.

@@ -77,6 +77,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod engine_api;
@@ -87,10 +88,11 @@ pub mod plan;
 pub mod results;
 pub mod schedule;
 
+pub use arena::Arena;
 pub use config::{EngineKind, SimConfig};
 pub use engine::Simulator;
 pub use engine_api::{build_engine, build_engine_with_plan, EngineAudit, SimEngine};
 pub use event_engine::EventSimulator;
 pub use plan::SimPlan;
-pub use results::{LatencyStats, SimResults};
+pub use results::{EngineCounters, LatencyStats, SimResults};
 pub use schedule::{record_trace, Arrival, ArrivalProcess, ArrivalStream};

@@ -7,7 +7,7 @@
 
 use crate::config::SimConfig;
 use crate::message::MulticastOp;
-use crate::results::{LatencyStats, SimResults};
+use crate::results::{EngineCounters, LatencyStats, SimResults};
 use noc_queueing::{BatchMeans, Histogram, Welford};
 
 /// Latency accumulators and conservation counters of one run.
@@ -103,6 +103,7 @@ impl Metrics {
         cycles: u64,
         peak_backlog: usize,
         measured_cycles: u64,
+        engine: EngineCounters,
     ) -> SimResults {
         let denom = measured_cycles.max(1) as f64;
         SimResults {
@@ -131,6 +132,7 @@ impl Metrics {
                 .iter()
                 .map(|&t| t as f64 / denom)
                 .collect(),
+            engine,
         }
     }
 }

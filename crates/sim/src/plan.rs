@@ -140,6 +140,14 @@ impl SimPlan {
         self.n
     }
 
+    /// Capacity hint for message arenas: one full multicast spawn wave
+    /// (every node firing its configured operation at once) plus a
+    /// unicast per node — live-message counts rarely exceed this outside
+    /// deep saturation.
+    pub(crate) fn spawn_wave_hint(&self) -> usize {
+        self.streams.iter().map(|s| s.len().max(1)).sum()
+    }
+
     /// The cv (channel × virtual-channel) resource index of a hop.
     #[inline]
     pub(crate) fn cv_index(&self, hop: Hop) -> u32 {

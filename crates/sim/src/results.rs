@@ -54,6 +54,36 @@ impl LatencyStats {
     }
 }
 
+/// Engine-internal work counters: how the run's wall-clock was actually
+/// spent, surfaced so engine performance fixes are measurable from the
+/// outside (benches and the CI perf smoke read these, not just timings).
+///
+/// The counters describe *engine mechanics*, not simulation semantics:
+/// two bit-identical runs may legitimately differ here (the cycle engine
+/// reports only `simulated_cycles`), so the differential equivalence
+/// suite deliberately excludes this field from its comparisons.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineCounters {
+    /// Cycles the engine actually executed through its per-cycle
+    /// machinery (the cycle engine: every cycle; the event engine: the
+    /// non-skipped remainder — `cycles / simulated_cycles` is its
+    /// compression ratio).
+    pub simulated_cycles: u64,
+    /// Arrival events popped off the event queue (event engine only).
+    pub events_popped: u64,
+    /// Streaming spans applied in bulk (event engine only).
+    pub spans_batched: u64,
+    /// Cycles fast-forwarded inside those spans (event engine only).
+    pub span_cycles: u64,
+    /// Cycles proven to be stalled fixpoints and skipped from (event
+    /// engine only).
+    pub stall_fixpoints: u64,
+    /// Streaming-span eligibility scans that found no batchable span —
+    /// pure overhead, the hot-load pathology this counter exists to
+    /// watch (event engine only).
+    pub span_scans_failed: u64,
+}
+
 /// Complete results of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimResults {
@@ -102,6 +132,9 @@ pub struct SimResults {
     /// Per-channel utilisation over the measurement window (fraction of
     /// cycles the channel moved a flit), indexed by `ChannelId`.
     pub channel_utilization: Vec<f64>,
+    /// Engine-internal work counters (mechanics, not semantics — see
+    /// [`EngineCounters`]).
+    pub engine: EngineCounters,
 }
 
 impl SimResults {

@@ -20,8 +20,8 @@ pub mod prelude {
     pub use noc_queueing::expmax::expected_max_exponentials;
     pub use noc_queueing::mg1::MG1;
     pub use noc_sim::{
-        build_engine, record_trace, ArrivalProcess, EngineKind, EventSimulator, SimConfig,
-        SimEngine, SimPlan, SimResults, Simulator,
+        build_engine, record_trace, ArrivalProcess, EngineCounters, EngineKind, EventSimulator,
+        SimConfig, SimEngine, SimPlan, SimResults, Simulator,
     };
     pub use noc_topology::{
         Hypercube, Mesh, MeshKind, MulticastRouting, NodeId, PortId, Quarc, Ring, RoutingError,

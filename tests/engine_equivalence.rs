@@ -212,6 +212,36 @@ fn saturating_runs_break_identically() {
 }
 
 #[test]
+fn mesh_saturated_load_breaks_identically() {
+    // Saturated mesh: the calendar queue sees dense same-cycle arrival
+    // bursts and the span-scan backoff is maximally engaged; the early
+    // backlog break must still land on the same cycle with identical
+    // statistics.
+    let topo = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 41);
+    let wl = Workload::new(64, 0.8, 0.5, sets).unwrap();
+    let mut cfg = SimConfig::quick(41);
+    cfg.backlog_limit = 2_000;
+    let (cycle, event) = both(&topo, &wl, cfg);
+    assert!(cycle.saturated, "rate 0.8 with 64-flit messages saturates");
+    assert_runs_identical(&cycle, &event, "mesh saturated");
+}
+
+#[test]
+fn torus_saturated_load_breaks_identically() {
+    // Same probe on the torus, whose wraparound channels give the
+    // dateline vc switch plenty of exercise under full backpressure.
+    let topo = Mesh::new(4, 4, MeshKind::Torus).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 43);
+    let wl = Workload::new(64, 0.8, 0.5, sets).unwrap();
+    let mut cfg = SimConfig::quick(43);
+    cfg.backlog_limit = 2_000;
+    let (cycle, event) = both(&topo, &wl, cfg);
+    assert!(cycle.saturated, "rate 0.8 with 64-flit messages saturates");
+    assert_runs_identical(&cycle, &event, "torus saturated");
+}
+
+#[test]
 fn near_knee_load_identical() {
     // Heavy-but-draining load: the event engine spends most cycles in
     // active stepping rather than skipping; equality must still be exact.
