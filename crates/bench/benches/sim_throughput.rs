@@ -60,7 +60,7 @@ fn panels() -> Vec<Panel> {
             let topo = Quarc::new(n).unwrap();
             let sets = DestinationSets::random(&topo, n / 4, 1);
             let wl_proto = Workload::new(32, 0.004, 0.05, sets).unwrap();
-            let plan = SimPlan::build(&topo, &wl_proto);
+            let plan = SimPlan::build(&topo, &wl_proto).expect("plan builds");
             Panel {
                 n,
                 topo,

@@ -55,11 +55,13 @@ fn main() -> Result<()> {
         "scheme",
         "rate",
         "model_mc",
+        "bound_mc",
         "sim_mc",
         "err_mc%",
         "model_applicable",
         "sim_sat",
     ]);
+    let mut bound_violations = 0usize;
     for topology in topologies {
         let workload = WorkloadSpec::new(16, 0.05, MulticastPattern::Random { group: 4 });
         // One rate grid per topology, anchored at the *path-based*
@@ -97,6 +99,7 @@ fn main() -> Result<()> {
                     // anchored at *path-based* saturation, which lower-
                     // capacity schemes exceed) as "saturated", not NaN.
                     fmt_latency(p.model_multicast),
+                    fmt_latency(p.bound_multicast),
                     format!("{:.2}", p.sim_multicast),
                     p.multicast_error()
                         .map(|e| format!("{:.1}", e * 100.0))
@@ -104,6 +107,18 @@ fn main() -> Result<()> {
                     if p.model_applicable { "yes" } else { "no" }.into(),
                     if p.sim_saturated { "yes" } else { "no" }.into(),
                 ]);
+                if p.bound_multicast.is_finite()
+                    && p.sim_multicast.is_finite()
+                    && !p.sim_saturated
+                    && p.bound_multicast < p.sim_multicast
+                {
+                    bound_violations += 1;
+                    eprintln!(
+                        "BOUND VIOLATION: {topology}/{routing} rate {:.5}: \
+                         calculus bound {:.2} < simulated mean {:.2}",
+                        p.rate, p.bound_multicast, p.sim_multicast
+                    );
+                }
             }
             if opts.json {
                 let path = result.write_json(&opts.out)?;
@@ -136,6 +151,10 @@ fn main() -> Result<()> {
          see (model_applicable = no). The dual-path/multipath gaps are the ablation:\n\
          where partitioning the destination set shifts the latency curve (cf.\n\
          arXiv:1610.00751, arXiv:2108.00566)."
+    );
+    assert_eq!(
+        bound_violations, 0,
+        "{bound_violations} network-calculus bound(s) fell below the simulated mean"
     );
     Ok(())
 }

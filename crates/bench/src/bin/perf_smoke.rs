@@ -115,7 +115,7 @@ fn main() {
     let topo = Quarc::new(n).unwrap();
     let sets = DestinationSets::random(&topo, n / 4, 1);
     let wl = Workload::new(32, rate, 0.05, sets).unwrap();
-    let plan = SimPlan::build(&topo, &wl);
+    let plan = SimPlan::build(&topo, &wl).expect("plan builds");
 
     println!("== Perf smoke: quarc n={n} @ rate {rate} (past the knee) ==\n");
     let (cycle_ms, event_ms, ratio, cycle_res, event_res) =

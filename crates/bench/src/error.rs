@@ -117,6 +117,20 @@ impl From<ModelError> for Error {
     }
 }
 
+impl From<noc_sim::PlanError> for Error {
+    fn from(e: noc_sim::PlanError) -> Self {
+        match e {
+            noc_sim::PlanError::Pattern(p) => Error::Pattern(p),
+            noc_sim::PlanError::Routing(r) => Error::Routing(r),
+            noc_sim::PlanError::Traffic(t) => Error::Workload(WorkloadError::Traffic(t)),
+            e @ (noc_sim::PlanError::TooFewNodes(_)
+            | noc_sim::PlanError::EmptyMulticastSet { .. }) => {
+                Error::InvalidScenario(e.to_string())
+            }
+        }
+    }
+}
+
 impl From<serde::Error> for Error {
     fn from(e: serde::Error) -> Self {
         Error::Serde(e)
@@ -154,6 +168,12 @@ mod tests {
             .into(),
             SweepError::TooFewPoints(1).into(),
             ModelError::NonConcurrentMulticast.into(),
+            noc_sim::PlanError::EmptyMulticastSet { node: 3 }.into(),
+            noc_sim::PlanError::Routing(RoutingError::SingleInjectionPort {
+                scheme: "multipath",
+                ports: 1,
+            })
+            .into(),
             serde::Error::custom("bad json").into(),
             std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
             Error::InvalidScenario("replicates must be >= 1".into()),

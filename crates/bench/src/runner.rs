@@ -25,7 +25,7 @@ use noc_sim::{build_engine_with_plan, SimPlan, SimResults};
 use noc_topology::NodeId;
 use noc_workloads::parallel::{effective_threads, parallel_map};
 use noc_workloads::table::{fmt_latency, Table};
-use quarc_core::AnalyticModel;
+use quarc_core::{BackendSpec, ModelBackend, NetworkCalculusBackend};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -52,12 +52,23 @@ pub struct Progress {
 pub struct PointResult {
     /// Generation rate (messages/node/cycle).
     pub rate: f64,
-    /// Model unicast latency (`NaN` beyond the model's saturation or
-    /// without an overlay).
+    /// Mean-prediction unicast latency from the scenario's selected
+    /// backend (`NaN` beyond that backend's saturation or without an
+    /// overlay).
     pub model_unicast: f64,
-    /// Model multicast latency (`NaN` beyond the model's saturation or
-    /// without an overlay).
+    /// Mean-prediction multicast latency from the scenario's selected
+    /// backend (`NaN` beyond that backend's saturation or without an
+    /// overlay).
     pub model_multicast: f64,
+    /// Worst-case unicast latency bound from the network-calculus
+    /// backend, evaluated alongside the mean overlay (`NaN` without an
+    /// overlay or past the calculus stability horizon). Wherever finite,
+    /// `bound ≥ simulated mean` is the cross-validation invariant.
+    pub bound_unicast: f64,
+    /// Worst-case multicast latency bound from the network-calculus
+    /// backend (`NaN` without an overlay or past the calculus stability
+    /// horizon).
+    pub bound_multicast: f64,
     /// Is the analytical overlay inside its applicability domain? `false`
     /// when the scenario's traffic spec is not the memoryless (Poisson)
     /// process the model assumes, or when its routing scheme's streams
@@ -79,16 +90,24 @@ pub struct PointResult {
     pub sim_saturated: bool,
 }
 
-// Hand-written so results persisted before the traffic subsystem (no
-// `model_applicable` key) stay readable: every pre-subsystem scenario ran
-// Poisson traffic, where the overlay always applies.
+// Hand-written so older persisted results stay readable: files from
+// before the traffic subsystem lack `model_applicable` (every one ran
+// Poisson traffic, where the overlay always applies), and files from
+// before the backend refactor lack the calculus bounds (absent = never
+// computed = `NaN`, exactly how a disabled overlay reports).
 impl serde::Deserialize for PointResult {
     fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
         let f = |name| serde::de::field(v, "PointResult", name);
+        let opt_nan = |name| match v.get(name) {
+            Some(x) => serde::Deserialize::from_value(x),
+            None => Ok(f64::NAN),
+        };
         Ok(PointResult {
             rate: serde::Deserialize::from_value(f("rate")?)?,
             model_unicast: serde::Deserialize::from_value(f("model_unicast")?)?,
             model_multicast: serde::Deserialize::from_value(f("model_multicast")?)?,
+            bound_unicast: opt_nan("bound_unicast")?,
+            bound_multicast: opt_nan("bound_multicast")?,
             model_applicable: match v.get("model_applicable") {
                 Some(b) => serde::Deserialize::from_value(b)?,
                 None => true,
@@ -169,6 +188,61 @@ impl ScenarioResult {
         t
     }
 
+    /// Render the worst-case-bound curve as a table (one row per rate):
+    /// the network-calculus bound against the simulated mean, with the
+    /// `bound ≥ sim` cross-validation verdict per row (`-` where either
+    /// side is unavailable). Kept separate from [`ScenarioResult::table`],
+    /// whose column set is golden-locked.
+    pub fn bounds_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "rate",
+            "bound_uni",
+            "sim_uni",
+            "bound_mc",
+            "sim_mc",
+            "mc_ci95",
+            "sim_sat",
+            "bound_ok",
+        ]);
+        for p in &self.points {
+            let ok = |bound: f64, sim: f64| {
+                if bound.is_finite() && sim.is_finite() {
+                    Some(bound >= sim)
+                } else {
+                    None
+                }
+            };
+            let verdict = match (
+                ok(p.bound_unicast, p.sim_unicast),
+                ok(p.bound_multicast, p.sim_multicast),
+            ) {
+                (None, None) => "-".into(),
+                (u, m) => {
+                    if u != Some(false) && m != Some(false) {
+                        "yes".into()
+                    } else {
+                        "NO".to_string()
+                    }
+                }
+            };
+            t.push_row(vec![
+                format!("{:.5}", p.rate),
+                fmt_latency(p.bound_unicast),
+                fmt_latency(p.sim_unicast),
+                fmt_latency(p.bound_multicast),
+                fmt_latency(p.sim_multicast),
+                if p.sim_multicast_ci.is_finite() {
+                    format!("{:.2}", p.sim_multicast_ci)
+                } else {
+                    "-".into()
+                },
+                if p.sim_saturated { "yes" } else { "no" }.into(),
+                verdict,
+            ]);
+        }
+        t
+    }
+
     /// The latency curve as CSV.
     pub fn to_csv(&self) -> String {
         self.table().to_csv()
@@ -244,7 +318,7 @@ impl Runner {
 
         // One plan for the whole sweep: unicast paths, multicast streams
         // and absorb schedules depend only on (topology, destination sets).
-        let plan = SimPlan::build(topo.as_ref(), &proto);
+        let plan = SimPlan::build(topo.as_ref(), &proto)?;
 
         let jobs: Vec<(f64, u32)> = sweep
             .rates()
@@ -257,14 +331,26 @@ impl Runner {
         let samples = parallel_map(&jobs, effective_threads(self.threads), |&(rate, rep)| {
             let wl = proto.at_rate(rate)?;
             // The overlay is rate- but not replicate-dependent: evaluate
-            // it once, on the first replicate.
-            let (model_unicast, model_multicast) = match sc.model {
-                Some(mo) if rep == 0 => match AnalyticModel::new(topo.as_ref(), &wl, mo).evaluate()
-                {
-                    Ok(p) => (p.unicast_latency, p.multicast_latency),
-                    Err(_) => (f64::NAN, f64::NAN),
-                },
-                _ => (f64::NAN, f64::NAN),
+            // it once, on the first replicate. The selected backend gives
+            // the mean prediction; the network-calculus backend is
+            // additionally evaluated for the worst-case bound (shared
+            // when it *is* the selected backend).
+            let nan2 = (f64::NAN, f64::NAN);
+            let (model, bound) = match sc.model {
+                Some(mo) if rep == 0 => {
+                    let eval = |b: &dyn ModelBackend| match b.evaluate(topo.as_ref(), &wl, &mo) {
+                        Ok(p) => (p.unicast_latency, p.multicast_latency),
+                        Err(_) => nan2,
+                    };
+                    let model = eval(mo.backend.backend());
+                    let bound = if mo.backend == BackendSpec::NetworkCalculus {
+                        model
+                    } else {
+                        eval(&NetworkCalculusBackend)
+                    };
+                    (model, bound)
+                }
+                _ => (nan2, nan2),
             };
             let mut cfg = sc.sim;
             cfg.seed = sc.seed.wrapping_add(rep as u64);
@@ -278,7 +364,7 @@ impl Runner {
                     replicate: rep,
                 });
             }
-            Ok::<_, Error>((model_unicast, model_multicast, res))
+            Ok::<_, Error>(JobSample { model, bound, res })
         });
 
         let mut flat = Vec::with_capacity(samples.len());
@@ -287,17 +373,16 @@ impl Runner {
         }
 
         let reps = sc.replicates as usize;
-        // The model assumes Poisson arrivals and asynchronous per-port
-        // streams; overlays computed under any other traffic spec or
-        // routing scheme are annotated as out-of-domain.
-        let model_applicable =
-            sc.workload.traffic.is_poisson() && sc.workload.routing.model_applicable();
+        // Overlays evaluated outside the selected backend's assumption
+        // domain (e.g. M/G/1 under bursty traffic or `Multipath`/
+        // `UnicastTree` streams) are annotated as out-of-domain.
+        let model_applicable = model_opts.backend.backend().applicable(&proto);
         let mut points = Vec::with_capacity(sweep.len());
         let mut sims: Vec<Vec<SimResults>> = Vec::with_capacity(sweep.len());
         for (i, &rate) in sweep.rates().iter().enumerate() {
             let group = &flat[i * reps..(i + 1) * reps];
             points.push(aggregate(rate, group, model_applicable));
-            sims.push(group.iter().map(|(_, _, res)| res.clone()).collect());
+            sims.push(group.iter().map(|s| s.res.clone()).collect());
         }
 
         Ok(ScenarioResult {
@@ -315,7 +400,7 @@ impl Runner {
         sc.validate()?;
         let (topo, proto) = sc.materialize()?;
         let idle = proto.at_rate(0.0)?;
-        let plan = SimPlan::build(topo.as_ref(), &idle);
+        let plan = SimPlan::build(topo.as_ref(), &idle)?;
         let mut cfg = sc.sim;
         cfg.seed = sc.seed;
         let mut engine = build_engine_with_plan(topo.as_ref(), &idle, cfg, plan);
@@ -323,42 +408,68 @@ impl Runner {
     }
 }
 
+/// One completed `(rate, replicate)` job: the analytical overlays
+/// (evaluated on replicate 0 only, `NaN` elsewhere) and the simulator
+/// output.
+struct JobSample {
+    /// Selected-backend mean prediction `(unicast, multicast)`.
+    model: (f64, f64),
+    /// Network-calculus worst-case bound `(unicast, multicast)`.
+    bound: (f64, f64),
+    res: SimResults,
+}
+
+impl std::fmt::Debug for JobSample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSample")
+            .field("model", &self.model)
+            .field("bound", &self.bound)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Collapse one sweep rate's replicates into a [`PointResult`]. A single
 /// replicate passes through exactly (no re-aggregation); multiple
 /// replicates report the across-replicate mean with a normal-theory CI
 /// over the replicate means.
-fn aggregate(rate: f64, group: &[(f64, f64, SimResults)], model_applicable: bool) -> PointResult {
-    let (model_unicast, model_multicast, first) = &group[0];
+fn aggregate(rate: f64, group: &[JobSample], model_applicable: bool) -> PointResult {
+    let first = &group[0];
+    let (model_unicast, model_multicast) = first.model;
+    let (bound_unicast, bound_multicast) = first.bound;
     if group.len() == 1 {
         return PointResult {
             rate,
-            model_unicast: *model_unicast,
-            model_multicast: *model_multicast,
+            model_unicast,
+            model_multicast,
+            bound_unicast,
+            bound_multicast,
             model_applicable,
-            sim_unicast: first.unicast.mean,
-            sim_multicast: first.multicast.mean,
-            sim_multicast_ci: first.multicast.ci95,
-            sim_saturated: first.saturated,
+            sim_unicast: first.res.unicast.mean,
+            sim_multicast: first.res.multicast.mean,
+            sim_multicast_ci: first.res.multicast.ci95,
+            sim_saturated: first.res.saturated,
         };
     }
     let n = group.len() as f64;
-    let mean = |f: &dyn Fn(&SimResults) -> f64| group.iter().map(|(_, _, r)| f(r)).sum::<f64>() / n;
+    let mean = |f: &dyn Fn(&SimResults) -> f64| group.iter().map(|s| f(&s.res)).sum::<f64>() / n;
     let sim_unicast = mean(&|r| r.unicast.mean);
     let sim_multicast = mean(&|r| r.multicast.mean);
     let var = group
         .iter()
-        .map(|(_, _, r)| (r.multicast.mean - sim_multicast).powi(2))
+        .map(|s| (s.res.multicast.mean - sim_multicast).powi(2))
         .sum::<f64>()
         / (n - 1.0);
     PointResult {
         rate,
-        model_unicast: *model_unicast,
-        model_multicast: *model_multicast,
+        model_unicast,
+        model_multicast,
+        bound_unicast,
+        bound_multicast,
         model_applicable,
         sim_unicast,
         sim_multicast,
         sim_multicast_ci: 1.96 * (var / n).sqrt(),
-        sim_saturated: group.iter().any(|(_, _, r)| r.saturated),
+        sim_saturated: group.iter().any(|s| s.res.saturated),
     }
 }
 
@@ -458,6 +569,70 @@ mod tests {
             assert!(!p.model_applicable, "bursty traffic is outside the model");
             // The overlay is still evaluated — divergence is the point.
             assert!(p.model_multicast.is_finite());
+        }
+    }
+
+    #[test]
+    fn calculus_bound_dominates_simulation() {
+        let sc = quick_scenario();
+        let res = Runner::new().run(&sc).unwrap();
+        let finite = res
+            .points
+            .iter()
+            .filter(|p| p.bound_multicast.is_finite())
+            .count();
+        assert!(finite >= 1, "some point must carry a finite bound");
+        for p in &res.points {
+            if !p.sim_saturated {
+                if p.bound_multicast.is_finite() {
+                    assert!(
+                        p.bound_multicast >= p.sim_multicast,
+                        "rate {}: bound {} below simulated mean {}",
+                        p.rate,
+                        p.bound_multicast,
+                        p.sim_multicast
+                    );
+                }
+                if p.bound_unicast.is_finite() {
+                    assert!(p.bound_unicast >= p.sim_unicast);
+                }
+            }
+        }
+        let bt = res.bounds_table().to_csv();
+        assert_eq!(bt.lines().count(), 3, "header + one row per rate");
+        assert!(!bt.contains(",NO"), "no bound violations:\n{bt}");
+    }
+
+    #[test]
+    fn nc_backend_anchors_multipath_saturation_sweeps() {
+        use noc_topology::RoutingSpec;
+        use quarc_core::{BackendSpec, ModelOptions};
+        // Multipath + saturation-relative sweep: the M/G/1 anchor is
+        // inapplicable, so resolve() must re-route to the calculus
+        // backend — whose anchored fractions stay below real saturation.
+        let mut sc = quick_scenario();
+        sc.workload.routing = RoutingSpec::Multipath;
+        sc.model = Some(ModelOptions {
+            backend: BackendSpec::NetworkCalculus,
+            ..ModelOptions::default()
+        });
+        sc.sweep = SweepSpec::SaturationFractions {
+            fractions: vec![0.5, 0.9],
+        };
+        let res = Runner::new().run(&sc).unwrap();
+        assert_eq!(res.points.len(), 2);
+        for p in &res.points {
+            assert!(p.model_applicable, "the calculus backend always applies");
+            assert!(
+                p.model_multicast.is_finite(),
+                "every point carries a finite prediction at rate {}",
+                p.rate
+            );
+            assert_eq!(
+                p.model_multicast, p.bound_multicast,
+                "selected backend IS the bound backend — evaluated once"
+            );
+            assert!(!p.sim_saturated, "calculus-anchored rates stay stable");
         }
     }
 

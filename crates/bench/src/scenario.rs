@@ -26,7 +26,7 @@ use noc_topology::{NodeId, Topology, TopologySpec};
 use noc_workloads::{
     DestinationSets, RateSweep, RoutingSpec, TrafficSpec, UnicastPattern, Workload,
 };
-use quarc_core::{max_sustainable_rate, ModelOptions};
+use quarc_core::{BackendSpec, ModelOptions};
 use serde::{Deserialize, Serialize};
 
 /// Placeholder generation rate of workload *prototypes*: low enough that
@@ -250,13 +250,30 @@ impl SweepSpec {
 
     /// Resolve to concrete rates on a topology/workload, evaluating the
     /// saturation point with `model` where the spec is saturation-relative.
+    ///
+    /// The saturation anchor comes from `model.backend` — unless that
+    /// backend's assumptions do not hold for `proto` (e.g. the M/G/1
+    /// model under `Multipath` routing or bursty traffic), in which case
+    /// the always-applicable network-calculus backend anchors the sweep
+    /// instead. Anchoring on an inapplicable backend used to place
+    /// "0.9 × saturation" at or past the *real* saturation point.
     pub fn resolve(
         &self,
         topo: &dyn Topology,
         proto: &Workload,
         model: ModelOptions,
     ) -> Result<RateSweep> {
-        let sat = || max_sustainable_rate(topo, proto, model, SATURATION_TOL).max(1e-5);
+        let sat = || {
+            let anchor = if model.backend.backend().applicable(proto) {
+                model.backend
+            } else {
+                BackendSpec::NetworkCalculus
+            };
+            anchor
+                .backend()
+                .max_sustainable_rate(topo, proto, &model, SATURATION_TOL)
+                .max(1e-5)
+        };
         let sweep = match self {
             SweepSpec::Explicit { rates } => RateSweep::explicit(rates.clone())?,
             SweepSpec::Linear { lo, hi, points } => RateSweep::linear(*lo, *hi, *points)?,

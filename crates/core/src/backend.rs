@@ -1,0 +1,240 @@
+//! Pluggable analytical backends behind the [`ModelBackend`] trait.
+//!
+//! The paper's M/G/1 fixed-point model ([`MgOneBackend`]) predicts *mean*
+//! latencies but is only sound for Poisson sources and the path-based /
+//! dual-path stream structure; the network-calculus backend
+//! ([`NetworkCalculusBackend`], [`crate::calculus`]) produces worst-case
+//! *bounds* for every traffic process and routing scheme. The experiment
+//! layer selects one via the serializable [`BackendSpec`] and, crucially,
+//! anchors saturation-relative sweeps on a backend that is actually
+//! applicable to the prototype workload instead of silently trusting the
+//! M/G/1 estimate outside its domain.
+//!
+//! ```text
+//!                 ┌──────────────────────────────┐
+//!   BackendSpec ──│ trait ModelBackend           │
+//!    (serde)      │  code / applicable           │
+//!                 │  evaluate -> Prediction      │
+//!                 │  max_sustainable_rate        │
+//!                 └──────┬───────────────┬───────┘
+//!                        │               │
+//!                 MgOneBackend   NetworkCalculusBackend
+//!                 (mean, Eq.3–16) (worst-case (σ,ρ) bounds)
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{AnalyticModel, ModelError, Prediction};
+use crate::options::ModelOptions;
+use crate::saturation::bisect_max_rate;
+use noc_topology::Topology;
+use noc_workloads::Workload;
+
+pub use crate::calculus::NetworkCalculusBackend;
+
+/// An analytical model of the network: given a workload on a topology it
+/// predicts per-point latencies and, by bisection, the largest sustainable
+/// generation rate.
+///
+/// [`MgOneBackend`] predictions are *means*; [`NetworkCalculusBackend`]
+/// predictions are *worst-case bounds*. Both fill the same [`Prediction`]
+/// shape so the experiment layer can overlay either against simulation.
+pub trait ModelBackend: Sync {
+    /// Short machine-readable identifier (`"mg1"`, `"nc"`).
+    fn code(&self) -> &'static str;
+
+    /// Whether this backend's assumptions hold for the workload. An
+    /// inapplicable backend may still evaluate (the number is then an
+    /// uncontrolled extrapolation); sweep anchoring refuses to use it.
+    fn applicable(&self, wl: &Workload) -> bool;
+
+    /// Evaluate the model at the workload's generation rate.
+    fn evaluate(
+        &self,
+        topo: &dyn Topology,
+        wl: &Workload,
+        opts: &ModelOptions,
+    ) -> Result<Prediction, ModelError>;
+
+    /// The largest generation rate this backend considers sustainable on
+    /// `topo`, found by exponential search + bisection over
+    /// [`evaluate`](Self::evaluate) outcomes. `proto` supplies everything
+    /// but the rate (message length, multicast fraction, destination
+    /// sets, traffic shape, routing scheme); `tol` is the relative
+    /// precision of the bisection.
+    fn max_sustainable_rate(
+        &self,
+        topo: &dyn Topology,
+        proto: &Workload,
+        opts: &ModelOptions,
+        tol: f64,
+    ) -> f64 {
+        bisect_max_rate(tol, |rate| {
+            if rate <= 0.0 {
+                return true;
+            }
+            let Ok(wl) = proto.at_rate(rate) else {
+                return false;
+            };
+            self.evaluate(topo, &wl, opts).is_ok()
+        })
+    }
+}
+
+/// The paper's M/G/1 mean-value model (Eq. 3–16) as a backend: thin
+/// adapter over [`AnalyticModel`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MgOneBackend;
+
+impl ModelBackend for MgOneBackend {
+    fn code(&self) -> &'static str {
+        "mg1"
+    }
+
+    fn applicable(&self, wl: &Workload) -> bool {
+        // The derivation assumes memoryless arrivals and asynchronous
+        // per-port multicast streams — exactly the Runner's historical
+        // `model_applicable` stamp.
+        wl.traffic.is_poisson() && wl.routing.model_applicable()
+    }
+
+    fn evaluate(
+        &self,
+        topo: &dyn Topology,
+        wl: &Workload,
+        opts: &ModelOptions,
+    ) -> Result<Prediction, ModelError> {
+        AnalyticModel::new(topo, wl, *opts).evaluate()
+    }
+}
+
+impl ModelBackend for NetworkCalculusBackend {
+    fn code(&self) -> &'static str {
+        "nc"
+    }
+
+    fn applicable(&self, _wl: &Workload) -> bool {
+        // Envelopes exist for every TrafficSpec and the stream walks for
+        // every RoutingSpec; the only domain boundary (non-concurrent
+        // multicast hardware) is shared with M/G/1 and reported as a
+        // typed evaluate error, matching that backend's contract.
+        true
+    }
+
+    fn evaluate(
+        &self,
+        topo: &dyn Topology,
+        wl: &Workload,
+        opts: &ModelOptions,
+    ) -> Result<Prediction, ModelError> {
+        self.evaluate_bounds(topo, wl, opts)
+    }
+}
+
+/// Serializable selector for a [`ModelBackend`], carried by
+/// [`ModelOptions`]. The default keeps the paper's
+/// M/G/1 model and thus every historical scenario/golden byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendSpec {
+    /// The paper's M/G/1 fixed-point mean-value model ([`MgOneBackend`]).
+    #[default]
+    MgOne,
+    /// Worst-case network-calculus bounds ([`NetworkCalculusBackend`]).
+    NetworkCalculus,
+}
+
+/// Every backend, in selector order — for ablation sweeps over backends.
+pub const ALL_BACKENDS: [BackendSpec; 2] = [BackendSpec::MgOne, BackendSpec::NetworkCalculus];
+
+impl BackendSpec {
+    /// The backend this selector names.
+    pub fn backend(self) -> &'static dyn ModelBackend {
+        match self {
+            BackendSpec::MgOne => &MgOneBackend,
+            BackendSpec::NetworkCalculus => &NetworkCalculusBackend,
+        }
+    }
+
+    /// Short machine-readable identifier (`"mg1"`, `"nc"`).
+    pub fn code(self) -> &'static str {
+        self.backend().code()
+    }
+}
+
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::{Quarc, RoutingSpec};
+    use noc_workloads::{DestinationSets, TrafficSpec};
+
+    fn workload(alpha: f64) -> (Quarc, Workload) {
+        let topo = Quarc::new(16).unwrap();
+        let sets = DestinationSets::random(&topo, 4, 7);
+        let wl = Workload::new(32, 0.002, alpha, sets).unwrap();
+        (topo, wl)
+    }
+
+    #[test]
+    fn applicability_matrix() {
+        let (_topo, wl) = workload(0.1);
+        assert!(MgOneBackend.applicable(&wl));
+        assert!(NetworkCalculusBackend.applicable(&wl));
+        let multipath = wl.clone().with_routing(RoutingSpec::Multipath);
+        assert!(!MgOneBackend.applicable(&multipath));
+        assert!(NetworkCalculusBackend.applicable(&multipath));
+        let bursty = wl.with_traffic(TrafficSpec::OnOff {
+            burst_len: 8.0,
+            peak_rate: 0.2,
+        });
+        assert!(!MgOneBackend.applicable(&bursty));
+        assert!(NetworkCalculusBackend.applicable(&bursty));
+    }
+
+    #[test]
+    fn mg1_backend_matches_the_direct_model() {
+        let (topo, wl) = workload(0.1);
+        let opts = ModelOptions::default();
+        let via_backend = MgOneBackend.evaluate(&topo, &wl, &opts).unwrap();
+        let direct = AnalyticModel::new(&topo, &wl, opts).evaluate().unwrap();
+        assert_eq!(via_backend.unicast_latency, direct.unicast_latency);
+        assert_eq!(via_backend.multicast_latency, direct.multicast_latency);
+    }
+
+    #[test]
+    fn backend_trait_saturation_matches_the_free_function() {
+        let (topo, wl) = workload(0.1);
+        let proto = wl.at_rate(1e-5).unwrap();
+        let opts = ModelOptions::default();
+        let via_trait = MgOneBackend.max_sustainable_rate(&topo, &proto, &opts, 0.01);
+        let via_free = crate::saturation::max_sustainable_rate(&topo, &proto, opts, 0.01);
+        assert_eq!(via_trait, via_free);
+    }
+
+    #[test]
+    fn spec_resolves_codes_and_display() {
+        assert_eq!(BackendSpec::default(), BackendSpec::MgOne);
+        assert_eq!(BackendSpec::MgOne.code(), "mg1");
+        assert_eq!(BackendSpec::NetworkCalculus.code(), "nc");
+        assert_eq!(format!("{}", BackendSpec::NetworkCalculus), "nc");
+        for spec in ALL_BACKENDS {
+            assert_eq!(spec.backend().code(), spec.code());
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        for spec in ALL_BACKENDS {
+            let json = serde::json::to_string_pretty(&spec);
+            let back: BackendSpec = serde::json::from_str(&json).expect("round trip parses");
+            assert_eq!(back, spec);
+        }
+    }
+}

@@ -34,10 +34,21 @@
 //! [`ModelOptions`] exposes both choices so the ablation benches can
 //! quantify them: the M/G/1 prefactor ([`WaitingFormula`]) and the
 //! self-traffic correction factor of Eq. 6 ([`ServiceCorrection`]).
+//!
+//! ## Backends
+//!
+//! The M/G/1 pipeline above is one of two interchangeable analytical
+//! backends behind the [`ModelBackend`] trait ([`backend`]): the paper's
+//! mean-value model ([`MgOneBackend`]) and a distribution-free
+//! network-calculus bound ([`NetworkCalculusBackend`], [`calculus`]) that
+//! stays sound for bursty traffic and every routing scheme. The
+//! serializable [`BackendSpec`] selects one per scenario.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod calculus;
 pub mod model;
 pub mod multicast;
 pub mod options;
@@ -46,9 +57,11 @@ pub mod saturation;
 pub mod service;
 pub mod unicast;
 
+pub use backend::{BackendSpec, MgOneBackend, ModelBackend, NetworkCalculusBackend, ALL_BACKENDS};
+pub use calculus::ChannelBounds;
 pub use model::{AnalyticModel, ModelError, Prediction};
 pub use noc_queueing::mg1::WaitingFormula;
 pub use options::{ModelOptions, ServiceCorrection};
 pub use rates::ChannelLoads;
-pub use saturation::max_sustainable_rate;
+pub use saturation::{bisect_max_rate, max_sustainable_rate};
 pub use service::ServiceSolution;

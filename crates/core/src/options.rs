@@ -1,5 +1,6 @@
 //! Model configuration.
 
+use crate::backend::BackendSpec;
 use noc_queueing::fixed_point::FixedPoint;
 use noc_queueing::mg1::WaitingFormula;
 use serde::{Deserialize, Serialize};
@@ -40,7 +41,7 @@ impl ServiceCorrection {
 }
 
 /// All model fidelity knobs.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
 pub struct ModelOptions {
     /// Which algebraic form of the M/G/1 waiting time to use (Eq. 3).
     pub formula: WaitingFormula,
@@ -53,6 +54,41 @@ pub struct ModelOptions {
     pub clone_ejection_load: bool,
     /// Fixed-point solver settings for the service recursion.
     pub fixed_point: FixedPoint,
+    /// Which analytical backend evaluates the model and anchors
+    /// saturation-relative sweeps ([`crate::backend`]). The default is
+    /// the paper's M/G/1 model, keeping historical scenarios and result
+    /// files byte-identical.
+    pub backend: BackendSpec,
+}
+
+// Manual impl (instead of derive) so option files written before the
+// backend selector existed still parse: a missing `backend` key means the
+// M/G/1 model, which is what those files meant.
+impl Deserialize for ModelOptions {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ModelOptions {
+            formula: Deserialize::from_value(serde::de::field(v, "ModelOptions", "formula")?)?,
+            correction: Deserialize::from_value(serde::de::field(
+                v,
+                "ModelOptions",
+                "correction",
+            )?)?,
+            clone_ejection_load: Deserialize::from_value(serde::de::field(
+                v,
+                "ModelOptions",
+                "clone_ejection_load",
+            )?)?,
+            fixed_point: Deserialize::from_value(serde::de::field(
+                v,
+                "ModelOptions",
+                "fixed_point",
+            )?)?,
+            backend: match v.get("backend") {
+                Some(b) => Deserialize::from_value(b)?,
+                None => BackendSpec::default(),
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +116,34 @@ mod tests {
         assert_eq!(o.formula, WaitingFormula::PollaczekKhinchine);
         assert_eq!(o.correction, ServiceCorrection::SelfExcluding);
         assert!(!o.clone_ejection_load);
+        assert_eq!(o.backend, BackendSpec::MgOne);
+    }
+
+    #[test]
+    fn options_round_trip_with_backend() {
+        let opts = ModelOptions {
+            backend: BackendSpec::NetworkCalculus,
+            ..ModelOptions::default()
+        };
+        let json = serde::json::to_string_pretty(&opts);
+        let back: ModelOptions = serde::json::from_str(&json).expect("round trip parses");
+        assert_eq!(back, opts);
+    }
+
+    #[test]
+    fn pre_backend_option_files_stay_readable() {
+        // Serialized before the backend selector existed: the missing key
+        // must mean the M/G/1 model, not a parse error.
+        let legacy = r#"{
+            "formula": "PollaczekKhinchine",
+            "correction": "SelfExcluding",
+            "clone_ejection_load": false,
+            "fixed_point": {
+                "tolerance": 1e-9, "damping": 0.7,
+                "max_iterations": 10000, "bound": 1e12
+            }
+        }"#;
+        let opts: ModelOptions = serde::json::from_str(legacy).expect("legacy files parse");
+        assert_eq!(opts, ModelOptions::default());
     }
 }

@@ -6,13 +6,17 @@
 //! natural x-axis range, like the paper's curves which end just before the
 //! latency asymptote.
 
-use crate::model::{AnalyticModel, ModelError};
+use crate::backend::{MgOneBackend, ModelBackend};
 use crate::options::ModelOptions;
 use noc_topology::Topology;
 use noc_workloads::Workload;
 
-/// Largest generation rate (messages/node/cycle) the model deems stable,
-/// found by bisection within `tol` relative precision.
+/// Largest generation rate (messages/node/cycle) the paper's M/G/1 model
+/// deems stable, found by bisection within `tol` relative precision.
+///
+/// Thin wrapper over
+/// [`MgOneBackend::max_sustainable_rate`](ModelBackend::max_sustainable_rate);
+/// other backends answer the same question through the trait.
 ///
 /// Returns 0.0 if even the smallest probed rate saturates.
 pub fn max_sustainable_rate(
@@ -21,20 +25,16 @@ pub fn max_sustainable_rate(
     opts: ModelOptions,
     tol: f64,
 ) -> f64 {
-    let stable = |rate: f64| -> bool {
-        if rate <= 0.0 {
-            return true;
-        }
-        let Ok(wl) = proto.at_rate(rate) else {
-            return false;
-        };
-        match AnalyticModel::new(topo, &wl, opts).evaluate() {
-            Ok(_) => true,
-            Err(ModelError::Saturated { .. }) => false,
-            Err(ModelError::NonConcurrentMulticast) => false,
-        }
-    };
+    MgOneBackend.max_sustainable_rate(topo, proto, &opts, tol)
+}
 
+/// The bisection driver shared by every backend: the largest rate in
+/// `(0, 0.999]` satisfying `stable`, within `tol` relative precision.
+///
+/// `stable` must be monotone (true below some threshold, false above);
+/// rates `<= 0` must report stable. Returns 0.0 if even the smallest
+/// probed rate (`1e-4`) is unstable.
+pub fn bisect_max_rate(tol: f64, stable: impl Fn(f64) -> bool) -> f64 {
     // Exponential search upward for an unstable bracket.
     let mut lo = 0.0f64;
     let mut hi = 1e-4;
@@ -63,6 +63,7 @@ pub fn max_sustainable_rate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::AnalyticModel;
     use noc_topology::Quarc;
     use noc_workloads::DestinationSets;
 

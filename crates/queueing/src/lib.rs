@@ -15,6 +15,9 @@
 //!   distribution enables tail-latency (p95/p99) predictions.
 //! * [`fixed_point`] — a damped fixed-point driver with divergence
 //!   detection, used by the per-channel service-time recursion (Eq. 6).
+//! * [`network_calculus`] — deterministic (σ, ρ) arrival envelopes and
+//!   worst-case FIFO delay/backlog bounds (the substrate of the
+//!   distribution-free analytical backend; Farhi & Gaujal lineage).
 //! * [`stats`] — Welford accumulators, batch-means confidence intervals and
 //!   fixed-bin histograms for the simulator.
 //! * [`poisson`] — discrete-time Poisson arrival processes for the sources.
@@ -26,6 +29,7 @@ pub mod distribution;
 pub mod expmax;
 pub mod fixed_point;
 pub mod mg1;
+pub mod network_calculus;
 pub mod poisson;
 pub mod stats;
 
@@ -33,5 +37,6 @@ pub use distribution::MaxOfExponentials;
 pub use expmax::{expected_max_exponentials, expected_max_recursive, expected_min_exponentials};
 pub use fixed_point::{FixedPoint, FixedPointError, FixedPointOutcome};
 pub use mg1::{WaitingFormula, MG1};
+pub use network_calculus::ArrivalEnvelope;
 pub use poisson::PoissonProcess;
 pub use stats::{BatchMeans, Histogram, Welford};

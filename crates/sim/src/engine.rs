@@ -114,10 +114,11 @@ impl<'a> Simulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid or if `wl` has a positive
-    /// multicast fraction but an empty destination set on some node.
+    /// Panics if the configuration is invalid or if the workload does not
+    /// fit the topology (see [`crate::plan::PlanError`]); use
+    /// [`SimPlan::build`] + [`Simulator::with_plan`] for typed errors.
     pub fn new(topo: &'a dyn Topology, wl: &'a Workload, cfg: SimConfig) -> Self {
-        let plan = SimPlan::build(topo, wl);
+        let plan = SimPlan::build(topo, wl).unwrap_or_else(|e| panic!("{e}"));
         Simulator::with_plan(topo, wl, cfg, plan)
     }
 
@@ -876,7 +877,7 @@ mod tests {
         let topo = Quarc::new(16).unwrap();
         let sets = DestinationSets::random(&topo, 4, 5);
         let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
-        let plan = SimPlan::build(&topo, &wl);
+        let plan = SimPlan::build(&topo, &wl).expect("plan builds");
         let a = Simulator::new(&topo, &wl, SimConfig::quick(5)).run();
         let b = Simulator::with_plan(&topo, &wl, SimConfig::quick(5), Arc::clone(&plan)).run();
         let c = Simulator::with_plan(&topo, &wl, SimConfig::quick(5), plan).run();

@@ -106,12 +106,20 @@ pub struct EngineAudit {
 }
 
 /// Build the engine selected by `cfg.engine`.
+///
+/// Returns a typed [`PlanError`](crate::plan::PlanError) when the
+/// workload does not fit the topology, instead of panicking.
 pub fn build_engine<'a>(
     topo: &'a dyn Topology,
     wl: &'a Workload,
     cfg: SimConfig,
-) -> Box<dyn SimEngine + 'a> {
-    build_engine_with_plan(topo, wl, cfg, SimPlan::build(topo, wl))
+) -> Result<Box<dyn SimEngine + 'a>, crate::plan::PlanError> {
+    Ok(build_engine_with_plan(
+        topo,
+        wl,
+        cfg,
+        SimPlan::build(topo, wl)?,
+    ))
 }
 
 /// Build the engine selected by `cfg.engine` on a prebuilt [`SimPlan`]

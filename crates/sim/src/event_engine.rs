@@ -156,10 +156,12 @@ impl<'a> EventSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid or if `wl` has a positive
-    /// multicast fraction but an empty destination set on some node.
+    /// Panics if the configuration is invalid or if the workload does not
+    /// fit the topology (see [`crate::plan::PlanError`]); use
+    /// [`SimPlan::build`] + [`EventSimulator::with_plan`] for typed
+    /// errors.
     pub fn new(topo: &'a dyn Topology, wl: &'a Workload, cfg: SimConfig) -> Self {
-        let plan = SimPlan::build(topo, wl);
+        let plan = SimPlan::build(topo, wl).unwrap_or_else(|e| panic!("{e}"));
         EventSimulator::with_plan(topo, wl, cfg, plan)
     }
 

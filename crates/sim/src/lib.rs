@@ -93,6 +93,6 @@ pub use config::{EngineKind, SimConfig};
 pub use engine::Simulator;
 pub use engine_api::{build_engine, build_engine_with_plan, EngineAudit, SimEngine};
 pub use event_engine::EventSimulator;
-pub use plan::SimPlan;
+pub use plan::{PlanError, SimPlan};
 pub use results::{EngineCounters, LatencyStats, SimResults};
 pub use schedule::{record_trace, Arrival, ArrivalProcess, ArrivalStream};

@@ -11,9 +11,78 @@
 //! what makes engine bit-equivalence hold per routing scheme for free.
 
 use crate::message::{absorb_schedule, AbsorbSchedule};
-use noc_topology::{Hop, NodeId, Path, Topology};
-use noc_workloads::Workload;
+use noc_topology::{Hop, NodeId, Path, RoutingError, Topology};
+use noc_workloads::{PatternError, TrafficError, Workload};
+use std::fmt;
 use std::sync::Arc;
+
+/// Why a [`SimPlan`] could not be built from a `(topology, workload)`
+/// pair. Facade users get these as typed errors instead of panics; the
+/// experiment layer folds them into `noc_bench::Error`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// The topology has fewer than two nodes — nothing to route.
+    TooFewNodes(usize),
+    /// The workload's unicast pattern does not fit the topology.
+    Pattern(PatternError),
+    /// The workload's routing scheme is not realizable on the topology.
+    Routing(RoutingError),
+    /// The workload's traffic spec does not fit the topology.
+    Traffic(TrafficError),
+    /// A node has an empty multicast destination set while the workload's
+    /// multicast fraction is positive.
+    EmptyMulticastSet {
+        /// The offending node index.
+        node: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::TooFewNodes(n) => {
+                write!(f, "need at least two nodes to simulate, got {n}")
+            }
+            PlanError::Pattern(e) => write!(f, "unicast pattern does not fit the topology: {e}"),
+            PlanError::Routing(e) => {
+                write!(f, "routing scheme is not realizable on the topology: {e}")
+            }
+            PlanError::Traffic(e) => write!(f, "traffic spec does not fit the topology: {e}"),
+            PlanError::EmptyMulticastSet { node } => {
+                write!(f, "node {node} has an empty multicast set but alpha > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Pattern(e) => Some(e),
+            PlanError::Routing(e) => Some(e),
+            PlanError::Traffic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for PlanError {
+    fn from(e: PatternError) -> Self {
+        PlanError::Pattern(e)
+    }
+}
+
+impl From<RoutingError> for PlanError {
+    fn from(e: RoutingError) -> Self {
+        PlanError::Routing(e)
+    }
+}
+
+impl From<TrafficError> for PlanError {
+    fn from(e: TrafficError) -> Self {
+        PlanError::Traffic(e)
+    }
+}
 
 /// Precomputed multicast stream for one source node.
 #[derive(Clone, Debug)]
@@ -47,36 +116,30 @@ pub struct SimPlan {
 impl SimPlan {
     /// Build the plan for `topo` under `wl`'s destination sets.
     ///
-    /// # Panics
-    ///
-    /// Panics if the topology has fewer than two nodes, if the workload's
-    /// unicast pattern, traffic spec or routing scheme does not fit it,
-    /// or if `wl` has a positive multicast fraction but an empty
-    /// destination set on some node. (The experiment layer surfaces the
-    /// same conditions as typed errors before any plan is built.)
-    pub fn build(topo: &dyn Topology, wl: &Workload) -> Arc<Self> {
+    /// Returns a typed [`PlanError`] if the topology has fewer than two
+    /// nodes, if the workload's unicast pattern, traffic spec or routing
+    /// scheme does not fit it, or if `wl` has a positive multicast
+    /// fraction but an empty destination set on some node. (The
+    /// experiment layer surfaces the same conditions before any plan is
+    /// built; the engine constructors panic on them for test ergonomics.)
+    pub fn build(topo: &dyn Topology, wl: &Workload) -> Result<Arc<Self>, PlanError> {
         let net = topo.network();
         let n = net.num_nodes();
-        assert!(n >= 2, "need at least two nodes");
-        wl.unicast_pattern
-            .validate(n)
-            .expect("unicast pattern must fit the topology");
-        wl.routing
-            .validate(n, net.ports_per_node())
-            .expect("routing scheme must be realizable on the topology");
+        if n < 2 {
+            return Err(PlanError::TooFewNodes(n));
+        }
+        wl.unicast_pattern.validate(n)?;
+        wl.routing.validate(n, net.ports_per_node())?;
         // Shape-only (rate 0.0): the plan is generation-rate independent
         // by contract — it is built once from a placeholder-rate
         // prototype and shared across every swept rate. The engines'
         // stream construction re-validates against the actual rate.
-        wl.traffic
-            .validate(n, 0.0)
-            .expect("traffic spec must fit the topology");
+        wl.traffic.validate(n, 0.0)?;
         if wl.multicast_fraction > 0.0 {
             for i in 0..n {
-                assert!(
-                    !wl.multicast_set(NodeId(i as u32)).is_empty(),
-                    "node {i} has an empty multicast set but alpha > 0"
-                );
+                if wl.multicast_set(NodeId(i as u32)).is_empty() {
+                    return Err(PlanError::EmptyMulticastSet { node: i });
+                }
             }
         }
 
@@ -123,7 +186,7 @@ impl SimPlan {
             op_targets.push(total);
         }
 
-        Arc::new(SimPlan {
+        Ok(Arc::new(SimPlan {
             n,
             num_channels: net.num_channels(),
             num_cvs,
@@ -132,7 +195,7 @@ impl SimPlan {
             unicast_paths,
             streams,
             op_targets,
-        })
+        }))
     }
 
     /// Number of nodes in the planned network.
@@ -201,7 +264,7 @@ mod tests {
         let topo = Quarc::new(16).unwrap();
         let sets = DestinationSets::random(&topo, 4, 1);
         let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
-        let plan = SimPlan::build(&topo, &wl);
+        let plan = SimPlan::build(&topo, &wl).unwrap();
         assert_eq!(plan.num_nodes(), 16);
         assert_eq!(plan.cv_base.len(), plan.num_channels);
         assert_eq!(plan.vcs.len(), plan.num_channels);
@@ -224,7 +287,7 @@ mod tests {
         let sets = DestinationSets::random(&topo, 4, 1);
         let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
         for spec in noc_topology::ALL_ROUTINGS {
-            let plan = SimPlan::build(&topo, &wl.clone().with_routing(spec));
+            let plan = SimPlan::build(&topo, &wl.clone().with_routing(spec)).unwrap();
             for node in 0..16 {
                 assert_eq!(plan.op_targets[node], 4, "{spec}: all targets scheduled");
                 if spec == RoutingSpec::UnicastTree {
@@ -235,7 +298,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "routing scheme must be realizable")]
     fn plan_rejects_unrealizable_routing() {
         use noc_topology::Spidergon;
         let topo = Spidergon::new(8).unwrap();
@@ -243,15 +305,18 @@ mod tests {
         let wl = Workload::new(16, 0.01, 0.1, sets)
             .unwrap()
             .with_routing(noc_workloads::RoutingSpec::Multipath);
-        let _ = SimPlan::build(&topo, &wl);
+        let err = SimPlan::build(&topo, &wl).unwrap_err();
+        assert!(matches!(err, PlanError::Routing(_)), "got {err:?}");
+        assert!(err.to_string().contains("not realizable"));
     }
 
     #[test]
-    #[should_panic(expected = "empty multicast set")]
     fn plan_rejects_alpha_with_empty_sets() {
         let topo = Quarc::new(16).unwrap();
         let sets = DestinationSets::explicit(vec![Vec::new(); 16]);
         let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
-        let _ = SimPlan::build(&topo, &wl);
+        let err = SimPlan::build(&topo, &wl).unwrap_err();
+        assert_eq!(err, PlanError::EmptyMulticastSet { node: 0 });
+        assert!(err.to_string().contains("empty multicast set"));
     }
 }

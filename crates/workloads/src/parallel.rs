@@ -12,16 +12,38 @@
 //! low-load points, so static chunking would straggle).
 
 use parking_lot::Mutex;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Render a panic payload the way the default hook does: `&str` and
+/// `String` payloads verbatim, anything else opaquely.
+fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
 
 /// Map `f` over `items` using up to `threads` workers, preserving input
 /// order in the output.
 ///
 /// `threads == 0` or `threads == 1` (or a single item) degrades to a
-/// sequential map. Panics in workers propagate to the caller.
+/// sequential map.
+///
+/// # Panics
+///
+/// A panic in `f` is re-raised on the caller's thread with the failing
+/// item identified (its index and `Debug` rendering) and the original
+/// message preserved — not swallowed into an opaque "worker thread
+/// panicked". Remaining in-flight items still complete; the first
+/// panicking item (by index) wins when several fail.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
-    T: Sync,
+    T: Sync + std::fmt::Debug,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
@@ -35,6 +57,7 @@ where
 
     let cursor = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let failure: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
@@ -43,12 +66,32 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
-                *results[i].lock() = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => *results[i].lock() = Some(r),
+                    Err(payload) => {
+                        let mut slot = failure.lock();
+                        match &*slot {
+                            Some((first, _)) if *first <= i => {}
+                            _ => *slot = Some((i, payload)),
+                        }
+                        break;
+                    }
+                }
             });
         }
     })
-    .expect("worker thread panicked");
+    .expect("crossbeam scope failed despite workers catching panics");
+
+    if let Some((i, payload)) = failure.into_inner() {
+        let msg = panic_message(payload.as_ref());
+        if payload.downcast_ref::<&str>().is_some() || payload.downcast_ref::<String>().is_some() {
+            panic!("worker panicked on item {i} ({:?}): {msg}", items[i]);
+        }
+        // Non-string payload: identify the item, then hand the original
+        // payload back unaltered for upstream downcasts.
+        eprintln!("worker panicked on item {i} ({:?})", items[i]);
+        resume_unwind(payload);
+    }
 
     results
         .into_iter()
@@ -123,5 +166,63 @@ mod tests {
     fn effective_threads_resolves() {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn worker_panic_identifies_the_item() {
+        let items: Vec<u32> = (0..32).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 17 {
+                    panic!("replicate exploded");
+                }
+                x
+            })
+        })
+        .expect_err("the worker panic must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("contextualised panics carry a String payload");
+        assert!(msg.contains("item 17"), "missing item index: {msg}");
+        assert!(msg.contains("replicate exploded"), "missing cause: {msg}");
+    }
+
+    #[test]
+    fn other_items_survive_a_panicking_sibling() {
+        // A panic on one item must not poison siblings mid-flight: the
+        // scope still joins cleanly and the panic carries context.
+        let items: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, 8, |&x| {
+                if x == 0 {
+                    panic!("first item fails");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x
+            })
+        })
+        .expect_err("the worker panic must propagate");
+        let msg = caught.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("item 0"), "lowest failing index wins: {msg}");
+    }
+
+    #[test]
+    fn non_string_payloads_resume_unaltered() {
+        #[derive(Debug, PartialEq)]
+        struct Custom(u32);
+        let items: Vec<u32> = (0..8).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 3 {
+                    std::panic::panic_any(Custom(3));
+                }
+                x
+            })
+        })
+        .expect_err("the worker panic must propagate");
+        let payload = caught
+            .downcast_ref::<Custom>()
+            .expect("typed payloads survive for upstream downcasts");
+        assert_eq!(*payload, Custom(3));
     }
 }

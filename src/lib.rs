@@ -21,7 +21,7 @@ pub mod prelude {
     pub use noc_queueing::mg1::MG1;
     pub use noc_sim::{
         build_engine, record_trace, ArrivalProcess, EngineCounters, EngineKind, EventSimulator,
-        SimConfig, SimEngine, SimPlan, SimResults, Simulator,
+        PlanError, SimConfig, SimEngine, SimPlan, SimResults, Simulator,
     };
     pub use noc_topology::{
         Hypercube, Mesh, MeshKind, MulticastRouting, NodeId, PortId, Quarc, Ring, RoutingError,
@@ -31,5 +31,8 @@ pub mod prelude {
         DestinationSets, PatternError, RateSweep, SweepError, TraceEntry, TraceKind, TrafficError,
         TrafficSpec, UnicastPattern, Workload,
     };
-    pub use quarc_core::{AnalyticModel, ModelOptions, Prediction};
+    pub use quarc_core::{
+        AnalyticModel, BackendSpec, ChannelBounds, MgOneBackend, ModelBackend, ModelOptions,
+        NetworkCalculusBackend, Prediction, ALL_BACKENDS,
+    };
 }

@@ -271,7 +271,7 @@ fn shared_plan_differential_pair_is_identical_too() {
     let topo = Quarc::new(16).unwrap();
     let sets = DestinationSets::random(&topo, 4, 5);
     let wl = Workload::new(16, 0.006, 0.1, sets).unwrap();
-    let plan = SimPlan::build(&topo, &wl);
+    let plan = SimPlan::build(&topo, &wl).expect("plan builds");
     let cfg = SimConfig::quick(43);
     let cycle = build_engine_with_plan(
         &topo,
