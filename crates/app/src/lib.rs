@@ -1,0 +1,49 @@
+//! # noc-app
+//!
+//! Closed-loop application workloads for the IPDPS 2009 reproduction: pure
+//! per-node protocol state machines that *react to deliveries* instead of
+//! injecting at a fixed rate.
+//!
+//! Open-loop traffic (everything in `noc-workloads`) decides injection
+//! times up front; the network's behaviour never feeds back into the
+//! sources. Real application traffic is closed-loop — requests spawn
+//! replies, coherence operations fan out invalidations and block on acks —
+//! which is exactly the workload class the paper's M/G/1 model structurally
+//! cannot describe. This crate supplies that layer as *pure models* in the
+//! style of openmina's state-machine experiments:
+//!
+//! * [`AppProtocol`] — a per-node state machine as a pure function
+//!   `(state, event) -> (state', emissions)`. All randomness comes from a
+//!   seeded per-node [`rand::rngs::SmallRng`], so a protocol replays
+//!   bit-identically on the cycle and event engines. Machines never touch
+//!   the network directly: they return [`Emission`] values and the engine
+//!   side (the dispatcher, `noc_sim::ClosedLoopDriver`) performs them.
+//! * [`ProtocolBank`] / [`Machines`] — the object-safe bundle of one
+//!   machine per node that the dispatcher drives.
+//! * [`Coherence`] — an invalidation-based coherence protocol: read/write
+//!   requests to random home nodes, multicast invalidation fan-out, ack
+//!   collection, a bounded window of outstanding requests per node.
+//! * [`Barrier`] — barrier/allreduce rounds over a configurable radix-`r`
+//!   fan-in tree with randomized compute delays (exercising the timeout
+//!   path), released by a root multicast.
+//! * [`ClosedLoopSpec`] — the serializable description of either protocol,
+//!   embedded in `noc_bench`'s `WorkloadSpec`.
+//!
+//! The strict model/dispatcher split is the determinism story: every
+//! side effect is data ([`Emission`]), every input is data ([`AppEvent`]),
+//! and both engines feed the same event sequence in the same order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod coherence;
+pub mod protocol;
+pub mod spec;
+
+pub use barrier::Barrier;
+pub use coherence::Coherence;
+pub use protocol::{
+    app_rng, AppEvent, AppProtocol, Emission, Machines, NetEnv, Payload, ProtocolBank,
+};
+pub use spec::ClosedLoopSpec;

@@ -1,0 +1,220 @@
+//! Serializable closed-loop protocol descriptions.
+//!
+//! [`ClosedLoopSpec`] is the data form of a protocol — what
+//! `noc_bench::WorkloadSpec` embeds and scenario JSON round-trips —
+//! plus the factory that builds the per-node machine bank for a run.
+
+use crate::barrier::Barrier;
+use crate::coherence::Coherence;
+use crate::protocol::{Machines, NetEnv, ProtocolBank};
+use serde::{Deserialize, Serialize};
+
+/// A closed-loop protocol selection with its parameters.
+///
+/// Serialized with serde's external tagging, so scenario JSON reads
+/// `{"Coherence": {"window": 4, ...}}`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ClosedLoopSpec {
+    /// Invalidation-based coherence (see [`Coherence`]).
+    Coherence {
+        /// Maximum outstanding requests per node.
+        window: u32,
+        /// Total requests each node issues.
+        requests: u32,
+        /// Probability that a request is a write.
+        write_fraction: f64,
+    },
+    /// Barrier/allreduce rounds over a radix tree (see [`Barrier`]).
+    Barrier {
+        /// Number of barrier rounds.
+        rounds: u32,
+        /// Fan-in radix of the combining tree.
+        radix: u32,
+        /// Maximum extra compute delay per round (cycles).
+        compute: u64,
+    },
+}
+
+impl ClosedLoopSpec {
+    /// A short identifier for file names and table labels.
+    pub fn code(&self) -> String {
+        match self {
+            ClosedLoopSpec::Coherence { window, .. } => format!("coh-w{window}"),
+            ClosedLoopSpec::Barrier { rounds, radix, .. } => format!("bar-r{rounds}x{radix}"),
+        }
+    }
+
+    /// Check the parameters against a network of `n` nodes; the message
+    /// names the offending parameter.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        match *self {
+            ClosedLoopSpec::Coherence {
+                window,
+                requests,
+                write_fraction,
+            } => {
+                if window == 0 {
+                    return Err("coherence window must be at least 1".into());
+                }
+                if requests == 0 {
+                    return Err("coherence needs at least 1 request per node".into());
+                }
+                if !(0.0..=1.0).contains(&write_fraction) {
+                    return Err(format!(
+                        "write_fraction must be within [0, 1], got {write_fraction}"
+                    ));
+                }
+            }
+            ClosedLoopSpec::Barrier { rounds, radix, .. } => {
+                if rounds == 0 {
+                    return Err("barrier needs at least 1 round".into());
+                }
+                if radix == 0 {
+                    return Err("barrier fan-in radix must be at least 1".into());
+                }
+            }
+        }
+        if n < 2 {
+            return Err(format!(
+                "closed-loop protocols need at least 2 nodes, got {n}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Does the release/invalidation multicast need to reach every node?
+    ///
+    /// The barrier's correctness depends on the root's destination set
+    /// covering all other nodes; coherence works with any non-empty
+    /// sharer sets.
+    pub fn needs_broadcast(&self) -> bool {
+        matches!(self, ClosedLoopSpec::Barrier { .. })
+    }
+
+    /// The nominal outstanding-request bound per node (1 for the barrier:
+    /// one round in flight at a time).
+    pub fn window(&self) -> u32 {
+        match *self {
+            ClosedLoopSpec::Coherence { window, .. } => window,
+            ClosedLoopSpec::Barrier { .. } => 1,
+        }
+    }
+
+    /// Total requests the whole run will retire.
+    pub fn total_requests(&self, n: usize) -> u64 {
+        let per_node = match *self {
+            ClosedLoopSpec::Coherence { requests, .. } => requests as u64,
+            ClosedLoopSpec::Barrier { rounds, .. } => rounds as u64,
+        };
+        per_node * n as u64
+    }
+
+    /// Build the per-node machine bank for `env` under `master_seed`.
+    pub fn build(&self, env: &NetEnv, master_seed: u64) -> Box<dyn ProtocolBank> {
+        match *self {
+            ClosedLoopSpec::Coherence {
+                window,
+                requests,
+                write_fraction,
+            } => Box::new(Machines::new(
+                Coherence {
+                    window,
+                    requests,
+                    write_fraction,
+                },
+                env,
+                master_seed,
+            )),
+            ClosedLoopSpec::Barrier {
+                rounds,
+                radix,
+                compute,
+            } => Box::new(Machines::new(
+                Barrier {
+                    rounds,
+                    radix,
+                    compute,
+                },
+                env,
+                master_seed,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::json;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for spec in [
+            ClosedLoopSpec::Coherence {
+                window: 4,
+                requests: 100,
+                write_fraction: 0.3,
+            },
+            ClosedLoopSpec::Barrier {
+                rounds: 8,
+                radix: 2,
+                compute: 16,
+            },
+        ] {
+            let s = json::to_string(&spec.to_value());
+            let v = json::from_str(&s).unwrap();
+            assert_eq!(ClosedLoopSpec::from_value(&v).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn validate_names_the_offender() {
+        let bad = ClosedLoopSpec::Coherence {
+            window: 0,
+            requests: 10,
+            write_fraction: 0.5,
+        };
+        assert!(bad.validate(16).unwrap_err().contains("window"));
+        let bad = ClosedLoopSpec::Coherence {
+            window: 1,
+            requests: 10,
+            write_fraction: 1.5,
+        };
+        assert!(bad.validate(16).unwrap_err().contains("write_fraction"));
+        let bad = ClosedLoopSpec::Barrier {
+            rounds: 0,
+            radix: 2,
+            compute: 0,
+        };
+        assert!(bad.validate(16).unwrap_err().contains("round"));
+        let ok = ClosedLoopSpec::Barrier {
+            rounds: 2,
+            radix: 2,
+            compute: 0,
+        };
+        assert!(ok.validate(16).is_ok());
+        assert!(ok.validate(1).is_err());
+    }
+
+    #[test]
+    fn bookkeeping_helpers() {
+        let coh = ClosedLoopSpec::Coherence {
+            window: 4,
+            requests: 100,
+            write_fraction: 0.3,
+        };
+        assert_eq!(coh.window(), 4);
+        assert_eq!(coh.total_requests(16), 1600);
+        assert!(!coh.needs_broadcast());
+        assert_eq!(coh.code(), "coh-w4");
+        let bar = ClosedLoopSpec::Barrier {
+            rounds: 8,
+            radix: 2,
+            compute: 16,
+        };
+        assert_eq!(bar.window(), 1);
+        assert_eq!(bar.total_requests(16), 128);
+        assert!(bar.needs_broadcast());
+        assert_eq!(bar.code(), "bar-r8x2");
+    }
+}

@@ -10,7 +10,9 @@
 //!   `cycle` selects the cycle-stepped reference oracle);
 //! * `--json` — also write the full structured JSON sink (scenario spec +
 //!   curve + per-replicate simulator detail) next to each CSV;
-//! * `--out <dir>` — directory for CSV output (default `results/`).
+//! * `--out <dir>` — directory for CSV output (default `results/`);
+//! * `--no-cache` — disable the content-addressed result cache (by
+//!   default, already-simulated points under `<out>/cache/` are reused).
 
 use noc_sim::{EngineKind, SimConfig};
 use std::path::PathBuf;
@@ -35,6 +37,9 @@ pub struct Options {
     pub json: bool,
     /// CSV output directory.
     pub out: PathBuf,
+    /// Reuse content-addressed cached simulation points (`--no-cache`
+    /// disables).
+    pub cache: bool,
 }
 
 impl Default for Options {
@@ -48,6 +53,7 @@ impl Default for Options {
             engine: EngineKind::default(),
             json: false,
             out: PathBuf::from("results"),
+            cache: true,
         }
     }
 }
@@ -65,6 +71,7 @@ impl Options {
                 "--quick" => o.quick = true,
                 "--full" => o.full = true,
                 "--json" => o.json = true,
+                "--no-cache" => o.cache = false,
                 "--points" => o.points = next_num(&mut it, "--points")? as usize,
                 "--threads" => o.threads = next_num(&mut it, "--threads")? as usize,
                 "--seed" => o.seed = next_num(&mut it, "--seed")?,
@@ -86,7 +93,8 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     return Err("usage: [--quick] [--full] [--points N] [--threads N] \
-                         [--seed N] [--engine event|cycle] [--json] [--out DIR]"
+                         [--seed N] [--engine event|cycle] [--json] [--out DIR] \
+                         [--no-cache]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag: {other}")),
@@ -117,6 +125,12 @@ impl Options {
             SimConfig::standard(self.seed)
         };
         base.with_engine(self.engine)
+    }
+
+    /// The content-addressed result-cache directory (under the output
+    /// directory), or `None` with `--no-cache`.
+    pub fn cache_dir(&self) -> Option<PathBuf> {
+        self.cache.then(|| self.out.join("cache"))
     }
 
     /// Write a CSV file under the output directory, creating it if needed.

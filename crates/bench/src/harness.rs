@@ -185,12 +185,15 @@ pub fn run_figure(figure: &str, pattern: Pattern, blurb: &str, opts: &Options) -
     } else {
         default_panels(pattern, opts.seed)
     };
-    let runner = Runner::new().threads(opts.threads).on_progress(|p| {
-        eprint!("\r{}: {}/{} points", p.scenario, p.completed, p.total);
-        if p.completed == p.total {
-            eprintln!();
-        }
-    });
+    let runner = Runner::new()
+        .threads(opts.threads)
+        .cache(opts.cache_dir())
+        .on_progress(|p| {
+            eprint!("\r{}: {}/{} points", p.scenario, p.completed, p.total);
+            if p.completed == p.total {
+                eprintln!();
+            }
+        });
     for cfg in panels {
         let scenario = cfg.scenario(opts.points, opts.sim_config());
         let result = runner.run(&scenario)?;

@@ -33,6 +33,8 @@
 //! | `hypercube-extension`| the model on the hypercube family that motivated it |
 //! | `fig-burstiness`     | where the Poisson assumption breaks (burst-length sweep) |
 //! | `fig-routing`        | where the path-based assumption breaks (routing-scheme sweep) |
+//! | `fig-bounds`         | network-calculus bound vs simulation (backend cross-validation) |
+//! | `fig-closedloop`     | closed-loop latency/throughput knee (coherence window sweep) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

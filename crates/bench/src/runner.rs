@@ -275,12 +275,33 @@ impl ScenarioResult {
 
 type ProgressFn = dyn Fn(&Progress) + Send + Sync;
 
+// FNV-1a-64: small, dependency-free, stable across platforms — the cache
+// key only needs collision resistance against *accidental* spec overlap.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// Content address of one `(scenario, rate, replicate)` simulation job.
+/// The scenario is keyed by its canonical JSON with the display name
+/// cleared, so renaming an experiment never invalidates its cache.
+fn point_key(spec_json: &str, rate: f64, rep: u32) -> u64 {
+    let h = fnv1a(FNV_OFFSET, spec_json.as_bytes());
+    let h = fnv1a(h, &rate.to_bits().to_le_bytes());
+    fnv1a(h, &rep.to_le_bytes())
+}
+
 /// Executes [`Scenario`]s. Construction is cheap; a runner holds no
 /// scenario state and can be reused across scenarios.
 #[derive(Default)]
 pub struct Runner {
     threads: usize,
     progress: Option<Arc<ProgressFn>>,
+    cache: Option<PathBuf>,
 }
 
 impl Runner {
@@ -292,6 +313,16 @@ impl Runner {
     /// Use up to `threads` workers (0 = all available cores).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Content-addressed result cache: store every simulated point in
+    /// `dir` keyed by FNV-1a-64 over (scenario spec, rate, replicate) and
+    /// skip the simulation on re-runs that hit. `None` disables (the
+    /// figure binaries' `--no-cache`). The model overlay is never cached:
+    /// it is cheap, deterministic and re-evaluated every run.
+    pub fn cache(mut self, dir: Option<PathBuf>) -> Self {
+        self.cache = dir;
         self
     }
 
@@ -307,21 +338,41 @@ impl Runner {
         sc.validate()?;
         let (topo, proto) = sc.materialize()?;
         let model_opts = sc.model.unwrap_or_default();
-        let sweep = sc.sweep.resolve(topo.as_ref(), &proto, model_opts)?;
-        for &rate in sweep.rates() {
-            if rate >= 1.0 {
-                return Err(Error::InvalidScenario(format!(
-                    "resolved sweep rate {rate} is not below 1 message/node/cycle"
-                )));
+        let closed = sc.workload.closed_loop;
+        // Closed-loop runs have no generation rate to sweep: validation
+        // pinned the spec to the single placeholder 0.0, which never
+        // resolves through a saturation model.
+        let rates: Vec<f64> = if closed.is_some() {
+            vec![0.0]
+        } else {
+            let sweep = sc.sweep.resolve(topo.as_ref(), &proto, model_opts)?;
+            for &rate in sweep.rates() {
+                if rate >= 1.0 {
+                    return Err(Error::InvalidScenario(format!(
+                        "resolved sweep rate {rate} is not below 1 message/node/cycle"
+                    )));
+                }
             }
-        }
+            sweep.rates().to_vec()
+        };
 
         // One plan for the whole sweep: unicast paths, multicast streams
         // and absorb schedules depend only on (topology, destination sets).
         let plan = SimPlan::build(topo.as_ref(), &proto)?;
 
-        let jobs: Vec<(f64, u32)> = sweep
-            .rates()
+        // The cache key covers everything a simulated point depends on
+        // except the display name (cleared: renames must hit).
+        let cache_base: Option<(&Path, String)> = match &self.cache {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let mut keyed = sc.clone();
+                keyed.name = String::new();
+                Some((dir.as_path(), keyed.to_json()))
+            }
+            None => None,
+        };
+
+        let jobs: Vec<(f64, u32)> = rates
             .iter()
             .flat_map(|&rate| (0..sc.replicates).map(move |rep| (rate, rep)))
             .collect();
@@ -334,10 +385,12 @@ impl Runner {
             // it once, on the first replicate. The selected backend gives
             // the mean prediction; the network-calculus backend is
             // additionally evaluated for the worst-case bound (shared
-            // when it *is* the selected backend).
+            // when it *is* the selected backend). Closed-loop runs skip
+            // the overlay entirely: the model has no notion of
+            // delivery-triggered injections.
             let nan2 = (f64::NAN, f64::NAN);
             let (model, bound) = match sc.model {
-                Some(mo) if rep == 0 => {
+                Some(mo) if rep == 0 && closed.is_none() => {
                     let eval = |b: &dyn ModelBackend| match b.evaluate(topo.as_ref(), &wl, &mo) {
                         Ok(p) => (p.unicast_latency, p.multicast_latency),
                         Err(_) => nan2,
@@ -354,7 +407,33 @@ impl Runner {
             };
             let mut cfg = sc.sim;
             cfg.seed = sc.seed.wrapping_add(rep as u64);
-            let res = build_engine_with_plan(topo.as_ref(), &wl, cfg, Arc::clone(&plan)).run();
+            let cache_path = cache_base
+                .as_ref()
+                .map(|(dir, json)| dir.join(format!("{:016x}.json", point_key(json, rate, rep))));
+            // A hit must parse back into SimResults; a corrupt or
+            // truncated file falls through to recomputation (and is then
+            // overwritten with a fresh copy).
+            let cached: Option<SimResults> = cache_path
+                .as_ref()
+                .and_then(|p| std::fs::read_to_string(p).ok())
+                .and_then(|s| serde::json::from_str(&s).ok());
+            let res = match cached {
+                Some(res) => res,
+                None => {
+                    let mut engine =
+                        build_engine_with_plan(topo.as_ref(), &wl, cfg, Arc::clone(&plan));
+                    if let Some(spec) = &closed {
+                        engine.install_closed_loop(spec, cfg.seed);
+                    }
+                    let res = engine.run();
+                    if let Some(p) = &cache_path {
+                        // Best-effort: a failed cache write must not fail
+                        // the run that produced the result.
+                        let _ = std::fs::write(p, serde::json::to_string_pretty(&res));
+                    }
+                    res
+                }
+            };
             if let Some(cb) = &self.progress {
                 cb(&Progress {
                     scenario: sc.name.clone(),
@@ -375,11 +454,13 @@ impl Runner {
         let reps = sc.replicates as usize;
         // Overlays evaluated outside the selected backend's assumption
         // domain (e.g. M/G/1 under bursty traffic or `Multipath`/
-        // `UnicastTree` streams) are annotated as out-of-domain.
-        let model_applicable = model_opts.backend.backend().applicable(&proto);
-        let mut points = Vec::with_capacity(sweep.len());
-        let mut sims: Vec<Vec<SimResults>> = Vec::with_capacity(sweep.len());
-        for (i, &rate) in sweep.rates().iter().enumerate() {
+        // `UnicastTree` streams) are annotated as out-of-domain. A
+        // closed-loop run is categorically outside every backend: the
+        // model's Poisson sources do not exist.
+        let model_applicable = closed.is_none() && model_opts.backend.backend().applicable(&proto);
+        let mut points = Vec::with_capacity(rates.len());
+        let mut sims: Vec<Vec<SimResults>> = Vec::with_capacity(rates.len());
+        for (i, &rate) in rates.iter().enumerate() {
             let group = &flat[i * reps..(i + 1) * reps];
             points.push(aggregate(rate, group, model_applicable));
             sims.push(group.iter().map(|s| s.res.clone()).collect());
@@ -663,6 +744,130 @@ mod tests {
         let mut sc = quick_scenario();
         sc.topology = TopologySpec::Quarc { n: 7 };
         assert!(matches!(Runner::new().run(&sc), Err(Error::Topology(_))));
+    }
+
+    #[test]
+    fn closed_loop_scenarios_run_without_model_overlay() {
+        use noc_app::ClosedLoopSpec;
+        // Default model options present — the runner must skip the
+        // overlay anyway and stamp the point out-of-domain.
+        let sc = Scenario::new(
+            "closed-runner-test",
+            TopologySpec::Quarc { n: 16 },
+            WorkloadSpec::new(8, 0.0, MulticastPattern::Random { group: 4 }).with_closed_loop(
+                ClosedLoopSpec::Coherence {
+                    window: 4,
+                    requests: 16,
+                    write_fraction: 0.3,
+                },
+            ),
+            SweepSpec::Explicit { rates: vec![0.0] },
+        )
+        .with_sim(SimConfig::quick(5))
+        .with_seed(5);
+        let res = Runner::new().run(&sc).expect("closed-loop scenario runs");
+        assert_eq!(res.points.len(), 1);
+        let p = &res.points[0];
+        assert!(!p.model_applicable, "no model covers closed-loop traffic");
+        assert!(p.model_multicast.is_nan(), "overlay must not be evaluated");
+        assert!(p.bound_multicast.is_nan());
+        assert!(p.sim_unicast.is_finite(), "protocol unicasts are measured");
+        let cl = res.sims[0][0]
+            .closed_loop
+            .as_ref()
+            .expect("closed-loop summary stamped");
+        assert!(cl.quiesced);
+        assert_eq!(cl.requests_retired, 16 * 16);
+    }
+
+    fn scratch_cache_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("noc-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cache_round_trips_and_is_actually_read() {
+        let dir = scratch_cache_dir("cache-hit");
+        let sc = quick_scenario();
+        let baseline = Runner::new().run(&sc).unwrap();
+        let runner = Runner::new().cache(Some(dir.clone()));
+        let first = runner.run(&sc).unwrap();
+        assert_eq!(first.to_csv(), baseline.to_csv(), "cache write run agrees");
+        let files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(files.len(), 2, "one cache entry per (rate, replicate)");
+
+        // Plant a sentinel inside one cached result: if the re-run
+        // really reads the cache, the sentinel surfaces in the output.
+        let victim = &files[0];
+        let doctored = std::fs::read_to_string(victim)
+            .unwrap()
+            .replace("\"saturated\": false", "\"saturated\": true");
+        std::fs::write(victim, doctored).unwrap();
+        let second = runner.run(&sc).unwrap();
+        assert!(
+            second.points.iter().any(|p| p.sim_saturated),
+            "doctored cache entry must surface — points were re-simulated instead"
+        );
+
+        // A fresh run without the cache is unaffected.
+        let clean = Runner::new().run(&sc).unwrap();
+        assert_eq!(clean.to_csv(), baseline.to_csv());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_recomputed_and_rewritten() {
+        let dir = scratch_cache_dir("cache-corrupt");
+        let sc = quick_scenario();
+        let runner = Runner::new().cache(Some(dir.clone()));
+        let baseline = runner.run(&sc).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            std::fs::write(entry.unwrap().path(), "{ not json").unwrap();
+        }
+        let recovered = runner.run(&sc).unwrap();
+        assert_eq!(
+            recovered.to_csv(),
+            baseline.to_csv(),
+            "corrupt entries fall through to recomputation"
+        );
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let body = std::fs::read_to_string(entry.unwrap().path()).unwrap();
+            assert!(
+                serde::json::from_str::<SimResults>(&body).is_ok(),
+                "recomputed points overwrite the corrupt entries"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_keys_separate_seeds_but_ignore_names() {
+        let base = quick_scenario();
+        let key = |sc: &Scenario, rate: f64, rep: u32| {
+            let mut keyed = sc.clone();
+            keyed.name = String::new();
+            point_key(&keyed.to_json(), rate, rep)
+        };
+        let renamed = {
+            let mut sc = base.clone();
+            sc.name = "other-name".into();
+            sc
+        };
+        assert_eq!(
+            key(&base, 0.002, 0),
+            key(&renamed, 0.002, 0),
+            "renaming a scenario must not invalidate its cache"
+        );
+        assert_ne!(key(&base, 0.002, 0), key(&base, 0.004, 0));
+        assert_ne!(key(&base, 0.002, 0), key(&base, 0.002, 1));
+        assert_ne!(
+            key(&base, 0.002, 0),
+            key(&base.clone().with_seed(99), 0.002, 0)
+        );
     }
 
     #[test]

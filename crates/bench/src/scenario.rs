@@ -21,6 +21,7 @@
 //!   "flat region through the knee" framing on any topology.
 
 use crate::error::{Error, Result};
+use noc_app::ClosedLoopSpec;
 use noc_sim::SimConfig;
 use noc_topology::{NodeId, Topology, TopologySpec};
 use noc_workloads::{
@@ -100,6 +101,12 @@ pub struct WorkloadSpec {
     pub traffic: TrafficSpec,
     /// Multicast routing scheme.
     pub routing: RoutingSpec,
+    /// Closed-loop protocol driving injections instead of open-loop
+    /// arrivals. `Some` turns the scenario into a closed-loop run: the
+    /// sweep must be the single placeholder rate `0.0`, the traffic spec
+    /// stays the (unused) geometric default, and the runner installs the
+    /// protocol on the engine instead of evaluating the model overlay.
+    pub closed_loop: Option<ClosedLoopSpec>,
 }
 
 // Hand-written so scenarios persisted before the traffic subsystem (no
@@ -121,6 +128,11 @@ impl serde::Deserialize for WorkloadSpec {
                 Some(r) => Deserialize::from_value(r)?,
                 None => RoutingSpec::PathBased,
             },
+            // Pre-closed-loop specs have no `closed_loop` key: open loop.
+            closed_loop: match v.get("closed_loop") {
+                Some(c) => Deserialize::from_value(c)?,
+                None => None,
+            },
         })
     }
 }
@@ -135,6 +147,7 @@ impl WorkloadSpec {
             unicast: UnicastPattern::Uniform,
             traffic: TrafficSpec::Geometric,
             routing: RoutingSpec::PathBased,
+            closed_loop: None,
         }
     }
 
@@ -153,6 +166,12 @@ impl WorkloadSpec {
     /// Builder-style: replace the unicast destination pattern.
     pub fn with_unicast(mut self, unicast: UnicastPattern) -> Self {
         self.unicast = unicast;
+        self
+    }
+
+    /// Builder-style: drive the run with a closed-loop protocol.
+    pub fn with_closed_loop(mut self, spec: ClosedLoopSpec) -> Self {
+        self.closed_loop = Some(spec);
         self
     }
 
@@ -427,9 +446,56 @@ impl Scenario {
                 )));
             }
         }
+        if let Some(cl) = &self.workload.closed_loop {
+            cl.validate(self.topology.num_nodes())
+                .map_err(Error::InvalidScenario)?;
+            // Closed-loop injections come from the protocol, not a rate:
+            // the only honest sweep is the single placeholder point 0.0.
+            // A rate sweep over a closed loop would chart N identical
+            // runs under different rate labels.
+            let placeholder = matches!(&self.sweep,
+                SweepSpec::Explicit { rates } if rates.as_slice() == [0.0]);
+            if !placeholder {
+                return Err(Error::InvalidScenario(format!(
+                    "closed-loop protocol {} generates its own injections; the sweep \
+                     must be the single placeholder rate Explicit {{ rates: [0.0] }}",
+                    cl.code()
+                )));
+            }
+            // Open-loop arrival shaping (on/off bursts, trace replay) has
+            // no source to shape: the generation rate is pinned to zero.
+            if self.workload.traffic != TrafficSpec::Geometric {
+                return Err(Error::InvalidScenario(format!(
+                    "closed-loop protocol {} replaces the open-loop source; the traffic \
+                     spec must stay the default (Geometric), got {:?}",
+                    cl.code(),
+                    self.workload.traffic
+                )));
+            }
+            if self.workload.alpha != 0.0 {
+                return Err(Error::InvalidScenario(format!(
+                    "closed-loop scenarios generate no rate-driven multicasts; \
+                     alpha must be 0, got {}",
+                    self.workload.alpha
+                )));
+            }
+            if cl.needs_broadcast()
+                && !matches!(self.workload.multicast, MulticastPattern::Broadcast)
+            {
+                return Err(Error::InvalidScenario(format!(
+                    "protocol {} releases via broadcast; the multicast pattern must be \
+                     Broadcast, got {}",
+                    cl.code(),
+                    self.workload.multicast.code()
+                )));
+            }
+        }
         // Generated destination sets of size zero cannot serve multicast
-        // traffic (mirrors the explicit-set check below).
-        if self.workload.alpha > 0.0 {
+        // traffic (mirrors the explicit-set check below). Closed-loop
+        // protocols multicast through the same destination sets, so they
+        // need non-empty sets even at alpha = 0.
+        let needs_sets = self.workload.alpha > 0.0 || self.workload.closed_loop.is_some();
+        if needs_sets {
             let group = match self.workload.multicast {
                 MulticastPattern::Random { group } | MulticastPattern::Localized { group } => {
                     Some(group)
@@ -438,8 +504,12 @@ impl Scenario {
             };
             if group == Some(0) {
                 return Err(Error::InvalidScenario(format!(
-                    "multicast group size 0 cannot carry alpha = {} > 0",
-                    self.workload.alpha
+                    "multicast group size 0 cannot serve {}",
+                    if self.workload.closed_loop.is_some() {
+                        "a closed-loop protocol's multicasts".to_string()
+                    } else {
+                        format!("alpha = {} > 0", self.workload.alpha)
+                    }
                 )));
             }
         }
@@ -463,7 +533,7 @@ impl Scenario {
                         "node {src} lists itself in its own destination set"
                     )));
                 }
-                if self.workload.alpha > 0.0 && set.is_empty() {
+                if needs_sets && set.is_empty() {
                     return Err(Error::InvalidScenario(format!(
                         "node {src} has an empty destination set but alpha = {} > 0",
                         self.workload.alpha
@@ -669,6 +739,121 @@ mod tests {
             spec,
             WorkloadSpec::new(16, 0.05, MulticastPattern::Random { group: 4 })
         );
+    }
+
+    #[test]
+    fn closed_loop_validation_rules() {
+        let coh = ClosedLoopSpec::Coherence {
+            window: 4,
+            requests: 16,
+            write_fraction: 0.3,
+        };
+        let closed = |sweep| {
+            Scenario::new(
+                "cl",
+                TopologySpec::Quarc { n: 16 },
+                WorkloadSpec::new(8, 0.0, MulticastPattern::Random { group: 4 })
+                    .with_closed_loop(coh),
+                sweep,
+            )
+        };
+        // The placeholder sweep is the only accepted one.
+        let ok = closed(SweepSpec::Explicit { rates: vec![0.0] });
+        assert!(ok.validate().is_ok());
+        for sweep in [
+            SweepSpec::Explicit {
+                rates: vec![0.0, 0.002],
+            },
+            SweepSpec::Explicit { rates: vec![0.002] },
+            SweepSpec::figure_default(4),
+            SweepSpec::Linear {
+                lo: 0.001,
+                hi: 0.01,
+                points: 3,
+            },
+        ] {
+            assert!(
+                matches!(closed(sweep).validate(), Err(Error::InvalidScenario(_))),
+                "a rate sweep over a closed loop must be rejected"
+            );
+        }
+
+        // No open-loop traffic shaping, no rate-driven multicast mix.
+        let mut sc = ok.clone();
+        sc.workload.traffic = TrafficSpec::OnOff {
+            burst_len: 4.0,
+            peak_rate: 0.2,
+        };
+        assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+        let mut sc = ok.clone();
+        sc.workload.traffic = TrafficSpec::trace(vec![noc_workloads::TraceEntry {
+            cycle: 1,
+            node: 0,
+            kind: noc_workloads::TraceKind::Multicast,
+        }]);
+        assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+        let mut sc = ok.clone();
+        sc.workload.alpha = 0.05;
+        assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+
+        // Protocol parameters are checked through the spec layer.
+        let mut sc = ok.clone();
+        sc.workload.closed_loop = Some(ClosedLoopSpec::Coherence {
+            window: 0,
+            requests: 16,
+            write_fraction: 0.3,
+        });
+        assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+
+        // Coherence multicasts through the destination sets: they must
+        // be non-empty even though alpha is 0.
+        let mut sc = ok.clone();
+        sc.workload.multicast = MulticastPattern::Random { group: 0 };
+        assert!(matches!(sc.validate(), Err(Error::InvalidScenario(_))));
+
+        // The barrier's release must reach every node.
+        let bar = ClosedLoopSpec::Barrier {
+            rounds: 2,
+            radix: 2,
+            compute: 4,
+        };
+        let mut sc = ok.clone();
+        sc.workload.closed_loop = Some(bar);
+        assert!(
+            matches!(sc.validate(), Err(Error::InvalidScenario(_))),
+            "barrier over random sets must be rejected"
+        );
+        sc.workload.multicast = MulticastPattern::Broadcast;
+        assert!(sc.validate().is_ok());
+    }
+
+    #[test]
+    fn closed_loop_specs_round_trip_and_legacy_specs_stay_open_loop() {
+        let sc = Scenario::new(
+            "cl-rt",
+            TopologySpec::Quarc { n: 16 },
+            WorkloadSpec::new(8, 0.0, MulticastPattern::Broadcast).with_closed_loop(
+                ClosedLoopSpec::Barrier {
+                    rounds: 4,
+                    radix: 2,
+                    compute: 8,
+                },
+            ),
+            SweepSpec::Explicit { rates: vec![0.0] },
+        );
+        let back = Scenario::from_json(&sc.to_json()).expect("round trip parses");
+        assert_eq!(sc, back);
+
+        // A WorkloadSpec persisted before closed loops has no
+        // `closed_loop` key; it must parse as open-loop.
+        let json = r#"{
+            "msg_len": 16,
+            "alpha": 0.05,
+            "multicast": {"Random": {"group": 4}},
+            "unicast": "Uniform"
+        }"#;
+        let spec: WorkloadSpec = serde::json::from_str(json).expect("legacy spec parses");
+        assert_eq!(spec.closed_loop, None);
     }
 
     #[test]

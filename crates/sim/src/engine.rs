@@ -29,6 +29,7 @@
 //! should be. The production engine is [`crate::EventSimulator`], which
 //! reproduces this engine's runs bit-for-bit while skipping inert cycles.
 
+use crate::closed_loop::{Action, ClosedDelivery, ClosedLoopDriver};
 use crate::config::SimConfig;
 use crate::engine_api::{audit_state, AuditInput, EngineAudit, SimEngine};
 use crate::message::{ActiveMsg, CvState, MsgId, MulticastOp, OpId};
@@ -36,6 +37,7 @@ use crate::metrics::Metrics;
 use crate::plan::SimPlan;
 use crate::results::{EngineCounters, SimResults};
 use crate::schedule::{Arrival, ArrivalStream};
+use noc_app::{AppEvent, ClosedLoopSpec, NetEnv};
 use noc_topology::{ChannelKind, NodeId, Topology};
 use noc_workloads::Workload;
 use std::collections::HashSet;
@@ -105,6 +107,13 @@ pub struct Simulator<'a> {
     moves: Vec<(MsgId, u16)>,
     regrant: Vec<u32>,
 
+    // --- closed-loop protocol drive (None on open-loop runs) ---
+    closed: Option<ClosedLoopDriver>,
+    /// Absorptions recorded by `apply_moves` for post-phase dispatch.
+    arrived: Vec<ClosedDelivery>,
+    /// Pending protocol actions (injections, timers).
+    actions: Vec<Action>,
+
     // --- statistics ---
     metrics: Metrics,
 }
@@ -157,9 +166,30 @@ impl<'a> Simulator<'a> {
             last_move_cycle: 0,
             moves: Vec::new(),
             regrant: Vec::new(),
+            closed: None,
+            arrived: Vec::new(),
+            actions: Vec::new(),
             metrics,
             plan,
         }
+    }
+
+    /// Install a closed-loop protocol: the run is then driven by the
+    /// per-node machines instead of the open-loop arrival streams.
+    ///
+    /// Must be called before any cycle is simulated, on a zero-rate
+    /// workload (the protocol is the only traffic source).
+    pub fn install_closed_loop(&mut self, spec: &ClosedLoopSpec, master_seed: u64) {
+        assert_eq!(self.cycle, 0, "closed-loop install after the run started");
+        assert!(
+            self.arrivals.iter().all(|s| s.next_arrival() == u64::MAX),
+            "closed-loop runs require a zero-rate workload"
+        );
+        let env = NetEnv {
+            n: self.plan.n,
+            fanout: self.plan.op_targets.clone(),
+        };
+        self.closed = Some(ClosedLoopDriver::new(spec.build(&env, master_seed)));
     }
 
     #[inline]
@@ -368,11 +398,18 @@ impl<'a> Simulator<'a> {
                 let mut stream_tagged = false;
                 let mut stream_gen = 0u64;
                 {
+                    let closed = self.closed.is_some();
                     let msg = live_msg_mut(&mut self.msgs, mid, "absorbing stream's message");
                     if let Some(stream) = msg.multicast.as_mut() {
                         while (stream.next_absorb as usize) < stream.absorbs.len()
                             && stream.absorbs[stream.next_absorb as usize].0 == h16
                         {
+                            if closed {
+                                self.arrived.push(ClosedDelivery::Absorb {
+                                    op: stream.op,
+                                    target: stream.absorbs[stream.next_absorb as usize].1,
+                                });
+                            }
                             stream.next_absorb += 1;
                             absorbed_here += 1;
                         }
@@ -396,6 +433,9 @@ impl<'a> Simulator<'a> {
                         self.tagged_outstanding -= 1;
                     }
                     self.free_ops.push(opid);
+                    if self.closed.is_some() {
+                        self.arrived.push(ClosedDelivery::OpDone(opid));
+                    }
                 }
 
                 // Message fully absorbed at the ejection hop?
@@ -420,6 +460,9 @@ impl<'a> Simulator<'a> {
                         if tagged {
                             self.metrics.record_unicast_delivery(now, gen);
                             self.tagged_outstanding -= 1;
+                        }
+                        if self.closed.is_some() {
+                            self.arrived.push(ClosedDelivery::Unicast(mid));
                         }
                     } else if stream_tagged {
                         self.metrics.record_stream_delivery(now, stream_gen);
@@ -474,8 +517,220 @@ impl<'a> Simulator<'a> {
         self.cycle.saturating_sub(self.last_move_cycle) > window && !self.active.is_empty()
     }
 
+    // ------------------------------------------------------------------
+    // Closed-loop drive: the protocol machines are the traffic source.
+    // ------------------------------------------------------------------
+
+    /// Dispatch [`AppEvent::Start`] to every machine in node order and
+    /// perform the resulting injections (eligible to move next cycle,
+    /// like any cycle-0 arrival).
+    fn closed_start(&mut self) {
+        let mut driver = self.closed.take().expect("closed-loop driver present");
+        let mut actions = std::mem::take(&mut self.actions);
+        for node in 0..self.plan.n {
+            driver.dispatch(
+                self.cycle,
+                NodeId(node as u32),
+                AppEvent::Start,
+                &mut actions,
+            );
+        }
+        self.closed = Some(driver);
+        self.actions = actions;
+        self.closed_perform();
+        self.grant();
+    }
+
+    /// Closed-loop generation phase: fire every timer due this cycle, in
+    /// node order, and perform the resulting actions.
+    fn closed_generate(&mut self) {
+        let mut driver = self.closed.take().expect("closed-loop driver present");
+        let mut actions = std::mem::take(&mut self.actions);
+        for node in 0..self.plan.n {
+            let node = NodeId(node as u32);
+            if driver.timer_at(node) == Some(self.cycle) {
+                driver.dispatch(self.cycle, node, AppEvent::Timeout, &mut actions);
+            }
+        }
+        self.closed = Some(driver);
+        self.actions = actions;
+        self.closed_perform();
+    }
+
+    /// Dispatch every absorption `apply_moves` recorded this cycle (in
+    /// absorption order) and perform the resulting actions; new
+    /// injections enqueue before the grant phase.
+    fn closed_deliver(&mut self) {
+        if self.arrived.is_empty() {
+            return;
+        }
+        let mut driver = self.closed.take().expect("closed-loop driver present");
+        let mut actions = std::mem::take(&mut self.actions);
+        let arrived = std::mem::take(&mut self.arrived);
+        for &d in &arrived {
+            match d {
+                ClosedDelivery::Unicast(mid) => {
+                    let (dst, payload) = driver.unicast_delivered(mid);
+                    driver.dispatch(self.cycle, dst, AppEvent::Delivery(payload), &mut actions);
+                }
+                ClosedDelivery::Absorb { op, target } => {
+                    let payload = driver.absorb_payload(op);
+                    driver.dispatch(
+                        self.cycle,
+                        target,
+                        AppEvent::Delivery(payload),
+                        &mut actions,
+                    );
+                }
+                ClosedDelivery::OpDone(op) => driver.op_done(op),
+            }
+        }
+        self.arrived = arrived;
+        self.arrived.clear();
+        self.closed = Some(driver);
+        self.actions = actions;
+        self.closed_perform();
+    }
+
+    /// Perform the pending protocol actions: allocate and enqueue the
+    /// requested messages (all tagged — closed-loop statistics cover the
+    /// whole run). Timers need no engine state here: the cycle engine
+    /// polls the driver's timer table each cycle.
+    fn closed_perform(&mut self) {
+        let actions = std::mem::take(&mut self.actions);
+        let len = self.wl.msg_len;
+        let gen = self.cycle;
+        for &action in &actions {
+            match action {
+                Action::Unicast { src, dst, payload } => {
+                    let path = self.plan.unicast_path(src, dst);
+                    let id = self.alloc_msg(ActiveMsg::unicast(path, len, gen, true));
+                    self.metrics.unicast_injected += 1;
+                    self.tagged_outstanding += 1;
+                    self.metrics.total_generated += 1;
+                    self.enqueue(id);
+                    self.closed
+                        .as_mut()
+                        .expect("closed-loop driver present")
+                        .note_unicast(id, dst, payload);
+                }
+                Action::Multicast { src, payload } => {
+                    let node = src.idx();
+                    assert!(
+                        !self.plan.streams[node].is_empty(),
+                        "protocol multicast from a source with no streams"
+                    );
+                    let op = self.alloc_op(MulticastOp {
+                        src,
+                        gen,
+                        remaining: self.plan.op_targets[node],
+                        last_absorb: gen,
+                        tagged: true,
+                    });
+                    self.metrics.multicast_injected += 1;
+                    self.tagged_outstanding += 1;
+                    for si in 0..self.plan.streams[node].len() {
+                        let (path, absorbs) = {
+                            let pre = &self.plan.streams[node][si];
+                            (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
+                        };
+                        let id =
+                            self.alloc_msg(ActiveMsg::stream(path, len, gen, true, op, absorbs));
+                        self.metrics.total_generated += 1;
+                        self.enqueue(id);
+                    }
+                    self.closed
+                        .as_mut()
+                        .expect("closed-loop driver present")
+                        .note_multicast(op, payload);
+                }
+                Action::Timer { .. } => {}
+            }
+        }
+        self.actions = actions;
+        self.actions.clear();
+    }
+
+    /// One closed-loop cycle: timers → selection → application →
+    /// delivery dispatch → grants. Deliveries dispatch *inside* the
+    /// cycle (between application and grant) so the machines' injections
+    /// join the waiter queues in the same cycle the absorptions landed —
+    /// on both engines, since both order the phases identically.
+    fn step_closed(&mut self) {
+        self.cycle += 1;
+        self.closed_generate();
+        self.select_moves();
+        if !self.moves.is_empty() {
+            self.last_move_cycle = self.cycle;
+        }
+        self.apply_moves(true);
+        self.closed_deliver();
+        self.grant();
+    }
+
+    /// The protocol has fully quiesced: every machine done, nothing in
+    /// flight anywhere.
+    fn closed_quiescent(&self) -> bool {
+        self.tagged_outstanding == 0
+            && self
+                .closed
+                .as_ref()
+                .expect("closed-loop driver present")
+                .quiescent()
+    }
+
+    /// Closed-loop run loop: no warmup or measurement window — the run
+    /// ends at protocol quiescence, with the deadline, backlog and
+    /// watchdog breaks as safety nets (all checked at the top, so both
+    /// engines evaluate them on exactly the cycles they simulate).
+    fn run_closed(&mut self) -> SimResults {
+        let deadline = self.cfg.deadline();
+        let mut saturated = false;
+        let mut deadlocked = false;
+        self.closed_start();
+        loop {
+            if self.closed_quiescent() {
+                break;
+            }
+            if self.cycle >= deadline {
+                saturated = true;
+                break;
+            }
+            if self.inj_backlog > self.cfg.backlog_limit {
+                saturated = true;
+                break;
+            }
+            if self.cycle.is_multiple_of(1024) && self.deadlocked(10_000) {
+                deadlocked = true;
+                saturated = true;
+                break;
+            }
+            self.step_closed();
+        }
+        let cycles = self.cycle;
+        let quiesced = self.closed_quiescent();
+        let mut res = self.metrics.finish(
+            saturated,
+            deadlocked,
+            cycles,
+            self.peak_backlog,
+            cycles,
+            EngineCounters {
+                simulated_cycles: cycles,
+                ..Default::default()
+            },
+        );
+        let mut driver = self.closed.take().expect("closed-loop driver present");
+        res.closed_loop = Some(driver.finish(cycles, quiesced));
+        self.closed = Some(driver);
+        res
+    }
+
     /// Run to completion and produce results.
     pub fn run(&mut self) -> SimResults {
+        if self.closed.is_some() {
+            return self.run_closed();
+        }
         let warmup = self.cfg.warmup_cycles;
         let measure_end = self.cfg.measure_end();
         let deadline = self.cfg.deadline();
@@ -710,6 +965,10 @@ impl SimEngine for Simulator<'_> {
 
     fn audit(&self) -> Result<EngineAudit, String> {
         Simulator::audit(self)
+    }
+
+    fn install_closed_loop(&mut self, spec: &ClosedLoopSpec, master_seed: u64) {
+        Simulator::install_closed_loop(self, spec, master_seed)
     }
 }
 

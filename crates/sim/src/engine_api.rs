@@ -19,6 +19,7 @@ use crate::event_engine::EventSimulator;
 use crate::message::{ActiveMsg, CvState, MsgId, MulticastOp, OpId};
 use crate::plan::SimPlan;
 use crate::results::SimResults;
+use noc_app::ClosedLoopSpec;
 use noc_topology::{NodeId, Topology};
 use noc_workloads::Workload;
 use std::collections::HashSet;
@@ -61,6 +62,18 @@ pub trait SimEngine {
     /// Structural self-check: ownership consistency plus the conservation
     /// counters. `Err` describes the first violated invariant.
     fn audit(&self) -> Result<EngineAudit, String>;
+
+    /// Install a closed-loop protocol: [`SimEngine::run`] is then driven
+    /// by the spec's per-node machines instead of open-loop arrivals,
+    /// ends at protocol quiescence, and stamps
+    /// [`SimResults::closed_loop`](crate::results::SimResults::closed_loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cycle has already been simulated or the workload's
+    /// generation rate is non-zero (the protocol must be the only
+    /// traffic source).
+    fn install_closed_loop(&mut self, spec: &ClosedLoopSpec, master_seed: u64);
 
     /// Step until `id` completes, returning the completion cycle.
     ///

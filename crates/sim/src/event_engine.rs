@@ -51,6 +51,7 @@
 //! load, with the cycle engine retained as the oracle.
 
 use crate::arena::Arena;
+use crate::closed_loop::{Action, ClosedDelivery, ClosedLoopDriver};
 use crate::config::SimConfig;
 use crate::engine_api::{audit_state, AuditInput, EngineAudit, SimEngine};
 use crate::message::{ActiveMsg, CvState, MsgId, MulticastOp, OpId};
@@ -58,6 +59,7 @@ use crate::metrics::Metrics;
 use crate::plan::SimPlan;
 use crate::results::{EngineCounters, SimResults};
 use crate::schedule::{Arrival, ArrivalStream, EventQueue};
+use noc_app::{AppEvent, ClosedLoopSpec, NetEnv};
 use noc_topology::{NodeId, Topology};
 use noc_workloads::Workload;
 use std::sync::Arc;
@@ -147,6 +149,13 @@ pub struct EventSimulator<'a> {
     channel_moved: Vec<bool>,
     regrant: Vec<u32>,
 
+    // --- closed-loop protocol drive (None on open-loop runs) ---
+    closed: Option<ClosedLoopDriver>,
+    /// Absorptions recorded by `apply_moves` for post-phase dispatch.
+    arrived: Vec<ClosedDelivery>,
+    /// Pending protocol actions (injections, timers).
+    actions: Vec<Action>,
+
     // --- statistics ---
     metrics: Metrics,
 }
@@ -212,9 +221,31 @@ impl<'a> EventSimulator<'a> {
             owned_count: vec![0; channels],
             channel_moved: vec![false; channels],
             regrant: Vec::new(),
+            closed: None,
+            arrived: Vec::new(),
+            actions: Vec::new(),
             metrics,
             plan,
         }
+    }
+
+    /// Install a closed-loop protocol: the run is then driven by the
+    /// per-node machines instead of the open-loop arrival streams, and
+    /// the event heap carries the protocol's timers.
+    ///
+    /// Must be called before any cycle is simulated, on a zero-rate
+    /// workload (the protocol is the only traffic source).
+    pub fn install_closed_loop(&mut self, spec: &ClosedLoopSpec, master_seed: u64) {
+        assert_eq!(self.cycle, 0, "closed-loop install after the run started");
+        assert!(
+            self.queue.is_empty(),
+            "closed-loop runs require a zero-rate workload"
+        );
+        let env = NetEnv {
+            n: self.plan.n,
+            fanout: self.plan.op_targets.clone(),
+        };
+        self.closed = Some(ClosedLoopDriver::new(spec.build(&env, master_seed)));
     }
 
     #[inline]
@@ -405,11 +436,18 @@ impl<'a> EventSimulator<'a> {
                 let mut stream_tagged = false;
                 let mut stream_gen = 0u64;
                 {
+                    let closed = self.closed.is_some();
                     let msg = self.msgs.get_mut(mid, "absorbing stream's message");
                     if let Some(stream) = msg.multicast.as_mut() {
                         while (stream.next_absorb as usize) < stream.absorbs.len()
                             && stream.absorbs[stream.next_absorb as usize].0 == h16
                         {
+                            if closed {
+                                self.arrived.push(ClosedDelivery::Absorb {
+                                    op: stream.op,
+                                    target: stream.absorbs[stream.next_absorb as usize].1,
+                                });
+                            }
                             stream.next_absorb += 1;
                             absorbed_here += 1;
                         }
@@ -433,6 +471,9 @@ impl<'a> EventSimulator<'a> {
                         self.tagged_outstanding -= 1;
                     }
                     self.ops.free(opid, "completed multicast op");
+                    if self.closed.is_some() {
+                        self.arrived.push(ClosedDelivery::OpDone(opid));
+                    }
                 }
 
                 let is_last = {
@@ -457,6 +498,9 @@ impl<'a> EventSimulator<'a> {
                         if tagged {
                             self.metrics.record_unicast_delivery(now, gen);
                             self.tagged_outstanding -= 1;
+                        }
+                        if self.closed.is_some() {
+                            self.arrived.push(ClosedDelivery::Unicast(mid));
                         }
                     } else if stream_tagged {
                         self.metrics.record_stream_delivery(now, stream_gen);
@@ -764,10 +808,246 @@ impl<'a> EventSimulator<'a> {
         self.cycle.saturating_sub(self.last_move_cycle) > WATCHDOG_WINDOW && !self.active.is_empty()
     }
 
+    // ------------------------------------------------------------------
+    // Closed-loop drive: the protocol machines are the traffic source.
+    // The event heap (unused by arrivals: closed-loop workloads are
+    // zero-rate) carries the protocol timers, so idle/stalled stretches
+    // jump straight to the next timeout — protocol emissions are
+    // schedulable arrivals, not rate-driven lookahead.
+    // ------------------------------------------------------------------
+
+    /// Dispatch [`AppEvent::Start`] to every machine in node order and
+    /// perform the resulting injections — identical to the reference
+    /// engine's closed start.
+    fn closed_start(&mut self) {
+        let mut driver = self.closed.take().expect("closed-loop driver present");
+        let mut actions = std::mem::take(&mut self.actions);
+        for node in 0..self.plan.n {
+            driver.dispatch(
+                self.cycle,
+                NodeId(node as u32),
+                AppEvent::Start,
+                &mut actions,
+            );
+        }
+        self.closed = Some(driver);
+        self.actions = actions;
+        self.closed_perform();
+        self.grant();
+    }
+
+    /// Closed-loop generation phase: pop every timer due this cycle off
+    /// the heap (node-ascending for ties — the reference engine's poll
+    /// order) and perform the resulting actions.
+    fn closed_generate(&mut self) {
+        let mut driver = self.closed.take().expect("closed-loop driver present");
+        let mut actions = std::mem::take(&mut self.actions);
+        while let Some(node) = self.queue.pop_due(self.cycle) {
+            self.counters.events_popped += 1;
+            let node = NodeId(node);
+            debug_assert_eq!(driver.timer_at(node), Some(self.cycle));
+            driver.dispatch(self.cycle, node, AppEvent::Timeout, &mut actions);
+        }
+        self.closed = Some(driver);
+        self.actions = actions;
+        self.closed_perform();
+    }
+
+    /// Dispatch every absorption `apply_moves` recorded this cycle (in
+    /// absorption order) and perform the resulting actions.
+    fn closed_deliver(&mut self) {
+        if self.arrived.is_empty() {
+            return;
+        }
+        let mut driver = self.closed.take().expect("closed-loop driver present");
+        let mut actions = std::mem::take(&mut self.actions);
+        let arrived = std::mem::take(&mut self.arrived);
+        for &d in &arrived {
+            match d {
+                ClosedDelivery::Unicast(mid) => {
+                    let (dst, payload) = driver.unicast_delivered(mid);
+                    driver.dispatch(self.cycle, dst, AppEvent::Delivery(payload), &mut actions);
+                }
+                ClosedDelivery::Absorb { op, target } => {
+                    let payload = driver.absorb_payload(op);
+                    driver.dispatch(
+                        self.cycle,
+                        target,
+                        AppEvent::Delivery(payload),
+                        &mut actions,
+                    );
+                }
+                ClosedDelivery::OpDone(op) => driver.op_done(op),
+            }
+        }
+        self.arrived = arrived;
+        self.arrived.clear();
+        self.closed = Some(driver);
+        self.actions = actions;
+        self.closed_perform();
+    }
+
+    /// Perform the pending protocol actions — the reference engine's
+    /// bookkeeping plus heap scheduling for timers.
+    fn closed_perform(&mut self) {
+        let actions = std::mem::take(&mut self.actions);
+        let len = self.wl.msg_len;
+        let gen = self.cycle;
+        for &action in &actions {
+            match action {
+                Action::Unicast { src, dst, payload } => {
+                    let path = self.plan.unicast_path(src, dst);
+                    let id = self.alloc_msg(ActiveMsg::unicast(path, len, gen, true));
+                    self.metrics.unicast_injected += 1;
+                    self.tagged_outstanding += 1;
+                    self.metrics.total_generated += 1;
+                    self.enqueue(id);
+                    self.closed
+                        .as_mut()
+                        .expect("closed-loop driver present")
+                        .note_unicast(id, dst, payload);
+                }
+                Action::Multicast { src, payload } => {
+                    let node = src.idx();
+                    assert!(
+                        !self.plan.streams[node].is_empty(),
+                        "protocol multicast from a source with no streams"
+                    );
+                    let op = self.alloc_op(MulticastOp {
+                        src,
+                        gen,
+                        remaining: self.plan.op_targets[node],
+                        last_absorb: gen,
+                        tagged: true,
+                    });
+                    self.metrics.multicast_injected += 1;
+                    self.tagged_outstanding += 1;
+                    for si in 0..self.plan.streams[node].len() {
+                        let (path, absorbs) = {
+                            let pre = &self.plan.streams[node][si];
+                            (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
+                        };
+                        let id =
+                            self.alloc_msg(ActiveMsg::stream(path, len, gen, true, op, absorbs));
+                        self.metrics.total_generated += 1;
+                        self.enqueue(id);
+                    }
+                    self.closed
+                        .as_mut()
+                        .expect("closed-loop driver present")
+                        .note_multicast(op, payload);
+                }
+                Action::Timer { node, at } => self.queue.push(at, node.0),
+            }
+        }
+        self.actions = actions;
+        self.actions.clear();
+    }
+
+    /// Simulate exactly cycle `target` in closed-loop mode; mirrors
+    /// [`EventSimulator::simulate_cycle`] with the protocol phases of the
+    /// reference engine's `step_closed` spliced in at the same points.
+    fn simulate_cycle_closed(&mut self, target: u64) {
+        debug_assert!(target > self.cycle);
+        self.cycle = target;
+        self.counters.simulated_cycles += 1;
+        self.closed_generate();
+        self.select_moves();
+        let moved = !self.moves.is_empty();
+        if moved {
+            self.last_move_cycle = self.cycle;
+        }
+        self.apply_moves(true);
+        self.closed_deliver();
+        let granted = self.grant();
+        self.stalled = !moved && granted == 0;
+        if self.stalled {
+            self.counters.stall_fixpoints += 1;
+        }
+    }
+
+    /// The next cycle on which anything can happen in closed-loop mode:
+    /// the heap holds timers instead of arrivals, there is no
+    /// measurement boundary, and streaming spans are not attempted
+    /// (protocol messages are short; the span machinery's caps don't
+    /// model delivery-triggered injections).
+    fn closed_next_cycle(&self, deadline: u64) -> u64 {
+        let next = self.cycle + 1;
+        if !self.active.is_empty() && !self.stalled {
+            return next;
+        }
+        let mut t = self.queue.peek_time().unwrap_or(u64::MAX);
+        t = t.min(deadline);
+        if !self.active.is_empty() {
+            t = t.min(self.next_watchdog_cycle());
+        }
+        t.max(next)
+    }
+
+    /// The protocol has fully quiesced: every machine done, nothing in
+    /// flight anywhere.
+    fn closed_quiescent(&self) -> bool {
+        self.tagged_outstanding == 0
+            && self
+                .closed
+                .as_ref()
+                .expect("closed-loop driver present")
+                .quiescent()
+    }
+
+    /// Closed-loop run loop — the reference engine's trajectory
+    /// (quiescence, deadline, backlog, watchdog, all checked at the
+    /// top), evaluated only on cycles a simulated cycle could have
+    /// changed: quiescence and backlog only move on simulated cycles,
+    /// and the jump targets cap at the deadline and watchdog boundaries.
+    fn run_closed(&mut self) -> SimResults {
+        let deadline = self.cfg.deadline();
+        let mut saturated = false;
+        let mut deadlocked = false;
+        self.closed_start();
+        loop {
+            if self.closed_quiescent() {
+                break;
+            }
+            if self.cycle >= deadline {
+                saturated = true;
+                break;
+            }
+            if self.inj_backlog > self.cfg.backlog_limit {
+                saturated = true;
+                break;
+            }
+            if self.cycle.is_multiple_of(WATCHDOG_STRIDE) && self.watchdog_fires() {
+                deadlocked = true;
+                saturated = true;
+                break;
+            }
+            let target = self.closed_next_cycle(deadline);
+            self.simulate_cycle_closed(target);
+        }
+        let cycles = self.cycle;
+        let quiesced = self.closed_quiescent();
+        let mut res = self.metrics.finish(
+            saturated,
+            deadlocked,
+            cycles,
+            self.peak_backlog,
+            cycles,
+            self.counters,
+        );
+        let mut driver = self.closed.take().expect("closed-loop driver present");
+        res.closed_loop = Some(driver.finish(cycles, quiesced));
+        self.closed = Some(driver);
+        res
+    }
+
     /// Run to completion and produce results — the same observable
     /// trajectory as the reference engine's run loop, evaluated only on
     /// cycles of interest.
     pub fn run(&mut self) -> SimResults {
+        if self.closed.is_some() {
+            return self.run_closed();
+        }
         let warmup = self.cfg.warmup_cycles;
         let measure_end = self.cfg.measure_end();
         let deadline = self.cfg.deadline();
@@ -1032,6 +1312,10 @@ impl SimEngine for EventSimulator<'_> {
 
     fn audit(&self) -> Result<EngineAudit, String> {
         EventSimulator::audit(self)
+    }
+
+    fn install_closed_loop(&mut self, spec: &ClosedLoopSpec, master_seed: u64) {
+        EventSimulator::install_closed_loop(self, spec, master_seed)
     }
 }
 

@@ -78,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+mod closed_loop;
 pub mod config;
 pub mod engine;
 pub mod engine_api;
@@ -94,5 +95,9 @@ pub use engine::Simulator;
 pub use engine_api::{build_engine, build_engine_with_plan, EngineAudit, SimEngine};
 pub use event_engine::EventSimulator;
 pub use plan::{PlanError, SimPlan};
-pub use results::{EngineCounters, LatencyStats, SimResults};
+pub use results::{ClosedLoopResults, EngineCounters, LatencyStats, SimResults};
 pub use schedule::{record_trace, Arrival, ArrivalProcess, ArrivalStream};
+
+// Re-exported so engine users can name a protocol without depending on
+// `noc-app` directly (the closed-loop API surface lives on `SimEngine`).
+pub use noc_app::ClosedLoopSpec;

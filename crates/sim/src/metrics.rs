@@ -133,6 +133,8 @@ impl Metrics {
                 .map(|&t| t as f64 / denom)
                 .collect(),
             engine,
+            // The closed-loop driver stamps its summary after `finish`.
+            closed_loop: None,
         }
     }
 }

@@ -84,6 +84,34 @@ pub struct EngineCounters {
     pub span_scans_failed: u64,
 }
 
+/// Closed-loop protocol statistics of one run (present only when a
+/// [`noc_app::ClosedLoopSpec`] drove the engine).
+///
+/// Open-loop metrics answer "how fast does the network serve offered
+/// load"; these answer the closed-loop question — how fast does the
+/// *application* make progress when its sources stall on the network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClosedLoopResults {
+    /// Requests issued across all nodes.
+    pub requests_issued: u64,
+    /// Requests retired (== issued whenever the run quiesced).
+    pub requests_retired: u64,
+    /// Per-request completion latency (issue → retire), in cycles.
+    pub completion: LatencyStats,
+    /// Time-average outstanding requests across all nodes (the
+    /// occupancy of the protocol windows).
+    pub avg_outstanding: f64,
+    /// Requests retired per cycle — the closed-loop throughput.
+    pub ops_per_cycle: f64,
+    /// Did the protocol run to completion (every machine done, nothing
+    /// in flight)? `false` means the run hit its deadline or backlog
+    /// limit first.
+    pub quiesced: bool,
+    /// The cycle the run ended on (the quiescence cycle when
+    /// `quiesced`).
+    pub quiesce_cycle: u64,
+}
+
 /// Complete results of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimResults {
@@ -135,6 +163,8 @@ pub struct SimResults {
     /// Engine-internal work counters (mechanics, not semantics — see
     /// [`EngineCounters`]).
     pub engine: EngineCounters,
+    /// Closed-loop protocol statistics; `None` on open-loop runs.
+    pub closed_loop: Option<ClosedLoopResults>,
 }
 
 impl SimResults {

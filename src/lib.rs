@@ -4,6 +4,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use noc_app as app;
 pub use noc_bench as bench;
 pub use noc_queueing as queueing;
 pub use noc_sim as sim;
@@ -13,6 +14,7 @@ pub use quarc_core as model;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
+    pub use noc_app::{AppEvent, AppProtocol, ClosedLoopSpec, Emission, NetEnv, ProtocolBank};
     pub use noc_bench::{
         Error, MulticastPattern, PointResult, Progress, Runner, Scenario, ScenarioResult,
         SweepSpec, WorkloadSpec,
@@ -20,8 +22,8 @@ pub mod prelude {
     pub use noc_queueing::expmax::expected_max_exponentials;
     pub use noc_queueing::mg1::MG1;
     pub use noc_sim::{
-        build_engine, record_trace, ArrivalProcess, EngineCounters, EngineKind, EventSimulator,
-        PlanError, SimConfig, SimEngine, SimPlan, SimResults, Simulator,
+        build_engine, record_trace, ArrivalProcess, ClosedLoopResults, EngineCounters, EngineKind,
+        EventSimulator, PlanError, SimConfig, SimEngine, SimPlan, SimResults, Simulator,
     };
     pub use noc_topology::{
         Hypercube, Mesh, MeshKind, MulticastRouting, NodeId, PortId, Quarc, Ring, RoutingError,

@@ -264,6 +264,107 @@ fn zero_rate_runs_terminate_identically() {
     assert_eq!(cycle.cycles, SimConfig::quick(1).measure_end());
 }
 
+// ---------------------------------------------------------------------
+// Closed-loop protocols: the per-node machines must replay bit-
+// identically on both engines — same event order, same RNG draws, same
+// injections, same quiescence cycle.
+// ---------------------------------------------------------------------
+
+/// Run both engines closed-loop on the same (topology, sets, spec, seed).
+fn both_closed(
+    topo: &dyn Topology,
+    sets: DestinationSets,
+    spec: &ClosedLoopSpec,
+    seed: u64,
+) -> (SimResults, SimResults) {
+    let wl = Workload::new(8, 0.0, 0.0, sets).unwrap();
+    let cfg = SimConfig::quick(seed);
+    let mut cycle = Simulator::new(topo, &wl, cfg.with_engine(EngineKind::Cycle));
+    cycle.install_closed_loop(spec, seed);
+    let mut event = EventSimulator::new(topo, &wl, cfg.with_engine(EngineKind::EventDriven));
+    event.install_closed_loop(spec, seed);
+    (cycle.run(), event.run())
+}
+
+fn assert_closed_identical(cycle: &SimResults, event: &SimResults, ctx: &str) {
+    assert_runs_identical(cycle, event, ctx);
+    let c = cycle.closed_loop.as_ref().expect("cycle closed-loop stats");
+    let e = event.closed_loop.as_ref().expect("event closed-loop stats");
+    assert_eq!(c.requests_issued, e.requests_issued, "{ctx}: issued");
+    assert_eq!(c.requests_retired, e.requests_retired, "{ctx}: retired");
+    assert_stats_equal(&c.completion, &e.completion, ctx);
+    assert_f64_bits(c.avg_outstanding, e.avg_outstanding, "avg outstanding", ctx);
+    assert_f64_bits(c.ops_per_cycle, e.ops_per_cycle, "ops per cycle", ctx);
+    assert_eq!(c.quiesced, e.quiesced, "{ctx}: quiesced flag");
+    assert_eq!(c.quiesce_cycle, e.quiesce_cycle, "{ctx}: quiescence cycle");
+}
+
+#[test]
+fn coherence_closed_loop_identical_on_quarc_and_mesh() {
+    let spec = ClosedLoopSpec::Coherence {
+        window: 4,
+        requests: 40,
+        write_fraction: 0.3,
+    };
+    let quarc = Quarc::new(16).unwrap();
+    let mesh = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+    let topos: [&dyn Topology; 2] = [&quarc, &mesh];
+    for topo in topos {
+        let sets = DestinationSets::random(topo, 4, 51);
+        let (cycle, event) = both_closed(topo, sets, &spec, 51);
+        let ctx = format!("{} coherence", topo.name());
+        let cl = cycle.closed_loop.as_ref().unwrap();
+        assert!(cl.quiesced, "{ctx}: must quiesce");
+        assert_eq!(cl.requests_retired, 16 * 40, "{ctx}: every request retires");
+        assert_closed_identical(&cycle, &event, &ctx);
+    }
+}
+
+#[test]
+fn barrier_closed_loop_identical_on_quarc_and_torus() {
+    // The barrier exercises the timer path (compute delays) and the
+    // broadcast release; its fan-in tree must converge identically.
+    let spec = ClosedLoopSpec::Barrier {
+        rounds: 6,
+        radix: 2,
+        compute: 12,
+    };
+    let quarc = Quarc::new(16).unwrap();
+    let torus = Mesh::new(4, 4, MeshKind::Torus).unwrap();
+    let topos: [&dyn Topology; 2] = [&quarc, &torus];
+    for topo in topos {
+        let sets = DestinationSets::broadcast(topo);
+        let (cycle, event) = both_closed(topo, sets, &spec, 53);
+        let ctx = format!("{} barrier", topo.name());
+        let cl = cycle.closed_loop.as_ref().unwrap();
+        assert!(cl.quiesced, "{ctx}: must quiesce");
+        assert_eq!(cl.requests_retired, 16 * 6, "{ctx}: every round retires");
+        assert_closed_identical(&cycle, &event, &ctx);
+    }
+}
+
+#[test]
+fn closed_loop_seeds_decorrelate_but_replay() {
+    // Same seed → bit-identical; different master seed → different
+    // trajectory (the protocol RNGs really are seeded per run).
+    let topo = Quarc::new(16).unwrap();
+    let spec = ClosedLoopSpec::Coherence {
+        window: 2,
+        requests: 24,
+        write_fraction: 0.5,
+    };
+    let sets = DestinationSets::random(&topo, 4, 57);
+    let (a, _) = both_closed(&topo, sets.clone(), &spec, 57);
+    let (b, _) = both_closed(&topo, sets.clone(), &spec, 57);
+    assert_eq!(a.flit_moves, b.flit_moves, "same seed replays");
+    assert_eq!(a.cycles, b.cycles);
+    let (c, _) = both_closed(&topo, sets, &spec, 58);
+    assert_ne!(
+        a.flit_moves, c.flit_moves,
+        "different master seed, different run"
+    );
+}
+
 #[test]
 fn shared_plan_differential_pair_is_identical_too() {
     // The intended production setup: one SimPlan serving both engines.
