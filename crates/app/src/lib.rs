@@ -32,6 +32,13 @@
 //! The strict model/dispatcher split is the determinism story: every
 //! side effect is data ([`Emission`]), every input is data ([`AppEvent`]),
 //! and both engines feed the same event sequence in the same order.
+//!
+//! Measurement of a protocol run lives on the engine side:
+//! `noc_sim::ClosedLoopResults` summarises request completion times both
+//! as Welford moments and as a streaming log-bucketed histogram
+//! (`noc_telemetry::LogHistogram`), so closed-loop exhibits report tail
+//! quantiles (P50/P95/P99) next to the mean — per replicate and pooled
+//! across replicates by the bench runner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -14,7 +14,7 @@
 //! record the performance trajectory over time.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use noc_sim::{EngineKind, EventSimulator, SimConfig, SimPlan, Simulator};
+use noc_sim::{EngineKind, EventSimulator, SimConfig, SimPlan, Simulator, TelemetrySpec};
 use noc_topology::Quarc;
 use noc_workloads::{DestinationSets, Workload};
 use std::sync::Arc;
@@ -30,6 +30,7 @@ fn short_cfg(seed: u64) -> SimConfig {
         backlog_limit: 50_000,
         batch_size: 32,
         engine: EngineKind::default(),
+        telemetry: TelemetrySpec::default(),
     }
 }
 

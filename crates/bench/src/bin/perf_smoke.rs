@@ -16,7 +16,9 @@
 //! Defaults to `64 0.005 5`; the optional overrides probe other points
 //! with the same interleaved-sampling methodology.
 
-use noc_sim::{EngineKind, EventSimulator, SimConfig, SimPlan, SimResults, Simulator};
+use noc_sim::{
+    EngineKind, EventSimulator, SimConfig, SimPlan, SimResults, Simulator, TelemetrySpec,
+};
 use noc_topology::{Quarc, Topology};
 use noc_workloads::{DestinationSets, Workload};
 use std::sync::Arc;
@@ -37,6 +39,9 @@ fn cfg() -> SimConfig {
         backlog_limit: 50_000,
         batch_size: 32,
         engine: EngineKind::default(),
+        // The gate times the hot path as shipped: telemetry off. The
+        // disabled taps are the overhead budget this run holds them to.
+        telemetry: TelemetrySpec::off(),
     }
 }
 

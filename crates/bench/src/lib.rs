@@ -35,6 +35,7 @@
 //! | `fig-routing`        | where the path-based assumption breaks (routing-scheme sweep) |
 //! | `fig-bounds`         | network-calculus bound vs simulation (backend cross-validation) |
 //! | `fig-closedloop`     | closed-loop latency/throughput knee (coherence window sweep) |
+//! | `fig-heatmap`        | flight-recorder exhibit: per-link congestion heatmaps + Perfetto flit traces |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -21,7 +21,7 @@
 
 use crate::error::{Error, Result};
 use crate::scenario::Scenario;
-use noc_sim::{build_engine_with_plan, SimPlan, SimResults};
+use noc_sim::{build_engine_with_plan, LogHistogram, SimPlan, SimResults};
 use noc_topology::NodeId;
 use noc_workloads::parallel::{effective_threads, parallel_map};
 use noc_workloads::table::{fmt_latency, Table};
@@ -30,6 +30,7 @@ use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One completed `(rate, replicate)` job, reported to progress callbacks.
 #[derive(Clone, Debug)]
@@ -48,7 +49,7 @@ pub struct Progress {
 
 /// One operating point of a scenario: analytical prediction (when the
 /// overlay is enabled) and across-replicate simulation measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct PointResult {
     /// Generation rate (messages/node/cycle).
     pub rate: f64,
@@ -86,21 +87,75 @@ pub struct PointResult {
     /// within the single run for `replicates == 1`, across replicate
     /// means otherwise.
     pub sim_multicast_ci: f64,
+    /// Streaming-histogram median of the point's primary latency
+    /// population (multicast for open-loop scenarios, request completion
+    /// for closed-loop), merged across replicates before the quantile is
+    /// taken — not averaged per replicate. `NaN` when the population is
+    /// empty (e.g. a fully saturated point).
+    pub sim_p50: f64,
+    /// 95th percentile of the merged primary latency histogram.
+    pub sim_p95: f64,
+    /// 99th percentile of the merged primary latency histogram.
+    pub sim_p99: f64,
+    /// Replicates of this point served from the result cache.
+    pub cache_hits: u64,
+    /// Replicates of this point actually simulated.
+    pub cache_misses: u64,
+    /// Wall-clock spent producing this point, summed over replicates
+    /// (milliseconds; cache hits contribute their read-and-parse time).
+    /// Run accounting, not a result: reported in
+    /// [`ScenarioResult::summary`] but excluded from serialization, so
+    /// persisted sinks stay byte-identical across hosts, thread counts
+    /// and re-runs (files deserialize it as `NaN`).
+    pub wall_ms: f64,
     /// Simulator saturation flag (any replicate).
     pub sim_saturated: bool,
 }
 
+// Hand-written to keep the persisted form deterministic: every field is
+// a function of the scenario except `wall_ms`, which is wall-clock and
+// is deliberately left out — the structured JSON sink is byte-compared
+// across runs by the round-trip suite.
+impl serde::Serialize for PointResult {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("rate".into(), self.rate.to_value()),
+            ("model_unicast".into(), self.model_unicast.to_value()),
+            ("model_multicast".into(), self.model_multicast.to_value()),
+            ("bound_unicast".into(), self.bound_unicast.to_value()),
+            ("bound_multicast".into(), self.bound_multicast.to_value()),
+            ("model_applicable".into(), self.model_applicable.to_value()),
+            ("sim_unicast".into(), self.sim_unicast.to_value()),
+            ("sim_multicast".into(), self.sim_multicast.to_value()),
+            ("sim_multicast_ci".into(), self.sim_multicast_ci.to_value()),
+            ("sim_p50".into(), self.sim_p50.to_value()),
+            ("sim_p95".into(), self.sim_p95.to_value()),
+            ("sim_p99".into(), self.sim_p99.to_value()),
+            ("cache_hits".into(), self.cache_hits.to_value()),
+            ("cache_misses".into(), self.cache_misses.to_value()),
+            ("sim_saturated".into(), self.sim_saturated.to_value()),
+        ])
+    }
+}
+
 // Hand-written so older persisted results stay readable: files from
 // before the traffic subsystem lack `model_applicable` (every one ran
-// Poisson traffic, where the overlay always applies), and files from
-// before the backend refactor lack the calculus bounds (absent = never
-// computed = `NaN`, exactly how a disabled overlay reports).
+// Poisson traffic, where the overlay always applies), files from before
+// the backend refactor lack the calculus bounds (absent = never computed
+// = `NaN`, exactly how a disabled overlay reports), and files from
+// before the flight recorder lack the quantile and run-accounting
+// columns (quantiles were never taken = `NaN`; a run that predates cache
+// accounting recorded zero of either outcome).
 impl serde::Deserialize for PointResult {
     fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
         let f = |name| serde::de::field(v, "PointResult", name);
         let opt_nan = |name| match v.get(name) {
             Some(x) => serde::Deserialize::from_value(x),
             None => Ok(f64::NAN),
+        };
+        let opt_zero = |name| match v.get(name) {
+            Some(x) => serde::Deserialize::from_value(x),
+            None => Ok(0u64),
         };
         Ok(PointResult {
             rate: serde::Deserialize::from_value(f("rate")?)?,
@@ -115,6 +170,12 @@ impl serde::Deserialize for PointResult {
             sim_unicast: serde::Deserialize::from_value(f("sim_unicast")?)?,
             sim_multicast: serde::Deserialize::from_value(f("sim_multicast")?)?,
             sim_multicast_ci: serde::Deserialize::from_value(f("sim_multicast_ci")?)?,
+            sim_p50: opt_nan("sim_p50")?,
+            sim_p95: opt_nan("sim_p95")?,
+            sim_p99: opt_nan("sim_p99")?,
+            cache_hits: opt_zero("cache_hits")?,
+            cache_misses: opt_zero("cache_misses")?,
+            wall_ms: opt_nan("wall_ms")?,
             sim_saturated: serde::Deserialize::from_value(f("sim_saturated")?)?,
         })
     }
@@ -243,6 +304,74 @@ impl ScenarioResult {
         t
     }
 
+    /// Render the tail-latency curve as a table (one row per rate): the
+    /// streaming-histogram quantiles of the primary latency population
+    /// (multicast completion for open-loop scenarios, request completion
+    /// for closed-loop), merged across replicates. Kept separate from
+    /// [`ScenarioResult::table`], whose column set is golden-locked.
+    pub fn quantiles_table(&self) -> Table {
+        let mut t = Table::new(vec!["rate", "sim_mean", "p50", "p95", "p99", "sim_sat"]);
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{:.5}", p.rate),
+                fmt_latency(p.sim_multicast),
+                fmt_latency(p.sim_p50),
+                fmt_latency(p.sim_p95),
+                fmt_latency(p.sim_p99),
+                if p.sim_saturated { "yes" } else { "no" }.into(),
+            ]);
+        }
+        t
+    }
+
+    /// Render the engine-counter curve as a table (one row per rate):
+    /// the event engine's internal work counters, summed over the
+    /// point's replicates. Cycle-engine replicates contribute only
+    /// `sim_cycles` (their other counters are structurally zero).
+    pub fn engine_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "rate",
+            "sim_cycles",
+            "events",
+            "spans",
+            "span_cycles",
+            "stall_fixpoints",
+            "failed_scans",
+        ]);
+        for (p, sims) in self.points.iter().zip(&self.sims) {
+            let sum = |f: &dyn Fn(&SimResults) -> u64| sims.iter().map(f).sum::<u64>();
+            t.push_row(vec![
+                format!("{:.5}", p.rate),
+                sum(&|r| r.engine.simulated_cycles).to_string(),
+                sum(&|r| r.engine.events_popped).to_string(),
+                sum(&|r| r.engine.spans_batched).to_string(),
+                sum(&|r| r.engine.span_cycles).to_string(),
+                sum(&|r| r.engine.stall_fixpoints).to_string(),
+                sum(&|r| r.engine.span_scans_failed).to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// One-paragraph run accounting for terminal output: job counts,
+    /// cache hits/misses and total wall-clock. This is the only sink
+    /// that reports wall time — the CSV/JSON tables stay byte-identical
+    /// across hosts and thread counts.
+    pub fn summary(&self) -> String {
+        let hits: u64 = self.points.iter().map(|p| p.cache_hits).sum();
+        let misses: u64 = self.points.iter().map(|p| p.cache_misses).sum();
+        let wall_ms: f64 = self.points.iter().map(|p| p.wall_ms).sum();
+        format!(
+            "{}: {} points x {} replicates, {} cached / {} simulated, {:.1} ms sim wall-clock",
+            self.scenario.name,
+            self.points.len(),
+            self.scenario.replicates,
+            hits,
+            misses,
+            wall_ms
+        )
+    }
+
     /// The latency curve as CSV.
     pub fn to_csv(&self) -> String {
         self.table().to_csv()
@@ -265,9 +394,23 @@ impl ScenarioResult {
         self.write_sink(dir, "json", &self.to_json())
     }
 
+    /// Write the tail-latency CSV as `<dir>/<name>-quantiles.csv`.
+    pub fn write_quantiles_csv(&self, dir: impl AsRef<Path>) -> Result<PathBuf> {
+        self.write_named(dir, "-quantiles.csv", &self.quantiles_table().to_csv())
+    }
+
+    /// Write the engine-counter CSV as `<dir>/<name>-engine.csv`.
+    pub fn write_engine_csv(&self, dir: impl AsRef<Path>) -> Result<PathBuf> {
+        self.write_named(dir, "-engine.csv", &self.engine_table().to_csv())
+    }
+
     fn write_sink(&self, dir: impl AsRef<Path>, ext: &str, contents: &str) -> Result<PathBuf> {
+        self.write_named(dir, &format!(".{ext}"), contents)
+    }
+
+    fn write_named(&self, dir: impl AsRef<Path>, suffix: &str, contents: &str) -> Result<PathBuf> {
         std::fs::create_dir_all(dir.as_ref())?;
-        let path = dir.as_ref().join(format!("{}.{ext}", self.scenario.name));
+        let path = dir.as_ref().join(format!("{}{suffix}", self.scenario.name));
         std::fs::write(&path, contents)?;
         Ok(path)
     }
@@ -413,10 +556,12 @@ impl Runner {
             // A hit must parse back into SimResults; a corrupt or
             // truncated file falls through to recomputation (and is then
             // overwritten with a fresh copy).
+            let t0 = Instant::now();
             let cached: Option<SimResults> = cache_path
                 .as_ref()
                 .and_then(|p| std::fs::read_to_string(p).ok())
                 .and_then(|s| serde::json::from_str(&s).ok());
+            let cache_hit = cached.is_some();
             let res = match cached {
                 Some(res) => res,
                 None => {
@@ -434,6 +579,7 @@ impl Runner {
                     res
                 }
             };
+            let wall_ns = t0.elapsed().as_nanos() as u64;
             if let Some(cb) = &self.progress {
                 cb(&Progress {
                     scenario: sc.name.clone(),
@@ -443,7 +589,13 @@ impl Runner {
                     replicate: rep,
                 });
             }
-            Ok::<_, Error>(JobSample { model, bound, res })
+            Ok::<_, Error>(JobSample {
+                model,
+                bound,
+                res,
+                wall_ns,
+                cache_hit,
+            })
         });
 
         let mut flat = Vec::with_capacity(samples.len());
@@ -498,6 +650,10 @@ struct JobSample {
     /// Network-calculus worst-case bound `(unicast, multicast)`.
     bound: (f64, f64),
     res: SimResults,
+    /// Wall-clock of the cached-or-simulated block, nanoseconds.
+    wall_ns: u64,
+    /// Did the result-cache serve this job?
+    cache_hit: bool,
 }
 
 impl std::fmt::Debug for JobSample {
@@ -509,14 +665,34 @@ impl std::fmt::Debug for JobSample {
     }
 }
 
+/// Merge the replicates' primary latency histograms — request completion
+/// for closed-loop runs, multicast completion otherwise — into one
+/// population, so quantiles are taken over the pooled samples (quantiles,
+/// unlike means, do not average across replicates).
+fn merged_hist(group: &[JobSample]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for s in group {
+        match &s.res.closed_loop {
+            Some(cl) => h.merge(&cl.completion_hist),
+            None => h.merge(&s.res.latency_hists.multicast),
+        }
+    }
+    h
+}
+
 /// Collapse one sweep rate's replicates into a [`PointResult`]. A single
 /// replicate passes through exactly (no re-aggregation); multiple
 /// replicates report the across-replicate mean with a normal-theory CI
-/// over the replicate means.
+/// over the replicate means. Quantiles always come from the *pooled*
+/// latency histogram, and the cache/wall accounting sums over the group.
 fn aggregate(rate: f64, group: &[JobSample], model_applicable: bool) -> PointResult {
     let first = &group[0];
     let (model_unicast, model_multicast) = first.model;
     let (bound_unicast, bound_multicast) = first.bound;
+    let hist = merged_hist(group);
+    let cache_hits = group.iter().filter(|s| s.cache_hit).count() as u64;
+    let cache_misses = group.len() as u64 - cache_hits;
+    let wall_ms = group.iter().map(|s| s.wall_ns).sum::<u64>() as f64 / 1e6;
     if group.len() == 1 {
         return PointResult {
             rate,
@@ -528,6 +704,12 @@ fn aggregate(rate: f64, group: &[JobSample], model_applicable: bool) -> PointRes
             sim_unicast: first.res.unicast.mean,
             sim_multicast: first.res.multicast.mean,
             sim_multicast_ci: first.res.multicast.ci95,
+            sim_p50: hist.p50(),
+            sim_p95: hist.p95(),
+            sim_p99: hist.p99(),
+            cache_hits,
+            cache_misses,
+            wall_ms,
             sim_saturated: first.res.saturated,
         };
     }
@@ -550,6 +732,12 @@ fn aggregate(rate: f64, group: &[JobSample], model_applicable: bool) -> PointRes
         sim_unicast,
         sim_multicast,
         sim_multicast_ci: 1.96 * (var / n).sqrt(),
+        sim_p50: hist.p50(),
+        sim_p95: hist.p95(),
+        sim_p99: hist.p99(),
+        cache_hits,
+        cache_misses,
+        wall_ms,
         sim_saturated: group.iter().any(|s| s.res.saturated),
     }
 }
@@ -585,9 +773,24 @@ mod tests {
             assert!(!p.sim_saturated);
             let e = p.multicast_error().expect("both sides finite");
             assert!(e < 0.15, "model within 15% at low load, got {e}");
+            // The streaming quantiles ride along on every point, ordered
+            // and bracketing the multicast population sensibly.
+            assert!(p.sim_p50.is_finite() && p.sim_p99.is_finite());
+            assert!(p.sim_p50 <= p.sim_p95 && p.sim_p95 <= p.sim_p99);
+            assert!(p.sim_p99 >= p.sim_multicast, "P99 dominates the mean");
+            assert_eq!(p.cache_hits, 0, "no cache configured");
+            assert_eq!(p.cache_misses, 1);
+            assert!(p.wall_ms > 0.0);
         }
         let csv = res.to_csv();
         assert_eq!(csv.lines().count(), 3);
+        let qcsv = res.quantiles_table().to_csv();
+        assert_eq!(qcsv.lines().count(), 3, "header + one row per rate");
+        assert!(qcsv.starts_with("rate,sim_mean,p50,p95,p99,sim_sat"));
+        let ecsv = res.engine_table().to_csv();
+        assert_eq!(ecsv.lines().count(), 3);
+        let summary = res.summary();
+        assert!(summary.contains("0 cached / 2 simulated"), "{summary}");
     }
 
     #[test]
@@ -778,6 +981,37 @@ mod tests {
             .expect("closed-loop summary stamped");
         assert!(cl.quiesced);
         assert_eq!(cl.requests_retired, 16 * 16);
+        // Closed-loop points take their quantiles from the request
+        // completion-time histogram — P99 must surface in the CSV sink.
+        assert!(p.sim_p99.is_finite());
+        assert_eq!(cl.completion_hist.count(), 16 * 16);
+        let qcsv = res.quantiles_table().to_csv();
+        assert_eq!(qcsv.lines().count(), 2);
+        assert!(!qcsv.lines().nth(1).unwrap().contains("-,"), "{qcsv}");
+    }
+
+    #[test]
+    fn legacy_point_results_parse_without_telemetry_fields() {
+        let legacy = r#"{
+            "rate": 0.002,
+            "model_unicast": 40.0,
+            "model_multicast": 50.0,
+            "sim_unicast": 41.0,
+            "sim_multicast": 51.0,
+            "sim_multicast_ci": 0.5,
+            "sim_saturated": false
+        }"#;
+        let p: PointResult = serde::json::from_str(legacy).expect("pre-telemetry JSON parses");
+        assert!(p.sim_p50.is_nan() && p.sim_p99.is_nan());
+        assert_eq!(p.cache_hits, 0);
+        assert_eq!(p.cache_misses, 0);
+        assert!(p.wall_ms.is_nan());
+        assert!(p.model_applicable, "absent flag defaults to applicable");
+        // And a current PointResult round-trips through its own JSON.
+        let again: PointResult = serde::json::from_str(&serde::json::to_string(&p)).unwrap();
+        assert_eq!(again.rate, p.rate);
+        assert_eq!(again.cache_misses, 0);
+        assert!(again.sim_p95.is_nan());
     }
 
     fn scratch_cache_dir(tag: &str) -> PathBuf {
@@ -794,6 +1028,10 @@ mod tests {
         let runner = Runner::new().cache(Some(dir.clone()));
         let first = runner.run(&sc).unwrap();
         assert_eq!(first.to_csv(), baseline.to_csv(), "cache write run agrees");
+        assert!(
+            first.points.iter().all(|p| p.cache_hits == 0),
+            "cold cache: every job simulated"
+        );
         let files: Vec<PathBuf> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().path())
@@ -812,6 +1050,14 @@ mod tests {
             second.points.iter().any(|p| p.sim_saturated),
             "doctored cache entry must surface — points were re-simulated instead"
         );
+        assert!(
+            second
+                .points
+                .iter()
+                .all(|p| p.cache_hits == 1 && p.cache_misses == 0),
+            "warm cache: every job served from disk"
+        );
+        assert!(second.summary().contains("2 cached / 0 simulated"));
 
         // A fresh run without the cache is unaffected.
         let clean = Runner::new().run(&sc).unwrap();

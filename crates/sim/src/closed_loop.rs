@@ -29,6 +29,7 @@ use crate::message::{MsgId, OpId};
 use crate::results::{ClosedLoopResults, LatencyStats};
 use noc_app::{AppEvent, Emission, Payload, ProtocolBank};
 use noc_queueing::Welford;
+use noc_telemetry::LogHistogram;
 use noc_topology::NodeId;
 use std::collections::HashMap;
 
@@ -87,6 +88,8 @@ pub(crate) struct ClosedLoopDriver {
     occ_area: u128,
     occ_last: u64,
     completion: Welford,
+    /// Streaming quantile companion of `completion` (P50/P95/P99).
+    completion_hist: LogHistogram,
     scratch: Vec<Emission>,
 }
 
@@ -106,6 +109,7 @@ impl ClosedLoopDriver {
             occ_area: 0,
             occ_last: 0,
             completion: Welford::new(),
+            completion_hist: LogHistogram::new(),
             scratch: Vec::new(),
         }
     }
@@ -167,6 +171,7 @@ impl ClosedLoopDriver {
                         .remove(&(node.0, req))
                         .expect("request retired without being issued");
                     self.completion.push((now - at) as f64);
+                    self.completion_hist.record(now - at);
                     self.retired += 1;
                     self.outstanding -= 1;
                 }
@@ -252,7 +257,9 @@ impl ClosedLoopDriver {
         ClosedLoopResults {
             requests_issued: self.issued,
             requests_retired: self.retired,
-            completion: LatencyStats::from_welford(&self.completion),
+            completion: LatencyStats::from_welford(&self.completion)
+                .with_quantiles(&self.completion_hist),
+            completion_hist: self.completion_hist.clone(),
             avg_outstanding: self.occ_area as f64 / denom,
             ops_per_cycle: self.retired as f64 / denom,
             quiesced,
@@ -326,6 +333,9 @@ mod tests {
         assert_eq!(res.requests_retired, 2);
         assert_eq!(res.completion.count, 2);
         assert_eq!(res.completion.mean, 25.0, "issued at 0, retired at 25");
+        assert_eq!(res.completion.p50, 25.0, "exact below 64");
+        assert_eq!(res.completion.p99, 25.0);
+        assert_eq!(res.completion_hist.count(), 2);
         // Occupancy integral: 2 outstanding over cycles 0..25 (window
         // refills keep it at 2 until both retire), then the refilled pair.
         assert!(res.avg_outstanding > 0.0);

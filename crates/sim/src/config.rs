@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use noc_telemetry::TelemetrySpec;
 use serde::{Deserialize, Serialize};
 
 /// Which simulation engine executes the run.
@@ -23,7 +24,7 @@ pub enum EngineKind {
 }
 
 /// Run-length and fidelity parameters of a simulation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct SimConfig {
     /// Master seed; every run is deterministic in `(seed, config,
     /// workload, topology)`.
@@ -48,6 +49,35 @@ pub struct SimConfig {
     /// Which engine executes the run (event-driven by default; the cycle
     /// engine is the reference oracle).
     pub engine: EngineKind,
+    /// Flight-recorder telemetry: event tracing and the utilization time
+    /// series. Off by default — a disabled instrument costs one branch
+    /// per tap and never perturbs results (the equivalence suite checks
+    /// runs bit-identical with telemetry on and off).
+    pub telemetry: TelemetrySpec,
+}
+
+// Hand-written so configurations persisted before the telemetry
+// subsystem (scenario JSONs, cached results) keep parsing: a missing
+// `telemetry` key means everything off, which is exactly how those runs
+// executed.
+impl serde::Deserialize for SimConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let f = |name| serde::de::field(v, "SimConfig", name);
+        Ok(SimConfig {
+            seed: Deserialize::from_value(f("seed")?)?,
+            warmup_cycles: Deserialize::from_value(f("warmup_cycles")?)?,
+            measure_cycles: Deserialize::from_value(f("measure_cycles")?)?,
+            drain_cycles: Deserialize::from_value(f("drain_cycles")?)?,
+            buffer_depth: Deserialize::from_value(f("buffer_depth")?)?,
+            backlog_limit: Deserialize::from_value(f("backlog_limit")?)?,
+            batch_size: Deserialize::from_value(f("batch_size")?)?,
+            engine: Deserialize::from_value(f("engine")?)?,
+            telemetry: match v.get("telemetry") {
+                Some(t) => Deserialize::from_value(t)?,
+                None => TelemetrySpec::default(),
+            },
+        })
+    }
 }
 
 impl SimConfig {
@@ -63,6 +93,7 @@ impl SimConfig {
             backlog_limit: 20_000,
             batch_size: 32,
             engine: EngineKind::default(),
+            telemetry: TelemetrySpec::default(),
         }
     }
 
@@ -77,12 +108,19 @@ impl SimConfig {
             backlog_limit: 60_000,
             batch_size: 128,
             engine: EngineKind::default(),
+            telemetry: TelemetrySpec::default(),
         }
     }
 
     /// This configuration with the given engine selected (builder style).
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// This configuration with the given telemetry spec (builder style).
+    pub fn with_telemetry(mut self, telemetry: TelemetrySpec) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -147,6 +185,33 @@ mod tests {
     #[test]
     fn standard_is_longer_than_quick() {
         assert!(SimConfig::standard(0).measure_cycles > SimConfig::quick(0).measure_cycles);
+    }
+
+    #[test]
+    fn telemetry_defaults_off_and_builds_on() {
+        use noc_telemetry::TraceMode;
+        assert!(!SimConfig::quick(1).telemetry.enabled());
+        assert!(!SimConfig::standard(1).telemetry.enabled());
+        let cfg = SimConfig::quick(1).with_telemetry(TelemetrySpec::flight_recorder(512, 64));
+        assert_eq!(cfg.telemetry.trace, TraceMode::Ring { capacity: 512 });
+        assert_eq!(cfg.telemetry.util_window, 64);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn pre_telemetry_configs_still_parse() {
+        // A config serialized before the telemetry field existed: the
+        // missing key must deserialize as telemetry-off, not an error.
+        let mut cfg = SimConfig::quick(9);
+        cfg.telemetry = TelemetrySpec::off().with_util_window(32);
+        let json = serde::json::to_string(&cfg);
+        let legacy = json.replace(",\"telemetry\":{\"trace\":\"Off\",\"util_window\":32}", "");
+        assert_ne!(legacy, json, "telemetry key was present and stripped");
+        let back: SimConfig = serde::json::from_str(&legacy).unwrap();
+        assert_eq!(back, SimConfig::quick(9), "defaults to telemetry off");
+        // And a config that kept the key round-trips identically.
+        let full: SimConfig = serde::json::from_str(&json).unwrap();
+        assert_eq!(full, cfg);
     }
 
     #[test]

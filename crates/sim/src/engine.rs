@@ -189,6 +189,8 @@ impl<'a> Simulator<'a> {
             n: self.plan.n,
             fanout: self.plan.op_targets.clone(),
         };
+        // Closed-loop runs measure every cycle from cycle 1.
+        self.metrics.set_measure_origin(0);
         self.closed = Some(ClosedLoopDriver::new(spec.build(&env, master_seed)));
     }
 
@@ -225,8 +227,9 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Enqueue a freshly generated message at the head channel of its path.
-    fn enqueue(&mut self, id: MsgId) {
+    /// Enqueue a freshly generated message at the head channel of its
+    /// path (`node` = the injecting source, for the trace).
+    fn enqueue(&mut self, id: MsgId, node: u32) {
         let hop0 = live_msg(&self.msgs, id, "freshly enqueued message")
             .path
             .hops[0];
@@ -235,6 +238,7 @@ impl<'a> Simulator<'a> {
         self.inj_backlog += 1;
         self.peak_backlog = self.peak_backlog.max(self.inj_backlog);
         self.regrant.push(cv as u32);
+        self.metrics.trace_inject(self.cycle, node);
     }
 
     /// Spawn the message(s) of one arrival at `node` this cycle.
@@ -262,7 +266,7 @@ impl<'a> Simulator<'a> {
                     let id =
                         self.alloc_msg(ActiveMsg::stream(path, len, gen, tagging, op, absorbs));
                     self.metrics.total_generated += 1;
-                    self.enqueue(id);
+                    self.enqueue(id, node as u32);
                 }
             }
             Arrival::Unicast(dst) => {
@@ -273,7 +277,7 @@ impl<'a> Simulator<'a> {
                     self.tagged_outstanding += 1;
                 }
                 self.metrics.total_generated += 1;
-                self.enqueue(id);
+                self.enqueue(id, node as u32);
             }
         }
     }
@@ -367,7 +371,7 @@ impl<'a> Simulator<'a> {
                     (h + 1 < msg.path.len()).then(|| msg.path.hops[h + 1]),
                 )
             };
-            self.metrics.record_flit_move(channel_of_h, measuring);
+            self.metrics.record_flit_move(now, channel_of_h, measuring);
 
             // --- header entered buffer(h): request the next channel ---
             if header_arrived {
@@ -390,6 +394,7 @@ impl<'a> Simulator<'a> {
                     debug_assert_eq!(self.cvs[cv].owner, Some((mid, (h - 1) as u16)));
                     self.cvs[cv].owner = None;
                     self.regrant.push(cv as u32);
+                    self.metrics.trace_release(now, prev.channel.idx());
                 }
                 // Absorptions scheduled at this hop (multicast targets; the
                 // final target's completion hop is the ejection hop).
@@ -404,12 +409,14 @@ impl<'a> Simulator<'a> {
                         while (stream.next_absorb as usize) < stream.absorbs.len()
                             && stream.absorbs[stream.next_absorb as usize].0 == h16
                         {
+                            let target = stream.absorbs[stream.next_absorb as usize].1;
                             if closed {
                                 self.arrived.push(ClosedDelivery::Absorb {
                                     op: stream.op,
-                                    target: stream.absorbs[stream.next_absorb as usize].1,
+                                    target,
                                 });
                             }
+                            self.metrics.trace_absorb(now, target.0);
                             stream.next_absorb += 1;
                             absorbed_here += 1;
                         }
@@ -428,6 +435,7 @@ impl<'a> Simulator<'a> {
                 if let Some(opid) = op_done {
                     self.ops_completed += 1;
                     let op = &self.ops[opid as usize];
+                    self.metrics.trace_op_done(now, op.src.0);
                     if op.tagged {
                         self.metrics.record_op_delivery(op);
                         self.tagged_outstanding -= 1;
@@ -446,17 +454,22 @@ impl<'a> Simulator<'a> {
                 if is_last {
                     // Release the ejection channel itself.
                     let msg = live_msg(&self.msgs, mid, "tail-moving message");
+                    let eject = msg.path.hops[h].channel.idx();
                     let cv = self.cv_index(msg.path.hops[h]) as usize;
                     debug_assert_eq!(self.cvs[cv].owner, Some((mid, h16)));
                     self.cvs[cv].owner = None;
                     self.regrant.push(cv as u32);
                     self.metrics.total_absorbed += 1;
+                    self.metrics.trace_release(now, eject);
 
-                    let (tagged, gen, is_unicast) = {
+                    let (tagged, gen, is_unicast, dst) = {
                         let msg = live_msg(&self.msgs, mid, "absorbed message");
-                        (msg.tagged, msg.gen, msg.multicast.is_none())
+                        (msg.tagged, msg.gen, msg.multicast.is_none(), msg.path.dst)
                     };
                     if is_unicast {
+                        // Multicast targets trace their absorbs in the
+                        // stream's absorb list above; unicasts here.
+                        self.metrics.trace_absorb(now, dst.0);
                         if tagged {
                             self.metrics.record_unicast_delivery(now, gen);
                             self.tagged_outstanding -= 1;
@@ -489,6 +502,7 @@ impl<'a> Simulator<'a> {
                     let msg = live_msg(&self.msgs, m, "granted waiter");
                     let channel = msg.path.hops[h as usize].channel.idx();
                     self.activate(channel);
+                    self.metrics.trace_grant(self.cycle, channel);
                 }
             }
         }
@@ -504,6 +518,9 @@ impl<'a> Simulator<'a> {
         self.select_moves();
         if !self.moves.is_empty() {
             self.last_move_cycle = self.cycle;
+        } else if !self.active.is_empty() {
+            // Traffic holds channels but nothing can move this cycle.
+            self.metrics.trace_stall(self.cycle);
         }
         self.apply_moves(measuring);
         self.grant();
@@ -608,7 +625,7 @@ impl<'a> Simulator<'a> {
                     self.metrics.unicast_injected += 1;
                     self.tagged_outstanding += 1;
                     self.metrics.total_generated += 1;
-                    self.enqueue(id);
+                    self.enqueue(id, src.0);
                     self.closed
                         .as_mut()
                         .expect("closed-loop driver present")
@@ -637,7 +654,7 @@ impl<'a> Simulator<'a> {
                         let id =
                             self.alloc_msg(ActiveMsg::stream(path, len, gen, true, op, absorbs));
                         self.metrics.total_generated += 1;
-                        self.enqueue(id);
+                        self.enqueue(id, node as u32);
                     }
                     self.closed
                         .as_mut()
@@ -662,6 +679,8 @@ impl<'a> Simulator<'a> {
         self.select_moves();
         if !self.moves.is_empty() {
             self.last_move_cycle = self.cycle;
+        } else if !self.active.is_empty() {
+            self.metrics.trace_stall(self.cycle);
         }
         self.apply_moves(true);
         self.closed_deliver();
@@ -789,7 +808,7 @@ impl<'a> Simulator<'a> {
         let path = self.plan.unicast_path(src, dst);
         let id = self.alloc_msg(ActiveMsg::unicast(path, self.wl.msg_len, self.cycle, false));
         self.metrics.total_generated += 1;
-        self.enqueue(id);
+        self.enqueue(id, src.0);
         self.grant();
         id
     }
@@ -825,7 +844,7 @@ impl<'a> Simulator<'a> {
                 absorbs,
             ));
             self.metrics.total_generated += 1;
-            self.enqueue(id);
+            self.enqueue(id, src.0);
             ids.push(id);
         }
         self.grant();

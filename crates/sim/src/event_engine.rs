@@ -245,6 +245,8 @@ impl<'a> EventSimulator<'a> {
             n: self.plan.n,
             fanout: self.plan.op_targets.clone(),
         };
+        // Closed-loop runs measure every cycle from cycle 1.
+        self.metrics.set_measure_origin(0);
         self.closed = Some(ClosedLoopDriver::new(spec.build(&env, master_seed)));
     }
 
@@ -269,13 +271,16 @@ impl<'a> EventSimulator<'a> {
         }
     }
 
-    fn enqueue(&mut self, id: MsgId) {
+    /// Enqueue a freshly generated message (`node` = the injecting
+    /// source, for the trace).
+    fn enqueue(&mut self, id: MsgId, node: u32) {
         let hop0 = self.msgs.get(id, "freshly enqueued message").path.hops[0];
         let cv = self.cv_index(hop0) as usize;
         self.cvs[cv].waiters.push_back((id, 0));
         self.inj_backlog += 1;
         self.peak_backlog = self.peak_backlog.max(self.inj_backlog);
         self.regrant.push(cv as u32);
+        self.metrics.trace_inject(self.cycle, node);
     }
 
     /// Spawn the message(s) of one arrival at `node` this cycle —
@@ -304,7 +309,7 @@ impl<'a> EventSimulator<'a> {
                     let id =
                         self.alloc_msg(ActiveMsg::stream(path, len, gen, tagging, op, absorbs));
                     self.metrics.total_generated += 1;
-                    self.enqueue(id);
+                    self.enqueue(id, node as u32);
                 }
             }
             Arrival::Unicast(dst) => {
@@ -315,7 +320,7 @@ impl<'a> EventSimulator<'a> {
                     self.tagged_outstanding += 1;
                 }
                 self.metrics.total_generated += 1;
-                self.enqueue(id);
+                self.enqueue(id, node as u32);
             }
         }
     }
@@ -410,7 +415,7 @@ impl<'a> EventSimulator<'a> {
                     (h + 1 < msg.path.len()).then(|| msg.path.hops[h + 1]),
                 )
             };
-            self.metrics.record_flit_move(channel_of_h, measuring);
+            self.metrics.record_flit_move(now, channel_of_h, measuring);
 
             if header_arrived {
                 if h == 0 {
@@ -430,6 +435,7 @@ impl<'a> EventSimulator<'a> {
                     self.cvs[cv].owner = None;
                     self.owned_count[prev.channel.idx()] -= 1;
                     self.regrant.push(cv as u32);
+                    self.metrics.trace_release(now, prev.channel.idx());
                 }
                 let mut absorbed_here = 0u32;
                 let mut op_done: Option<OpId> = None;
@@ -442,12 +448,14 @@ impl<'a> EventSimulator<'a> {
                         while (stream.next_absorb as usize) < stream.absorbs.len()
                             && stream.absorbs[stream.next_absorb as usize].0 == h16
                         {
+                            let target = stream.absorbs[stream.next_absorb as usize].1;
                             if closed {
                                 self.arrived.push(ClosedDelivery::Absorb {
                                     op: stream.op,
-                                    target: stream.absorbs[stream.next_absorb as usize].1,
+                                    target,
                                 });
                             }
+                            self.metrics.trace_absorb(now, target.0);
                             stream.next_absorb += 1;
                             absorbed_here += 1;
                         }
@@ -466,6 +474,7 @@ impl<'a> EventSimulator<'a> {
                 if let Some(opid) = op_done {
                     self.ops_completed += 1;
                     let op = self.ops.get(opid, "completed multicast op");
+                    self.metrics.trace_op_done(now, op.src.0);
                     if op.tagged {
                         self.metrics.record_op_delivery(op);
                         self.tagged_outstanding -= 1;
@@ -489,12 +498,16 @@ impl<'a> EventSimulator<'a> {
                     self.owned_count[eject.channel.idx()] -= 1;
                     self.regrant.push(cv as u32);
                     self.metrics.total_absorbed += 1;
+                    self.metrics.trace_release(now, eject.channel.idx());
 
-                    let (tagged, gen, is_unicast) = {
+                    let (tagged, gen, is_unicast, dst) = {
                         let msg = self.msgs.get(mid, "absorbed message");
-                        (msg.tagged, msg.gen, msg.multicast.is_none())
+                        (msg.tagged, msg.gen, msg.multicast.is_none(), msg.path.dst)
                     };
                     if is_unicast {
+                        // Multicast targets trace their absorbs in the
+                        // stream's absorb list above; unicasts here.
+                        self.metrics.trace_absorb(now, dst.0);
                         if tagged {
                             self.metrics.record_unicast_delivery(now, gen);
                             self.tagged_outstanding -= 1;
@@ -529,6 +542,7 @@ impl<'a> EventSimulator<'a> {
                     let channel = msg.path.hops[h as usize].channel.idx();
                     self.owned_count[channel] += 1;
                     self.activate(channel);
+                    self.metrics.trace_grant(self.cycle, channel);
                 }
             }
         }
@@ -559,6 +573,9 @@ impl<'a> EventSimulator<'a> {
         self.stalled = !moved && granted == 0;
         if self.stalled {
             self.counters.stall_fixpoints += 1;
+            if !self.active.is_empty() {
+                self.metrics.trace_stall(self.cycle);
+            }
         }
         granted
     }
@@ -758,12 +775,14 @@ impl<'a> EventSimulator<'a> {
     /// the span's end. No grants, releases, deliveries or backlog changes
     /// occur inside a span by construction.
     fn apply_streaming_span(&mut self, k: u64, measuring: bool) {
+        let start = self.cycle;
         let moves = std::mem::take(&mut self.moves);
         for &(m, h) in &moves {
             let msg = self.msgs.get_mut(m, "streaming mover");
             msg.traversed[h as usize] += k as u32;
             let channel = msg.path.hops[h as usize].channel.idx();
-            self.metrics.record_flit_moves_bulk(channel, k, measuring);
+            self.metrics
+                .record_flit_moves_bulk(start, channel, k, measuring);
         }
         self.moves = moves;
         self.cycle += k;
@@ -901,7 +920,7 @@ impl<'a> EventSimulator<'a> {
                     self.metrics.unicast_injected += 1;
                     self.tagged_outstanding += 1;
                     self.metrics.total_generated += 1;
-                    self.enqueue(id);
+                    self.enqueue(id, src.0);
                     self.closed
                         .as_mut()
                         .expect("closed-loop driver present")
@@ -930,7 +949,7 @@ impl<'a> EventSimulator<'a> {
                         let id =
                             self.alloc_msg(ActiveMsg::stream(path, len, gen, true, op, absorbs));
                         self.metrics.total_generated += 1;
-                        self.enqueue(id);
+                        self.enqueue(id, node as u32);
                     }
                     self.closed
                         .as_mut()
@@ -963,6 +982,9 @@ impl<'a> EventSimulator<'a> {
         self.stalled = !moved && granted == 0;
         if self.stalled {
             self.counters.stall_fixpoints += 1;
+            if !self.active.is_empty() {
+                self.metrics.trace_stall(self.cycle);
+            }
         }
     }
 
@@ -1135,7 +1157,7 @@ impl<'a> EventSimulator<'a> {
         let path = self.plan.unicast_path(src, dst);
         let id = self.alloc_msg(ActiveMsg::unicast(path, self.wl.msg_len, self.cycle, false));
         self.metrics.total_generated += 1;
-        self.enqueue(id);
+        self.enqueue(id, src.0);
         self.grant();
         // New work exists; whatever stall was proven before no longer holds.
         self.stalled = false;
@@ -1173,7 +1195,7 @@ impl<'a> EventSimulator<'a> {
                 absorbs,
             ));
             self.metrics.total_generated += 1;
-            self.enqueue(id);
+            self.enqueue(id, src.0);
             ids.push(id);
         }
         self.grant();

@@ -95,9 +95,17 @@ pub use engine::Simulator;
 pub use engine_api::{build_engine, build_engine_with_plan, EngineAudit, SimEngine};
 pub use event_engine::EventSimulator;
 pub use plan::{PlanError, SimPlan};
-pub use results::{ClosedLoopResults, EngineCounters, LatencyStats, SimResults};
+pub use results::{ClosedLoopResults, EngineCounters, LatencyHists, LatencyStats, SimResults};
 pub use schedule::{record_trace, Arrival, ArrivalProcess, ArrivalStream};
 
 // Re-exported so engine users can name a protocol without depending on
 // `noc-app` directly (the closed-loop API surface lives on `SimEngine`).
 pub use noc_app::ClosedLoopSpec;
+
+// Re-exported so telemetry consumers (the bench runner, figure bins) can
+// configure the flight recorder and read its artifacts without depending
+// on `noc-telemetry` directly.
+pub use noc_telemetry::{
+    chrome_trace, validate_chrome_trace, LogHistogram, TelemetrySpec, TraceEvent, TraceEventKind,
+    TraceLog, TraceMode, TrackNames, UtilSeries,
+};

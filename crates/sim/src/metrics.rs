@@ -4,20 +4,30 @@
 //! statistics pipeline (batch means, histograms, per-source populations,
 //! conservation counters) is common code and the differential tests
 //! compare engine *dynamics*, not bookkeeping.
+//!
+//! The flight-recorder instruments live here too: the trace sink and the
+//! utilization time series are built from the config's
+//! [`noc_telemetry::TelemetrySpec`] and fed through `#[inline]` taps.
+//! When telemetry is off every tap reduces to one branch on a `None` —
+//! the overhead policy the perf smoke gate holds the engines to.
 
 use crate::config::SimConfig;
 use crate::message::MulticastOp;
-use crate::results::{EngineCounters, LatencyStats, SimResults};
+use crate::results::{EngineCounters, LatencyHists, LatencyStats, SimResults};
 use noc_queueing::{BatchMeans, Histogram, Welford};
+use noc_telemetry::{
+    RingSink, TraceEvent, TraceEventKind, TraceMode, TraceSink, UtilSeries, VecSink,
+};
 
 /// Latency accumulators and conservation counters of one run.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub(crate) struct Metrics {
     unicast_lat: BatchMeans,
     multicast_lat: BatchMeans,
     multicast_hist: Histogram,
     multicast_by_source: Vec<Welford>,
     stream_lat: BatchMeans,
+    hists: LatencyHists,
     pub(crate) unicast_injected: u64,
     pub(crate) unicast_delivered: u64,
     pub(crate) multicast_injected: u64,
@@ -26,16 +36,32 @@ pub(crate) struct Metrics {
     pub(crate) total_absorbed: u64,
     pub(crate) flit_moves: u64,
     pub(crate) channel_traversals: Vec<u64>,
+    /// Event-trace sink; `None` when tracing is off.
+    tracer: Option<Box<dyn TraceSink>>,
+    /// Windowed utilization series; `None` when disabled.
+    util: Option<UtilSeries>,
+    /// Start of the measurement window (for utilization offsets: a flit
+    /// moving at cycle `c` with `warmup < c <= measure_end` lands at
+    /// offset `c - warmup - 1`).
+    warmup: u64,
 }
 
 impl Metrics {
     pub(crate) fn new(cfg: &SimConfig, nodes: usize, channels: usize) -> Self {
+        let tracer: Option<Box<dyn TraceSink>> = match cfg.telemetry.trace {
+            TraceMode::Off => None,
+            TraceMode::Full => Some(Box::new(VecSink::new())),
+            TraceMode::Ring { capacity } => Some(Box::new(RingSink::new(capacity as usize))),
+        };
+        let util = (cfg.telemetry.util_window > 0)
+            .then(|| UtilSeries::new(cfg.telemetry.util_window, channels));
         Metrics {
             unicast_lat: BatchMeans::new(cfg.batch_size),
             multicast_lat: BatchMeans::new(cfg.batch_size),
             multicast_hist: Histogram::new(4.0, 4096),
             multicast_by_source: vec![Welford::new(); nodes],
             stream_lat: BatchMeans::new(cfg.batch_size),
+            hists: LatencyHists::default(),
             unicast_injected: 0,
             unicast_delivered: 0,
             multicast_injected: 0,
@@ -44,33 +70,57 @@ impl Metrics {
             total_absorbed: 0,
             flit_moves: 0,
             channel_traversals: vec![0; channels],
+            tracer,
+            util,
+            warmup: cfg.warmup_cycles,
         }
     }
 
-    /// One flit crossed `channel` at a cycle inside (`measuring`) or
+    /// Re-origin the utilization offsets. Closed-loop runs measure from
+    /// cycle 1 with no warmup window, so their drivers set the origin to
+    /// zero at install time.
+    pub(crate) fn set_measure_origin(&mut self, warmup: u64) {
+        self.warmup = warmup;
+    }
+
+    /// One flit crossed `channel` at cycle `now`, inside (`measuring`) or
     /// outside the measurement window.
     #[inline]
-    pub(crate) fn record_flit_move(&mut self, channel: usize, measuring: bool) {
+    pub(crate) fn record_flit_move(&mut self, now: u64, channel: usize, measuring: bool) {
         self.flit_moves += 1;
         if measuring {
             self.channel_traversals[channel] += 1;
+            if let Some(u) = &mut self.util {
+                u.record(channel, now - self.warmup - 1);
+            }
         }
     }
 
-    /// `k` flits crossed `channel`, one per cycle, all inside or all
-    /// outside the measurement window (the event engine's streaming
-    /// fast-forward).
+    /// `k` flits crossed `channel`, one per cycle on cycles
+    /// `start + 1 ..= start + k`, all inside or all outside the
+    /// measurement window (the event engine's streaming fast-forward).
     #[inline]
-    pub(crate) fn record_flit_moves_bulk(&mut self, channel: usize, k: u64, measuring: bool) {
+    pub(crate) fn record_flit_moves_bulk(
+        &mut self,
+        start: u64,
+        channel: usize,
+        k: u64,
+        measuring: bool,
+    ) {
         self.flit_moves += k;
         if measuring {
             self.channel_traversals[channel] += k;
+            if let Some(u) = &mut self.util {
+                // First move at cycle start+1 → offset start - warmup.
+                u.record_range(channel, start - self.warmup, k);
+            }
         }
     }
 
     /// A tagged unicast was absorbed at `now`.
     pub(crate) fn record_unicast_delivery(&mut self, now: u64, gen: u64) {
         self.unicast_lat.push((now - gen) as f64);
+        self.hists.unicast.record(now - gen);
         self.unicast_delivered += 1;
     }
 
@@ -81,15 +131,91 @@ impl Metrics {
         self.multicast_lat.push(lat);
         self.multicast_hist.push(lat);
         self.multicast_by_source[op.src.idx()].push(lat);
+        self.hists.multicast.record(op.last_absorb - op.gen);
         self.multicast_delivered += 1;
     }
 
     /// A tagged multicast stream absorbed at its own final target.
     pub(crate) fn record_stream_delivery(&mut self, now: u64, gen: u64) {
         self.stream_lat.push((now - gen) as f64);
+        self.hists.stream.record(now - gen);
     }
 
-    /// Assemble the run results.
+    // ----- trace taps (one `None` branch each when tracing is off) -----
+
+    /// A message entered `node`'s injection queue.
+    #[inline]
+    pub(crate) fn trace_inject(&mut self, at: u64, node: u32) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                at,
+                kind: TraceEventKind::Inject,
+                loc: node,
+            });
+        }
+    }
+
+    /// `channel` was granted to a message (occupancy span opens).
+    #[inline]
+    pub(crate) fn trace_grant(&mut self, at: u64, channel: usize) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                at,
+                kind: TraceEventKind::Grant,
+                loc: channel as u32,
+            });
+        }
+    }
+
+    /// `channel`'s owner released it (occupancy span closes).
+    #[inline]
+    pub(crate) fn trace_release(&mut self, at: u64, channel: usize) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                at,
+                kind: TraceEventKind::Release,
+                loc: channel as u32,
+            });
+        }
+    }
+
+    /// A stream's tail was absorbed at `node`.
+    #[inline]
+    pub(crate) fn trace_absorb(&mut self, at: u64, node: u32) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                at,
+                kind: TraceEventKind::Absorb,
+                loc: node,
+            });
+        }
+    }
+
+    /// A multicast operation completed at every target (`node` = source).
+    #[inline]
+    pub(crate) fn trace_op_done(&mut self, at: u64, node: u32) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                at,
+                kind: TraceEventKind::OpDone,
+                loc: node,
+            });
+        }
+    }
+
+    /// A cycle passed with traffic in flight but no flit movement.
+    #[inline]
+    pub(crate) fn trace_stall(&mut self, at: u64) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                at,
+                kind: TraceEventKind::Stall,
+                loc: 0,
+            });
+        }
+    }
+
+    /// Assemble the run results (draining the trace sink).
     ///
     /// `measured_cycles` must be the number of cycles actually spent
     /// inside the measurement window — a run that breaks out early (on
@@ -97,7 +223,7 @@ impl Metrics {
     /// `cfg.measure_cycles`, and normalising by the configured window
     /// would understate channel utilisation exactly where it matters.
     pub(crate) fn finish(
-        &self,
+        &mut self,
         saturated: bool,
         deadlocked: bool,
         cycles: u64,
@@ -107,15 +233,19 @@ impl Metrics {
     ) -> SimResults {
         let denom = measured_cycles.max(1) as f64;
         SimResults {
-            unicast: LatencyStats::from_batch_means(&self.unicast_lat),
-            multicast: LatencyStats::from_batch_means(&self.multicast_lat),
+            unicast: LatencyStats::from_batch_means(&self.unicast_lat)
+                .with_quantiles(&self.hists.unicast),
+            multicast: LatencyStats::from_batch_means(&self.multicast_lat)
+                .with_quantiles(&self.hists.multicast),
             multicast_by_source: self
                 .multicast_by_source
                 .iter()
                 .map(LatencyStats::from_welford)
                 .collect(),
             multicast_hist: self.multicast_hist.clone(),
-            stream: LatencyStats::from_batch_means(&self.stream_lat),
+            stream: LatencyStats::from_batch_means(&self.stream_lat)
+                .with_quantiles(&self.hists.stream),
+            latency_hists: self.hists.clone(),
             unicast_injected: self.unicast_injected,
             unicast_delivered: self.unicast_delivered,
             multicast_injected: self.multicast_injected,
@@ -133,8 +263,63 @@ impl Metrics {
                 .map(|&t| t as f64 / denom)
                 .collect(),
             engine,
+            util: self.util.take(),
+            trace: self.tracer.take().map(|mut t| t.drain()),
             // The closed-loop driver stamps its summary after `finish`.
             closed_loop: None,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_telemetry::TelemetrySpec;
+
+    #[test]
+    fn disabled_telemetry_records_nothing_extra() {
+        let cfg = SimConfig::quick(1);
+        let mut m = Metrics::new(&cfg, 2, 4);
+        m.record_flit_move(cfg.warmup_cycles + 1, 0, true);
+        m.trace_grant(5, 1);
+        m.trace_stall(6);
+        let res = m.finish(false, false, 100, 0, 10, EngineCounters::default());
+        assert!(res.trace.is_none());
+        assert!(res.util.is_none());
+        assert_eq!(res.flit_moves, 1);
+    }
+
+    #[test]
+    fn enabled_telemetry_surfaces_trace_and_util() {
+        let mut cfg = SimConfig::quick(1);
+        cfg.telemetry = TelemetrySpec::flight_recorder(16, 8);
+        let w = cfg.warmup_cycles;
+        let mut m = Metrics::new(&cfg, 2, 4);
+        m.record_flit_move(w + 1, 0, true);
+        m.record_flit_moves_bulk(w + 1, 1, 10, true); // cycles w+2..=w+11
+        m.trace_grant(w + 1, 3);
+        m.trace_release(w + 4, 3);
+        let res = m.finish(false, false, 100, 0, 11, EngineCounters::default());
+        let trace = res.trace.expect("trace captured");
+        assert_eq!(trace.events.len(), 2);
+        let util = res.util.expect("series captured");
+        assert_eq!(util.counts[0][0], 1, "offset 0 → window 0");
+        // Bulk offsets 1..11 split 7 into window 0, 3 into window 1.
+        assert_eq!(util.counts[0][1], 7);
+        assert_eq!(util.counts[1][1], 3);
+        assert_eq!(res.flit_moves, 11);
+    }
+
+    #[test]
+    fn quantiles_reach_the_summaries() {
+        let cfg = SimConfig::quick(1);
+        let mut m = Metrics::new(&cfg, 1, 1);
+        for lat in [10u64, 20, 30, 40] {
+            m.record_unicast_delivery(100 + lat, 100);
+        }
+        let res = m.finish(false, false, 100, 0, 10, EngineCounters::default());
+        assert_eq!(res.unicast.p50, 20.0, "exact below 64");
+        assert_eq!(res.unicast.p99, 40.0);
+        assert_eq!(res.latency_hists.unicast.count(), 4);
     }
 }

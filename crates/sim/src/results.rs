@@ -1,10 +1,11 @@
 //! Simulation output.
 
 use noc_queueing::{BatchMeans, Histogram, Welford};
+use noc_telemetry::{LogHistogram, TraceLog, UtilSeries};
 use serde::{Deserialize, Serialize};
 
 /// Summary of a latency population.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Serialize)]
 pub struct LatencyStats {
     /// Sample mean (cycles); 0 when no samples were collected.
     pub mean: f64,
@@ -17,6 +18,52 @@ pub struct LatencyStats {
     pub min: f64,
     /// Largest observed latency (`NaN` when empty).
     pub max: f64,
+    /// Median estimate from the population's [`LogHistogram`] (`NaN`
+    /// when empty or when no histogram backs the population).
+    pub p50: f64,
+    /// 95th-percentile estimate (`NaN` as for `p50`).
+    pub p95: f64,
+    /// 99th-percentile estimate (`NaN` as for `p50`).
+    pub p99: f64,
+}
+
+// Hand-written so latency summaries persisted before the telemetry
+// subsystem (cached results, saved scenario JSONs) keep parsing: the
+// quantile fields were never computed there, which is exactly what `NaN`
+// reports.
+impl serde::Deserialize for LatencyStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let f = |name| serde::de::field(v, "LatencyStats", name);
+        let opt_nan = |name| match v.get(name) {
+            Some(x) => serde::Deserialize::from_value(x),
+            None => Ok(f64::NAN),
+        };
+        Ok(LatencyStats {
+            mean: Deserialize::from_value(f("mean")?)?,
+            ci95: Deserialize::from_value(f("ci95")?)?,
+            count: Deserialize::from_value(f("count")?)?,
+            min: Deserialize::from_value(f("min")?)?,
+            max: Deserialize::from_value(f("max")?)?,
+            p50: opt_nan("p50")?,
+            p95: opt_nan("p95")?,
+            p99: opt_nan("p99")?,
+        })
+    }
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            mean: 0.0,
+            ci95: 0.0,
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            p50: f64::NAN,
+            p95: f64::NAN,
+            p99: f64::NAN,
+        }
+    }
 }
 
 impl LatencyStats {
@@ -28,6 +75,9 @@ impl LatencyStats {
             count: bm.count(),
             min: bm.overall().min(),
             max: bm.overall().max(),
+            p50: f64::NAN,
+            p95: f64::NAN,
+            p99: f64::NAN,
         }
     }
 
@@ -45,13 +95,39 @@ impl LatencyStats {
             count: w.count(),
             min: w.min(),
             max: w.max(),
+            p50: f64::NAN,
+            p95: f64::NAN,
+            p99: f64::NAN,
         }
+    }
+
+    /// These stats with P50/P95/P99 stamped from the population's
+    /// streaming histogram (builder style).
+    pub fn with_quantiles(mut self, h: &LogHistogram) -> Self {
+        self.p50 = h.p50();
+        self.p95 = h.p95();
+        self.p99 = h.p99();
+        self
     }
 
     /// Mean latency, or `None` when no samples exist.
     pub fn mean_opt(&self) -> Option<f64> {
         (self.count > 0).then_some(self.mean)
     }
+}
+
+/// The streaming log-bucketed histograms behind the run's latency
+/// summaries — carried whole so the Runner can merge them *exactly*
+/// across replicates (bucket-count addition) before taking quantiles,
+/// instead of averaging per-replicate percentiles.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHists {
+    /// Tagged unicast message latencies.
+    pub unicast: LogHistogram,
+    /// Tagged multicast operation latencies (the paper's metric).
+    pub multicast: LogHistogram,
+    /// Per-stream latencies (diagnostic).
+    pub stream: LogHistogram,
 }
 
 /// Engine-internal work counters: how the run's wall-clock was actually
@@ -90,14 +166,18 @@ pub struct EngineCounters {
 /// Open-loop metrics answer "how fast does the network serve offered
 /// load"; these answer the closed-loop question — how fast does the
 /// *application* make progress when its sources stall on the network.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct ClosedLoopResults {
     /// Requests issued across all nodes.
     pub requests_issued: u64,
     /// Requests retired (== issued whenever the run quiesced).
     pub requests_retired: u64,
-    /// Per-request completion latency (issue → retire), in cycles.
+    /// Per-request completion latency (issue → retire), in cycles —
+    /// quantiles stamped from `completion_hist`.
     pub completion: LatencyStats,
+    /// Streaming histogram behind `completion`, kept whole so replicate
+    /// tails merge exactly.
+    pub completion_hist: LogHistogram,
     /// Time-average outstanding requests across all nodes (the
     /// occupancy of the protocol windows).
     pub avg_outstanding: f64,
@@ -112,10 +192,33 @@ pub struct ClosedLoopResults {
     pub quiesce_cycle: u64,
 }
 
+// Hand-written for the same legacy-file reason as [`LatencyStats`]: a
+// result persisted before the telemetry subsystem has no completion
+// histogram — an empty one is the honest reconstruction.
+impl serde::Deserialize for ClosedLoopResults {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let f = |name| serde::de::field(v, "ClosedLoopResults", name);
+        Ok(ClosedLoopResults {
+            requests_issued: Deserialize::from_value(f("requests_issued")?)?,
+            requests_retired: Deserialize::from_value(f("requests_retired")?)?,
+            completion: Deserialize::from_value(f("completion")?)?,
+            completion_hist: match v.get("completion_hist") {
+                Some(h) => Deserialize::from_value(h)?,
+                None => LogHistogram::new(),
+            },
+            avg_outstanding: Deserialize::from_value(f("avg_outstanding")?)?,
+            ops_per_cycle: Deserialize::from_value(f("ops_per_cycle")?)?,
+            quiesced: Deserialize::from_value(f("quiesced")?)?,
+            quiesce_cycle: Deserialize::from_value(f("quiesce_cycle")?)?,
+        })
+    }
+}
+
 /// Complete results of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimResults {
-    /// Unicast message latency (generation → last flit absorbed).
+    /// Unicast message latency (generation → last flit absorbed), with
+    /// quantiles from `latency_hists.unicast`.
     pub unicast: LatencyStats,
     /// Multicast operation latency (generation → last flit absorbed at the
     /// last destination over all streams) — the paper's multicast latency.
@@ -129,6 +232,9 @@ pub struct SimResults {
     /// Per-stream latency (generation → last flit absorbed at the stream's
     /// own final target); diagnostic, not a paper metric.
     pub stream: LatencyStats,
+    /// Streaming log-bucketed histograms behind the latency summaries
+    /// above — the mergeable source of the P50/P95/P99 columns.
+    pub latency_hists: LatencyHists,
     /// Tagged unicasts injected / delivered.
     pub unicast_injected: u64,
     /// Tagged unicast messages delivered.
@@ -163,6 +269,17 @@ pub struct SimResults {
     /// Engine-internal work counters (mechanics, not semantics — see
     /// [`EngineCounters`]).
     pub engine: EngineCounters,
+    /// Windowed per-channel utilization time series; `None` unless the
+    /// config's [`noc_telemetry::TelemetrySpec`] enabled it. Identical
+    /// between engines (integer counts, compared by the equivalence
+    /// suite).
+    pub util: Option<UtilSeries>,
+    /// Captured event trace; `None` unless tracing was enabled. Like
+    /// [`EngineCounters`], the trace describes engine *mechanics*: the
+    /// two engines legitimately record different event interleavings
+    /// inside a cycle (and the event engine elides events in skipped
+    /// spans), so the equivalence suite excludes this field.
+    pub trace: Option<TraceLog>,
     /// Closed-loop protocol statistics; `None` on open-loop runs.
     pub closed_loop: Option<ClosedLoopResults>,
 }
@@ -203,5 +320,40 @@ mod tests {
         let s = LatencyStats::from_batch_means(&BatchMeans::new(4));
         assert_eq!(s.count, 0);
         assert_eq!(s.mean_opt(), None);
+        assert!(s.p99.is_nan(), "no histogram stamped, no quantiles");
+    }
+
+    #[test]
+    fn quantiles_stamp_from_histogram() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = LatencyStats::default().with_quantiles(&h);
+        assert_eq!(s.p50, 50.0, "values < 64 are bucketed exactly");
+        assert!(s.p95 >= 95.0 && s.p95 <= 98.0);
+        assert!(s.p99 >= 99.0 && s.p99 <= 100.0);
+    }
+
+    #[test]
+    fn pre_telemetry_latency_stats_parse_with_nan_quantiles() {
+        let legacy = r#"{"mean":12.5,"ci95":0.5,"count":10,"min":8,"max":20}"#;
+        let s: LatencyStats = serde::json::from_str(legacy).unwrap();
+        assert_eq!(s.mean, 12.5);
+        assert_eq!(s.count, 10);
+        assert!(s.p50.is_nan() && s.p95.is_nan() && s.p99.is_nan());
+    }
+
+    #[test]
+    fn pre_telemetry_closed_loop_results_parse_with_empty_hist() {
+        let legacy = r#"{
+            "requests_issued": 4, "requests_retired": 4,
+            "completion": {"mean":10.0,"ci95":1.0,"count":4,"min":5,"max":15},
+            "avg_outstanding": 1.5, "ops_per_cycle": 0.01,
+            "quiesced": true, "quiesce_cycle": 400
+        }"#;
+        let r: ClosedLoopResults = serde::json::from_str(legacy).unwrap();
+        assert_eq!(r.requests_retired, 4);
+        assert_eq!(r.completion_hist, LogHistogram::new());
     }
 }

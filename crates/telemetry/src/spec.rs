@@ -1,0 +1,109 @@
+//! The serializable switchboard: what a run records.
+
+use serde::{Deserialize, Serialize};
+
+/// Event-trace capture mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// No tracing: every trace tap is a single branch on a `None`.
+    #[default]
+    Off,
+    /// Record every event, unbounded. Fine for short diagnostic runs;
+    /// a saturated standard-length run can emit tens of millions of
+    /// events — prefer [`TraceMode::Ring`] there.
+    Full,
+    /// Flight recorder: keep only the most recent `capacity` events,
+    /// counting what was dropped. The right mode for saturated runs,
+    /// where the interesting part is the end.
+    Ring {
+        /// Maximum events retained (oldest evicted first).
+        capacity: u32,
+    },
+}
+
+/// What one simulation run records beyond its always-on summary
+/// statistics. Carried (by value — the spec is small and `Copy`) on the
+/// simulator configuration and serialized with it, so a scenario's cache
+/// key covers its telemetry settings.
+///
+/// The default is everything off; see the crate docs for the overhead
+/// policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Event-trace capture mode.
+    pub trace: TraceMode,
+    /// Width, in cycles, of the per-channel utilization windows; `0`
+    /// disables the time series. Only cycles inside the measurement
+    /// window are recorded, so a series spans
+    /// `ceil(measure_cycles / util_window)` windows.
+    pub util_window: u32,
+}
+
+impl TelemetrySpec {
+    /// Everything off (the default): zero-overhead taps.
+    pub fn off() -> Self {
+        TelemetrySpec::default()
+    }
+
+    /// Is any instrument enabled?
+    pub fn enabled(&self) -> bool {
+        self.trace != TraceMode::Off || self.util_window > 0
+    }
+
+    /// This spec with the given trace mode (builder style).
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// This spec with utilization windows of `cycles` (builder style).
+    pub fn with_util_window(mut self, cycles: u32) -> Self {
+        self.util_window = cycles;
+        self
+    }
+
+    /// A ready-made flight-recorder profile: ring trace of `capacity`
+    /// events plus a utilization series with `window`-cycle windows.
+    pub fn flight_recorder(capacity: u32, window: u32) -> Self {
+        TelemetrySpec {
+            trace: TraceMode::Ring { capacity },
+            util_window: window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_disabled() {
+        let spec = TelemetrySpec::default();
+        assert_eq!(spec.trace, TraceMode::Off);
+        assert_eq!(spec.util_window, 0);
+        assert!(!spec.enabled());
+        assert_eq!(spec, TelemetrySpec::off());
+    }
+
+    #[test]
+    fn builders_enable_instruments() {
+        assert!(TelemetrySpec::off().with_trace(TraceMode::Full).enabled());
+        assert!(TelemetrySpec::off().with_util_window(64).enabled());
+        let fr = TelemetrySpec::flight_recorder(1024, 256);
+        assert_eq!(fr.trace, TraceMode::Ring { capacity: 1024 });
+        assert_eq!(fr.util_window, 256);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for spec in [
+            TelemetrySpec::off(),
+            TelemetrySpec::off().with_trace(TraceMode::Full),
+            TelemetrySpec::flight_recorder(4096, 128),
+        ] {
+            let json = serde::json::to_string(&spec);
+            let back: TelemetrySpec = serde::json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+}

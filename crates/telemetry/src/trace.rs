@@ -1,0 +1,205 @@
+//! Flit-level event records and the sinks that capture them.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened at a trace tap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A message entered a node's injection queue (`loc` = node).
+    Inject,
+    /// A channel was granted to a message — the start of an occupancy
+    /// span (`loc` = channel).
+    Grant,
+    /// A channel's owner released it — the end of an occupancy span
+    /// (`loc` = channel).
+    Release,
+    /// A stream's tail was absorbed at a target (`loc` = node).
+    Absorb,
+    /// A multicast operation completed at every target (`loc` = source
+    /// node).
+    OpDone,
+    /// A cycle in which no flit moved while traffic was in flight
+    /// (`loc` unused).
+    Stall,
+}
+
+/// One flight-recorder record: a cycle-stamped event at a location.
+///
+/// The record is deliberately flat and `Copy` — the hot path appends it
+/// to a `Vec`; interpretation (channel vs node locus) follows the
+/// [`TraceEventKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// The cycle the event occurred on.
+    pub at: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Channel id (`Grant`/`Release`) or node id
+    /// (`Inject`/`Absorb`/`OpDone`); `0` for `Stall`.
+    pub loc: u32,
+}
+
+/// A drained trace: events in recording order plus how many were evicted
+/// by a bounded sink.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceLog {
+    /// Captured events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by a bounded sink (0 for [`VecSink`]).
+    pub dropped: u64,
+}
+
+/// Receives trace events during a run and surrenders them at the end.
+///
+/// Implementations must be cheap on `record` — it sits on the engine's
+/// per-event path whenever tracing is enabled.
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Append one event.
+    fn record(&mut self, ev: TraceEvent);
+    /// Surrender the captured log (the sink is spent afterwards).
+    fn drain(&mut self) -> TraceLog;
+}
+
+/// Unbounded sink: keeps every event. Memory grows with the run — use
+/// for short diagnostic runs.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty unbounded sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    fn drain(&mut self) -> TraceLog {
+        TraceLog {
+            events: std::mem::take(&mut self.events),
+            dropped: 0,
+        }
+    }
+}
+
+/// Bounded flight recorder: keeps the most recent `capacity` events,
+/// evicting the oldest and counting what was lost. A saturated run's
+/// trace stays bounded while the interesting part — the end — survives.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring keeping at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn drain(&mut self) -> TraceLog {
+        let mut events = std::mem::take(&mut self.buf);
+        events.rotate_left(self.head);
+        self.head = 0;
+        TraceLog {
+            events,
+            dropped: std::mem::take(&mut self.dropped),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> TraceEvent {
+        TraceEvent {
+            at,
+            kind: TraceEventKind::Grant,
+            loc: at as u32,
+        }
+    }
+
+    #[test]
+    fn vec_sink_keeps_everything_in_order() {
+        let mut s = VecSink::new();
+        for at in 0..100 {
+            s.record(ev(at));
+        }
+        let log = s.drain();
+        assert_eq!(log.events.len(), 100);
+        assert_eq!(log.dropped, 0);
+        assert!(log.events.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_most_recent_events() {
+        let mut s = RingSink::new(10);
+        for at in 0..25 {
+            s.record(ev(at));
+        }
+        let log = s.drain();
+        assert_eq!(log.events.len(), 10);
+        assert_eq!(log.dropped, 15);
+        let ats: Vec<u64> = log.events.iter().map(|e| e.at).collect();
+        assert_eq!(ats, (15..25).collect::<Vec<_>>(), "oldest first");
+    }
+
+    #[test]
+    fn ring_sink_below_capacity_drops_nothing() {
+        let mut s = RingSink::new(100);
+        for at in 0..7 {
+            s.record(ev(at));
+        }
+        let log = s.drain();
+        assert_eq!(log.events.len(), 7);
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn trace_log_round_trips_through_json() {
+        let log = TraceLog {
+            events: vec![
+                TraceEvent {
+                    at: 5,
+                    kind: TraceEventKind::Inject,
+                    loc: 3,
+                },
+                TraceEvent {
+                    at: 9,
+                    kind: TraceEventKind::Stall,
+                    loc: 0,
+                },
+            ],
+            dropped: 2,
+        };
+        let json = serde::json::to_string(&log);
+        let back: TraceLog = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+    }
+}

@@ -7,10 +7,17 @@
 //!   ASCII art.
 //! * Fig. 3 — broadcast in the Quarc: [`broadcast_trace`] prints the four
 //!   streams of a broadcast with their visit orders and final destinations.
+//!
+//! Beyond the structural figures, [`heatmap_ascii`] and [`heatmap_svg`]
+//! join a topology's channel table with a flight-recorder
+//! [`UtilSeries`] into congestion heatmaps: the ASCII form ranks links
+//! by how hot they ran, the SVG form paints the full time × channel
+//! grid.
 
 use crate::channel::ChannelKind;
 use crate::ids::NodeId;
 use crate::network::Topology;
+use noc_telemetry::UtilSeries;
 use std::fmt::Write as _;
 
 /// Emit a Graphviz DOT description of the link channels of a topology.
@@ -88,6 +95,132 @@ pub fn broadcast_trace(topo: &dyn Topology, src: NodeId) -> String {
     out
 }
 
+fn kind_tag(kind: ChannelKind) -> &'static str {
+    match kind {
+        ChannelKind::Injection => "inj",
+        ChannelKind::Link => "link",
+        ChannelKind::Ejection => "ej",
+    }
+}
+
+/// ASCII congestion heatmap: the topology's channels ranked by mean
+/// window utilization (hottest first), one bar per channel, annotated
+/// with the peak window — the congestion a mean hides. At most
+/// `max_rows` channels are shown (0 = all); idle channels are always
+/// folded into the trailing census line, so a truncated listing says
+/// what it dropped.
+///
+/// The series must come from a run over the same topology:
+/// `util.channels` must equal the network's channel count.
+pub fn heatmap_ascii(topo: &dyn Topology, util: &UtilSeries, max_rows: usize) -> String {
+    let net = topo.network();
+    assert_eq!(
+        util.channels as usize,
+        net.num_channels(),
+        "utilization series and topology disagree on channel count"
+    );
+    let mean = util.mean_per_channel();
+    let peak = util.peak_per_channel();
+    let mut order: Vec<usize> = (0..net.num_channels()).collect();
+    order.sort_by(|&a, &b| mean[b].total_cmp(&mean[a]).then(a.cmp(&b)));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} link utilization, {} windows x {} cycles (mean | peak):",
+        topo.name(),
+        util.num_windows(),
+        util.window
+    );
+    let busy = order.iter().filter(|&&c| mean[c] > 0.0).count();
+    let shown = if max_rows == 0 {
+        busy
+    } else {
+        busy.min(max_rows)
+    };
+    const BAR: usize = 40;
+    for &c in order.iter().take(shown) {
+        let ch = net.channel(crate::ids::ChannelId(c as u32));
+        let filled = ((mean[c] * BAR as f64).round() as usize).min(BAR);
+        let _ = writeln!(
+            out,
+            "  {:>4} {:<14} [{}{}] {:>5.1}% | {:>5.1}%",
+            kind_tag(ch.kind),
+            ch.label,
+            "#".repeat(filled),
+            "-".repeat(BAR - filled),
+            mean[c] * 100.0,
+            peak[c] * 100.0,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  ({} of {} channels carried traffic; {} shown, {} idle)",
+        busy,
+        net.num_channels(),
+        shown,
+        net.num_channels() - busy
+    );
+    out
+}
+
+/// SVG congestion heatmap: the full time × channel grid, one cell per
+/// `(window, channel)` painted white (idle) through red (saturated),
+/// channel labels on the left, windows running left to right. The
+/// output is a standalone SVG document.
+pub fn heatmap_svg(topo: &dyn Topology, util: &UtilSeries) -> String {
+    let net = topo.network();
+    assert_eq!(
+        util.channels as usize,
+        net.num_channels(),
+        "utilization series and topology disagree on channel count"
+    );
+    let u = util.utilization();
+    let rows = net.num_channels();
+    let cols = util.num_windows();
+    const CELL: usize = 8;
+    const LABEL_W: usize = 130;
+    const HEADER_H: usize = 18;
+    let width = LABEL_W + cols.max(1) * CELL + 4;
+    let height = HEADER_H + rows * CELL + 4;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="monospace" font-size="7">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"  <text x="2" y="11" font-size="9">{} utilization ({} windows x {} cycles)</text>"#,
+        topo.name(),
+        cols,
+        util.window
+    );
+    for r in 0..rows {
+        let ch = net.channel(crate::ids::ChannelId(r as u32));
+        let y = HEADER_H + r * CELL;
+        let _ = writeln!(
+            out,
+            r#"  <text x="2" y="{}">{} {}</text>"#,
+            y + CELL - 1,
+            kind_tag(ch.kind),
+            ch.label
+        );
+        for (c, row) in u.iter().enumerate() {
+            // White (idle) to pure red (fully utilised), clamped.
+            let frac = row[r].clamp(0.0, 1.0);
+            let cool = (255.0 * (1.0 - frac)).round() as u8;
+            let _ = writeln!(
+                out,
+                r#"  <rect x="{}" y="{y}" width="{CELL}" height="{CELL}" fill="rgb(255,{cool},{cool})"/>"#,
+                LABEL_W + c * CELL,
+            );
+        }
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
 /// Per-channel census used by diagnostics: counts per kind.
 pub fn channel_census(topo: &dyn Topology) -> (usize, usize, usize) {
     let net = topo.network();
@@ -157,6 +290,57 @@ mod tests {
             let edges = dot.matches(" -> ").count();
             assert_eq!(edges, t.network().links().count(), "{}", t.name());
         }
+    }
+
+    #[test]
+    fn heatmap_ascii_ranks_hot_channels_and_reports_truncation() {
+        let q = Quarc::new(8).unwrap();
+        let n = q.network().num_channels();
+        let mut util = UtilSeries::new(10, n);
+        util.record_range(3, 0, 20); // channel 3: fully busy, 2 windows
+        util.record(5, 0); // channel 5: one flit
+        let map = heatmap_ascii(&q, &util, 0);
+        let lines: Vec<&str> = map.lines().collect();
+        let ch3 = q.network().channel(crate::ids::ChannelId(3));
+        assert!(
+            lines[1].contains(&ch3.label),
+            "hottest channel ranks first:\n{map}"
+        );
+        assert!(lines[1].contains("100.0%"));
+        assert_eq!(lines.len(), 4, "header + 2 busy channels + census");
+        assert!(map.contains(&format!("2 of {n} channels carried traffic")));
+        // A capped listing still accounts for what it dropped.
+        let capped = heatmap_ascii(&q, &util, 1);
+        assert_eq!(capped.lines().count(), 3);
+        assert!(capped.contains("1 shown"));
+    }
+
+    #[test]
+    fn heatmap_svg_is_a_complete_grid() {
+        let q = Quarc::new(8).unwrap();
+        let n = q.network().num_channels();
+        let mut util = UtilSeries::new(4, n);
+        util.record_range(0, 0, 8); // two windows
+        let svg = heatmap_svg(&q, &util);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(
+            svg.matches("<rect ").count(),
+            2 * n,
+            "one cell per (window, channel)"
+        );
+        // A saturated cell is pure red, an idle one white.
+        assert!(svg.contains("rgb(255,0,0)"));
+        assert!(svg.contains("rgb(255,255,255)"));
+        assert_eq!(svg.matches("<text ").count(), n + 1, "labels + title");
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on channel count")]
+    fn heatmap_rejects_mismatched_series() {
+        let q = Quarc::new(8).unwrap();
+        let util = UtilSeries::new(4, 3);
+        let _ = heatmap_ascii(&q, &util, 0);
     }
 
     #[test]

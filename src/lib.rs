@@ -8,6 +8,7 @@ pub use noc_app as app;
 pub use noc_bench as bench;
 pub use noc_queueing as queueing;
 pub use noc_sim as sim;
+pub use noc_telemetry as telemetry;
 pub use noc_topology as topology;
 pub use noc_workloads as workloads;
 pub use quarc_core as model;
@@ -24,6 +25,10 @@ pub mod prelude {
     pub use noc_sim::{
         build_engine, record_trace, ArrivalProcess, ClosedLoopResults, EngineCounters, EngineKind,
         EventSimulator, PlanError, SimConfig, SimEngine, SimPlan, SimResults, Simulator,
+    };
+    pub use noc_telemetry::{
+        chrome_trace, validate_chrome_trace, LogHistogram, TelemetrySpec, TraceEvent,
+        TraceEventKind, TraceLog, TraceMode, TrackNames, UtilSeries,
     };
     pub use noc_topology::{
         Hypercube, Mesh, MeshKind, MulticastRouting, NodeId, PortId, Quarc, Ring, RoutingError,

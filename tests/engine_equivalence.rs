@@ -36,6 +36,9 @@ fn assert_stats_equal(
     assert_f64_bits(a.ci95, b.ci95, "ci95", ctx);
     assert_f64_bits(a.min, b.min, "min", ctx);
     assert_f64_bits(a.max, b.max, "max", ctx);
+    assert_f64_bits(a.p50, b.p50, "p50", ctx);
+    assert_f64_bits(a.p95, b.p95, "p95", ctx);
+    assert_f64_bits(a.p99, b.p99, "p99", ctx);
 }
 
 fn assert_runs_identical(cycle: &SimResults, event: &SimResults, ctx: &str) {
@@ -119,6 +122,17 @@ fn assert_runs_identical(cycle: &SimResults, event: &SimResults, ctx: &str) {
     {
         assert_f64_bits(*c, *e, &format!("utilisation of channel {ch}"), ctx);
     }
+
+    // Flight-recorder artifacts: the streaming latency histograms and the
+    // windowed utilization series are integer-counted and must match
+    // exactly. The raw event trace is *excluded*: the engines schedule
+    // work in different orders inside a cycle (documented on
+    // `SimResults::trace`), so only its derived aggregates are contracts.
+    assert_eq!(
+        cycle.latency_hists, event.latency_hists,
+        "{ctx}: latency histograms"
+    );
+    assert_eq!(cycle.util, event.util, "{ctx}: utilization series");
 }
 
 /// Seeded low/mid-load differential run on one topology.
@@ -297,6 +311,10 @@ fn assert_closed_identical(cycle: &SimResults, event: &SimResults, ctx: &str) {
     assert_f64_bits(c.ops_per_cycle, e.ops_per_cycle, "ops per cycle", ctx);
     assert_eq!(c.quiesced, e.quiesced, "{ctx}: quiesced flag");
     assert_eq!(c.quiesce_cycle, e.quiesce_cycle, "{ctx}: quiescence cycle");
+    assert_eq!(
+        c.completion_hist, e.completion_hist,
+        "{ctx}: completion histogram"
+    );
 }
 
 #[test]
@@ -363,6 +381,108 @@ fn closed_loop_seeds_decorrelate_but_replay() {
         a.flit_moves, c.flit_moves,
         "different master seed, different run"
     );
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder: enabling telemetry must not perturb the simulation,
+// and the telemetry the two engines record must itself be identical
+// (utilization series exactly; traces compared as multisets since the
+// engines order same-cycle work differently).
+// ---------------------------------------------------------------------
+
+#[test]
+fn telemetry_on_both_engines_stays_bit_identical() {
+    use quarc_noc::sim::TelemetrySpec;
+    let topo = Quarc::new(16).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 61);
+    for rate in [0.002, 0.012] {
+        let wl = Workload::new(16, rate, 0.05, sets.clone()).unwrap();
+        let cfg = SimConfig::quick(61).with_telemetry(TelemetrySpec::flight_recorder(1 << 16, 64));
+        let (cycle, event) = both(&topo, &wl, cfg);
+        let ctx = format!("quarc telemetry-on rate {rate}");
+        assert_runs_identical(&cycle, &event, &ctx);
+        let cu = cycle.util.as_ref().expect("cycle util captured");
+        assert!(cu.num_windows() > 0, "{ctx}: windows recorded");
+        // Same flit movement → same trace *population*, even though the
+        // engines emit same-cycle events in different orders.
+        let ct = cycle.trace.as_ref().expect("cycle trace captured");
+        let et = event.trace.as_ref().expect("event trace captured");
+        assert_eq!(ct.dropped, 0, "{ctx}: ring big enough for a quick run");
+        let key = |t: &quarc_noc::sim::TraceLog| {
+            let mut k: Vec<(u64, u8, u32)> = t
+                .events
+                .iter()
+                .map(|e| (e.at, e.kind as u8, e.loc))
+                .collect();
+            k.sort_unstable();
+            k
+        };
+        assert_eq!(key(ct), key(et), "{ctx}: trace multisets");
+    }
+}
+
+#[test]
+fn telemetry_is_observation_only() {
+    use quarc_noc::sim::TelemetrySpec;
+    // The PR 6 guard: a run with the flight recorder on must report the
+    // same simulation — every pre-telemetry field bit-identical — as the
+    // same run with it off, on both engines.
+    let topo = Mesh::new(4, 4, MeshKind::Mesh).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 67);
+    let wl = Workload::new(16, 0.008, 0.08, sets).unwrap();
+    let base = SimConfig::quick(67);
+    let on = base.with_telemetry(TelemetrySpec::flight_recorder(1 << 16, 128));
+    let (cycle_off, event_off) = both(&topo, &wl, base);
+    let (cycle_on, event_on) = both(&topo, &wl, on);
+    for (off, on, ctx) in [
+        (&cycle_off, &cycle_on, "cycle on-vs-off"),
+        (&event_off, &event_on, "event on-vs-off"),
+    ] {
+        assert_eq!(off.cycles, on.cycles, "{ctx}: cycle count");
+        assert_eq!(off.flit_moves, on.flit_moves, "{ctx}: flit moves");
+        assert_eq!(off.total_absorbed, on.total_absorbed, "{ctx}: absorbed");
+        assert_stats_equal(&off.unicast, &on.unicast, ctx);
+        assert_stats_equal(&off.multicast, &on.multicast, ctx);
+        for (c, e) in off.channel_utilization.iter().zip(&on.channel_utilization) {
+            assert_f64_bits(*c, *e, "channel utilization", ctx);
+        }
+        assert!(
+            off.trace.is_none() && off.util.is_none(),
+            "{ctx}: off is off"
+        );
+        assert!(on.trace.is_some() && on.util.is_some(), "{ctx}: on is on");
+    }
+}
+
+#[test]
+fn closed_loop_telemetry_identical_and_offsets_re_zeroed() {
+    use quarc_noc::sim::TelemetrySpec;
+    // Closed-loop runs measure from cycle 1 (no warmup): the utilization
+    // series must start at window 0, and both engines must agree on it.
+    let topo = Quarc::new(16).unwrap();
+    let spec = ClosedLoopSpec::Coherence {
+        window: 4,
+        requests: 24,
+        write_fraction: 0.3,
+    };
+    let sets = DestinationSets::random(&topo, 4, 71);
+    let wl = Workload::new(8, 0.0, 0.0, sets).unwrap();
+    let cfg = SimConfig::quick(71).with_telemetry(TelemetrySpec::flight_recorder(1 << 16, 64));
+    let mut cycle = Simulator::new(&topo, &wl, cfg.with_engine(EngineKind::Cycle));
+    cycle.install_closed_loop(&spec, 71);
+    let mut event = EventSimulator::new(&topo, &wl, cfg.with_engine(EngineKind::EventDriven));
+    event.install_closed_loop(&spec, 71);
+    let (cycle, event) = (cycle.run(), event.run());
+    assert_closed_identical(&cycle, &event, "quarc coherence telemetry");
+    let util = cycle.util.as_ref().expect("util captured");
+    assert!(
+        util.counts
+            .first()
+            .is_some_and(|w| w.iter().any(|&c| c > 0)),
+        "first window carries traffic — offsets re-zeroed, not warmup-shifted"
+    );
+    let hist = &cycle.closed_loop.as_ref().unwrap().completion_hist;
+    assert_eq!(hist.count(), 16 * 24, "one completion sample per request");
 }
 
 #[test]

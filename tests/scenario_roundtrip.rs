@@ -109,6 +109,41 @@ fn registry_rejects_invalid_sizes_at_build_time() {
 }
 
 #[test]
+fn pre_telemetry_scenario_json_still_parses_and_runs() {
+    // Scenario files written before the flight recorder carry no
+    // `telemetry` key in their sim config; they must load as
+    // telemetry-off and produce the same run they always did.
+    let sc = scenario_for(TopologySpec::Ring { n: 8 });
+    assert!(!sc.sim.telemetry.enabled(), "default is off");
+    let json = sc.to_json();
+    assert!(
+        json.contains("\"telemetry\""),
+        "current files carry the key"
+    );
+    // Simulate a legacy file: drop the telemetry field wholesale.
+    let mut doc: serde::Value = serde::json::from_str(&json).unwrap();
+    let serde::Value::Map(fields) = &mut doc else {
+        panic!("scenario serializes as a map");
+    };
+    let sim = fields
+        .iter_mut()
+        .find(|(k, _)| k == "sim")
+        .map(|(_, v)| v)
+        .unwrap();
+    let serde::Value::Map(sim_fields) = sim else {
+        panic!("sim serializes as a map");
+    };
+    sim_fields.retain(|(k, _)| k != "telemetry");
+    let legacy = serde::json::to_string(&doc);
+    assert!(!legacy.contains("telemetry"));
+    let parsed = Scenario::from_json(&legacy).expect("legacy scenario parses");
+    assert!(!parsed.sim.telemetry.enabled());
+    let a = Runner::new().run(&sc).unwrap();
+    let b = Runner::new().run(&parsed).unwrap();
+    assert_eq!(a.to_csv(), b.to_csv(), "legacy spec runs identically");
+}
+
+#[test]
 fn invalid_scenarios_surface_typed_errors_not_panics() {
     // Malformed sweep (descending rates).
     let mut sc = scenario_for(TopologySpec::Ring { n: 8 });

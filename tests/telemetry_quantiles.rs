@@ -1,0 +1,125 @@
+//! Property-based tests of the flight recorder's streaming quantile
+//! histogram against exact order statistics.
+//!
+//! [`LogHistogram`] is log-bucketed (32 sub-buckets per octave, exact
+//! below 64), so a quantile estimate may sit above the exact sorted
+//! quantile by at most one bucket width: for any sample population,
+//! `exact <= est <= exact + exact/32 + 1`. The merge operator is bucket
+//! addition, so merging must be associative, commutative and equal to
+//! recording the concatenated population — the property the bench
+//! runner's across-replicate pooling relies on.
+
+use proptest::prelude::*;
+use quarc_noc::telemetry::LogHistogram;
+
+/// Exact quantile with the same convention as `LogHistogram::quantile`:
+/// the smallest sample with at least `ceil(q * count)` samples at or
+/// below it.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let need = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[need - 1]
+}
+
+fn record_all(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// The bucket error bound at value `v`: one sub-bucket width, plus one
+/// for the integer rounding of bucket boundaries.
+fn bound(v: u64) -> u64 {
+    v / 32 + 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_bracket_the_exact_order_statistics(
+        samples in proptest::collection::vec(0u64..2_000_000, 1..400),
+        qs in proptest::collection::vec(0.01f64..1.0, 1..8),
+    ) {
+        let h = record_all(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q).expect("non-empty population");
+            prop_assert!(
+                est >= exact && est <= exact + bound(exact),
+                "q={q}: estimate {est} outside [{exact}, {exact} + {}]",
+                bound(exact)
+            );
+        }
+        // The named quantiles are the same machinery.
+        let (p50, p99) = (h.p50(), h.p99());
+        let e50 = exact_quantile(&sorted, 0.50) as f64;
+        let e99 = exact_quantile(&sorted, 0.99) as f64;
+        prop_assert!(p50 >= e50 && p50 <= e50 + bound(e50 as u64) as f64);
+        prop_assert!(p99 >= e99 && p99 <= e99 + bound(e99 as u64) as f64);
+        prop_assert!(p50 <= h.p95() && h.p95() <= p99, "quantiles are monotone");
+    }
+
+    #[test]
+    fn small_populations_are_exact(
+        samples in proptest::collection::vec(0u64..64, 1..100),
+        q in 0.01f64..1.0,
+    ) {
+        // Below 64 every value has its own bucket: estimates are exact.
+        let h = record_all(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.quantile(q), Some(exact_quantile(&sorted, q)));
+    }
+
+    #[test]
+    fn merge_is_concatenation_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+        c in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        // merge == recording the concatenated population.
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(&c);
+        let direct = record_all(&concat);
+
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a + (b + c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        // c + b + a
+        let mut rev = hc.clone();
+        rev.merge(&hb);
+        rev.merge(&ha);
+
+        prop_assert_eq!(&left, &direct, "merge must equal concatenation");
+        prop_assert_eq!(&left, &right, "merge must be associative");
+        prop_assert_eq!(&left, &rev, "merge must be commutative");
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+        prop_assert_eq!(left.sum(), direct.sum());
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let ha = record_all(&a);
+        let mut merged = ha.clone();
+        merged.merge(&LogHistogram::new());
+        prop_assert_eq!(&merged, &ha);
+        let mut other = LogHistogram::new();
+        other.merge(&ha);
+        prop_assert_eq!(&other, &ha);
+    }
+}
