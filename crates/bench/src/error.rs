@@ -7,7 +7,7 @@
 //! `unwrap()`/`assert!` seams the pre-`Scenario` harness relied on are
 //! gone from the public surface.
 
-use noc_topology::{RoutingError, TopologyError};
+use noc_topology::{PathError, RoutingError, TopologyError};
 use noc_workloads::{PatternError, SweepError, WorkloadError};
 use quarc_core::ModelError;
 use std::fmt;
@@ -25,6 +25,10 @@ pub enum Error {
     /// The multicast routing scheme cannot be realized on the topology
     /// (e.g. multipath on a one-port node).
     Routing(RoutingError),
+    /// A routed path failed structural validation against its network
+    /// (surfaced by diagnostics that audit implicit topologies against
+    /// the materialized oracle).
+    Path(PathError),
     /// Rate-sweep construction failed.
     Sweep(SweepError),
     /// The analytical model could not be evaluated where a finite result
@@ -50,6 +54,7 @@ impl fmt::Display for Error {
             Error::Workload(e) => write!(f, "workload: {e}"),
             Error::Pattern(e) => write!(f, "traffic pattern: {e}"),
             Error::Routing(e) => write!(f, "multicast routing: {e}"),
+            Error::Path(e) => write!(f, "path validation: {e}"),
             Error::Sweep(e) => write!(f, "sweep: {e}"),
             Error::Model(e) => write!(f, "model: {e}"),
             Error::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
@@ -66,6 +71,7 @@ impl std::error::Error for Error {
             Error::Workload(e) => Some(e),
             Error::Pattern(e) => Some(e),
             Error::Routing(e) => Some(e),
+            Error::Path(e) => Some(e),
             Error::Sweep(e) => Some(e),
             Error::Model(e) => Some(e),
             Error::Serde(e) => Some(e),
@@ -102,6 +108,12 @@ impl From<noc_workloads::TrafficError> for Error {
 impl From<RoutingError> for Error {
     fn from(e: RoutingError) -> Self {
         Error::Routing(e)
+    }
+}
+
+impl From<PathError> for Error {
+    fn from(e: PathError) -> Self {
+        Error::Path(e)
     }
 }
 
@@ -166,8 +178,10 @@ mod tests {
                 ports: 1,
             }
             .into(),
+            PathError::TooShort { hops: 1 }.into(),
             SweepError::TooFewPoints(1).into(),
             ModelError::NonConcurrentMulticast.into(),
+            ModelError::UnsupportedTopology { name: "min".into() }.into(),
             noc_sim::PlanError::EmptyMulticastSet { node: 3 }.into(),
             noc_sim::PlanError::Routing(RoutingError::SingleInjectionPort {
                 scheme: "multipath",

@@ -36,6 +36,7 @@
 //! | `fig-bounds`         | network-calculus bound vs simulation (backend cross-validation) |
 //! | `fig-closedloop`     | closed-loop latency/throughput knee (coherence window sweep) |
 //! | `fig-heatmap`        | flight-recorder exhibit: per-link congestion heatmaps + Perfetto flit traces |
+//! | `fig-scale`          | scale-axis exhibit: implicit MIN/clustered ladder up to 64k nodes under a peak-RSS budget |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -609,7 +609,11 @@ impl Runner {
         // `UnicastTree` streams) are annotated as out-of-domain. A
         // closed-loop run is categorically outside every backend: the
         // model's Poisson sources do not exist.
-        let model_applicable = closed.is_none() && model_opts.backend.backend().applicable(&proto);
+        let model_applicable = closed.is_none()
+            && model_opts
+                .backend
+                .backend()
+                .applicable(topo.as_ref(), &proto);
         let mut points = Vec::with_capacity(rates.len());
         let mut sims: Vec<Vec<SimResults>> = Vec::with_capacity(rates.len());
         for (i, &rate) in rates.iter().enumerate() {

@@ -271,38 +271,52 @@ impl SweepSpec {
     /// saturation point with `model` where the spec is saturation-relative.
     ///
     /// The saturation anchor comes from `model.backend` — unless that
-    /// backend's assumptions do not hold for `proto` (e.g. the M/G/1
-    /// model under `Multipath` routing or bursty traffic), in which case
-    /// the always-applicable network-calculus backend anchors the sweep
-    /// instead. Anchoring on an inapplicable backend used to place
+    /// backend's assumptions do not hold for `topo`/`proto` (e.g. the
+    /// M/G/1 model under `Multipath` routing or bursty traffic), in which
+    /// case the network-calculus backend anchors the sweep instead.
+    /// Anchoring on an inapplicable backend used to place
     /// "0.9 × saturation" at or past the *real* saturation point.
+    ///
+    /// On implicit scale topologies *no* analytical backend applies, so
+    /// saturation-relative sweeps are rejected as invalid scenarios —
+    /// use explicit/linear/geometric rates there.
     pub fn resolve(
         &self,
         topo: &dyn Topology,
         proto: &Workload,
         model: ModelOptions,
     ) -> Result<RateSweep> {
-        let sat = || {
-            let anchor = if model.backend.backend().applicable(proto) {
+        let sat = || -> Result<f64> {
+            let anchor = if model.backend.backend().applicable(topo, proto) {
                 model.backend
-            } else {
+            } else if BackendSpec::NetworkCalculus
+                .backend()
+                .applicable(topo, proto)
+            {
                 BackendSpec::NetworkCalculus
+            } else {
+                return Err(Error::InvalidScenario(format!(
+                    "saturation-relative sweeps need an applicable analytical \
+                     backend to anchor on, and none supports the implicit \
+                     topology '{}'; use explicit rates instead",
+                    topo.name()
+                )));
             };
-            anchor
+            Ok(anchor
                 .backend()
                 .max_sustainable_rate(topo, proto, &model, SATURATION_TOL)
-                .max(1e-5)
+                .max(1e-5))
         };
         let sweep = match self {
             SweepSpec::Explicit { rates } => RateSweep::explicit(rates.clone())?,
             SweepSpec::Linear { lo, hi, points } => RateSweep::linear(*lo, *hi, *points)?,
             SweepSpec::Geometric { lo, hi, points } => RateSweep::geometric(*lo, *hi, *points)?,
             SweepSpec::SaturationSpan { lo, hi, points } => {
-                let s = sat();
+                let s = sat()?;
                 RateSweep::linear(lo * s, hi * s, (*points).max(2))?
             }
             SweepSpec::SaturationFractions { fractions } => {
-                let s = sat();
+                let s = sat()?;
                 RateSweep::explicit(fractions.iter().map(|f| f * s).collect())?
             }
         };
@@ -414,9 +428,11 @@ impl Scenario {
         // The routing scheme must be realizable on the topology (e.g.
         // multipath and dual-path need multi-port routers) — a typed
         // error here, not a panic inside the simulator's plan builder.
-        self.workload
-            .routing
-            .validate(self.topology.num_nodes(), self.topology.num_ports())?;
+        self.workload.routing.validate(
+            self.topology.num_nodes(),
+            self.topology.num_ports(),
+            self.topology.has_linear_order(),
+        )?;
         // Traffic-spec shape (parameter ranges, trace well-formedness).
         // Peak-rate-vs-swept-rate consistency is rechecked per resolved
         // rate by the runner, where the rates are known.

@@ -45,10 +45,12 @@ pub trait ModelBackend: Sync {
     /// Short machine-readable identifier (`"mg1"`, `"nc"`).
     fn code(&self) -> &'static str;
 
-    /// Whether this backend's assumptions hold for the workload. An
-    /// inapplicable backend may still evaluate (the number is then an
-    /// uncontrolled extrapolation); sweep anchoring refuses to use it.
-    fn applicable(&self, wl: &Workload) -> bool;
+    /// Whether this backend's assumptions hold for the topology/workload
+    /// pair. An inapplicable backend may still evaluate (the number is
+    /// then an uncontrolled extrapolation — or, for implicit topologies,
+    /// a typed [`ModelError::UnsupportedTopology`]); sweep anchoring
+    /// refuses to use it.
+    fn applicable(&self, topo: &dyn Topology, wl: &Workload) -> bool;
 
     /// Evaluate the model at the workload's generation rate.
     fn evaluate(
@@ -93,11 +95,13 @@ impl ModelBackend for MgOneBackend {
         "mg1"
     }
 
-    fn applicable(&self, wl: &Workload) -> bool {
+    fn applicable(&self, topo: &dyn Topology, wl: &Workload) -> bool {
         // The derivation assumes memoryless arrivals and asynchronous
         // per-port multicast streams — exactly the Runner's historical
-        // `model_applicable` stamp.
-        wl.traffic.is_poisson() && wl.routing.model_applicable()
+        // `model_applicable` stamp — plus a materialized channel table
+        // (the fixed point iterates dense per-channel load vectors, which
+        // is exactly what implicit scale topologies avoid building).
+        !topo.network().is_implicit() && wl.traffic.is_poisson() && wl.routing.model_applicable()
     }
 
     fn evaluate(
@@ -115,12 +119,14 @@ impl ModelBackend for NetworkCalculusBackend {
         "nc"
     }
 
-    fn applicable(&self, _wl: &Workload) -> bool {
+    fn applicable(&self, topo: &dyn Topology, _wl: &Workload) -> bool {
         // Envelopes exist for every TrafficSpec and the stream walks for
         // every RoutingSpec; the only domain boundary (non-concurrent
         // multicast hardware) is shared with M/G/1 and reported as a
-        // typed evaluate error, matching that backend's contract.
-        true
+        // typed evaluate error, matching that backend's contract. The
+        // per-channel (σ,ρ) accumulation does, however, need the dense
+        // channel table, so implicit topologies are out of scope.
+        !topo.network().is_implicit()
     }
 
     fn evaluate(
@@ -184,18 +190,33 @@ mod tests {
 
     #[test]
     fn applicability_matrix() {
-        let (_topo, wl) = workload(0.1);
-        assert!(MgOneBackend.applicable(&wl));
-        assert!(NetworkCalculusBackend.applicable(&wl));
+        let (topo, wl) = workload(0.1);
+        assert!(MgOneBackend.applicable(&topo, &wl));
+        assert!(NetworkCalculusBackend.applicable(&topo, &wl));
         let multipath = wl.clone().with_routing(RoutingSpec::Multipath);
-        assert!(!MgOneBackend.applicable(&multipath));
-        assert!(NetworkCalculusBackend.applicable(&multipath));
+        assert!(!MgOneBackend.applicable(&topo, &multipath));
+        assert!(NetworkCalculusBackend.applicable(&topo, &multipath));
         let bursty = wl.with_traffic(TrafficSpec::OnOff {
             burst_len: 8.0,
             peak_rate: 0.2,
         });
-        assert!(!MgOneBackend.applicable(&bursty));
-        assert!(NetworkCalculusBackend.applicable(&bursty));
+        assert!(!MgOneBackend.applicable(&topo, &bursty));
+        assert!(NetworkCalculusBackend.applicable(&topo, &bursty));
+    }
+
+    #[test]
+    fn no_backend_is_applicable_to_implicit_topologies() {
+        use noc_topology::Min;
+        let implicit = Min::new(2, 4).unwrap();
+        let sets = DestinationSets::random(&implicit, 3, 7);
+        let wl = Workload::new(32, 0.002, 0.1, sets).unwrap();
+        assert!(!MgOneBackend.applicable(&implicit, &wl));
+        assert!(!NetworkCalculusBackend.applicable(&implicit, &wl));
+        // Applicability keys on the storage, not the family: the same
+        // network force-materialized is back in scope for both backends.
+        let dense = Min::materialized(2, 4).unwrap();
+        assert!(MgOneBackend.applicable(&dense, &wl));
+        assert!(NetworkCalculusBackend.applicable(&dense, &wl));
     }
 
     #[test]

@@ -305,6 +305,11 @@ impl NetworkCalculusBackend {
         wl: &Workload,
         opts: &ModelOptions,
     ) -> Result<ChannelBounds, ModelError> {
+        if topo.network().is_implicit() {
+            return Err(ModelError::UnsupportedTopology {
+                name: topo.name().to_string(),
+            });
+        }
         let nc = NcLoads::build(topo, wl, opts);
         Ok(solve_bounds(topo, &nc, wl.msg_len as f64, opts)?)
     }
@@ -315,6 +320,14 @@ impl NetworkCalculusBackend {
         wl: &Workload,
         opts: &ModelOptions,
     ) -> Result<Prediction, ModelError> {
+        if topo.network().is_implicit() {
+            // The (σ,ρ) accumulation walks dense per-channel vectors —
+            // out of scope for implicit scale topologies, same boundary
+            // as the M/G/1 backend.
+            return Err(ModelError::UnsupportedTopology {
+                name: topo.name().to_string(),
+            });
+        }
         if wl.multicast_fraction > 0.0 && !topo.concurrent_multicast() {
             // One-port topologies serialise multicast through a single
             // stream table the schemes do not describe — same domain

@@ -22,6 +22,14 @@ pub enum ModelError {
     /// one-port Spidergon baseline); the asynchronous multi-port model does
     /// not apply.
     NonConcurrentMulticast,
+    /// The topology uses implicit channel storage (the scale families):
+    /// the analytical backends iterate dense per-channel load vectors and
+    /// are deliberately out of scope there. Materialize the topology (or
+    /// pick a size the dense path can hold) to model it.
+    UnsupportedTopology {
+        /// The topology's family name (`Topology::name`).
+        name: String,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -33,6 +41,11 @@ impl std::fmt::Display for ModelError {
             ModelError::NonConcurrentMulticast => write!(
                 f,
                 "the multi-port multicast model requires concurrent port streams"
+            ),
+            ModelError::UnsupportedTopology { name } => write!(
+                f,
+                "analytical backends need materialized channel storage; \
+                 topology '{name}' is implicit"
             ),
         }
     }
@@ -100,6 +113,11 @@ impl<'a> AnalyticModel<'a> {
     /// [`ModelError::NonConcurrentMulticast`] for one-port topologies with
     /// a positive multicast fraction.
     pub fn evaluate(&self) -> Result<Prediction, ModelError> {
+        if self.topo.network().is_implicit() {
+            return Err(ModelError::UnsupportedTopology {
+                name: self.topo.name().to_string(),
+            });
+        }
         if self.wl.multicast_fraction > 0.0 && !self.topo.concurrent_multicast() {
             return Err(ModelError::NonConcurrentMulticast);
         }

@@ -143,7 +143,7 @@ impl<'a> Simulator<'a> {
         plan.assert_matches(topo, wl);
         let arrivals = ArrivalStream::build_all(wl, plan.n, cfg.seed);
         let channels = plan.num_channels;
-        let metrics = Metrics::new(&cfg, plan.n, channels);
+        let metrics = Metrics::new(&cfg, plan.n, channels, !plan.is_lazy());
         Simulator {
             topo,
             wl,
@@ -187,7 +187,7 @@ impl<'a> Simulator<'a> {
         );
         let env = NetEnv {
             n: self.plan.n,
-            fanout: self.plan.op_targets.clone(),
+            fanout: self.plan.fanout_table(),
         };
         // Closed-loop runs measure every cycle from cycle 1.
         self.metrics.set_measure_origin(0);
@@ -250,7 +250,7 @@ impl<'a> Simulator<'a> {
                 let op = self.alloc_op(MulticastOp {
                     src: NodeId(node as u32),
                     gen,
-                    remaining: self.plan.op_targets[node],
+                    remaining: self.plan.op_targets(node),
                     last_absorb: gen,
                     tagged: tagging,
                 });
@@ -258,9 +258,9 @@ impl<'a> Simulator<'a> {
                     self.metrics.multicast_injected += 1;
                     self.tagged_outstanding += 1;
                 }
-                for si in 0..self.plan.streams[node].len() {
+                for si in 0..self.plan.streams(node).len() {
                     let (path, absorbs) = {
-                        let pre = &self.plan.streams[node][si];
+                        let pre = &self.plan.streams(node)[si];
                         (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
                     };
                     let id =
@@ -634,21 +634,21 @@ impl<'a> Simulator<'a> {
                 Action::Multicast { src, payload } => {
                     let node = src.idx();
                     assert!(
-                        !self.plan.streams[node].is_empty(),
+                        !self.plan.streams(node).is_empty(),
                         "protocol multicast from a source with no streams"
                     );
                     let op = self.alloc_op(MulticastOp {
                         src,
                         gen,
-                        remaining: self.plan.op_targets[node],
+                        remaining: self.plan.op_targets(node),
                         last_absorb: gen,
                         tagged: true,
                     });
                     self.metrics.multicast_injected += 1;
                     self.tagged_outstanding += 1;
-                    for si in 0..self.plan.streams[node].len() {
+                    for si in 0..self.plan.streams(node).len() {
                         let (path, absorbs) = {
-                            let pre = &self.plan.streams[node][si];
+                            let pre = &self.plan.streams(node)[si];
                             (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
                         };
                         let id =
@@ -819,20 +819,20 @@ impl<'a> Simulator<'a> {
         let gen = self.cycle;
         let node = src.idx();
         assert!(
-            !self.plan.streams[node].is_empty(),
+            !self.plan.streams(node).is_empty(),
             "source has no multicast streams configured"
         );
         let op = self.alloc_op(MulticastOp {
             src,
             gen,
-            remaining: self.plan.op_targets[node],
+            remaining: self.plan.op_targets(node),
             last_absorb: gen,
             tagged: false,
         });
         let mut ids = Vec::new();
-        for si in 0..self.plan.streams[node].len() {
+        for si in 0..self.plan.streams(node).len() {
             let (path, absorbs) = {
-                let pre = &self.plan.streams[node][si];
+                let pre = &self.plan.streams(node)[si];
                 (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
             };
             let id = self.alloc_msg(ActiveMsg::stream(
@@ -938,13 +938,12 @@ impl<'a> Simulator<'a> {
         self.topo
     }
 
-    /// Count of channels whose kind matches (diagnostics).
+    /// Count of channels whose kind matches (diagnostics). Works on both
+    /// dense and implicit storage.
     pub fn channel_count(&self, kind: ChannelKind) -> usize {
-        self.topo
-            .network()
-            .channels()
-            .iter()
-            .filter(|c| c.kind == kind)
+        let net = self.topo.network();
+        (0..net.num_channels() as u32)
+            .filter(|&id| net.channel_at(noc_topology::ChannelId(id)).kind == kind)
             .count()
     }
 }

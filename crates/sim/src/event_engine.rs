@@ -192,7 +192,7 @@ impl<'a> EventSimulator<'a> {
             }
         }
         let channels = plan.num_channels;
-        let metrics = Metrics::new(&cfg, plan.n, channels);
+        let metrics = Metrics::new(&cfg, plan.n, channels, !plan.is_lazy());
         EventSimulator {
             topo,
             wl,
@@ -243,7 +243,7 @@ impl<'a> EventSimulator<'a> {
         );
         let env = NetEnv {
             n: self.plan.n,
-            fanout: self.plan.op_targets.clone(),
+            fanout: self.plan.fanout_table(),
         };
         // Closed-loop runs measure every cycle from cycle 1.
         self.metrics.set_measure_origin(0);
@@ -293,7 +293,7 @@ impl<'a> EventSimulator<'a> {
                 let op = self.alloc_op(MulticastOp {
                     src: NodeId(node as u32),
                     gen,
-                    remaining: self.plan.op_targets[node],
+                    remaining: self.plan.op_targets(node),
                     last_absorb: gen,
                     tagged: tagging,
                 });
@@ -301,9 +301,9 @@ impl<'a> EventSimulator<'a> {
                     self.metrics.multicast_injected += 1;
                     self.tagged_outstanding += 1;
                 }
-                for si in 0..self.plan.streams[node].len() {
+                for si in 0..self.plan.streams(node).len() {
                     let (path, absorbs) = {
-                        let pre = &self.plan.streams[node][si];
+                        let pre = &self.plan.streams(node)[si];
                         (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
                     };
                     let id =
@@ -929,21 +929,21 @@ impl<'a> EventSimulator<'a> {
                 Action::Multicast { src, payload } => {
                     let node = src.idx();
                     assert!(
-                        !self.plan.streams[node].is_empty(),
+                        !self.plan.streams(node).is_empty(),
                         "protocol multicast from a source with no streams"
                     );
                     let op = self.alloc_op(MulticastOp {
                         src,
                         gen,
-                        remaining: self.plan.op_targets[node],
+                        remaining: self.plan.op_targets(node),
                         last_absorb: gen,
                         tagged: true,
                     });
                     self.metrics.multicast_injected += 1;
                     self.tagged_outstanding += 1;
-                    for si in 0..self.plan.streams[node].len() {
+                    for si in 0..self.plan.streams(node).len() {
                         let (path, absorbs) = {
-                            let pre = &self.plan.streams[node][si];
+                            let pre = &self.plan.streams(node)[si];
                             (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
                         };
                         let id =
@@ -1170,20 +1170,20 @@ impl<'a> EventSimulator<'a> {
         let gen = self.cycle;
         let node = src.idx();
         assert!(
-            !self.plan.streams[node].is_empty(),
+            !self.plan.streams(node).is_empty(),
             "source has no multicast streams configured"
         );
         let op = self.alloc_op(MulticastOp {
             src,
             gen,
-            remaining: self.plan.op_targets[node],
+            remaining: self.plan.op_targets(node),
             last_absorb: gen,
             tagged: false,
         });
         let mut ids = Vec::new();
-        for si in 0..self.plan.streams[node].len() {
+        for si in 0..self.plan.streams(node).len() {
             let (path, absorbs) = {
-                let pre = &self.plan.streams[node][si];
+                let pre = &self.plan.streams(node)[si];
                 (Arc::clone(&pre.path), Arc::clone(&pre.absorbs))
             };
             let id = self.alloc_msg(ActiveMsg::stream(

@@ -47,7 +47,11 @@ pub(crate) struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn new(cfg: &SimConfig, nodes: usize, channels: usize) -> Self {
+    /// `per_source` gates the per-node multicast latency populations:
+    /// engines pass `false` for lazy (implicit-topology) plans, where a
+    /// node-indexed accumulator vector is exactly the O(n) memory the
+    /// implicit path exists to avoid at 64k+ nodes.
+    pub(crate) fn new(cfg: &SimConfig, nodes: usize, channels: usize, per_source: bool) -> Self {
         let tracer: Option<Box<dyn TraceSink>> = match cfg.telemetry.trace {
             TraceMode::Off => None,
             TraceMode::Full => Some(Box::new(VecSink::new())),
@@ -59,7 +63,7 @@ impl Metrics {
             unicast_lat: BatchMeans::new(cfg.batch_size),
             multicast_lat: BatchMeans::new(cfg.batch_size),
             multicast_hist: Histogram::new(4.0, 4096),
-            multicast_by_source: vec![Welford::new(); nodes],
+            multicast_by_source: vec![Welford::new(); if per_source { nodes } else { 0 }],
             stream_lat: BatchMeans::new(cfg.batch_size),
             hists: LatencyHists::default(),
             unicast_injected: 0,
@@ -130,7 +134,9 @@ impl Metrics {
         let lat = (op.last_absorb - op.gen) as f64;
         self.multicast_lat.push(lat);
         self.multicast_hist.push(lat);
-        self.multicast_by_source[op.src.idx()].push(lat);
+        if let Some(w) = self.multicast_by_source.get_mut(op.src.idx()) {
+            w.push(lat);
+        }
         self.hists.multicast.record(op.last_absorb - op.gen);
         self.multicast_delivered += 1;
     }
@@ -279,7 +285,7 @@ mod tests {
     #[test]
     fn disabled_telemetry_records_nothing_extra() {
         let cfg = SimConfig::quick(1);
-        let mut m = Metrics::new(&cfg, 2, 4);
+        let mut m = Metrics::new(&cfg, 2, 4, true);
         m.record_flit_move(cfg.warmup_cycles + 1, 0, true);
         m.trace_grant(5, 1);
         m.trace_stall(6);
@@ -294,7 +300,7 @@ mod tests {
         let mut cfg = SimConfig::quick(1);
         cfg.telemetry = TelemetrySpec::flight_recorder(16, 8);
         let w = cfg.warmup_cycles;
-        let mut m = Metrics::new(&cfg, 2, 4);
+        let mut m = Metrics::new(&cfg, 2, 4, true);
         m.record_flit_move(w + 1, 0, true);
         m.record_flit_moves_bulk(w + 1, 1, 10, true); // cycles w+2..=w+11
         m.trace_grant(w + 1, 3);
@@ -313,7 +319,7 @@ mod tests {
     #[test]
     fn quantiles_reach_the_summaries() {
         let cfg = SimConfig::quick(1);
-        let mut m = Metrics::new(&cfg, 1, 1);
+        let mut m = Metrics::new(&cfg, 1, 1, true);
         for lat in [10u64, 20, 30, 40] {
             m.record_unicast_delivery(100 + lat, 100);
         }

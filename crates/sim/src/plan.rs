@@ -9,12 +9,25 @@
 //! `Arc` so many runs (and both engines of a differential pair) share one
 //! copy. Both engines replay the plan's stream tables verbatim, which is
 //! what makes engine bit-equivalence hold per routing scheme for free.
+//!
+//! ## Dense vs. lazy tables
+//!
+//! For the materialized legacy topologies the plan eagerly builds the
+//! `n × n` unicast path table and every node's streams — bit-for-bit the
+//! historical behaviour. For **implicit** topologies (MIN, clustered) an
+//! `n × n` table would be exactly the memory wall the implicit channel
+//! storage removed, so the plan turns *lazy*: it keeps a shared handle to
+//! the topology ([`Topology::share`]) and computes unicast paths on
+//! demand and per-source streams memoized behind `OnceLock` — a 64k-node
+//! plan allocates O(n) slots, not O(n²) paths. The accessor surface is
+//! identical either way, and the differential suite checks the lazily
+//! computed tables against a force-materialized oracle plan bit-for-bit.
 
 use crate::message::{absorb_schedule, AbsorbSchedule};
-use noc_topology::{Hop, NodeId, Path, RoutingError, Topology};
+use noc_topology::{ChannelId, Hop, NodeId, Path, RoutingError, Topology};
 use noc_workloads::{PatternError, TrafficError, Workload};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Why a [`SimPlan`] could not be built from a `(topology, workload)`
 /// pair. Facade users get these as typed errors instead of panics; the
@@ -91,6 +104,47 @@ pub(crate) struct PreStream {
     pub(crate) absorbs: AbsorbSchedule,
 }
 
+/// The plan's path/stream storage: eagerly materialized for dense
+/// topologies, memoized-on-demand for implicit ones.
+enum Tables {
+    /// Eager `n × n` tables (the historical representation, bit-for-bit).
+    Dense {
+        /// Precomputed unicast paths, `src * n + dst` (None on the
+        /// diagonal).
+        unicast_paths: Vec<Option<Arc<Path>>>,
+        /// Precomputed multicast streams per source node.
+        streams: Vec<Vec<PreStream>>,
+        /// Total targets per multicast operation per node.
+        op_targets: Vec<u32>,
+    },
+    /// On-demand computation against a shared topology handle.
+    Lazy {
+        topo: Arc<dyn Topology>,
+        wl: Workload,
+        /// Per-source stream tables, computed at most once each.
+        streams: Vec<OnceLock<Box<[PreStream]>>>,
+        /// Total targets per multicast operation per node (cheap to
+        /// derive from the destination sets, so kept eager).
+        op_targets: Vec<u32>,
+    },
+}
+
+impl fmt::Debug for Tables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tables::Dense { streams, .. } => f
+                .debug_struct("Tables::Dense")
+                .field("nodes", &streams.len())
+                .finish(),
+            Tables::Lazy { topo, streams, .. } => f
+                .debug_struct("Tables::Lazy")
+                .field("topology", &topo.name())
+                .field("nodes", &streams.len())
+                .finish(),
+        }
+    }
+}
+
 /// Static simulation tables for one `(topology, destination sets,
 /// routing scheme)` triple.
 ///
@@ -105,12 +159,26 @@ pub struct SimPlan {
     pub(crate) cv_base: Vec<u32>,
     /// Virtual-channel count per channel.
     pub(crate) vcs: Vec<u8>,
-    /// Precomputed unicast paths, `src * n + dst` (None on the diagonal).
-    pub(crate) unicast_paths: Vec<Option<Arc<Path>>>,
-    /// Precomputed multicast streams per source node.
-    pub(crate) streams: Vec<Vec<PreStream>>,
-    /// Total targets per multicast operation per node.
-    pub(crate) op_targets: Vec<u32>,
+    tables: Tables,
+}
+
+/// Compute one node's streams with their absorb schedules (shared by the
+/// dense build and the lazy memoization — same code, same bits).
+fn build_streams(topo: &dyn Topology, wl: &Workload, src: NodeId) -> Vec<PreStream> {
+    let net = topo.network();
+    let set = wl.multicast_set(src);
+    let mut pre = Vec::new();
+    if !set.is_empty() {
+        for st in wl.routing.streams(topo, src, set) {
+            debug_assert!(net.validate_path(&st.path).is_ok());
+            let absorbs = absorb_schedule(&st.path, &st.targets, |c| net.downstream(c));
+            pre.push(PreStream {
+                path: Arc::new(st.path),
+                absorbs,
+            });
+        }
+    }
+    pre
 }
 
 impl SimPlan {
@@ -129,7 +197,8 @@ impl SimPlan {
             return Err(PlanError::TooFewNodes(n));
         }
         wl.unicast_pattern.validate(n)?;
-        wl.routing.validate(n, net.ports_per_node())?;
+        wl.routing
+            .validate(n, net.ports_per_node(), topo.has_linear_order())?;
         // Shape-only (rate 0.0): the plan is generation-rate independent
         // by contract — it is built once from a placeholder-rate
         // prototype and shared across every swept rate. The engines'
@@ -146,45 +215,56 @@ impl SimPlan {
         let mut cv_base = Vec::with_capacity(net.num_channels());
         let mut vcs = Vec::with_capacity(net.num_channels());
         let mut acc = 0u32;
-        for ch in net.channels() {
+        for id in 0..net.num_channels() as u32 {
+            let v = net.vcs_of(ChannelId(id));
             cv_base.push(acc);
-            vcs.push(ch.vcs);
-            acc += ch.vcs as u32;
+            vcs.push(v);
+            acc += v as u32;
         }
         let num_cvs = acc as usize;
 
-        let mut unicast_paths: Vec<Option<Arc<Path>>> = vec![None; n * n];
-        for s in 0..n {
-            for d in 0..n {
-                if s != d {
-                    let p = topo.unicast_path(NodeId(s as u32), NodeId(d as u32));
-                    debug_assert!(net.validate_path(&p).is_ok());
-                    unicast_paths[s * n + d] = Some(Arc::new(p));
+        let tables = if net.is_implicit() {
+            let topo = topo
+                .share()
+                .expect("implicit topologies must implement Topology::share");
+            // Streams partition the sanitized destination set, so the
+            // per-op target count is derivable without building them.
+            let op_targets = (0..n)
+                .map(|s| {
+                    let src = NodeId(s as u32);
+                    wl.multicast_set(src).iter().filter(|&&t| t != src).count() as u32
+                })
+                .collect();
+            Tables::Lazy {
+                topo,
+                wl: wl.clone(),
+                streams: (0..n).map(|_| OnceLock::new()).collect(),
+                op_targets,
+            }
+        } else {
+            let mut unicast_paths: Vec<Option<Arc<Path>>> = vec![None; n * n];
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        let p = topo.unicast_path(NodeId(s as u32), NodeId(d as u32));
+                        debug_assert!(net.validate_path(&p).is_ok());
+                        unicast_paths[s * n + d] = Some(Arc::new(p));
+                    }
                 }
             }
-        }
-
-        let mut streams: Vec<Vec<PreStream>> = Vec::with_capacity(n);
-        let mut op_targets = Vec::with_capacity(n);
-        for s in 0..n {
-            let src = NodeId(s as u32);
-            let set = wl.multicast_set(src);
-            let mut pre = Vec::new();
-            let mut total = 0u32;
-            if !set.is_empty() {
-                for st in wl.routing.streams(topo, src, set) {
-                    debug_assert!(net.validate_path(&st.path).is_ok());
-                    total += st.targets.len() as u32;
-                    let absorbs = absorb_schedule(&st.path, &st.targets, |c| net.downstream(c));
-                    pre.push(PreStream {
-                        path: Arc::new(st.path),
-                        absorbs,
-                    });
-                }
+            let mut streams: Vec<Vec<PreStream>> = Vec::with_capacity(n);
+            let mut op_targets = Vec::with_capacity(n);
+            for s in 0..n {
+                let pre = build_streams(topo, wl, NodeId(s as u32));
+                op_targets.push(pre.iter().map(|p| p.absorbs.len() as u32).sum());
+                streams.push(pre);
             }
-            streams.push(pre);
-            op_targets.push(total);
-        }
+            Tables::Dense {
+                unicast_paths,
+                streams,
+                op_targets,
+            }
+        };
 
         Ok(Arc::new(SimPlan {
             n,
@@ -192,9 +272,7 @@ impl SimPlan {
             num_cvs,
             cv_base,
             vcs,
-            unicast_paths,
-            streams,
-            op_targets,
+            tables,
         }))
     }
 
@@ -203,12 +281,52 @@ impl SimPlan {
         self.n
     }
 
+    /// `true` when stream/path tables are computed on demand (implicit
+    /// topology) instead of materialized up front.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.tables, Tables::Lazy { .. })
+    }
+
+    /// The multicast streams of `node` (computed and memoized on first
+    /// access for lazy plans).
+    pub(crate) fn streams(&self, node: usize) -> &[PreStream] {
+        match &self.tables {
+            Tables::Dense { streams, .. } => &streams[node],
+            Tables::Lazy {
+                topo, wl, streams, ..
+            } => streams[node]
+                .get_or_init(|| build_streams(topo.as_ref(), wl, NodeId(node as u32)).into()),
+        }
+    }
+
+    /// Total targets per multicast operation of `node`.
+    #[inline]
+    pub(crate) fn op_targets(&self, node: usize) -> u32 {
+        match &self.tables {
+            Tables::Dense { op_targets, .. } | Tables::Lazy { op_targets, .. } => op_targets[node],
+        }
+    }
+
+    /// Per-node multicast fan-out (total targets per operation), cloned
+    /// for engine-side bookkeeping.
+    pub(crate) fn fanout_table(&self) -> Vec<u32> {
+        match &self.tables {
+            Tables::Dense { op_targets, .. } | Tables::Lazy { op_targets, .. } => {
+                op_targets.clone()
+            }
+        }
+    }
+
     /// Capacity hint for message arenas: one full multicast spawn wave
     /// (every node firing its configured operation at once) plus a
     /// unicast per node — live-message counts rarely exceed this outside
-    /// deep saturation.
+    /// deep saturation. Lazy plans answer O(n) without forcing stream
+    /// computation.
     pub(crate) fn spawn_wave_hint(&self) -> usize {
-        self.streams.iter().map(|s| s.len().max(1)).sum()
+        match &self.tables {
+            Tables::Dense { streams, .. } => streams.iter().map(|s| s.len().max(1)).sum(),
+            Tables::Lazy { .. } => self.n,
+        }
     }
 
     /// The cv (channel × virtual-channel) resource index of a hop.
@@ -235,28 +353,50 @@ impl SimPlan {
         if wl.multicast_fraction > 0.0 {
             for node in 0..self.n {
                 assert!(
-                    !self.streams[node].is_empty(),
+                    self.op_targets(node) > 0,
                     "SimPlan has no multicast streams for node {node} but alpha > 0"
                 );
             }
         }
     }
 
-    /// The unicast path `src → dst` (panics on the diagonal).
+    /// The unicast path `src → dst` (panics on the diagonal): a shared
+    /// table entry for dense plans, a fresh on-demand computation for
+    /// lazy ones.
     #[inline]
-    pub(crate) fn unicast_path(&self, src: NodeId, dst: NodeId) -> Arc<Path> {
-        Arc::clone(
-            self.unicast_paths[src.idx() * self.n + dst.idx()]
-                .as_ref()
-                .expect("off-diagonal path exists"),
-        )
+    pub fn unicast_path(&self, src: NodeId, dst: NodeId) -> Arc<Path> {
+        match &self.tables {
+            Tables::Dense { unicast_paths, .. } => Arc::clone(
+                unicast_paths[src.idx() * self.n + dst.idx()]
+                    .as_ref()
+                    .expect("off-diagonal path exists"),
+            ),
+            Tables::Lazy { topo, .. } => Arc::new(topo.unicast_path(src, dst)),
+        }
+    }
+
+    /// Owned snapshot of `node`'s stream table — each stream's path and
+    /// absorb schedule `(link index, absorbing node)` in visit order.
+    /// Diagnostic/test surface; the differential suite uses it to compare
+    /// lazy tables against the materialized oracle.
+    pub fn streams_snapshot(&self, node: NodeId) -> Vec<(Path, Vec<(u16, NodeId)>)> {
+        self.streams(node.idx())
+            .iter()
+            .map(|pre| ((*pre.path).clone(), pre.absorbs.to_vec()))
+            .collect()
+    }
+
+    /// Total targets per multicast operation of `node` (public mirror of
+    /// the engine-side accessor, for tests and diagnostics).
+    pub fn op_target_count(&self, node: NodeId) -> u32 {
+        self.op_targets(node.idx())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noc_topology::Quarc;
+    use noc_topology::{Min, Quarc};
     use noc_workloads::DestinationSets;
 
     #[test]
@@ -266,18 +406,21 @@ mod tests {
         let wl = Workload::new(16, 0.01, 0.1, sets).unwrap();
         let plan = SimPlan::build(&topo, &wl).unwrap();
         assert_eq!(plan.num_nodes(), 16);
+        assert!(!plan.is_lazy());
         assert_eq!(plan.cv_base.len(), plan.num_channels);
         assert_eq!(plan.vcs.len(), plan.num_channels);
-        assert_eq!(plan.unicast_paths.len(), 256);
-        assert_eq!(
-            plan.unicast_paths.iter().filter(|p| p.is_none()).count(),
-            16,
-            "exactly the diagonal is absent"
-        );
-        for node in 0..16 {
-            assert!(!plan.streams[node].is_empty());
-            assert_eq!(plan.op_targets[node], 4);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                if s != d {
+                    assert_eq!(plan.unicast_path(NodeId(s), NodeId(d)).src, NodeId(s));
+                }
+            }
         }
+        for node in 0..16 {
+            assert!(!plan.streams(node).is_empty());
+            assert_eq!(plan.op_targets(node), 4);
+        }
+        assert_eq!(plan.fanout_table(), vec![4; 16]);
     }
 
     #[test]
@@ -289,9 +432,9 @@ mod tests {
         for spec in noc_topology::ALL_ROUTINGS {
             let plan = SimPlan::build(&topo, &wl.clone().with_routing(spec)).unwrap();
             for node in 0..16 {
-                assert_eq!(plan.op_targets[node], 4, "{spec}: all targets scheduled");
+                assert_eq!(plan.op_targets(node), 4, "{spec}: all targets scheduled");
                 if spec == RoutingSpec::UnicastTree {
-                    assert_eq!(plan.streams[node].len(), 4, "one stream per destination");
+                    assert_eq!(plan.streams(node).len(), 4, "one stream per destination");
                 }
             }
         }
@@ -318,5 +461,32 @@ mod tests {
         let err = SimPlan::build(&topo, &wl).unwrap_err();
         assert_eq!(err, PlanError::EmptyMulticastSet { node: 0 });
         assert!(err.to_string().contains("empty multicast set"));
+    }
+
+    #[test]
+    fn implicit_topologies_build_lazy_plans_that_match_the_oracle() {
+        let implicit = Min::new(2, 3).unwrap();
+        let oracle = Min::materialized(2, 3).unwrap();
+        let sets = DestinationSets::random(&implicit, 3, 7);
+        let wl = Workload::new(16, 0.01, 0.2, sets).unwrap();
+        let lazy = SimPlan::build(&implicit, &wl).unwrap();
+        let dense = SimPlan::build(&oracle, &wl).unwrap();
+        assert!(lazy.is_lazy());
+        assert!(!dense.is_lazy());
+        assert_eq!(lazy.num_channels, dense.num_channels);
+        assert_eq!(lazy.num_cvs, dense.num_cvs);
+        assert_eq!(lazy.cv_base, dense.cv_base);
+        assert_eq!(lazy.vcs, dense.vcs);
+        for node in 0..8u32 {
+            let node = NodeId(node);
+            assert_eq!(lazy.op_target_count(node), dense.op_target_count(node));
+            assert_eq!(lazy.streams_snapshot(node), dense.streams_snapshot(node));
+            for d in 0..8u32 {
+                let d = NodeId(d);
+                if node != d {
+                    assert_eq!(*lazy.unicast_path(node, d), *dense.unicast_path(node, d));
+                }
+            }
+        }
     }
 }

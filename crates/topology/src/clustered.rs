@@ -1,0 +1,614 @@
+//! Hierarchical cluster-of-topologies composition with express links.
+//!
+//! The other half of the ROADMAP scale item: `C` identical clusters of a
+//! flat inner topology (mesh, torus, quarc, ...) bridged by a full
+//! crossbar of directed *express links* between cluster gateways (local
+//! node 0 of each cluster). Cross-cluster traffic rides exactly one
+//! express link: source → own gateway (inner routing), express hop,
+//! remote gateway → destination (inner routing).
+//!
+//! ## Deadlock discipline
+//!
+//! Inner **link** channels double their native virtual-channel count: the
+//! low half serves intra-cluster and *departing* (toward-gateway)
+//! segments with the inner topology's native VC discipline, the high half
+//! serves *arriving* (from-gateway) segments. Express links are their own
+//! single-VC class. The acyclic order `injection < low-VC links <
+//! express < high-VC links < ejection` contains every path's channel
+//! sequence, so the channel dependency graph has no cycle even though
+//! each cluster's inner network is itself cyclic-but-protected by its
+//! native discipline on each half independently.
+//!
+//! Like the MIN, the channel graph is **implicit** — a [`ChannelFactory`]
+//! computes any channel in O(1) by delegating to the (small, dense) inner
+//! topology and remapping ids — and [`Clustered::materialized`]
+//! force-builds the dense differential oracle.
+
+use crate::channel::{Channel, ChannelKind};
+use crate::ids::{ChannelId, NodeId, PortId};
+use crate::network::{ChannelFactory, Network, Topology, TopologyError};
+use crate::path::{Hop, MulticastStream, Path};
+use std::fmt;
+use std::sync::Arc;
+
+/// Largest supported total node count, matching the MIN cap.
+const MAX_NODES: usize = 1 << 24;
+
+/// `C` clusters of one inner topology, bridged by gateway express links.
+#[derive(Clone)]
+pub struct Clustered {
+    clusters: usize,
+    /// Inner node count (`m`); global node `g` lives in cluster `g / m`
+    /// as local node `g % m`.
+    m: usize,
+    /// Inner channel count; cluster `c`'s copy of inner channel `j` has
+    /// global id `c * icc + j`.
+    icc: usize,
+    inner: Arc<dyn Topology>,
+    net: Network,
+    diameter: usize,
+}
+
+impl fmt::Debug for Clustered {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Clustered")
+            .field("clusters", &self.clusters)
+            .field("inner", &self.inner.name())
+            .field("m", &self.m)
+            .finish()
+    }
+}
+
+/// O(1) channel computation for the clustered composition.
+struct ClusteredFactory {
+    clusters: usize,
+    m: usize,
+    icc: usize,
+    inner: Arc<dyn Topology>,
+}
+
+impl fmt::Debug for ClusteredFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusteredFactory")
+            .field("clusters", &self.clusters)
+            .field("inner", &self.inner.name())
+            .finish()
+    }
+}
+
+impl ClusteredFactory {
+    /// Doubled-VC count of inner channel `j` (links double, terminals
+    /// keep their single VC).
+    fn inner_vcs(&self, j: usize) -> u8 {
+        let ch = self.inner.network().channel(ChannelId(j as u32));
+        if ch.kind == ChannelKind::Link {
+            ch.vcs * 2
+        } else {
+            ch.vcs
+        }
+    }
+}
+
+impl ChannelFactory for ClusteredFactory {
+    fn num_channels(&self) -> usize {
+        self.clusters * self.icc + self.clusters * (self.clusters - 1)
+    }
+
+    fn channel(&self, id: ChannelId) -> Channel {
+        let i = id.idx();
+        if i < self.clusters * self.icc {
+            let c = i / self.icc;
+            let j = i % self.icc;
+            let base = self.inner.network().channel(ChannelId(j as u32));
+            let offset = (c * self.m) as u32;
+            let mut ch = base.clone();
+            ch.id = id;
+            ch.from = NodeId(base.from.0 + offset);
+            ch.to = NodeId(base.to.0 + offset);
+            ch.vcs = self.inner_vcs(j);
+            ch.label = format!("c{c} {}", base.label);
+            ch
+        } else {
+            let e = i - self.clusters * self.icc;
+            let a = e / (self.clusters - 1);
+            let slot = e % (self.clusters - 1);
+            let b = if slot < a { slot } else { slot + 1 };
+            Channel::link(
+                id,
+                NodeId((a * self.m) as u32),
+                NodeId((b * self.m) as u32),
+                PortId(0),
+                1,
+                false,
+                format!("x {a}->{b}"),
+            )
+        }
+    }
+
+    fn vcs(&self, id: ChannelId) -> u8 {
+        let i = id.idx();
+        if i < self.clusters * self.icc {
+            self.inner_vcs(i % self.icc)
+        } else {
+            1
+        }
+    }
+
+    fn downstream(&self, id: ChannelId) -> NodeId {
+        let i = id.idx();
+        if i < self.clusters * self.icc {
+            let c = i / self.icc;
+            let j = i % self.icc;
+            NodeId(self.inner.network().channel(ChannelId(j as u32)).to.0 + (c * self.m) as u32)
+        } else {
+            let e = i - self.clusters * self.icc;
+            let a = e / (self.clusters - 1);
+            let slot = e % (self.clusters - 1);
+            let b = if slot < a { slot } else { slot + 1 };
+            NodeId((b * self.m) as u32)
+        }
+    }
+
+    fn injection_channel(&self, node: NodeId, port: PortId) -> ChannelId {
+        let c = node.idx() / self.m;
+        let local = NodeId((node.idx() % self.m) as u32);
+        ChannelId((c * self.icc) as u32 + self.inner.network().injection_channel(local, port).0)
+    }
+
+    fn ejection_channel(&self, node: NodeId, port: PortId) -> ChannelId {
+        let c = node.idx() / self.m;
+        let local = NodeId((node.idx() % self.m) as u32);
+        ChannelId((c * self.icc) as u32 + self.inner.network().ejection_channel(local, port).0)
+    }
+}
+
+impl Clustered {
+    /// Build `clusters` copies of `inner` bridged by gateway express
+    /// links, with implicit (O(1)) channel storage.
+    pub fn new(clusters: usize, inner: Arc<dyn Topology>) -> Result<Clustered, TopologyError> {
+        Clustered::build(clusters, inner, false)
+    }
+
+    /// The same composition with force-materialized dense channel tables
+    /// — the bit-for-bit oracle of the differential suite.
+    pub fn materialized(
+        clusters: usize,
+        inner: Arc<dyn Topology>,
+    ) -> Result<Clustered, TopologyError> {
+        Clustered::build(clusters, inner, true)
+    }
+
+    fn build(
+        clusters: usize,
+        inner: Arc<dyn Topology>,
+        materialize: bool,
+    ) -> Result<Clustered, TopologyError> {
+        if clusters < 2 {
+            return Err(TopologyError::UnsupportedSize {
+                n: clusters,
+                requirement: "clustered composition requires at least two clusters",
+            });
+        }
+        if inner.network().is_implicit() {
+            return Err(TopologyError::InvalidSpec {
+                spec: format!("clustered-{clusters}x-{}", inner.name()),
+                reason: "inner topology must be a materialized flat family \
+                         (no nested min/clustered)"
+                    .into(),
+            });
+        }
+        let m = inner.num_nodes();
+        let total = clusters.checked_mul(m).filter(|&t| t <= MAX_NODES).ok_or(
+            TopologyError::UnsupportedSize {
+                n: usize::MAX,
+                requirement: "clustered node count must be at most 2^24",
+            },
+        )?;
+        let icc = inner.network().num_channels();
+        let factory = Arc::new(ClusteredFactory {
+            clusters,
+            m,
+            icc,
+            inner: Arc::clone(&inner),
+        });
+        let net = Network::implicit(total, inner.num_ports(), factory);
+        let net = if materialize { net.materialize() } else { net };
+        // Exact diameter: intra-cluster routes are bounded by the inner
+        // diameter; cross-cluster routes by the gateway's in/out
+        // eccentricities plus the express hop.
+        let mut ecc_to_gw = 0usize;
+        let mut ecc_from_gw = 0usize;
+        for l in 1..m as u32 {
+            ecc_to_gw = ecc_to_gw.max(inner.unicast_path(NodeId(l), NodeId(0)).link_count());
+            ecc_from_gw = ecc_from_gw.max(inner.unicast_path(NodeId(0), NodeId(l)).link_count());
+        }
+        let diameter = inner.diameter().max(ecc_to_gw + 1 + ecc_from_gw);
+        Ok(Clustered {
+            clusters,
+            m,
+            icc,
+            inner,
+            net,
+            diameter,
+        })
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// The shared inner topology (one cluster's internal structure).
+    #[inline]
+    pub fn inner(&self) -> &dyn Topology {
+        self.inner.as_ref()
+    }
+
+    #[inline]
+    fn split(&self, g: NodeId) -> (usize, NodeId) {
+        (g.idx() / self.m, NodeId((g.idx() % self.m) as u32))
+    }
+
+    #[inline]
+    fn global(&self, cluster: usize, local: NodeId) -> NodeId {
+        NodeId((cluster * self.m) as u32 + local.0)
+    }
+
+    /// Remap an inner hop into cluster `c`'s id space, bumping link hops
+    /// into the high (arriving) VC half when `arriving` is set.
+    fn remap_hop(&self, hop: Hop, c: usize, arriving: bool) -> Hop {
+        let mut vc = hop.vc.0;
+        if arriving {
+            let ch = self.inner.network().channel(hop.channel);
+            if ch.kind == ChannelKind::Link {
+                vc += ch.vcs;
+            }
+        }
+        Hop::new(ChannelId((c * self.icc) as u32 + hop.channel.0), vc)
+    }
+
+    /// Remap a whole intra-cluster inner path into cluster `c`.
+    fn remap_path(&self, p: Path, c: usize) -> Path {
+        let offset = (c * self.m) as u32;
+        Path {
+            src: NodeId(p.src.0 + offset),
+            dst: NodeId(p.dst.0 + offset),
+            port: p.port,
+            hops: p
+                .hops
+                .into_iter()
+                .map(|h| self.remap_hop(h, c, false))
+                .collect(),
+        }
+    }
+
+    fn express_id(&self, a: usize, b: usize) -> ChannelId {
+        let slot = if b < a { b } else { b - 1 };
+        ChannelId((self.clusters * self.icc + a * (self.clusters - 1) + slot) as u32)
+    }
+}
+
+impl Topology for Clustered {
+    fn name(&self) -> &str {
+        "clustered"
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn port_for(&self, src: NodeId, dst: NodeId) -> PortId {
+        let (cs, ls) = self.split(src);
+        let (cd, ld) = self.split(dst);
+        if cs == cd {
+            self.inner.port_for(ls, ld)
+        } else if ls == NodeId(0) {
+            PortId(0)
+        } else {
+            self.inner.port_for(ls, NodeId(0))
+        }
+    }
+
+    fn unicast_path(&self, src: NodeId, dst: NodeId) -> Path {
+        assert_ne!(src, dst, "unicast_path requires distinct endpoints");
+        let (cs, ls) = self.split(src);
+        let (cd, ld) = self.split(dst);
+        if cs == cd {
+            return self.remap_path(self.inner.unicast_path(ls, ld), cs);
+        }
+        let mut hops = Vec::new();
+        // Departing segment: inner route to the local gateway, minus its
+        // ejection hop (the message forwards onto the express link
+        // instead of sinking).
+        let port = if ls == NodeId(0) {
+            hops.push(Hop::new(self.net.injection_channel(src, PortId(0)), 0));
+            PortId(0)
+        } else {
+            let dep = self.inner.unicast_path(ls, NodeId(0));
+            for &hop in &dep.hops[..dep.hops.len() - 1] {
+                hops.push(self.remap_hop(hop, cs, false));
+            }
+            dep.port
+        };
+        hops.push(Hop::new(self.express_id(cs, cd), 0));
+        // Arriving segment: inner route from the remote gateway, minus
+        // its injection hop, on the high VC half.
+        if ld == NodeId(0) {
+            hops.push(Hop::new(self.net.ejection_channel(dst, PortId(0)), 0));
+        } else {
+            let arr = self.inner.unicast_path(NodeId(0), ld);
+            for &hop in &arr.hops[1..] {
+                hops.push(self.remap_hop(hop, cd, true));
+            }
+        }
+        Path {
+            src,
+            dst,
+            port,
+            hops,
+        }
+    }
+
+    fn quadrant(&self, src: NodeId, port: PortId) -> Vec<NodeId> {
+        let (cs, ls) = self.split(src);
+        let mut out: Vec<NodeId> = self
+            .inner
+            .quadrant(ls, port)
+            .into_iter()
+            .map(|t| self.global(cs, t))
+            .collect();
+        // Every remote node is reached through the gateway, so the whole
+        // rest of the system belongs to the gateway-bound port's subset.
+        let gw_port = if ls == NodeId(0) {
+            PortId(0)
+        } else {
+            self.inner.port_for(ls, NodeId(0))
+        };
+        if port == gw_port {
+            for c in 0..self.clusters {
+                if c != cs {
+                    for l in 0..self.m as u32 {
+                        out.push(self.global(c, NodeId(l)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn multicast_streams(&self, src: NodeId, targets: &[NodeId]) -> Vec<MulticastStream> {
+        let (cs, ls) = self.split(src);
+        let mut local: Vec<NodeId> = Vec::new();
+        let mut remote: Vec<NodeId> = Vec::new();
+        for &t in targets {
+            if t == src {
+                continue;
+            }
+            let (ct, lt) = self.split(t);
+            if ct == cs {
+                if !local.contains(&lt) {
+                    local.push(lt);
+                }
+            } else if !remote.contains(&t) {
+                remote.push(t);
+            }
+        }
+        // Same-cluster targets keep the inner topology's native
+        // path-based (BRCP) decomposition, remapped into this cluster.
+        let mut streams: Vec<MulticastStream> = self
+            .inner
+            .multicast_streams(ls, &local)
+            .into_iter()
+            .map(|st| MulticastStream {
+                port: st.port,
+                path: self.remap_path(st.path, cs),
+                targets: st.targets.into_iter().map(|t| self.global(cs, t)).collect(),
+            })
+            .collect();
+        // Remote targets are served as a train of cross-cluster unicasts
+        // through the gateway port, in ascending destination order.
+        remote.sort_unstable();
+        for t in remote {
+            streams.push(MulticastStream {
+                port: self.port_for(src, t),
+                path: self.unicast_path(src, t),
+                targets: vec![t],
+            });
+        }
+        streams
+    }
+
+    fn diameter(&self) -> usize {
+        self.diameter
+    }
+
+    fn has_linear_order(&self) -> bool {
+        // Consecutive global node ids in different clusters are not
+        // physically adjacent, so no usable Hamiltonian order exists.
+        false
+    }
+
+    fn share(&self) -> Option<Arc<dyn Topology>> {
+        Some(Arc::new(self.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{Mesh, MeshKind};
+    use crate::ring::Ring;
+    use std::collections::BTreeSet;
+
+    fn mesh_cluster(clusters: usize) -> Clustered {
+        let inner = Arc::new(Mesh::new(3, 3, MeshKind::Mesh).unwrap());
+        Clustered::new(clusters, inner).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        let inner: Arc<dyn Topology> = Arc::new(Ring::new(6).unwrap());
+        assert!(Clustered::new(0, Arc::clone(&inner)).is_err());
+        assert!(Clustered::new(1, Arc::clone(&inner)).is_err());
+        let c = Clustered::new(3, inner).unwrap();
+        assert_eq!(c.num_nodes(), 18);
+        assert_eq!(c.num_ports(), 2, "inherits the inner port count");
+        assert!(c.network().is_implicit());
+        assert!(!c.has_linear_order());
+    }
+
+    #[test]
+    fn nested_implicit_inner_is_rejected() {
+        let min: Arc<dyn Topology> = Arc::new(crate::min::Min::new(2, 2).unwrap());
+        assert!(matches!(
+            Clustered::new(2, min),
+            Err(TopologyError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_count_adds_the_express_crossbar() {
+        let c = mesh_cluster(4);
+        let icc = c.inner().network().num_channels();
+        assert_eq!(c.network().num_channels(), 4 * icc + 4 * 3);
+    }
+
+    #[test]
+    fn every_route_validates_on_the_materialized_oracle() {
+        let c = mesh_cluster(3);
+        let oracle = c.network().materialize();
+        let n = c.num_nodes() as u32;
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let p = c.unicast_path(NodeId(src), NodeId(dst));
+                oracle.validate_path(&p).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn cross_cluster_routes_use_exactly_one_express_link() {
+        let c = mesh_cluster(3);
+        let icc = c.inner().network().num_channels();
+        let express_base = (3 * icc) as u32;
+        let n = c.num_nodes() as u32;
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let p = c.unicast_path(NodeId(src), NodeId(dst));
+                let express = p
+                    .hops
+                    .iter()
+                    .filter(|h| h.channel.0 >= express_base)
+                    .count();
+                let cross = src / 9 != dst / 9;
+                assert_eq!(express, usize::from(cross), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn arriving_segments_ride_the_high_vc_half() {
+        let c = mesh_cluster(2);
+        // Node 4 (cluster 0 center) to node 13 (cluster 1, local 4).
+        let p = c.unicast_path(NodeId(4), NodeId(13));
+        let icc = c.inner().network().num_channels();
+        let mut seen_express = false;
+        for hop in &p.hops[1..p.hops.len() - 1] {
+            let ch = c.network().channel_at(hop.channel);
+            if hop.channel.idx() >= 2 * icc {
+                seen_express = true;
+                assert_eq!(hop.vc.0, 0);
+                continue;
+            }
+            if ch.kind != ChannelKind::Link {
+                continue;
+            }
+            let native = ch.vcs / 2;
+            if seen_express {
+                assert!(hop.vc.0 >= native, "arriving hop on low half: {hop:?}");
+            } else {
+                assert!(hop.vc.0 < native, "departing hop on high half: {hop:?}");
+            }
+        }
+        assert!(seen_express);
+    }
+
+    #[test]
+    fn quadrants_partition_the_whole_system() {
+        let c = mesh_cluster(3);
+        for src in [NodeId(0), NodeId(4), NodeId(13), NodeId(22)] {
+            let mut seen = BTreeSet::new();
+            for port in 0..c.num_ports() as u8 {
+                for t in c.quadrant(src, PortId(port)) {
+                    assert_ne!(t, src);
+                    assert!(seen.insert(t), "{t:?} in two quadrants of {src:?}");
+                }
+            }
+            assert_eq!(seen.len(), c.num_nodes() - 1, "src {src:?}");
+        }
+    }
+
+    #[test]
+    fn multicast_covers_local_and_remote_targets_once() {
+        let c = mesh_cluster(3);
+        let src = NodeId(4);
+        let targets = [
+            NodeId(1),
+            NodeId(8),
+            NodeId(10),
+            NodeId(20),
+            NodeId(10),
+            src,
+        ];
+        let streams = c.multicast_streams(src, &targets);
+        let oracle = c.network().materialize();
+        let mut covered = BTreeSet::new();
+        for st in &streams {
+            oracle.validate_path(&st.path).unwrap();
+            assert_eq!(st.path.dst, *st.targets.last().unwrap());
+            for &t in &st.targets {
+                assert!(covered.insert(t), "{t:?} covered twice");
+            }
+        }
+        let expected: BTreeSet<NodeId> = [NodeId(1), NodeId(8), NodeId(10), NodeId(20)]
+            .into_iter()
+            .collect();
+        assert_eq!(covered, expected);
+    }
+
+    #[test]
+    fn diameter_is_reached_by_some_route_and_never_exceeded() {
+        let c = mesh_cluster(2);
+        let n = c.num_nodes() as u32;
+        let mut longest = 0;
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst {
+                    longest = longest.max(c.unicast_path(NodeId(src), NodeId(dst)).link_count());
+                }
+            }
+        }
+        assert_eq!(longest, c.diameter());
+    }
+
+    #[test]
+    fn materialized_and_implicit_agree_on_channels() {
+        let implicit = mesh_cluster(2);
+        let inner = Arc::new(Mesh::new(3, 3, MeshKind::Mesh).unwrap());
+        let dense = Clustered::materialized(2, inner).unwrap();
+        assert!(!dense.network().is_implicit());
+        for id in 0..implicit.network().num_channels() as u32 {
+            assert_eq!(
+                implicit.network().channel_at(ChannelId(id)),
+                dense.network().channel_at(ChannelId(id))
+            );
+        }
+    }
+}

@@ -23,7 +23,11 @@
 //!   [`spidergon::Spidergon`] — the one-port baseline;
 //!   [`ring::Ring`] — the minimal two-port multicast topology;
 //!   [`mesh::Mesh`] — mesh/torus with XY routing and dual-path
-//!   Hamiltonian multicast (the paper's stated future work).
+//!   Hamiltonian multicast (the paper's stated future work);
+//!   [`min::Min`] — k-ary multistage (butterfly) networks and
+//!   [`clustered::Clustered`] — hierarchical cluster compositions, both
+//!   with *implicit* O(1) channel storage for 64k+-node scale sweeps
+//!   (differentially tested against force-materialized oracles).
 //! * [`routing`] — pluggable multicast routing schemes behind the
 //!   serializable [`RoutingSpec`] selector: the native path-based (BRCP)
 //!   construction, generic Lin–Ni dual-path, DPM-style partitioned
@@ -54,9 +58,11 @@
 
 pub mod addressing;
 pub mod channel;
+pub mod clustered;
 pub mod hypercube;
 pub mod ids;
 pub mod mesh;
+pub mod min;
 pub mod network;
 pub mod path;
 pub mod quarc;
@@ -67,13 +73,15 @@ pub mod spec;
 pub mod spidergon;
 
 pub use channel::{Channel, ChannelKind};
+pub use clustered::Clustered;
 pub use hypercube::Hypercube;
 pub use ids::{ChannelId, NodeId, PortId, VcId};
 pub use mesh::{Mesh, MeshKind};
-pub use network::{Network, Topology, TopologyError};
+pub use min::Min;
+pub use network::{ChannelFactory, Network, PathError, Topology, TopologyError};
 pub use path::{Hop, MulticastStream, Path};
 pub use quarc::Quarc;
 pub use ring::Ring;
 pub use routing::{MulticastRouting, RoutingError, RoutingSpec, ALL_ROUTINGS};
-pub use spec::{TopologySpec, KNOWN_TOPOLOGIES};
+pub use spec::{ClusterInner, TopologySpec, KNOWN_TOPOLOGIES};
 pub use spidergon::Spidergon;

@@ -1,0 +1,429 @@
+//! k-ary multistage interconnection networks (butterfly/Omega MINs).
+//!
+//! Stergiou's study of multistage interconnection networks under wormhole
+//! routing (arXiv 2007.02550) is the natural scale-out counterpart to the
+//! flat rim topologies of the paper: `N = k^s` terminals connected through
+//! `s` stages of `N/k` radix-`k` switches. This module implements the
+//! banyan (butterfly) wiring with destination-tag routing:
+//!
+//! * **Wires.** Between stage boundary `b` (`0..=s`) there are exactly `N`
+//!   wires, one per `s`-digit base-`k` word `w`. Boundary `0` wires leave
+//!   the terminals, boundary `s` wires enter them, interior boundaries
+//!   connect consecutive switch stages.
+//! * **Routing.** A header at boundary `b` carrying word `w` has its digit
+//!   at position `s-1-b` (MSB first) replaced by the destination's digit —
+//!   after `s` replacements the word *is* the destination. Every route
+//!   therefore crosses exactly `s + 1` links: minimal, uniform and
+//!   stage-monotone, which also makes the channel dependency graph a DAG
+//!   (feed-forward network, single virtual channel, no dateline).
+//! * **One-port terminals.** Like the Spidergon baseline, each terminal
+//!   has a single injection port; a multicast is a train of consecutive
+//!   unicasts through that port (ascending destination order).
+//!
+//! The channel graph is **implicit**: a [`ChannelFactory`] computes any
+//! channel in O(1) from `(k, s)`, so a 64k-terminal MIN costs a few words
+//! of memory. [`Min::materialized`] force-builds the dense oracle the
+//! differential suite compares against.
+
+use crate::channel::Channel;
+use crate::ids::{ChannelId, NodeId, PortId};
+use crate::network::{ChannelFactory, Network, Topology, TopologyError};
+use crate::path::{Hop, MulticastStream, Path};
+use std::sync::Arc;
+
+/// The single injection/ejection port of a MIN terminal.
+const THE_PORT: PortId = PortId(0);
+
+/// Largest supported terminal count (`k^stages`); keeps every channel id
+/// comfortably inside the `u32` id space with room for the `s + 3`
+/// channel classes per terminal.
+const MAX_TERMINALS: usize = 1 << 24;
+
+/// A k-ary `s`-stage butterfly MIN with destination-tag routing.
+#[derive(Clone, Debug)]
+pub struct Min {
+    k: usize,
+    stages: usize,
+    n: usize,
+    net: Network,
+}
+
+/// O(1) channel computation for the butterfly wiring.
+///
+/// Channel id layout (`N = k^s` terminals, `s` stages):
+///
+/// ```text
+/// [0, N)                injection, terminal i
+/// [N + b·N, N + (b+1)·N) boundary-b wire w, for b in 0..=s
+/// [N·(s+2), N·(s+3))    ejection, terminal i
+/// ```
+///
+/// Switches are addressed as pseudo-nodes `N + stage·(N/k) + sw`, where
+/// `sw` is the wire word with the digit the switch permutes removed —
+/// they never appear as routable terminals, only as link endpoints.
+#[derive(Clone, Debug)]
+struct MinFactory {
+    k: usize,
+    stages: usize,
+    n: usize,
+}
+
+impl MinFactory {
+    /// Digit of `x` at base-`k` position `pos` (0 = least significant).
+    #[inline]
+    fn digit(&self, x: usize, pos: usize) -> usize {
+        (x / self.k.pow(pos as u32)) % self.k
+    }
+
+    /// `x` with the digit at `pos` replaced by `d`.
+    #[inline]
+    fn replace_digit(&self, x: usize, pos: usize, d: usize) -> usize {
+        let p = self.k.pow(pos as u32);
+        x - self.digit(x, pos) * p + d * p
+    }
+
+    /// Wire word `w` with the digit at `pos` removed — the index of the
+    /// switch that permutes that digit.
+    #[inline]
+    fn sw_excl(&self, w: usize, pos: usize) -> usize {
+        let p = self.k.pow(pos as u32);
+        (w / (p * self.k)) * p + w % p
+    }
+
+    /// Pseudo-node id of switch `sw` in switch stage `stage`.
+    #[inline]
+    fn switch(&self, stage: usize, sw: usize) -> NodeId {
+        NodeId((self.n + stage * (self.n / self.k) + sw) as u32)
+    }
+
+    /// Endpoints of the boundary-`b` wire carrying word `w`.
+    fn wire_endpoints(&self, b: usize, w: usize) -> (NodeId, NodeId) {
+        let s = self.stages;
+        let from = if b == 0 {
+            NodeId(w as u32)
+        } else {
+            self.switch(b - 1, self.sw_excl(w, s - b))
+        };
+        let to = if b == s {
+            NodeId(w as u32)
+        } else {
+            self.switch(b, self.sw_excl(w, s - 1 - b))
+        };
+        (from, to)
+    }
+
+    #[inline]
+    fn ejection_base(&self) -> usize {
+        self.n * (self.stages + 2)
+    }
+}
+
+impl ChannelFactory for MinFactory {
+    fn num_channels(&self) -> usize {
+        self.n * (self.stages + 3)
+    }
+
+    fn channel(&self, id: ChannelId) -> Channel {
+        let i = id.idx();
+        let n = self.n;
+        if i < n {
+            Channel::injection(id, NodeId(i as u32), THE_PORT, format!("inj {i}"))
+        } else if i < self.ejection_base() {
+            let b = (i - n) / n;
+            let w = (i - n) % n;
+            let (from, to) = self.wire_endpoints(b, w);
+            Channel::link(id, from, to, THE_PORT, 1, false, format!("b{b} w{w}"))
+        } else {
+            let node = i - self.ejection_base();
+            Channel::ejection(id, NodeId(node as u32), THE_PORT, format!("ej {node}"))
+        }
+    }
+
+    fn vcs(&self, _id: ChannelId) -> u8 {
+        1
+    }
+
+    fn downstream(&self, id: ChannelId) -> NodeId {
+        let i = id.idx();
+        let n = self.n;
+        if i < n {
+            NodeId(i as u32)
+        } else if i < self.ejection_base() {
+            self.wire_endpoints((i - n) / n, (i - n) % n).1
+        } else {
+            NodeId((i - self.ejection_base()) as u32)
+        }
+    }
+
+    fn injection_channel(&self, node: NodeId, _port: PortId) -> ChannelId {
+        ChannelId(node.0)
+    }
+
+    fn ejection_channel(&self, node: NodeId, _port: PortId) -> ChannelId {
+        ChannelId((self.ejection_base() + node.idx()) as u32)
+    }
+}
+
+impl Min {
+    /// Build a `k`-ary `stages`-stage MIN with implicit (O(1)) channel
+    /// storage — the representation used for large-scale sweeps.
+    pub fn new(k: usize, stages: usize) -> Result<Min, TopologyError> {
+        Min::build(k, stages, false)
+    }
+
+    /// Build the same MIN with force-materialized dense channel tables:
+    /// the oracle the differential suite compares the implicit path
+    /// against, bit-for-bit.
+    pub fn materialized(k: usize, stages: usize) -> Result<Min, TopologyError> {
+        Min::build(k, stages, true)
+    }
+
+    fn build(k: usize, stages: usize, materialize: bool) -> Result<Min, TopologyError> {
+        if k < 2 {
+            return Err(TopologyError::UnsupportedSize {
+                n: k,
+                requirement: "MIN radix (k) must be at least 2",
+            });
+        }
+        if stages < 1 {
+            return Err(TopologyError::UnsupportedSize {
+                n: stages,
+                requirement: "MIN must have at least one stage",
+            });
+        }
+        let n = u32::try_from(stages)
+            .ok()
+            .and_then(|s| k.checked_pow(s))
+            .filter(|&n| n <= MAX_TERMINALS)
+            .ok_or(TopologyError::UnsupportedSize {
+                n: usize::MAX,
+                requirement: "MIN terminal count k^stages must be at most 2^24",
+            })?;
+        let factory = Arc::new(MinFactory { k, stages, n });
+        let net = Network::implicit(n, 1, factory);
+        let net = if materialize { net.materialize() } else { net };
+        Ok(Min { k, stages, n, net })
+    }
+
+    /// Switch radix `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of switch stages `s` (every route crosses `s + 1` links).
+    #[inline]
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    fn factory(&self) -> MinFactory {
+        MinFactory {
+            k: self.k,
+            stages: self.stages,
+            n: self.n,
+        }
+    }
+}
+
+impl Topology for Min {
+    fn name(&self) -> &str {
+        "min"
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn port_for(&self, _src: NodeId, _dst: NodeId) -> PortId {
+        THE_PORT
+    }
+
+    fn unicast_path(&self, src: NodeId, dst: NodeId) -> Path {
+        assert_ne!(src, dst, "unicast_path requires distinct endpoints");
+        let f = self.factory();
+        let (n, s) = (self.n, self.stages);
+        let mut hops = Vec::with_capacity(s + 3);
+        hops.push(Hop::new(ChannelId(src.0), 0));
+        // Destination-tag routing, MSB first: the wire word morphs from
+        // `src` to `dst` one digit per switch stage.
+        let mut w = src.idx();
+        for b in 0..=s {
+            hops.push(Hop::new(ChannelId((n + b * n + w) as u32), 0));
+            if b < s {
+                let pos = s - 1 - b;
+                w = f.replace_digit(w, pos, f.digit(dst.idx(), pos));
+            }
+        }
+        debug_assert_eq!(w, dst.idx());
+        hops.push(Hop::new(
+            ChannelId((f.ejection_base() + dst.idx()) as u32),
+            0,
+        ));
+        Path {
+            src,
+            dst,
+            port: THE_PORT,
+            hops,
+        }
+    }
+
+    fn quadrant(&self, src: NodeId, _port: PortId) -> Vec<NodeId> {
+        (0..self.n as u32)
+            .map(NodeId)
+            .filter(|&t| t != src)
+            .collect()
+    }
+
+    fn multicast_streams(&self, src: NodeId, targets: &[NodeId]) -> Vec<MulticastStream> {
+        // One-port terminal: a multicast is a train of consecutive
+        // unicasts through the single port, in ascending destination
+        // order (mirrors the Spidergon baseline; all MIN routes have the
+        // same length, so no distance sort applies).
+        let mut dests: Vec<NodeId> = targets.iter().copied().filter(|&t| t != src).collect();
+        dests.sort_unstable();
+        dests.dedup();
+        dests
+            .into_iter()
+            .map(|t| MulticastStream {
+                port: THE_PORT,
+                path: self.unicast_path(src, t),
+                targets: vec![t],
+            })
+            .collect()
+    }
+
+    fn diameter(&self) -> usize {
+        // Every route crosses all `s + 1` stage boundaries.
+        self.stages + 1
+    }
+
+    fn has_linear_order(&self) -> bool {
+        // Terminals only connect through the switch fabric; no pair of
+        // terminals is physically adjacent, so no Hamiltonian order
+        // exists for the order-walking schemes.
+        false
+    }
+
+    fn share(&self) -> Option<Arc<dyn Topology>> {
+        Some(Arc::new(self.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Min::new(1, 3).is_err());
+        assert!(Min::new(2, 0).is_err());
+        assert!(Min::new(2, 40).is_err(), "2^40 terminals exceed the cap");
+        let m = Min::new(2, 3).unwrap();
+        assert_eq!(m.num_nodes(), 8);
+        assert_eq!(m.num_ports(), 1);
+        assert_eq!(m.name(), "min");
+        assert!(m.network().is_implicit());
+        assert!(!m.has_linear_order());
+        assert!(!m.concurrent_multicast());
+    }
+
+    #[test]
+    fn channel_count_is_n_times_stages_plus_three() {
+        for (k, s) in [(2, 1), (2, 3), (4, 2), (3, 3)] {
+            let m = Min::new(k, s).unwrap();
+            assert_eq!(m.network().num_channels(), m.num_nodes() * (s + 3));
+        }
+    }
+
+    #[test]
+    fn every_route_validates_on_the_materialized_oracle() {
+        for (k, s) in [(2, 2), (2, 3), (4, 2), (3, 2)] {
+            let m = Min::new(k, s).unwrap();
+            let oracle = m.network().materialize();
+            let n = m.num_nodes() as u32;
+            for src in 0..n {
+                for dst in 0..n {
+                    if src == dst {
+                        continue;
+                    }
+                    let p = m.unicast_path(NodeId(src), NodeId(dst));
+                    oracle.validate_path(&p).unwrap();
+                    assert_eq!(p.link_count(), s + 1, "uniform minimal length");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_stage_monotone() {
+        let m = Min::new(4, 3).unwrap();
+        let n = m.num_nodes();
+        let p = m.unicast_path(NodeId(5), NodeId(42));
+        for (b, hop) in p.hops[1..p.hops.len() - 1].iter().enumerate() {
+            let id = hop.channel.idx();
+            assert!(
+                (n + b * n..n + (b + 1) * n).contains(&id),
+                "link {b} must be a boundary-{b} wire, got {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn multicast_is_an_ascending_unicast_train() {
+        let m = Min::new(2, 3).unwrap();
+        let src = NodeId(3);
+        let targets = [NodeId(6), NodeId(1), NodeId(6), src, NodeId(4)];
+        let streams = m.multicast_streams(src, &targets);
+        let visited: Vec<NodeId> = streams.iter().map(|s| s.targets[0]).collect();
+        assert_eq!(visited, vec![NodeId(1), NodeId(4), NodeId(6)]);
+        let oracle = m.network().materialize();
+        let mut covered = BTreeSet::new();
+        for st in &streams {
+            oracle.validate_path(&st.path).unwrap();
+            assert_eq!(st.port, THE_PORT);
+            assert_eq!(st.targets.len(), 1);
+            assert_eq!(st.path.dst, st.targets[0]);
+            assert!(covered.insert(st.targets[0]));
+        }
+    }
+
+    #[test]
+    fn diameter_matches_route_length() {
+        let m = Min::new(2, 4).unwrap();
+        assert_eq!(m.diameter(), 5);
+        assert_eq!(m.unicast_path(NodeId(0), NodeId(15)).link_count(), 5);
+    }
+
+    #[test]
+    fn quadrant_covers_all_other_terminals() {
+        let m = Min::new(2, 2).unwrap();
+        let q = m.quadrant(NodeId(1), THE_PORT);
+        assert_eq!(q.len(), 3);
+        assert!(!q.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn materialized_and_implicit_agree_on_channels() {
+        let implicit = Min::new(2, 3).unwrap();
+        let dense = Min::materialized(2, 3).unwrap();
+        assert!(!dense.network().is_implicit());
+        for id in 0..implicit.network().num_channels() as u32 {
+            assert_eq!(
+                implicit.network().channel_at(ChannelId(id)),
+                dense.network().channel_at(ChannelId(id))
+            );
+        }
+    }
+
+    #[test]
+    fn share_returns_a_working_handle() {
+        let m = Min::new(2, 2).unwrap();
+        let shared = m.share().expect("MINs are shareable");
+        assert_eq!(
+            shared.unicast_path(NodeId(0), NodeId(3)),
+            m.unicast_path(NodeId(0), NodeId(3))
+        );
+    }
+}

@@ -83,6 +83,13 @@ pub enum RoutingError {
         /// Node count of the offending topology.
         nodes: usize,
     },
+    /// The scheme walks the topology's Hamiltonian linear order, which
+    /// the topology does not have (multistage/hierarchical families —
+    /// see [`Topology::has_linear_order`]).
+    NoLinearOrder {
+        /// The scheme's registry code.
+        scheme: &'static str,
+    },
 }
 
 impl fmt::Display for RoutingError {
@@ -96,6 +103,11 @@ impl fmt::Display for RoutingError {
             RoutingError::TooFewNodes { scheme, nodes } => write!(
                 f,
                 "routing scheme `{scheme}` requires >= 2 nodes, topology has {nodes}"
+            ),
+            RoutingError::NoLinearOrder { scheme } => write!(
+                f,
+                "routing scheme `{scheme}` walks a Hamiltonian linear order, \
+                 which multistage/hierarchical topologies do not have"
             ),
         }
     }
@@ -115,8 +127,16 @@ pub trait MulticastRouting: Send + Sync {
     fn code(&self) -> &'static str;
 
     /// Check the scheme is realizable on a topology of `num_nodes` nodes
-    /// with `num_ports` injection ports per node.
-    fn validate(&self, num_nodes: usize, num_ports: usize) -> Result<(), RoutingError>;
+    /// with `num_ports` injection ports per node; `has_linear_order`
+    /// states whether the topology has a usable Hamiltonian linear order
+    /// ([`Topology::has_linear_order`]), which the order-walking schemes
+    /// require.
+    fn validate(
+        &self,
+        num_nodes: usize,
+        num_ports: usize,
+        has_linear_order: bool,
+    ) -> Result<(), RoutingError>;
 
     /// Decompose a multicast from `src` to `targets` into streams.
     /// `src` entries and duplicates in `targets` are ignored.
@@ -265,7 +285,12 @@ impl MulticastRouting for PathBased {
         "path"
     }
 
-    fn validate(&self, num_nodes: usize, _num_ports: usize) -> Result<(), RoutingError> {
+    fn validate(
+        &self,
+        num_nodes: usize,
+        _num_ports: usize,
+        _has_linear_order: bool,
+    ) -> Result<(), RoutingError> {
         if num_nodes < 2 {
             return Err(RoutingError::TooFewNodes {
                 scheme: self.code(),
@@ -301,7 +326,12 @@ impl MulticastRouting for DualPath {
         "dual-path"
     }
 
-    fn validate(&self, num_nodes: usize, num_ports: usize) -> Result<(), RoutingError> {
+    fn validate(
+        &self,
+        num_nodes: usize,
+        num_ports: usize,
+        has_linear_order: bool,
+    ) -> Result<(), RoutingError> {
         if num_nodes < 2 {
             return Err(RoutingError::TooFewNodes {
                 scheme: self.code(),
@@ -312,6 +342,11 @@ impl MulticastRouting for DualPath {
             return Err(RoutingError::SingleInjectionPort {
                 scheme: self.code(),
                 ports: num_ports,
+            });
+        }
+        if !has_linear_order {
+            return Err(RoutingError::NoLinearOrder {
+                scheme: self.code(),
             });
         }
         Ok(())
@@ -349,7 +384,12 @@ impl MulticastRouting for Multipath {
         "multipath"
     }
 
-    fn validate(&self, num_nodes: usize, num_ports: usize) -> Result<(), RoutingError> {
+    fn validate(
+        &self,
+        num_nodes: usize,
+        num_ports: usize,
+        has_linear_order: bool,
+    ) -> Result<(), RoutingError> {
         if num_nodes < 2 {
             return Err(RoutingError::TooFewNodes {
                 scheme: self.code(),
@@ -360,6 +400,11 @@ impl MulticastRouting for Multipath {
             return Err(RoutingError::SingleInjectionPort {
                 scheme: self.code(),
                 ports: num_ports,
+            });
+        }
+        if !has_linear_order {
+            return Err(RoutingError::NoLinearOrder {
+                scheme: self.code(),
             });
         }
         Ok(())
@@ -425,7 +470,12 @@ impl MulticastRouting for UnicastTree {
         "unicast"
     }
 
-    fn validate(&self, num_nodes: usize, _num_ports: usize) -> Result<(), RoutingError> {
+    fn validate(
+        &self,
+        num_nodes: usize,
+        _num_ports: usize,
+        _has_linear_order: bool,
+    ) -> Result<(), RoutingError> {
         if num_nodes < 2 {
             return Err(RoutingError::TooFewNodes {
                 scheme: self.code(),
@@ -521,9 +571,16 @@ impl RoutingSpec {
     }
 
     /// Check the scheme is realizable on a topology of `num_nodes` nodes
-    /// with `num_ports` injection ports per node.
-    pub fn validate(&self, num_nodes: usize, num_ports: usize) -> Result<(), RoutingError> {
-        self.scheme().validate(num_nodes, num_ports)
+    /// with `num_ports` injection ports per node and (for the
+    /// order-walking schemes) a usable Hamiltonian linear order.
+    pub fn validate(
+        &self,
+        num_nodes: usize,
+        num_ports: usize,
+        has_linear_order: bool,
+    ) -> Result<(), RoutingError> {
+        self.scheme()
+            .validate(num_nodes, num_ports, has_linear_order)
     }
 
     /// Decompose a multicast from `src` to `targets` into streams under
@@ -723,7 +780,7 @@ mod tests {
         // One-port topologies cannot run concurrent-stream schemes.
         for spec in [RoutingSpec::DualPath, RoutingSpec::Multipath] {
             assert_eq!(
-                spec.validate(16, 1),
+                spec.validate(16, 1, true),
                 Err(RoutingError::SingleInjectionPort {
                     scheme: spec.code(),
                     ports: 1
@@ -731,18 +788,37 @@ mod tests {
             );
         }
         // The always-realizable schemes accept one port.
-        assert_eq!(RoutingSpec::PathBased.validate(16, 1), Ok(()));
-        assert_eq!(RoutingSpec::UnicastTree.validate(16, 1), Ok(()));
+        assert_eq!(RoutingSpec::PathBased.validate(16, 1, true), Ok(()));
+        assert_eq!(RoutingSpec::UnicastTree.validate(16, 1, true), Ok(()));
         // Nothing routes on a single node.
         for spec in ALL_ROUTINGS {
             assert!(matches!(
-                spec.validate(1, 4),
+                spec.validate(1, 4, true),
                 Err(RoutingError::TooFewNodes { .. })
             ));
         }
         // Errors display their scheme code.
-        let err = RoutingSpec::Multipath.validate(16, 1).unwrap_err();
+        let err = RoutingSpec::Multipath.validate(16, 1, true).unwrap_err();
         assert!(err.to_string().contains("multipath"), "{err}");
+    }
+
+    #[test]
+    fn order_walking_schemes_require_a_linear_order() {
+        // Multistage/hierarchical topologies have no Hamiltonian order;
+        // the order-walking schemes reject them at validation time.
+        for spec in [RoutingSpec::DualPath, RoutingSpec::Multipath] {
+            assert_eq!(
+                spec.validate(64, 4, false),
+                Err(RoutingError::NoLinearOrder {
+                    scheme: spec.code()
+                })
+            );
+            let err = spec.validate(64, 4, false).unwrap_err();
+            assert!(err.to_string().contains(spec.code()), "{err}");
+        }
+        // The non-walking schemes do not care.
+        assert_eq!(RoutingSpec::PathBased.validate(64, 4, false), Ok(()));
+        assert_eq!(RoutingSpec::UnicastTree.validate(64, 4, false), Ok(()));
     }
 
     #[test]

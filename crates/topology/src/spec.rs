@@ -9,14 +9,17 @@
 //! new binary; unknown names and invalid sizes surface as
 //! [`TopologyError`] values with actionable messages.
 
+use crate::clustered::Clustered;
 use crate::hypercube::Hypercube;
 use crate::mesh::{Mesh, MeshKind};
+use crate::min::Min;
 use crate::network::{Topology, TopologyError};
 use crate::quarc::Quarc;
 use crate::ring::Ring;
 use crate::spidergon::Spidergon;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A serializable description of a topology, sufficient to construct it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,10 +60,111 @@ pub enum TopologySpec {
         /// Dimension (`2^dim` nodes).
         dim: usize,
     },
+    /// k-ary multistage (butterfly) interconnection network with
+    /// `k^stages` one-port terminals and implicit O(1) channel storage.
+    Min {
+        /// Switch radix.
+        k: usize,
+        /// Number of switch stages (`k^stages` terminals).
+        stages: usize,
+    },
+    /// Hierarchical composition: `clusters` copies of a flat inner
+    /// topology bridged by gateway express links, with implicit O(1)
+    /// channel storage.
+    Clustered {
+        /// Number of clusters (>= 2).
+        clusters: usize,
+        /// The inner (per-cluster) topology.
+        inner: ClusterInner,
+    },
+}
+
+/// The inner topology of a [`TopologySpec::Clustered`] composition — the
+/// six flat families, mirrored so the spec stays `Copy` and nesting of
+/// implicit families is unrepresentable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterInner {
+    /// Quarc cluster.
+    Quarc {
+        /// Node count per cluster.
+        n: usize,
+    },
+    /// Bidirectional-ring cluster.
+    Ring {
+        /// Node count per cluster.
+        n: usize,
+    },
+    /// One-port Spidergon cluster.
+    Spidergon {
+        /// Node count per cluster.
+        n: usize,
+    },
+    /// Open-mesh cluster.
+    Mesh {
+        /// Columns.
+        width: usize,
+        /// Rows.
+        height: usize,
+    },
+    /// Torus cluster.
+    Torus {
+        /// Columns.
+        width: usize,
+        /// Rows.
+        height: usize,
+    },
+    /// Hypercube cluster.
+    Hypercube {
+        /// Dimension (`2^dim` nodes per cluster).
+        dim: usize,
+    },
+}
+
+impl ClusterInner {
+    /// The flat [`TopologySpec`] this inner selection mirrors.
+    pub fn spec(self) -> TopologySpec {
+        match self {
+            ClusterInner::Quarc { n } => TopologySpec::Quarc { n },
+            ClusterInner::Ring { n } => TopologySpec::Ring { n },
+            ClusterInner::Spidergon { n } => TopologySpec::Spidergon { n },
+            ClusterInner::Mesh { width, height } => TopologySpec::Mesh { width, height },
+            ClusterInner::Torus { width, height } => TopologySpec::Torus { width, height },
+            ClusterInner::Hypercube { dim } => TopologySpec::Hypercube { dim },
+        }
+    }
+
+    /// Mirror a flat spec into an inner selection; `None` for the
+    /// implicit families (no nesting).
+    pub fn from_spec(spec: TopologySpec) -> Option<ClusterInner> {
+        Some(match spec {
+            TopologySpec::Quarc { n } => ClusterInner::Quarc { n },
+            TopologySpec::Ring { n } => ClusterInner::Ring { n },
+            TopologySpec::Spidergon { n } => ClusterInner::Spidergon { n },
+            TopologySpec::Mesh { width, height } => ClusterInner::Mesh { width, height },
+            TopologySpec::Torus { width, height } => ClusterInner::Torus { width, height },
+            TopologySpec::Hypercube { dim } => ClusterInner::Hypercube { dim },
+            TopologySpec::Min { .. } | TopologySpec::Clustered { .. } => return None,
+        })
+    }
+}
+
+impl fmt::Display for ClusterInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.spec().fmt(f)
+    }
 }
 
 /// The registry's topology names, in registry order.
-pub const KNOWN_TOPOLOGIES: &[&str] = &["quarc", "ring", "spidergon", "mesh", "torus", "hypercube"];
+pub const KNOWN_TOPOLOGIES: &[&str] = &[
+    "quarc",
+    "ring",
+    "spidergon",
+    "mesh",
+    "torus",
+    "hypercube",
+    "min",
+    "clustered",
+];
 
 impl TopologySpec {
     /// Construct the described topology.
@@ -76,6 +180,11 @@ impl TopologySpec {
                 Box::new(Mesh::new(width, height, MeshKind::Torus)?)
             }
             TopologySpec::Hypercube { dim } => Box::new(Hypercube::new(dim)?),
+            TopologySpec::Min { k, stages } => Box::new(Min::new(k, stages)?),
+            TopologySpec::Clustered { clusters, inner } => {
+                let inner: Arc<dyn Topology> = Arc::from(inner.spec().build()?);
+                Box::new(Clustered::new(clusters, inner)?)
+            }
         })
     }
 
@@ -88,6 +197,8 @@ impl TopologySpec {
             TopologySpec::Mesh { .. } => "mesh",
             TopologySpec::Torus { .. } => "torus",
             TopologySpec::Hypercube { .. } => "hypercube",
+            TopologySpec::Min { .. } => "min",
+            TopologySpec::Clustered { .. } => "clustered",
         }
     }
 
@@ -106,6 +217,12 @@ impl TopologySpec {
             TopologySpec::Hypercube { dim } => 1usize
                 .checked_shl(dim.min(u32::MAX as usize) as u32)
                 .unwrap_or(usize::MAX),
+            TopologySpec::Min { k, stages } => k
+                .checked_pow(stages.min(u32::MAX as usize) as u32)
+                .unwrap_or(usize::MAX),
+            TopologySpec::Clustered { clusters, inner } => {
+                clusters.saturating_mul(inner.spec().num_nodes())
+            }
         }
     }
 
@@ -119,7 +236,21 @@ impl TopologySpec {
             TopologySpec::Spidergon { .. } => 1,
             TopologySpec::Mesh { .. } | TopologySpec::Torus { .. } => 4,
             TopologySpec::Hypercube { dim } => dim,
+            TopologySpec::Min { .. } => 1,
+            TopologySpec::Clustered { inner, .. } => inner.spec().num_ports(),
         }
+    }
+
+    /// Whether the described topology has a usable Hamiltonian linear
+    /// order (see [`Topology::has_linear_order`]): true for the six flat
+    /// families, false for the multistage/hierarchical scale families.
+    /// Used by spec-level validation of the order-walking multicast
+    /// schemes without building the topology.
+    pub fn has_linear_order(&self) -> bool {
+        !matches!(
+            self,
+            TopologySpec::Min { .. } | TopologySpec::Clustered { .. }
+        )
     }
 
     /// Construct a spec from a registry name and a *size* argument: the
@@ -153,6 +284,13 @@ impl TopologySpec {
                     }
                 })
             }
+            "min" | "clustered" => Err(TopologyError::InvalidSpec {
+                spec: format!("{name}-{size}"),
+                reason: format!(
+                    "`{name}` has no single-size form; use `min-<k>x<stages>` \
+                     or `clustered-<C>x-<inner-spec>`"
+                ),
+            }),
             other => Err(TopologyError::UnknownTopology {
                 name: other.to_string(),
             }),
@@ -160,8 +298,10 @@ impl TopologySpec {
     }
 
     /// Parse a compact spec string: `<name>-<size>` (e.g. `quarc-16`,
-    /// `hypercube-4`) or `<name>-<W>x<H>` for mesh/torus (e.g.
-    /// `mesh-4x4`). This is the format [`TopologySpec`] displays as, so
+    /// `hypercube-4`), `<name>-<W>x<H>` for mesh/torus (e.g. `mesh-4x4`),
+    /// `min-<k>x<stages>` (e.g. `min-64x2`), or
+    /// `clustered-<C>x-<inner-spec>` (e.g. `clustered-4x-mesh-4x4`).
+    /// This is the format [`TopologySpec`] displays as, so
     /// `parse(spec.to_string())` round-trips.
     pub fn parse(s: &str) -> Result<TopologySpec, TopologyError> {
         let bad = |reason: &str| TopologyError::InvalidSpec {
@@ -175,6 +315,31 @@ impl TopologySpec {
             return Err(TopologyError::UnknownTopology {
                 name: name.to_string(),
             });
+        }
+        if name == "min" {
+            let (k, stages) = arg
+                .split_once('x')
+                .ok_or_else(|| bad("min needs `min-<k>x<stages>` (e.g. `min-64x2`)"))?;
+            let k: usize = k.parse().map_err(|_| bad("MIN radix is not a number"))?;
+            let stages: usize = stages
+                .parse()
+                .map_err(|_| bad("MIN stage count is not a number"))?;
+            return Ok(TopologySpec::Min { k, stages });
+        }
+        if name == "clustered" {
+            let (count, inner) = arg.split_once('-').ok_or_else(|| {
+                bad("clustered needs `clustered-<C>x-<inner-spec>` (e.g. `clustered-4x-mesh-4x4`)")
+            })?;
+            let count = count.strip_suffix('x').ok_or_else(|| {
+                bad("cluster count must end with `x` (e.g. `clustered-4x-mesh-4x4`)")
+            })?;
+            let clusters: usize = count
+                .parse()
+                .map_err(|_| bad("cluster count is not a number"))?;
+            let inner = ClusterInner::from_spec(TopologySpec::parse(inner)?).ok_or_else(|| {
+                bad("inner topology must be one of the flat families (no nested min/clustered)")
+            })?;
+            return Ok(TopologySpec::Clustered { clusters, inner });
         }
         if let Some((w, h)) = arg.split_once('x') {
             if name != "mesh" && name != "torus" {
@@ -200,6 +365,10 @@ impl fmt::Display for TopologySpec {
                 write!(f, "{}-{}x{}", self.kind_name(), width, height)
             }
             TopologySpec::Hypercube { dim } => write!(f, "hypercube-{dim}"),
+            TopologySpec::Min { k, stages } => write!(f, "min-{k}x{stages}"),
+            TopologySpec::Clustered { clusters, inner } => {
+                write!(f, "clustered-{clusters}x-{inner}")
+            }
             _ => write!(f, "{}-{}", self.kind_name(), self.num_nodes()),
         }
     }
@@ -327,5 +496,63 @@ mod tests {
                 height: 4
             })
         );
+    }
+
+    #[test]
+    fn scale_families_parse_build_and_round_trip() {
+        let min = TopologySpec::parse("min-64x2").unwrap();
+        assert_eq!(min, TopologySpec::Min { k: 64, stages: 2 });
+        assert_eq!(min.num_nodes(), 4096);
+        assert_eq!(min.num_ports(), 1);
+        assert!(!min.has_linear_order());
+        assert_eq!(min.to_string(), "min-64x2");
+        let topo = min.build().unwrap();
+        assert_eq!(topo.num_nodes(), 4096);
+        assert!(topo.network().is_implicit());
+
+        let cl = TopologySpec::parse("clustered-4x-mesh-4x4").unwrap();
+        assert_eq!(
+            cl,
+            TopologySpec::Clustered {
+                clusters: 4,
+                inner: ClusterInner::Mesh {
+                    width: 4,
+                    height: 4
+                }
+            }
+        );
+        assert_eq!(cl.num_nodes(), 64);
+        assert_eq!(cl.num_ports(), 4);
+        assert!(!cl.has_linear_order());
+        assert_eq!(cl.to_string(), "clustered-4x-mesh-4x4");
+        let topo = cl.build().unwrap();
+        assert_eq!(topo.num_nodes(), 64);
+        assert_eq!(TopologySpec::parse(&cl.to_string()), Ok(cl));
+    }
+
+    #[test]
+    fn scale_family_malformed_specs_are_rejected() {
+        // No single-size form.
+        assert!(matches!(
+            TopologySpec::from_name("min", 64),
+            Err(TopologyError::InvalidSpec { .. })
+        ));
+        assert!(TopologySpec::parse("min-64").is_err());
+        assert!(TopologySpec::parse("min-4xq").is_err());
+        assert!(
+            TopologySpec::parse("clustered-4-mesh-4x4").is_err(),
+            "missing x"
+        );
+        assert!(TopologySpec::parse("clustered-4x-warp-16").is_err());
+        // Nested implicit families are unrepresentable.
+        assert!(TopologySpec::parse("clustered-2x-min-2x2").is_err());
+        assert!(TopologySpec::parse("clustered-2x-clustered-2x-ring-6").is_err());
+        // Stage/cluster counts that parse but violate constraints fail at
+        // build time with the constraint in the message.
+        assert!(TopologySpec::parse("min-4x0").unwrap().build().is_err());
+        assert!(TopologySpec::parse("clustered-0x-mesh-4x4")
+            .unwrap()
+            .build()
+            .is_err());
     }
 }

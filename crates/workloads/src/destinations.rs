@@ -56,6 +56,42 @@ impl DestinationSets {
         DestinationSets { sets }
     }
 
+    /// Uniformly random sets of `group_size` destinations per node, built
+    /// by rejection sampling in O(n · group) — the constructor for scale
+    /// sweeps, where [`DestinationSets::random`]'s per-node shuffle of all
+    /// `n − 1` candidates is an O(n²) wall (a 64k-node network would
+    /// shuffle four billion entries).
+    ///
+    /// The sampled distribution matches `random` (uniform without
+    /// replacement) but the draws differ for the same seed, so the two
+    /// constructors are distinct named patterns, not interchangeable
+    /// implementations of one.
+    ///
+    /// `group_size` is capped at `n / 2` (and `n − 1`): rejection
+    /// sampling degrades as the group approaches `n`, and scale sweeps
+    /// keep groups tiny anyway — use `random` for dense groups on small
+    /// networks.
+    pub fn sampled(topo: &dyn Topology, group_size: usize, seed: u64) -> Self {
+        let n = topo.num_nodes();
+        let group = group_size.min(n.saturating_sub(1)).min(n / 2);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x243f_6a88_85a3_08d3);
+        let sets = (0..n)
+            .map(|src| {
+                let src = NodeId(src as u32);
+                let mut set: Vec<NodeId> = Vec::with_capacity(group);
+                while set.len() < group {
+                    let d = Self::random_unicast_dest(n, src, &mut rng);
+                    if !set.contains(&d) {
+                        set.push(d);
+                    }
+                }
+                set.sort_unstable();
+                set
+            })
+            .collect();
+        DestinationSets { sets }
+    }
+
     /// Localized sets (Fig. 7 pattern): every node's destinations lie in a
     /// single randomly chosen injection-port quadrant ("on the same rim").
     ///
@@ -169,6 +205,32 @@ mod tests {
         let c = DestinationSets::random(&topo, 8, 8);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampled_sets_have_requested_size_and_exclude_source() {
+        let topo = Quarc::new(64).unwrap();
+        let sets = DestinationSets::sampled(&topo, 5, 9);
+        assert_eq!(sets.num_nodes(), 64);
+        for i in 0..64u32 {
+            let s = sets.set(NodeId(i));
+            assert_eq!(s.len(), 5);
+            assert!(!s.contains(&NodeId(i)));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        }
+        let a = DestinationSets::sampled(&topo, 5, 9);
+        let b = DestinationSets::sampled(&topo, 5, 10);
+        assert_eq!(sets, a, "seed-deterministic");
+        assert_ne!(sets, b);
+    }
+
+    #[test]
+    fn sampled_group_is_capped_at_half_the_network() {
+        let topo = Ring::new(6).unwrap();
+        let sets = DestinationSets::sampled(&topo, 10, 1);
+        for i in 0..6u32 {
+            assert_eq!(sets.set(NodeId(i)).len(), 3, "capped at n/2");
+        }
     }
 
     #[test]

@@ -137,9 +137,11 @@ fn closed_loop_rejects_nonzero_rate() {
         requests: 8,
         write_fraction: 0.5,
     };
-    let result = std::panic::catch_unwind(move || {
+    // AssertUnwindSafe: nothing is reused after the catch, and Network's
+    // implicit-storage handle is plain shared data either way.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         let mut sim = Simulator::new(&topo, &wl, SimConfig::quick(3));
         sim.install_closed_loop(&spec, 3);
-    });
+    }));
     assert!(result.is_err(), "non-zero rate must be rejected");
 }

@@ -187,6 +187,51 @@ fn hypercube_low_and_mid_load_identical() {
 }
 
 #[test]
+fn min_low_and_mid_load_identical() {
+    // Implicit storage + lazy plan: the engines memoize stream tables on
+    // demand in different orders, which must not leak into the results.
+    let topo = Min::new(2, 4).unwrap();
+    check_topology(&topo, &[0.002, 0.010], 0.05, 4, 73);
+}
+
+#[test]
+fn clustered_low_and_mid_load_identical() {
+    let inner: std::sync::Arc<dyn Topology> = std::sync::Arc::new(Quarc::new(8).unwrap());
+    let topo = Clustered::new(2, inner).unwrap();
+    check_topology(&topo, &[0.002, 0.010], 0.05, 4, 79);
+}
+
+#[test]
+fn min_saturated_load_breaks_identically() {
+    // One-port butterfly under far-past-knee load: the backlog break must
+    // land on the same cycle even though the lazy plan forces its stream
+    // tables mid-run.
+    let topo = Min::new(2, 4).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 83);
+    let wl = Workload::new(64, 0.8, 0.5, sets).unwrap();
+    let mut cfg = SimConfig::quick(83);
+    cfg.backlog_limit = 2_000;
+    let (cycle, event) = both(&topo, &wl, cfg);
+    assert!(cycle.saturated, "rate 0.8 with 64-flit messages saturates");
+    assert_runs_identical(&cycle, &event, "min saturated");
+}
+
+#[test]
+fn clustered_saturated_load_breaks_identically() {
+    // The express crossbar is the bottleneck: inter-cluster traffic piles
+    // onto one gateway link per cluster pair.
+    let inner: std::sync::Arc<dyn Topology> = std::sync::Arc::new(Quarc::new(8).unwrap());
+    let topo = Clustered::new(2, inner).unwrap();
+    let sets = DestinationSets::random(&topo, 4, 89);
+    let wl = Workload::new(64, 0.8, 0.5, sets).unwrap();
+    let mut cfg = SimConfig::quick(89);
+    cfg.backlog_limit = 2_000;
+    let (cycle, event) = both(&topo, &wl, cfg);
+    assert!(cycle.saturated, "rate 0.8 with 64-flit messages saturates");
+    assert_runs_identical(&cycle, &event, "clustered saturated");
+}
+
+#[test]
 fn every_routing_scheme_is_engine_bit_identical() {
     // The engines replay the SimPlan's stream tables, so equivalence must
     // hold per routing scheme, not just for the default path-based one.

@@ -149,7 +149,7 @@ fn multipath_saturation_sweeps_anchor_on_the_calculus_backend() {
     let opts = ModelOptions::default();
 
     assert!(
-        !MgOneBackend.applicable(&proto),
+        !MgOneBackend.applicable(topo.as_ref(), &proto),
         "multipath must be outside the mg1 domain"
     );
     let nc_sat = NetworkCalculusBackend.max_sustainable_rate(topo.as_ref(), &proto, &opts, 0.01);

@@ -144,6 +144,116 @@ fn pre_telemetry_scenario_json_still_parses_and_runs() {
 }
 
 #[test]
+fn registry_round_trips_the_scale_families() {
+    // `parse(spec.to_string())` is the registry contract; the scale
+    // families carry structured arguments, so spell both forms out.
+    for (s, spec) in [
+        ("min-64x2", TopologySpec::Min { k: 64, stages: 2 }),
+        (
+            "clustered-4x-mesh-4x4",
+            TopologySpec::Clustered {
+                clusters: 4,
+                inner: ClusterInner::Mesh {
+                    width: 4,
+                    height: 4,
+                },
+            },
+        ),
+        (
+            "clustered-2x-quarc-8",
+            TopologySpec::Clustered {
+                clusters: 2,
+                inner: ClusterInner::Quarc { n: 8 },
+            },
+        ),
+    ] {
+        assert_eq!(TopologySpec::parse(s).unwrap(), spec, "{s}");
+        assert_eq!(spec.to_string(), s, "{s}: display form");
+        assert_eq!(
+            TopologySpec::parse(&spec.to_string()).unwrap(),
+            spec,
+            "{s}: parse∘display is the identity"
+        );
+    }
+}
+
+#[test]
+fn registry_rejects_malformed_scale_specs() {
+    for bad in [
+        "min-64",               // no single-size form
+        "clustered-4",          // no single-size form
+        "min-axb",              // non-numeric radix
+        "min-64x",              // missing stage count
+        "clustered-4-mesh",     // cluster count must end with `x`
+        "clustered-2x-min-2x2", // no nesting of implicit families
+        "clustered-2x-warp-9",  // unknown inner family
+    ] {
+        let result = TopologySpec::parse(bad).and_then(|spec| spec.build().map(|_| ()));
+        assert!(result.is_err(), "`{bad}` must be rejected");
+    }
+    // Constraint violations surface at build() with the constraint named.
+    for (spec, needle) in [
+        ("min-1x3", "at least 2"),
+        ("clustered-1x-ring-6", "two clusters"),
+    ] {
+        let msg = match TopologySpec::parse(spec).expect("parses").build() {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("`{spec}` must fail at build time"),
+        };
+        assert!(msg.contains(needle), "`{spec}`: {msg}");
+    }
+}
+
+#[test]
+fn scale_family_round_trip_runs_bit_identical_and_unmodeled() {
+    // Same contract as the six legacy topologies, plus the scale-family
+    // stamp: no analytical backend covers implicit storage, so every
+    // point must carry `model_applicable = false`.
+    for topology in [
+        TopologySpec::Min { k: 2, stages: 3 },
+        TopologySpec::Clustered {
+            clusters: 2,
+            inner: ClusterInner::Ring { n: 6 },
+        },
+    ] {
+        let original = scenario_for(topology);
+        let json = original.to_json();
+        let reloaded = Scenario::from_json(&json).expect("serialized scenario parses");
+        assert_eq!(original, reloaded, "spec round-trip must be identity");
+
+        let runner = Runner::new().threads(2);
+        let a = runner.run(&original).expect("original runs");
+        let b = runner.run(&reloaded).expect("reloaded runs");
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "{topology}: results diverged after a JSON round-trip"
+        );
+        assert!(a.sims[0][0].total_absorbed > 0, "{topology}: empty run");
+        assert!(
+            a.points.iter().all(|p| !p.model_applicable),
+            "{topology}: implicit topologies are outside every model"
+        );
+    }
+}
+
+#[test]
+fn saturation_relative_sweeps_reject_implicit_topologies() {
+    // There is no analytical saturation rate to anchor on; the runner
+    // must say so instead of silently picking one.
+    let mut sc = scenario_for(TopologySpec::Min { k: 2, stages: 3 });
+    sc.sweep = SweepSpec::SaturationFractions {
+        fractions: vec![0.3],
+    };
+    match Runner::new().run(&sc) {
+        Err(Error::InvalidScenario(msg)) => {
+            assert!(msg.contains("explicit rates"), "actionable message: {msg}");
+        }
+        other => panic!("expected Error::InvalidScenario, got {other:?}"),
+    }
+}
+
+#[test]
 fn invalid_scenarios_surface_typed_errors_not_panics() {
     // Malformed sweep (descending rates).
     let mut sc = scenario_for(TopologySpec::Ring { n: 8 });

@@ -140,9 +140,11 @@ fn pattern_validation_guards_simulator_and_model() {
             fraction: 0.2,
         },
     );
-    let result = std::panic::catch_unwind(|| {
+    // AssertUnwindSafe: nothing is reused after the catch, and Network's
+    // implicit-storage handle is plain shared data either way.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _ = Simulator::new(&topo, &bad, SimConfig::quick(1));
-    });
+    }));
     assert!(
         result.is_err(),
         "simulator must reject an out-of-range hot node"
